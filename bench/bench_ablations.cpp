@@ -1,0 +1,129 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   * path slicing on/off           (§IV-C: model and optimum shrink)
+//   * objective variants            (§IV-A4: total rules vs upstream drop)
+//   * redundancy removal on/off     (Fig. 4's optional first stage)
+//   * ingress warm-start hint on/off (search seeding)
+//   * satisfiability-only vs optimizing (§IV-D)
+// Counters expose what each knob buys: model size, solve time (the metric
+// itself), and solution quality.
+
+#include <chrono>
+
+#include "bench_common.h"
+#include "core/compress.h"
+
+namespace ruleplace::bench {
+namespace {
+
+// Post-placement TCAM compression: how many installed entries the
+// single-switch post-pass reclaims on top of the ILP optimum.
+void benchCompression(benchmark::State& state, core::InstanceConfig cfg) {
+  for (auto _ : state) {
+    core::Instance inst(cfg);
+    core::PlaceOptions opts;
+    opts.budget = pointBudget();
+    core::PlaceOutcome out = core::place(inst.problem(), opts);
+    if (!out.hasSolution()) {
+      state.SkipWithError("instance infeasible");
+      return;
+    }
+    std::int64_t before = out.placement.totalInstalledRules();
+    auto t0 = std::chrono::steady_clock::now();
+    core::CompressionStats cs = core::compressTables(out.placement);
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    state.SetIterationTime(secs);
+    state.counters["rules_before"] = static_cast<double>(before);
+    state.counters["rules_after"] =
+        static_cast<double>(out.placement.totalInstalledRules());
+    state.counters["redundant_removed"] =
+        static_cast<double>(cs.redundantRemoved);
+    state.counters["pairs_fused"] = static_cast<double>(cs.pairsFused);
+  }
+}
+
+core::InstanceConfig ablationConfig(std::uint64_t seed, bool sliced) {
+  core::InstanceConfig cfg;
+  const bool full = fullScale();
+  cfg.fatTreeK = full ? 8 : 4;
+  cfg.capacity = full ? 300 : 60;
+  cfg.ingressCount = full ? 32 : 8;
+  cfg.totalPaths = full ? 512 : 64;
+  cfg.rulesPerPolicy = full ? 60 : 16;
+  cfg.slicedTraffic = sliced;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void registerVariant(const std::string& name, bool sliced,
+                     core::PlaceOptions opts) {
+  const int seeds = fullScale() ? 3 : 2;
+  for (int seed = 0; seed < seeds; ++seed) {
+    core::InstanceConfig cfg = ablationConfig(70 + seed, sliced);
+    std::string full = "ablation/" + name + "/seed=" + std::to_string(seed);
+    benchmark::RegisterBenchmark(
+        full.c_str(),
+        [cfg, opts](benchmark::State& state) {
+          runPlacementPoint(state, cfg, opts);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void registerAll() {
+  core::PlaceOptions base;
+  registerVariant("baseline_total_rules", false, base);
+
+  core::PlaceOptions sliced;
+  sliced.encoder.enablePathSlicing = true;
+  registerVariant("path_slicing_on", true, sliced);
+  registerVariant("path_slicing_off_same_traffic", true, base);
+
+  core::PlaceOptions upstream;
+  upstream.encoder.objective = core::ObjectiveKind::kUpstreamTraffic;
+  registerVariant("objective_upstream_traffic", false, upstream);
+
+  core::PlaceOptions redundancy;
+  redundancy.removeRedundancy = true;
+  registerVariant("redundancy_removal_on", false, redundancy);
+
+  core::PlaceOptions noHint;
+  noHint.useIngressHint = false;
+  registerVariant("ingress_hint_off", false, noHint);
+
+  core::PlaceOptions satOnly;
+  satOnly.satisfiabilityOnly = true;
+  registerVariant("satisfiability_only", false, satOnly);
+
+  core::PlaceOptions merging;
+  merging.encoder.enableMerging = true;
+  registerVariant("merging_on_no_shared_rules", false, merging);
+
+  // Post-pass compression ablation (overlapping policies so the pass has
+  // redundancy to find).
+  for (int seed = 0; seed < (fullScale() ? 3 : 2); ++seed) {
+    core::InstanceConfig cfg = ablationConfig(90 + seed, false);
+    cfg.gen.nestProbability = 0.8;
+    std::string name =
+        "ablation/table_compression/seed=" + std::to_string(seed);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [cfg](benchmark::State& s) { benchCompression(s, cfg); })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace ruleplace::bench
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

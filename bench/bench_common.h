@@ -1,0 +1,64 @@
+#pragma once
+// Shared infrastructure for the per-figure/table benchmark binaries.
+//
+// Every binary reproduces one table or figure from the paper's §V at a
+// *reduced* default scale (so the whole suite runs in minutes on a laptop)
+// and at the paper's full scale when RULEPLACE_FULL=1 is set in the
+// environment.  Shapes — who wins, where the feasibility frontier lies,
+// how runtime scales — are preserved at both scales; absolute numbers are
+// not comparable to the paper's CPLEX-on-Xeon setup (see EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/instance.h"
+#include "core/placer.h"
+
+namespace ruleplace::bench {
+
+inline bool fullScale() {
+  const char* v = std::getenv("RULEPLACE_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Per-solve time budget so a stuck point cannot hang the suite.
+/// Budget-bound points correspond to the paper's minutes-long CPLEX
+/// solves; 10 s at reduced scale is enough to show the regime split
+/// (milliseconds vs. budget-bound) while keeping the suite quick.
+inline solver::Budget pointBudget() {
+  return solver::Budget::seconds(fullScale() ? 300.0 : 10.0);
+}
+
+inline const char* statusLabel(solver::OptStatus s) {
+  return solver::toString(s);
+}
+
+/// Run one placement and record the standard counters on the benchmark
+/// state: runtime is the measured solve (manual timing), counters carry
+/// feasibility, objective and model size.
+inline void runPlacementPoint(benchmark::State& state,
+                              const core::InstanceConfig& cfg,
+                              core::PlaceOptions opts) {
+  opts.budget = pointBudget();
+  for (auto _ : state) {
+    core::Instance inst(cfg);
+    core::PlaceOutcome out = core::place(inst.problem(), opts);
+    state.SetIterationTime(out.encodeSeconds + out.solveSeconds);
+    state.counters["feasible"] =
+        out.status == solver::OptStatus::kInfeasible ? 0 : 1;
+    state.counters["optimal"] =
+        out.status == solver::OptStatus::kOptimal ? 1 : 0;
+    state.counters["rules_installed"] =
+        out.hasSolution() ? static_cast<double>(
+                                out.placement.totalInstalledRules())
+                          : 0;
+    state.counters["model_vars"] = static_cast<double>(out.modelVars);
+    state.counters["model_cons"] = static_cast<double>(out.modelConstraints);
+    state.counters["conflicts"] =
+        static_cast<double>(out.solverStats.conflicts);
+  }
+}
+
+}  // namespace ruleplace::bench

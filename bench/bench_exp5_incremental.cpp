@@ -1,0 +1,165 @@
+// Experiment 5: incremental deployment latency (§IV-E, §V).
+//
+// Solve a base instance from scratch, freeze it, then measure:
+//   (a) installing N new single-path policies against the spare capacity
+//       (paper: 64/128/256 policies of 100 rules; 256 returns infeasible),
+//   (b) rerouting M existing policies (paper: 1/16/32 policies in
+//       126/217/442 ms).
+// Paper shape: both complete in milliseconds-to-seconds while the initial
+// from-scratch solve takes orders of magnitude longer.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/incremental.h"
+#include "topo/routing.h"
+
+namespace ruleplace::bench {
+namespace {
+
+struct Base {
+  core::Instance inst;
+  core::PlaceOutcome outcome;
+  double fromScratchSeconds = 0.0;
+
+  explicit Base(const core::InstanceConfig& cfg) : inst(cfg) {
+    core::PlaceOptions opts;
+    opts.budget = pointBudget();
+    outcome = core::place(inst.problem(), opts);
+    fromScratchSeconds = outcome.encodeSeconds + outcome.solveSeconds;
+  }
+};
+
+core::InstanceConfig baseConfig() {
+  core::InstanceConfig cfg;
+  const bool full = fullScale();
+  cfg.fatTreeK = full ? 16 : 4;
+  cfg.capacity = full ? 500 : 120;
+  cfg.ingressCount = full ? 32 : 8;
+  cfg.totalPaths = full ? 1024 : 64;
+  cfg.rulesPerPolicy = full ? 100 : 20;
+  cfg.seed = 42;
+  return cfg;
+}
+
+Base& sharedBase() {
+  static Base base(baseConfig());
+  return base;
+}
+
+void benchInstall(benchmark::State& state) {
+  const auto nPolicies = static_cast<int>(state.range(0));
+  Base& base = sharedBase();
+  if (!base.outcome.hasSolution()) {
+    state.SkipWithError("base placement infeasible");
+    return;
+  }
+  const int newRules = fullScale() ? 100 : 20;
+  for (auto _ : state) {
+    util::Rng rng(static_cast<std::uint64_t>(nPolicies));
+    classbench::GeneratorConfig gen;
+    gen.rulesPerPolicy = newRules;
+    classbench::PolicyGenerator pg(gen, rng.next());
+    topo::ShortestPathRouter router(base.inst.graph());
+    std::vector<topo::IngressPaths> routing;
+    std::vector<acl::Policy> policies;
+    const int ports = base.inst.graph().entryPortCount();
+    for (int i = 0; i < nPolicies; ++i) {
+      topo::PortId in = static_cast<topo::PortId>(rng.below(ports));
+      topo::PortId out = static_cast<topo::PortId>(rng.below(ports));
+      if (out == in) out = (out + 1) % ports;
+      routing.push_back({in, {router.route(in, out, rng)}});
+      policies.push_back(pg.generate());
+    }
+    core::PlaceOptions fast;
+    fast.satisfiabilityOnly = true;  // §IV-E: feasibility beats optimality
+    fast.budget = pointBudget();
+    auto t0 = std::chrono::steady_clock::now();
+    core::PlaceOutcome inc = core::installPolicies(
+        base.outcome.solvedProblem, base.outcome.placement, routing, policies,
+        fast);
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    state.SetIterationTime(secs);
+    state.counters["feasible"] = inc.hasSolution() ? 1 : 0;
+    state.counters["from_scratch_s"] = base.fromScratchSeconds;
+  }
+}
+
+void benchReroute(benchmark::State& state) {
+  const auto nPolicies = static_cast<int>(state.range(0));
+  Base& base = sharedBase();
+  if (!base.outcome.hasSolution()) {
+    state.SkipWithError("base placement infeasible");
+    return;
+  }
+  for (auto _ : state) {
+    util::Rng rng(static_cast<std::uint64_t>(7 * nPolicies));
+    topo::ShortestPathRouter router(base.inst.graph());
+    const int ports = base.inst.graph().entryPortCount();
+    std::vector<int> ids;
+    std::vector<topo::IngressPaths> routing;
+    for (int i = 0; i < nPolicies; ++i) {
+      int id = i % base.outcome.solvedProblem.policyCount();
+      ids.push_back(id);
+      topo::PortId in =
+          base.outcome.solvedProblem.routing[static_cast<std::size_t>(id)]
+              .ingress;
+      // Fewer/more paths than before: a routing change (§IV-E).
+      std::vector<topo::Path> paths;
+      const int nPaths = fullScale() ? 16 : 4;
+      for (int j = 0; j < nPaths; ++j) {
+        topo::PortId out = static_cast<topo::PortId>(rng.below(ports));
+        if (out == in) out = (out + 1) % ports;
+        paths.push_back(router.route(in, out, rng));
+      }
+      routing.push_back({in, std::move(paths)});
+    }
+    core::PlaceOptions fast;
+    fast.satisfiabilityOnly = true;
+    fast.budget = pointBudget();
+    auto t0 = std::chrono::steady_clock::now();
+    core::PlaceOutcome inc = core::reroutePolicies(
+        base.outcome.solvedProblem, base.outcome.placement, ids, routing,
+        fast);
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    state.SetIterationTime(secs);
+    state.counters["feasible"] = inc.hasSolution() ? 1 : 0;
+    state.counters["from_scratch_s"] = base.fromScratchSeconds;
+  }
+}
+
+void registerAll() {
+  const bool full = fullScale();
+  for (int n : full ? std::vector<int>{64, 128, 256}
+                    : std::vector<int>{8, 16, 32}) {
+    benchmark::RegisterBenchmark("exp5_install_policies", benchInstall)
+        ->Arg(n)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (int n :
+       full ? std::vector<int>{1, 16, 32} : std::vector<int>{1, 4, 8}) {
+    benchmark::RegisterBenchmark("exp5_reroute_policies", benchReroute)
+        ->Arg(n)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace ruleplace::bench
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 11: execution time vs. per-switch rule capacity, fixed network
+// and policies.  Paper shape: infeasible fast at tiny C; a hard hump in
+// the phase-transition middle; easy and flat once C is generous — both
+// over- and under-constrained instances are the cheap ones.
+
+#include "bench_common.h"
+
+namespace ruleplace::bench {
+namespace {
+
+void registerSweep() {
+  const bool full = fullScale();
+  const int k = full ? 16 : 4;
+  const int rules = full ? 100 : 20;
+  const int ingresses = full ? 32 : 8;
+  const int paths = full ? 1024 : 64;
+  std::vector<int> capacities;
+  if (full) {
+    for (int c = 50; c <= 1000; c += 50) capacities.push_back(c);
+  } else {
+    for (int c = 8; c <= 80; c += 8) capacities.push_back(c);
+    capacities.push_back(120);
+    capacities.push_back(200);
+  }
+  const int seeds = full ? 5 : 2;
+
+  for (int c : capacities) {
+    for (int seed = 0; seed < seeds; ++seed) {
+      core::InstanceConfig cfg;
+      cfg.fatTreeK = k;
+      cfg.capacity = c;
+      cfg.ingressCount = ingresses;
+      cfg.totalPaths = paths;
+      cfg.rulesPerPolicy = rules;
+      cfg.seed = static_cast<std::uint64_t>(31 * c + seed + 1);
+      std::string name =
+          "fig11/C=" + std::to_string(c) + "/seed=" + std::to_string(seed);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [cfg](benchmark::State& state) {
+            runPlacementPoint(state, cfg, core::PlaceOptions{});
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruleplace::bench
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

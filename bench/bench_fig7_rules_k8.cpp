@@ -1,0 +1,13 @@
+// Figure 7: execution time vs. number of rules, Fat-Tree k = 8.
+// Paper shape: runtime rises with n; C=200 (tight) is slower than C=1000
+// (roomy); over-constrained points (large n, C=200) flip to infeasible and
+// return *faster* — the sharp drop at the right edge of the figure.
+
+#include "bench_fig_rules.inc.h"
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerRulesSweep("fig7_k8", 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

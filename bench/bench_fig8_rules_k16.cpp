@@ -1,0 +1,11 @@
+// Figure 8: execution time vs. number of rules, Fat-Tree k = 16
+// (320 switches at paper scale).  Same sweep as Figure 7, larger fabric.
+
+#include "bench_fig_rules.inc.h"
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerRulesSweep("fig8_k16", 16);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

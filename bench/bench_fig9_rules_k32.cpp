@@ -1,0 +1,11 @@
+// Figure 9: execution time vs. number of rules, Fat-Tree k = 32
+// (1280 switches at paper scale).  Same sweep as Figure 7, largest fabric.
+
+#include "bench_fig_rules.inc.h"
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerRulesSweep("fig9_k32", 32);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

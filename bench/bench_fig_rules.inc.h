@@ -1,0 +1,60 @@
+#pragma once
+// Shared driver for Figures 7-9: execution time vs. number of rules per
+// ingress policy, at two switch capacities, on a fixed Fat-Tree / routing.
+// The three figures differ only in the Fat-Tree arity k.
+
+#include "bench_common.h"
+
+namespace ruleplace::bench {
+
+/// Register the sweep for one figure.  `paperK` is the paper's arity;
+/// reduced scale shrinks the fabric but keeps the sweep structure: runtime
+/// climbs with n while feasible, then collapses once over-constrained.
+inline void registerRulesSweep(const char* figure, int paperK) {
+  const bool full = fullScale();
+  // Reduced scale keeps the three figures' size ordering: k 8/16/32
+  // shrinks to k 4/6/8 (20 / 45 / 80 switches).
+  const int k = full ? paperK : (paperK == 8 ? 4 : paperK == 16 ? 6 : 8);
+  // Reduced: fewer/smaller policies over a k=4 fabric (20 switches); the
+  // capacity pair keeps the paper's tight-vs-roomy contrast.
+  const int paths = full ? 1024 : 64;
+  const int ingresses = full ? 32 : 8;
+  // The reduced sweep still crosses the feasibility frontier: with C=40
+  // the largest n make some path's requirement exceed its capacity and
+  // presolve reports infeasibility instantly — the paper's runtime drop at
+  // the right edge of each figure.
+  const std::vector<int> ruleCounts =
+      full ? std::vector<int>{20, 30, 40, 50, 60, 70, 80, 90, 100, 110}
+           : std::vector<int>{10, 20, 30, 40, 50, 60, 70};
+  const std::vector<int> capacities = full ? std::vector<int>{200, 1000}
+                                           : std::vector<int>{40, 200};
+  const int seeds = full ? 5 : 2;
+
+  for (int capacity : capacities) {
+    for (int n : ruleCounts) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        core::InstanceConfig cfg;
+        cfg.fatTreeK = k;
+        cfg.capacity = capacity;
+        cfg.ingressCount = ingresses;
+        cfg.totalPaths = paths;
+        cfg.rulesPerPolicy = n;
+        cfg.seed = static_cast<std::uint64_t>(1000 * n + seed + 1);
+        std::string name = std::string(figure) + "/C=" +
+                           std::to_string(capacity) + "/n=" +
+                           std::to_string(n) + "/seed=" +
+                           std::to_string(seed);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [cfg](benchmark::State& state) {
+              runPlacementPoint(state, cfg, core::PlaceOptions{});
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace ruleplace::bench

@@ -1,0 +1,85 @@
+// §V model-size report: the paper quotes ~290K variables / ~520K
+// constraints for k=8, r=100, p=1024 and ~500K / ~940K for k=32.  This
+// bench reports variables, constraints and nonzeros for the encoding
+// across the experiment grid, plus encode time (model construction only,
+// no solving) — variables scale with rules x switches, constraints with
+// paths, switches and dependency-edge count.
+
+#include <chrono>
+
+#include "bench_common.h"
+#include "core/encoder.h"
+
+namespace ruleplace::bench {
+namespace {
+
+void benchEncode(benchmark::State& state, core::InstanceConfig cfg,
+                 bool slicing) {
+  for (auto _ : state) {
+    core::Instance inst(cfg);
+    core::PlacementProblem problem = inst.problem();
+    core::EncoderOptions opts;
+    opts.enablePathSlicing = slicing;
+    auto t0 = std::chrono::steady_clock::now();
+    core::Encoder enc(problem, opts);
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    state.SetIterationTime(secs);
+    state.counters["vars"] = static_cast<double>(enc.model().varCount());
+    state.counters["constraints"] =
+        static_cast<double>(enc.model().constraintCount());
+    state.counters["nonzeros"] = static_cast<double>(enc.model().nonzeroCount());
+    state.counters["dep_cons"] =
+        static_cast<double>(enc.stats().ruleDependencyConstraints);
+    state.counters["path_cons"] =
+        static_cast<double>(enc.stats().pathDependencyConstraints);
+    state.counters["obj_lb"] =
+        static_cast<double>(enc.stats().objectiveLowerBound);
+  }
+}
+
+void registerAll() {
+  const bool full = fullScale();
+  struct Point {
+    int k, rules, paths, ingresses;
+  };
+  std::vector<Point> grid =
+      full ? std::vector<Point>{{8, 100, 1024, 32}, {16, 100, 1024, 32},
+                                {32, 100, 1024, 32}}
+           : std::vector<Point>{{4, 20, 64, 8}, {6, 20, 64, 8},
+                                {8, 20, 128, 16}};
+  for (const auto& pt : grid) {
+    core::InstanceConfig cfg;
+    cfg.fatTreeK = pt.k;
+    cfg.capacity = 200;
+    cfg.ingressCount = pt.ingresses;
+    cfg.totalPaths = pt.paths;
+    cfg.rulesPerPolicy = pt.rules;
+    cfg.seed = 3;
+    for (bool slicing : {false, true}) {
+      cfg.slicedTraffic = slicing;
+      std::string name = "model_size/k=" + std::to_string(pt.k) +
+                         "/r=" + std::to_string(pt.rules) +
+                         "/p=" + std::to_string(pt.paths) +
+                         (slicing ? "/sliced" : "/full");
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [cfg, slicing](benchmark::State& s) {
+                                     benchEncode(s, cfg, slicing);
+                                   })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruleplace::bench
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// SAT formulation vs. ILP optimization (the paper's §VII future work,
+// realized): the same constraint system solved for *any* feasible
+// placement (§IV-D, the mode incremental deployment uses) versus the
+// optimizing solve.  Reported per point: both runtimes and the quality
+// gap (rules installed by the first satisfying solution vs. the optimum).
+//
+// Expected shape: satisfiability is consistently faster — often by orders
+// of magnitude on capacity-tight instances — at a modest rule-count
+// premium; exactly the trade-off that justifies keeping both
+// formulations (§IV-E).
+
+#include <chrono>
+
+#include "bench_common.h"
+
+namespace ruleplace::bench {
+namespace {
+
+void benchPoint(benchmark::State& state, core::InstanceConfig cfg) {
+  for (auto _ : state) {
+    core::Instance inst(cfg);
+    core::PlaceOptions satOpts;
+    satOpts.satisfiabilityOnly = true;
+    satOpts.budget = pointBudget();
+    auto t0 = std::chrono::steady_clock::now();
+    core::PlaceOutcome sat = core::place(inst.problem(), satOpts);
+    double satSecs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    core::PlaceOptions optOpts;
+    optOpts.budget = pointBudget();
+    t0 = std::chrono::steady_clock::now();
+    core::PlaceOutcome opt = core::place(inst.problem(), optOpts);
+    double optSecs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    state.SetIterationTime(satSecs);
+    state.counters["sat_ms"] = satSecs * 1e3;
+    state.counters["ilp_ms"] = optSecs * 1e3;
+    state.counters["sat_rules"] =
+        sat.hasSolution()
+            ? static_cast<double>(sat.placement.totalInstalledRules())
+            : -1;
+    state.counters["ilp_rules"] =
+        opt.hasSolution() ? static_cast<double>(opt.objective) : -1;
+    state.counters["agree_feasible"] =
+        (sat.hasSolution() == opt.hasSolution()) ? 1 : 0;
+  }
+}
+
+void registerAll() {
+  const bool full = fullScale();
+  const std::vector<int> ruleCounts =
+      full ? std::vector<int>{40, 70, 100} : std::vector<int>{10, 20, 30};
+  const std::vector<int> capacities =
+      full ? std::vector<int>{200, 1000} : std::vector<int>{40, 200};
+  for (int capacity : capacities) {
+    for (int n : ruleCounts) {
+      for (int seed = 0; seed < (full ? 3 : 2); ++seed) {
+        core::InstanceConfig cfg;
+        cfg.fatTreeK = full ? 8 : 4;
+        cfg.capacity = capacity;
+        cfg.ingressCount = full ? 32 : 8;
+        cfg.totalPaths = full ? 512 : 64;
+        cfg.rulesPerPolicy = n;
+        cfg.seed = static_cast<std::uint64_t>(7 * n + seed);
+        std::string name = "sat_vs_ilp/C=" + std::to_string(capacity) +
+                           "/n=" + std::to_string(n) +
+                           "/seed=" + std::to_string(seed);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [cfg](benchmark::State& s) { benchPoint(s, cfg); })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruleplace::bench
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

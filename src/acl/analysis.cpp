@@ -1,0 +1,51 @@
+#include "acl/analysis.h"
+
+#include <cmath>
+
+namespace ruleplace::acl {
+
+match::CubeSet policyDiff(const Policy& a, const Policy& b) {
+  match::CubeSet dropA = a.dropSet();
+  match::CubeSet dropB = b.dropSet();
+  match::CubeSet diff = dropA.subtract(dropB);
+  diff.unite(dropB.subtract(dropA));
+  return diff;
+}
+
+long double dropFraction(const Policy& q) {
+  return q.dropSet().volumeFraction();
+}
+
+std::vector<RuleEffect> ruleEffects(const Policy& q) {
+  std::vector<RuleEffect> out;
+  std::vector<match::Ternary> shadow;  // all higher-priority fields
+  for (const auto& r : q.rules()) {
+    std::vector<match::Ternary> eff{r.matchField};
+    for (const auto& s : shadow) {
+      eff = match::subtractAll(eff, s);
+      if (eff.empty()) break;
+    }
+    RuleEffect e;
+    e.ruleId = r.id;
+    long double vol = 0.0L;
+    for (const auto& piece : eff) {
+      vol += std::pow(2.0L, static_cast<long double>(piece.wildcardCount() -
+                                                     piece.width()));
+    }
+    e.effectiveFraction = vol;
+    e.shadowed = eff.empty();
+    out.push_back(e);
+    shadow.push_back(r.matchField);
+  }
+  return out;
+}
+
+std::vector<int> shadowedRules(const Policy& q) {
+  std::vector<int> out;
+  for (const auto& e : ruleEffects(q)) {
+    if (e.shadowed) out.push_back(e.ruleId);
+  }
+  return out;
+}
+
+}  // namespace ruleplace::acl

@@ -1,0 +1,40 @@
+#pragma once
+// Policy analysis utilities: what operators ask about their ACLs.
+//
+// Built on the exact cube-set algebra, so every answer is precise rather
+// than sampled — the same precision guarantee the placement encoder and
+// verifier provide.
+
+#include <vector>
+
+#include "acl/policy.h"
+#include "match/cubeset.h"
+
+namespace ruleplace::acl {
+
+/// Headers on which the two policies decide differently (drop vs permit).
+/// Empty iff the policies are semantically equal.
+match::CubeSet policyDiff(const Policy& a, const Policy& b);
+
+/// Exact fraction of the header space this policy drops, in [0, 1].
+long double dropFraction(const Policy& q);
+
+/// Per-rule effectiveness.
+struct RuleEffect {
+  int ruleId = -1;
+  /// Fraction of the header space this rule actually decides (its match
+  /// minus all higher-priority rules).
+  long double effectiveFraction = 0.0L;
+  /// True when the rule can never match (fully shadowed from above).
+  bool shadowed = false;
+};
+
+/// Effectiveness of every rule, in match order.  Shadowed rules are
+/// exactly the "masked" case of redundancy removal; rules with a tiny
+/// effective fraction are candidates for operator review.
+std::vector<RuleEffect> ruleEffects(const Policy& q);
+
+/// Ids of rules that can never match (convenience over ruleEffects).
+std::vector<int> shadowedRules(const Policy& q);
+
+}  // namespace ruleplace::acl

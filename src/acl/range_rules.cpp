@@ -1,0 +1,15 @@
+#include "acl/range_rules.h"
+
+namespace ruleplace::acl {
+
+std::vector<int> appendRangeRule(Policy& policy,
+                                 const match::RangeRule& rule,
+                                 Action action) {
+  std::vector<int> ids;
+  for (const auto& cube : match::expandRule(rule)) {
+    ids.push_back(policy.addRule(cube, action));
+  }
+  return ids;
+}
+
+}  // namespace ruleplace::acl

@@ -1,0 +1,19 @@
+#pragma once
+// Range-rule support for policies: append a 5-tuple rule with arbitrary
+// port ranges as its TCAM prefix expansion (see match/ranges.h).  The
+// expansion pieces are pairwise disjoint, so they may carry consecutive
+// priorities in any order without changing semantics.
+
+#include <vector>
+
+#include "acl/policy.h"
+#include "match/ranges.h"
+
+namespace ruleplace::acl {
+
+/// Append the expansion of `rule` to the bottom of `policy`.
+/// Returns the ids of the created rules (one per TCAM entry).
+std::vector<int> appendRangeRule(Policy& policy,
+                                 const match::RangeRule& rule, Action action);
+
+}  // namespace ruleplace::acl

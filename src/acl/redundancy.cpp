@@ -1,0 +1,80 @@
+#include "acl/redundancy.h"
+
+#include "match/cubeset.h"
+
+namespace ruleplace::acl {
+
+namespace {
+
+// Exact redundancy test. `rules` are in match order (priority desc).
+// Computes the target's effective set E, then runs first-match of the rules
+// *below* the target over E: the target is redundant iff every part of E
+// reaches the same decision (default = PERMIT).
+bool redundantAt(const std::vector<Rule>& rules, std::size_t idx,
+                 RedundancyKind* kind) {
+  const Rule& target = rules[idx];
+  std::vector<match::Ternary> remainder{target.matchField};
+  for (std::size_t i = 0; i < idx; ++i) {
+    remainder = match::subtractAll(remainder, rules[i].matchField);
+    if (remainder.empty()) {
+      if (kind != nullptr) *kind = RedundancyKind::kMasked;
+      return true;  // fully shadowed from above
+    }
+  }
+  // Walk the rules below in match order, peeling off what each decides.
+  for (std::size_t i = idx + 1; i < rules.size(); ++i) {
+    bool overlapsAny = false;
+    for (const auto& c : remainder) {
+      if (c.overlaps(rules[i].matchField)) {
+        overlapsAny = true;
+        break;
+      }
+    }
+    if (!overlapsAny) continue;
+    if (rules[i].action != target.action) return false;
+    remainder = match::subtractAll(remainder, rules[i].matchField);
+    if (remainder.empty()) {
+      if (kind != nullptr) *kind = RedundancyKind::kDownstreamSame;
+      return true;
+    }
+  }
+  // Whatever is left falls through to the default action (PERMIT).
+  if (target.action == Action::kPermit) {
+    if (kind != nullptr) *kind = RedundancyKind::kDownstreamSame;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool isRedundant(const Policy& policy, int ruleId) {
+  const auto& rules = policy.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].id == ruleId) {
+      return redundantAt(rules, i, nullptr);
+    }
+  }
+  return false;
+}
+
+std::vector<RemovedRule> removeRedundant(Policy& policy) {
+  std::vector<RemovedRule> removed;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto& rules = policy.rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      RedundancyKind kind;
+      if (redundantAt(rules, i, &kind)) {
+        removed.push_back({rules[i].id, kind});
+        policy.removeRule(rules[i].id);
+        changed = true;
+        break;  // indices shifted; rescan
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace ruleplace::acl

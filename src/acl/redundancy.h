@@ -1,0 +1,36 @@
+#pragma once
+// Complete redundancy removal for prioritized ACLs.
+//
+// The paper's flow (Fig. 4) starts with an optional stage that removes
+// redundant rules from each policy, citing the all-match / firewall
+// compressor line of work [7][8][9].  We implement the *complete* check:
+// a rule is redundant iff deleting it leaves the policy's packet->decision
+// function unchanged.  Two classic cases fall out:
+//   * upward redundancy ("masked"): the rule's effective match set is empty
+//     because higher-priority rules shadow it entirely;
+//   * downward redundancy: every packet the rule decides would receive the
+//     same decision from the rules below it (or the default action).
+
+#include <vector>
+
+#include "acl/policy.h"
+
+namespace ruleplace::acl {
+
+/// Why a rule was removed, for reporting.
+enum class RedundancyKind { kMasked, kDownstreamSame };
+
+struct RemovedRule {
+  int ruleId = -1;
+  RedundancyKind kind = RedundancyKind::kMasked;
+};
+
+/// Is rule `ruleId` redundant in `policy` (exact check)?
+bool isRedundant(const Policy& policy, int ruleId);
+
+/// Remove all redundant rules.  Iterates to a fixed point (removing one
+/// rule can expose another as redundant).  Returns the removal log.
+/// Postcondition: the returned policy is semantically equal to the input.
+std::vector<RemovedRule> removeRedundant(Policy& policy);
+
+}  // namespace ruleplace::acl

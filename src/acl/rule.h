@@ -1,0 +1,41 @@
+#pragma once
+// ACL rule and policy model (paper §III).
+//
+// A distributed firewall policy is a set {Q_i}, one prioritized rule list
+// per network ingress port.  Each rule r_{i,j} = (m, d, t): a ternary match
+// field, a PERMIT/DROP decision, and a strictly unique priority within its
+// policy (higher t = higher priority = matched first).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "match/ternary.h"
+
+namespace ruleplace::acl {
+
+/// The binary decision field of a firewall rule.
+enum class Action : std::uint8_t { kPermit, kDrop };
+
+inline const char* toString(Action a) {
+  return a == Action::kPermit ? "PERMIT" : "DROP";
+}
+
+/// One firewall rule r_{i,j} = (m_{i,j}, d_{i,j}, t_{i,j}).
+struct Rule {
+  match::Ternary matchField;
+  Action action = Action::kPermit;
+  int priority = 0;  ///< strictly unique within a policy; higher wins
+
+  /// Stable identifier assigned by the owning Policy (index at insertion);
+  /// placement variables are keyed on (policyId, ruleId, switchId).
+  int id = -1;
+
+  /// True for dummy rules inserted to break circular merge dependencies
+  /// (§IV-B).  Dummy rules are semantically redundant by construction.
+  bool dummy = false;
+
+  std::string toString() const;
+};
+
+}  // namespace ruleplace::acl

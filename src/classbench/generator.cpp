@@ -1,0 +1,128 @@
+#include "classbench/generator.h"
+
+#include <algorithm>
+#include <array>
+
+namespace ruleplace::classbench {
+
+namespace {
+constexpr std::array<int, 4> kPrefixLengths{8, 16, 24, 32};
+}
+
+PolicyGenerator::PolicyGenerator(GeneratorConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+match::IpPrefix PolicyGenerator::randomPrefix() {
+  int len = kPrefixLengths[rng_.weighted(config_.prefixLenWeights)];
+  std::uint32_t addr = static_cast<std::uint32_t>(rng_.next());
+  // Zero the host bits so toString renders canonically.
+  if (len < 32) addr &= ~((1u << (32 - len)) - 1u);
+  return {addr, len};
+}
+
+match::IpPrefix PolicyGenerator::nestedPrefix(const match::IpPrefix& parent) {
+  // Either widen (shorter prefix containing the parent) or narrow (longer
+  // prefix inside it) — both create overlap with the parent's rule.
+  if (rng_.chance(0.4) && parent.length > 8) {
+    int len = parent.length - static_cast<int>(rng_.range(4, 8));
+    len = std::max(len, 4);
+    std::uint32_t addr = parent.addr & ~((len < 32) ? ((1u << (32 - len)) - 1u) : 0u);
+    return {addr, len};
+  }
+  int len = std::min(32, parent.length + static_cast<int>(rng_.range(2, 8)));
+  std::uint32_t addr = parent.addr;
+  if (parent.length < 32) {
+    std::uint32_t hostSpan = (parent.length == 0)
+                                 ? 0xffffffffu
+                                 : ((1u << (32 - parent.length)) - 1u);
+    addr |= static_cast<std::uint32_t>(rng_.next()) & hostSpan;
+  }
+  if (len < 32) addr &= ~((1u << (32 - len)) - 1u);
+  return {addr, len};
+}
+
+match::Tuple5 PolicyGenerator::randomTuple() {
+  match::Tuple5 t;
+  if (!history_.empty() && rng_.chance(config_.nestProbability)) {
+    const match::Tuple5& parent =
+        history_[rng_.below(history_.size())];
+    t.src = nestedPrefix(parent.src);
+    t.dst = rng_.chance(0.5) ? nestedPrefix(parent.dst) : randomPrefix();
+  } else {
+    t.src = randomPrefix();
+    t.dst = randomPrefix();
+  }
+  if (!config_.dstPool.empty() && rng_.chance(config_.dstPoolProb)) {
+    const match::IpPrefix& seed =
+        config_.dstPool[rng_.below(config_.dstPool.size())];
+    double shape = rng_.uniform();
+    if (shape < 0.25) {
+      t.dst = nestedPrefix(seed);  // wider or narrower around the subnet
+    } else {
+      t.dst = seed;
+    }
+  }
+  if (rng_.chance(config_.exactSrcPortProb)) {
+    t.srcPort = match::PortMatch::exact(
+        static_cast<std::uint16_t>(rng_.range(1024, 65535)));
+  }
+  if (rng_.chance(config_.exactDstPortProb)) {
+    // Favor well-known service ports.
+    static constexpr std::array<std::uint16_t, 8> kServices{
+        22, 25, 53, 80, 123, 443, 3306, 8080};
+    t.dstPort = match::PortMatch::exact(
+        rng_.chance(0.7) ? kServices[rng_.below(kServices.size())]
+                         : static_cast<std::uint16_t>(rng_.range(1, 65535)));
+  }
+  double pr = rng_.uniform();
+  if (pr < config_.tcpProb) {
+    t.proto = match::ProtoMatch::tcp();
+  } else if (pr < config_.tcpProb + config_.udpProb) {
+    t.proto = match::ProtoMatch::udp();
+  }
+  return t;
+}
+
+acl::Policy PolicyGenerator::generate() {
+  acl::Policy policy;
+  history_.clear();
+  int drops = 0;
+  for (int i = 0; i < config_.rulesPerPolicy; ++i) {
+    match::Tuple5 t = randomTuple();
+    history_.push_back(t);
+    if (history_.size() > 16) history_.erase(history_.begin());
+    bool isLast = (i == config_.rulesPerPolicy - 1);
+    acl::Action action = (rng_.chance(config_.dropFraction) ||
+                          (isLast && drops == 0))
+                             ? acl::Action::kDrop
+                             : acl::Action::kPermit;
+    if (action == acl::Action::kDrop) ++drops;
+    policy.addRule(t.toTernary(), action);
+  }
+  return policy;
+}
+
+std::vector<acl::Rule> PolicyGenerator::globalBlacklist(int count) {
+  std::vector<acl::Rule> out;
+  for (int i = 0; i < count; ++i) {
+    match::Tuple5 t;
+    t.src = randomPrefix();
+    if (t.src.length < 16) t.src.length = 16;  // blacklists name subnets
+    t.dst = {0, 0};                            // to anywhere
+    acl::Rule r;
+    r.matchField = t.toTernary();
+    r.action = acl::Action::kDrop;
+    r.priority = -1;  // assigned by appendShared
+    out.push_back(r);
+  }
+  return out;
+}
+
+void PolicyGenerator::appendShared(acl::Policy& policy,
+                                   const std::vector<acl::Rule>& shared) {
+  for (const auto& r : shared) {
+    policy.addRule(r.matchField, r.action);
+  }
+}
+
+}  // namespace ruleplace::classbench

@@ -1,0 +1,76 @@
+#pragma once
+// Synthetic firewall-policy generator in the spirit of ClassBench [27].
+//
+// The paper's experiments generate the per-ingress policy with ClassBench
+// and scale the rule count n from 20 to 110 (practical-sized policies per
+// [28]).  This generator reproduces the *structural* properties rule
+// placement cares about:
+//   * 5-tuple matches with realistic prefix-length mix,
+//   * nested/overlapping address ranges so that PERMIT rules shield DROP
+//     rules (the dependency graph is non-trivial),
+//   * a controllable DROP fraction and strictly prioritized ordering,
+//   * optional network-wide blacklist rules identical across policies
+//     (the mergeable rules of experiment 3).
+// All randomness flows from an explicit seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "acl/policy.h"
+#include "match/tuple5.h"
+#include "util/rng.h"
+
+namespace ruleplace::classbench {
+
+struct GeneratorConfig {
+  int rulesPerPolicy = 50;
+  double dropFraction = 0.45;   ///< share of DROP rules
+  /// Probability that a rule is derived from an earlier rule's addresses
+  /// (producing overlap and hence dependency edges).
+  double nestProbability = 0.5;
+  /// Weights over src/dst prefix lengths {8, 16, 24, 32}.
+  std::vector<double> prefixLenWeights{1.0, 3.0, 4.0, 2.0};
+  double exactSrcPortProb = 0.15;
+  double exactDstPortProb = 0.45;
+  double tcpProb = 0.55;
+  double udpProb = 0.2;  ///< remainder is protocol-wildcard
+
+  /// When non-empty, destination prefixes are drawn from this pool with
+  /// probability dstPoolProb (occasionally widened/narrowed).  Used to
+  /// generate policies whose rules actually relate to the network's
+  /// egress subnets — without it, path-sliced placement (§IV-C) would
+  /// discard almost every rule of a purely random policy.
+  std::vector<match::IpPrefix> dstPool;
+  double dstPoolProb = 0.0;
+};
+
+/// Generates prioritized ACL policies.
+class PolicyGenerator {
+ public:
+  PolicyGenerator(GeneratorConfig config, std::uint64_t seed);
+
+  /// One fresh policy with config.rulesPerPolicy rules.  Highest priority
+  /// first; the generator guarantees at least one DROP rule.
+  acl::Policy generate();
+
+  /// `count` identical blacklist DROP rules (exact 5-tuple sources),
+  /// suitable for prepending/appending to many policies so they merge
+  /// (§IV-B, experiment 3).
+  std::vector<acl::Rule> globalBlacklist(int count);
+
+  /// Append the given shared rules to a policy at the bottom of its
+  /// priority order (keeping their relative order).
+  static void appendShared(acl::Policy& policy,
+                           const std::vector<acl::Rule>& shared);
+
+ private:
+  match::Tuple5 randomTuple();
+  match::IpPrefix randomPrefix();
+  match::IpPrefix nestedPrefix(const match::IpPrefix& parent);
+
+  GeneratorConfig config_;
+  util::Rng rng_;
+  std::vector<match::Tuple5> history_;  ///< recent tuples for nesting
+};
+
+}  // namespace ruleplace::classbench

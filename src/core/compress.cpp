@@ -1,0 +1,138 @@
+#include "core/compress.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/verify.h"
+
+namespace ruleplace::core {
+
+namespace {
+
+// All tags visible in a table.
+std::set<int> tableTags(const std::vector<InstalledRule>& table) {
+  std::set<int> tags;
+  for (const auto& e : table) tags.insert(e.tags.begin(), e.tags.end());
+  return tags;
+}
+
+// Tag-filtered view of a candidate table.
+std::vector<const InstalledRule*> viewOf(
+    const std::vector<InstalledRule>& table, int tag) {
+  std::vector<const InstalledRule*> out;
+  for (const auto& e : table) {
+    if (e.visibleTo(tag)) out.push_back(&e);
+  }
+  return out;
+}
+
+// Does `candidate` preserve the per-tag drop sets of `reference`?
+bool sameSemantics(const std::vector<InstalledRule>& reference,
+                   const std::vector<InstalledRule>& candidate,
+                   const std::set<int>& tags, int width) {
+  for (int tag : tags) {
+    match::CubeSet before = switchDropSet(viewOf(reference, tag), width);
+    match::CubeSet after = switchDropSet(viewOf(candidate, tag), width);
+    if (!before.equals(after)) return false;
+  }
+  return true;
+}
+
+// Fuse two cubes differing in exactly one cared bit (same care set):
+// returns the wildcarded cube, or nullopt.
+std::optional<match::Ternary> fuseCubes(const match::Ternary& a,
+                                        const match::Ternary& b) {
+  if (a.width() != b.width()) return std::nullopt;
+  int differing = -1;
+  for (int i = 0; i < a.width(); ++i) {
+    int ba = a.bit(i);
+    int bb = b.bit(i);
+    if (ba == bb) continue;
+    if (ba < 0 || bb < 0) return std::nullopt;  // care sets differ
+    if (differing >= 0) return std::nullopt;    // more than one bit
+    differing = i;
+  }
+  if (differing < 0) return std::nullopt;  // identical cubes
+  match::Ternary fused = a;
+  fused.setBit(differing, -1);
+  return fused;
+}
+
+void renumber(std::vector<InstalledRule>& table) {
+  int prio = static_cast<int>(table.size());
+  for (auto& e : table) e.priority = prio--;
+}
+
+}  // namespace
+
+CompressionStats compressTables(Placement& placement) {
+  CompressionStats stats;
+  for (int sw = 0; sw < placement.switchCount(); ++sw) {
+    auto& table = placement.mutableTable(sw);
+    if (table.empty()) continue;
+    const int width = table.front().matchField.width();
+    std::set<int> tags = tableTags(table);
+
+    // Phase 1: redundancy elimination, iterated to a fixed point.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < table.size(); ++i) {
+        std::vector<InstalledRule> trial = table;
+        trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+        if (sameSemantics(table, trial, tags, width)) {
+          table = std::move(trial);
+          ++stats.redundantRemoved;
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    // Phase 2: greedy cube pairing (which may expose more redundancy, so
+    // alternate until neither phase fires).
+    bool fusedAny = true;
+    while (fusedAny) {
+      fusedAny = false;
+      for (std::size_t i = 0; i < table.size() && !fusedAny; ++i) {
+        for (std::size_t j = i + 1; j < table.size() && !fusedAny; ++j) {
+          if (table[i].action != table[j].action) continue;
+          if (table[i].tags != table[j].tags) continue;
+          auto fused = fuseCubes(table[i].matchField, table[j].matchField);
+          if (!fused) continue;
+          std::vector<InstalledRule> trial = table;
+          trial[i].matchField = *fused;
+          trial[i].merged = trial[i].merged || table[j].merged;
+          trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(j));
+          if (!sameSemantics(table, trial, tags, width)) continue;
+          table = std::move(trial);
+          ++stats.pairsFused;
+          fusedAny = true;
+        }
+      }
+      // A fuse can make another entry redundant.
+      if (fusedAny) {
+        bool more = true;
+        while (more) {
+          more = false;
+          for (std::size_t i = 0; i < table.size(); ++i) {
+            std::vector<InstalledRule> trial = table;
+            trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+            if (sameSemantics(table, trial, tags, width)) {
+              table = std::move(trial);
+              ++stats.redundantRemoved;
+              more = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    renumber(table);
+  }
+  return stats;
+}
+
+}  // namespace ruleplace::core

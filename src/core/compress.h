@@ -1,0 +1,42 @@
+#pragma once
+// Post-placement table compression.
+//
+// The placement ILP never invents rules ("we do not construct new rules or
+// modify rules", §IV) — but once tables are installed, single-switch TCAM
+// compression in the spirit of the paper's cited complementary work
+// (TCAM Razor / firewall compressor, refs [8]-[11]) can shrink them
+// further without touching semantics:
+//
+//   * redundancy elimination: drop entries whose removal leaves every
+//     visible tag's first-match DROP behavior unchanged (a PERMIT and a
+//     no-match are equivalent at switch level — both forward);
+//   * cube pairing: two entries with the same action and tags whose match
+//     fields differ in exactly one cared bit fuse into one entry with that
+//     bit wildcarded.
+//
+// Every transformation is validated against the exact per-tag drop set of
+// the switch before being committed, so compression is semantics-
+// preserving by construction.
+
+#include <cstdint>
+
+#include "core/placement.h"
+#include "core/problem.h"
+
+namespace ruleplace::core {
+
+struct CompressionStats {
+  std::int64_t redundantRemoved = 0;
+  std::int64_t pairsFused = 0;
+
+  std::int64_t totalSaved() const noexcept {
+    return redundantRemoved + pairsFused;
+  }
+};
+
+/// Compress every switch table in place.  Returns what was saved.
+/// Postcondition: for every (switch, tag), the first-match DROP set is
+/// exactly what it was before the call — verified internally.
+CompressionStats compressTables(Placement& placement);
+
+}  // namespace ruleplace::core

@@ -1,0 +1,403 @@
+#include "core/encoder.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ruleplace::core {
+
+void PlacementProblem::validate() const {
+  if (graph == nullptr) throw std::invalid_argument("problem: null graph");
+  if (routing.size() != policies.size()) {
+    throw std::invalid_argument("problem: one policy per ingress required");
+  }
+  for (const auto& ip : routing) {
+    if (ip.ingress < 0 || ip.ingress >= graph->entryPortCount()) {
+      throw std::invalid_argument("problem: unknown ingress port");
+    }
+    topo::SwitchId ingressSwitch = graph->entryPort(ip.ingress).attachedSwitch;
+    for (const auto& path : ip.paths) {
+      if (path.switches.empty()) {
+        throw std::invalid_argument("problem: empty path");
+      }
+      if (path.switches.front() != ingressSwitch) {
+        throw std::invalid_argument(
+            "problem: path does not start at its ingress switch");
+      }
+      for (std::size_t i = 0; i + 1 < path.switches.size(); ++i) {
+        if (!graph->hasLink(path.switches[i], path.switches[i + 1])) {
+          throw std::invalid_argument("problem: path uses a missing link");
+        }
+      }
+    }
+  }
+}
+
+Encoder::Encoder(const PlacementProblem& problem, const EncoderOptions& options,
+                 const depgraph::MergeAnalysis* mergeInfo)
+    : problem_(&problem), options_(options), mergeInfo_(mergeInfo) {
+  problem.validate();
+  if (options_.enableMerging && mergeInfo_ == nullptr) {
+    throw std::invalid_argument("encoder: merging enabled without analysis");
+  }
+  if (options_.enableMerging &&
+      options_.objective != ObjectiveKind::kTotalRules) {
+    throw std::invalid_argument(
+        "encoder: merging is only supported with the total-rules objective");
+  }
+  switchLoad_.resize(static_cast<std::size_t>(problem.graph->switchCount()));
+
+  for (int i = 0; i < problem.policyCount(); ++i) {
+    depgraph::DependencyGraph dg(problem.policies[static_cast<std::size_t>(i)]);
+    encodePolicy(i, dg);
+  }
+  if (!options_.monitors.empty()) applyMonitorConstraints();
+  if (options_.enableMerging) encodeMerging();
+  encodeCapacity();
+  encodeObjective();
+  computeObjectiveBound();
+}
+
+void Encoder::markPresolveInfeasible(const std::string& why) {
+  ++stats_.presolveInfeasiblePaths;
+  solver::LinearExpr never;
+  model_.addConstraint(std::move(never), solver::Cmp::kGe, 1,
+                       "presolve_cut:" + why);
+}
+
+solver::ModelVar Encoder::ensureVar(int policyId, int ruleId,
+                                    topo::SwitchId sw) {
+  std::uint64_t key = packKey(policyId, ruleId, sw);
+  auto it = varIndex_.find(key);
+  if (it != varIndex_.end()) return it->second;
+  solver::ModelVar v = model_.addBinary("v_" + std::to_string(policyId) + "_" +
+                                        std::to_string(ruleId) + "_" +
+                                        std::to_string(sw));
+  varIndex_.emplace(key, v);
+  keys_.push_back({policyId, ruleId, sw});
+  switchLoad_[static_cast<std::size_t>(sw)].push_back({1, v});
+  ++stats_.placementVars;
+  return v;
+}
+
+solver::ModelVar Encoder::placementVar(int policyId, int ruleId,
+                                       topo::SwitchId sw) const noexcept {
+  auto it = varIndex_.find(packKey(policyId, ruleId, sw));
+  return it == varIndex_.end() ? -1 : it->second;
+}
+
+solver::ModelVar Encoder::mergeVar(int groupId,
+                                   topo::SwitchId sw) const noexcept {
+  auto it = mergeIndex_.find(packKey(0, groupId, sw));
+  return it == mergeIndex_.end() ? -1 : it->second;
+}
+
+void Encoder::encodePolicy(int policyId, const depgraph::DependencyGraph& dg) {
+  const acl::Policy& policy =
+      problem_->policies[static_cast<std::size_t>(policyId)];
+  const topo::IngressPaths& routing =
+      problem_->routing[static_cast<std::size_t>(policyId)];
+
+  // Emits Eq.1 shield constraints exactly once, on first creation of a
+  // DROP variable at a switch.
+  auto ensureDropVar = [&](int dropId, topo::SwitchId sw) -> solver::ModelVar {
+    std::uint64_t key = packKey(policyId, dropId, sw);
+    if (varIndex_.count(key) != 0) return varIndex_.at(key);
+    solver::ModelVar vw = ensureVar(policyId, dropId, sw);
+    for (int permitId : dg.shieldsOf(dropId)) {
+      solver::ModelVar vu = ensureVar(policyId, permitId, sw);
+      solver::LinearExpr e;
+      e.add(1, vu).add(-1, vw);
+      model_.addConstraint(std::move(e), solver::Cmp::kGe, 0,
+                           "dep_p" + std::to_string(policyId) + "_r" +
+                               std::to_string(dropId) + "_s" +
+                               std::to_string(sw));
+      ++stats_.ruleDependencyConstraints;
+    }
+    return vw;
+  };
+
+  std::set<int> requiredDrops;
+  for (std::size_t pathIdx = 0; pathIdx < routing.paths.size(); ++pathIdx) {
+    const auto& path = routing.paths[pathIdx];
+    std::set<int> pathShields;
+    int pathDrops = 0;
+    for (int dropId : dg.dropRules()) {
+      const acl::Rule* rule = policy.findRule(dropId);
+      if (rule->dummy) continue;  // dummies are redundant: no path duty
+      if (options_.enablePathSlicing && path.traffic.has_value() &&
+          !rule->matchField.overlaps(*path.traffic)) {
+        ++stats_.slicedAwayRules;
+        continue;  // this path's traffic can never match the rule (§IV-C)
+      }
+      requiredDrops.insert(dropId);
+      ++pathDrops;
+      for (int permitId : dg.shieldsOf(dropId)) pathShields.insert(permitId);
+      solver::LinearExpr cover;
+      for (topo::SwitchId sw : path.switches) {
+        cover.add(1, ensureDropVar(dropId, sw));
+      }
+      model_.addConstraint(std::move(cover), solver::Cmp::kGe, 1,
+                           "path_p" + std::to_string(policyId) + "_r" +
+                               std::to_string(dropId));
+      ++stats_.pathDependencyConstraints;
+    }
+    // Presolve cut: every relevant drop needs a slot on this path, and
+    // every distinct shielding permit needs at least one more.  If even
+    // the path's *entire* capacity cannot hold them, the instance is
+    // infeasible — detected here without search (the fast "returns
+    // infeasible quickly" behaviour of over-constrained cases in §V).
+    std::int64_t pathCapacity = 0;
+    for (topo::SwitchId sw : path.switches) {
+      pathCapacity += problem_->capacityOf(sw);
+    }
+    if (pathDrops + static_cast<std::int64_t>(pathShields.size()) >
+        pathCapacity) {
+      markPresolveInfeasible("p" + std::to_string(policyId) + "_path" +
+                             std::to_string(pathIdx));
+    }
+  }
+  // Record the rules this policy must install somewhere (lower bound
+  // basis): required drops and the permits shielding them.
+  std::set<int> requiredShields;
+  for (int dropId : requiredDrops) {
+    requiredRules_.push_back({policyId, dropId});
+    for (int permitId : dg.shieldsOf(dropId)) {
+      requiredShields.insert(permitId);
+    }
+  }
+  for (int permitId : requiredShields) {
+    requiredRules_.push_back({policyId, permitId});
+  }
+
+  // Dummy rules (inserted by merge-cycle breaking) carry no path duty but
+  // must be placeable anywhere in S_i so their merge group can fire.
+  if (options_.enableMerging) {
+    std::vector<topo::SwitchId> reach = routing.reachableSwitches();
+    for (const auto& r : policy.rules()) {
+      if (!r.dummy) continue;
+      for (topo::SwitchId sw : reach) {
+        if (r.action == acl::Action::kDrop) {
+          ensureDropVar(r.id, sw);
+        } else {
+          ensureVar(policyId, r.id, sw);
+        }
+      }
+    }
+  }
+}
+
+void Encoder::applyMonitorConstraints() {
+  // Packets a monitor must see may not be filtered before reaching it:
+  // pin to 0 every DROP variable that overlaps the monitored headers and
+  // sits strictly upstream of the monitor on some path through it.
+  // Conservative — a variable forbidden because of one path is forbidden
+  // globally — which can only cost optimality/feasibility, never
+  // correctness.
+  std::set<solver::ModelVar> pinned;
+  for (const auto& monitor : options_.monitors) {
+    if (monitor.switchId < 0 ||
+        monitor.switchId >= problem_->graph->switchCount()) {
+      throw std::invalid_argument("monitor: unknown switch");
+    }
+    for (int i = 0; i < problem_->policyCount(); ++i) {
+      const acl::Policy& policy =
+          problem_->policies[static_cast<std::size_t>(i)];
+      if (!policy.empty() && policy.width() != monitor.match.width()) {
+        throw std::invalid_argument(
+            "monitor: match width differs from policy width");
+      }
+      for (const auto& path :
+           problem_->routing[static_cast<std::size_t>(i)].paths) {
+        int pos = path.locOf(monitor.switchId);
+        if (pos <= 0) continue;  // not on this path, or nothing upstream
+        for (int d = 0; d < pos; ++d) {
+          topo::SwitchId upstream = path.switches[static_cast<std::size_t>(d)];
+          for (const auto& rule : policy.rules()) {
+            if (rule.action != acl::Action::kDrop) continue;
+            if (!rule.matchField.overlaps(monitor.match)) continue;
+            solver::ModelVar v = placementVar(i, rule.id, upstream);
+            if (v < 0 || !pinned.insert(v).second) continue;
+            model_.fixVariable(v, false);
+            ++stats_.monitorForbiddenVars;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Encoder::encodeMerging() {
+  for (const auto& group : mergeInfo_->groups) {
+    for (topo::SwitchId sw = 0; sw < problem_->graph->switchCount(); ++sw) {
+      std::vector<solver::ModelVar> members;
+      for (const auto& m : group.members) {
+        solver::ModelVar v = placementVar(m.policyId, m.ruleId, sw);
+        if (v >= 0) members.push_back(v);
+      }
+      if (members.size() < 2) continue;
+      const std::int64_t m = static_cast<std::int64_t>(members.size());
+      solver::ModelVar mv =
+          model_.addBinary("m_" + std::to_string(group.id) + "_" +
+                           std::to_string(sw));
+      mergeIndex_.emplace(packKey(0, group.id, sw), mv);
+      mergeKeyList_.push_back({group.id, sw});
+      ++stats_.mergeVars;
+      // Eq. 4: v^m >= Σ v - (M-1)   <=>   Σ v - v^m <= M-1.
+      solver::LinearExpr all;
+      for (solver::ModelVar v : members) all.add(1, v);
+      all.add(-1, mv);
+      model_.addConstraint(std::move(all), solver::Cmp::kLe, m - 1);
+      ++stats_.mergeConstraints;
+      // Eq. 5 (pairwise-strengthened): v^m <= v for every member.
+      for (solver::ModelVar v : members) {
+        solver::LinearExpr e;
+        e.add(1, mv).add(-1, v);
+        model_.addConstraint(std::move(e), solver::Cmp::kLe, 0);
+        ++stats_.mergeConstraints;
+      }
+      // A firing merge replaces its M member entries by one shared entry.
+      switchLoad_[static_cast<std::size_t>(sw)].push_back({-(m - 1), mv});
+    }
+  }
+}
+
+void Encoder::encodeCapacity() {
+  for (topo::SwitchId sw = 0; sw < problem_->graph->switchCount(); ++sw) {
+    const auto& load = switchLoad_[static_cast<std::size_t>(sw)];
+    if (load.empty()) continue;
+    solver::LinearExpr e;
+    for (const auto& [coeff, v] : load) e.add(coeff, v);
+    model_.addConstraint(std::move(e), solver::Cmp::kLe,
+                         problem_->capacityOf(sw),
+                         "cap_s" + std::to_string(sw));
+    ++stats_.capacityConstraints;
+  }
+}
+
+void Encoder::encodeObjective() {
+  solver::LinearExpr obj;
+  switch (options_.objective) {
+    case ObjectiveKind::kTotalRules:
+      // Σ v - Σ (M-1) v^m: exactly the installed-entry count.
+      for (topo::SwitchId sw = 0; sw < problem_->graph->switchCount(); ++sw) {
+        for (const auto& [coeff, v] :
+             switchLoad_[static_cast<std::size_t>(sw)]) {
+          obj.add(coeff, v);
+        }
+      }
+      break;
+    case ObjectiveKind::kUpstreamTraffic:
+      // Paper: Σ v * loc(s_k, P_i).  We use (1 + 10*loc) so every placed
+      // entry has positive cost: the hop gradient dominates (drops move
+      // upstream) while gratuitous zero-cost placements at the ingress are
+      // still penalized.
+      for (const auto& key : keys_) {
+        int loc = problem_->routing[static_cast<std::size_t>(key.policyId)]
+                      .minLoc(key.switchId);
+        obj.add(1 + 10 * static_cast<std::int64_t>(loc),
+                placementVar(key.policyId, key.ruleId, key.switchId));
+      }
+      break;
+    case ObjectiveKind::kWeightedSwitch:
+      if (options_.switchWeights.size() !=
+          static_cast<std::size_t>(problem_->graph->switchCount())) {
+        throw std::invalid_argument(
+            "encoder: switchWeights must cover every switch");
+      }
+      for (const auto& key : keys_) {
+        auto w = static_cast<std::int64_t>(
+            options_.switchWeights[static_cast<std::size_t>(key.switchId)]);
+        obj.add(w, placementVar(key.policyId, key.ruleId, key.switchId));
+      }
+      break;
+  }
+  model_.setObjective(std::move(obj));
+}
+
+void Encoder::computeObjectiveBound() {
+  // Every required rule is installed at least once, and its cheapest
+  // possible placement costs min-coefficient over its variables.  Merging
+  // can save at most (members - 1) entries per group.  The resulting bound
+  // is what lets the optimizer finish without an exponential counting
+  // proof (see solver/optimize.h).
+  std::unordered_map<solver::ModelVar, std::int64_t> coeffOf;
+  for (const auto& [coeff, v] : model_.objective().terms()) {
+    coeffOf.emplace(v, coeff);
+  }
+  // Group each rule's variables for a min-coefficient scan.
+  std::unordered_map<std::uint64_t, std::int64_t> minCoeff;
+  auto ruleKey = [](int policyId, int ruleId) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(policyId))
+            << 21) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(ruleId));
+  };
+  for (const auto& key : keys_) {
+    solver::ModelVar v = placementVar(key.policyId, key.ruleId, key.switchId);
+    auto it = coeffOf.find(v);
+    if (it == coeffOf.end()) continue;
+    std::uint64_t rk = ruleKey(key.policyId, key.ruleId);
+    auto [entry, inserted] = minCoeff.emplace(rk, it->second);
+    if (!inserted && it->second < entry->second) entry->second = it->second;
+  }
+  std::int64_t bound = 0;
+  for (const auto& [policyId, ruleId] : requiredRules_) {
+    auto it = minCoeff.find(ruleKey(policyId, ruleId));
+    if (it != minCoeff.end()) bound += it->second;
+  }
+  if (options_.enableMerging && mergeInfo_ != nullptr) {
+    // A group's best possible saving is (co-located members - 1) at the
+    // switch where most members have variables — not the full group size,
+    // which may never share a switch.
+    std::unordered_map<std::uint64_t, std::vector<topo::SwitchId>> switchesOf;
+    for (const auto& key : keys_) {
+      switchesOf[ruleKey(key.policyId, key.ruleId)].push_back(key.switchId);
+    }
+    for (const auto& group : mergeInfo_->groups) {
+      std::unordered_map<topo::SwitchId, int> perSwitch;
+      for (const auto& m : group.members) {
+        auto it = switchesOf.find(ruleKey(m.policyId, m.ruleId));
+        if (it == switchesOf.end()) continue;
+        for (topo::SwitchId sw : it->second) ++perSwitch[sw];
+      }
+      int maxCoLocated = 0;
+      for (const auto& [sw, count] : perSwitch) {
+        (void)sw;
+        maxCoLocated = std::max(maxCoLocated, count);
+      }
+      if (maxCoLocated >= 2) bound -= maxCoLocated - 1;
+    }
+  }
+  if (bound < 0) bound = 0;
+  stats_.objectiveLowerBound = bound;
+  stats_.requiredRules = static_cast<std::int64_t>(requiredRules_.size());
+  model_.setObjectiveLowerBound(bound);
+
+  // Global presolve cut: the bound itself must fit in the network.
+  std::int64_t totalCapacity = 0;
+  for (topo::SwitchId sw = 0; sw < problem_->graph->switchCount(); ++sw) {
+    totalCapacity += problem_->capacityOf(sw);
+  }
+  if (options_.objective == ObjectiveKind::kTotalRules &&
+      bound > totalCapacity) {
+    markPresolveInfeasible("total_capacity");
+  }
+}
+
+std::vector<std::pair<solver::ModelVar, bool>> Encoder::ingressHint() const {
+  std::vector<std::pair<solver::ModelVar, bool>> hint;
+  hint.reserve(keys_.size());
+  for (const auto& key : keys_) {
+    topo::SwitchId ingressSwitch =
+        problem_->graph
+            ->entryPort(
+                problem_->routing[static_cast<std::size_t>(key.policyId)]
+                    .ingress)
+            .attachedSwitch;
+    hint.push_back({placementVar(key.policyId, key.ruleId, key.switchId),
+                    key.switchId == ingressSwitch});
+  }
+  return hint;
+}
+
+}  // namespace ruleplace::core

@@ -1,0 +1,171 @@
+#include "core/greedy.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "depgraph/depgraph.h"
+
+namespace ruleplace::core {
+
+namespace {
+std::uint64_t pack(int policyId, int ruleId, topo::SwitchId sw) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(policyId))
+          << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ruleId))
+          << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(sw));
+}
+}  // namespace
+
+GreedyOutcome greedyPlace(const PlacementProblem& problem,
+                          bool usePathSlicing) {
+  problem.validate();
+  GreedyOutcome outcome;
+  std::vector<int> remaining(
+      static_cast<std::size_t>(problem.graph->switchCount()));
+  for (topo::SwitchId sw = 0; sw < problem.graph->switchCount(); ++sw) {
+    remaining[static_cast<std::size_t>(sw)] = problem.capacityOf(sw);
+  }
+  std::unordered_set<std::uint64_t> placed;
+  std::vector<PlacedRule> placedList;
+
+  auto isPlaced = [&](int p, int r, topo::SwitchId sw) {
+    return placed.count(pack(p, r, sw)) != 0;
+  };
+  auto doPlace = [&](int p, int r, topo::SwitchId sw) {
+    if (placed.insert(pack(p, r, sw)).second) {
+      --remaining[static_cast<std::size_t>(sw)];
+      placedList.push_back({p, r, sw});
+    }
+  };
+
+  for (int i = 0; i < problem.policyCount(); ++i) {
+    const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
+    depgraph::DependencyGraph dg(policy);
+    for (const auto& path : problem.routing[static_cast<std::size_t>(i)].paths) {
+      for (int dropId : dg.dropRules()) {
+        const acl::Rule* rule = policy.findRule(dropId);
+        if (rule->dummy) continue;
+        if (usePathSlicing && path.traffic.has_value() &&
+            !rule->matchField.overlaps(*path.traffic)) {
+          continue;
+        }
+        // Already covered on this path?
+        bool covered = false;
+        for (topo::SwitchId sw : path.switches) {
+          if (isPlaced(i, dropId, sw)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        // First switch along the path with room for the drop rule plus its
+        // not-yet-present shields.
+        bool done = false;
+        for (topo::SwitchId sw : path.switches) {
+          int needed = 1;
+          for (int permitId : dg.shieldsOf(dropId)) {
+            if (!isPlaced(i, permitId, sw)) ++needed;
+          }
+          if (remaining[static_cast<std::size_t>(sw)] < needed) continue;
+          doPlace(i, dropId, sw);
+          for (int permitId : dg.shieldsOf(dropId)) {
+            doPlace(i, permitId, sw);
+          }
+          done = true;
+          break;
+        }
+        if (!done) {
+          std::ostringstream os;
+          os << "no switch on policy " << i << "'s path via egress "
+             << path.egress << " can hold rule " << dropId
+             << " with its shields";
+          outcome.failureReason = os.str();
+          return outcome;
+        }
+      }
+    }
+  }
+  outcome.feasible = true;
+  outcome.placement = buildPlacement(problem, placedList);
+  outcome.totalRules = outcome.placement.totalInstalledRules();
+  return outcome;
+}
+
+GreedyOutcome pathwisePlace(const PlacementProblem& problem,
+                            bool usePathSlicing) {
+  problem.validate();
+  GreedyOutcome outcome;
+  std::vector<int> remaining(
+      static_cast<std::size_t>(problem.graph->switchCount()));
+  for (topo::SwitchId sw = 0; sw < problem.graph->switchCount(); ++sw) {
+    remaining[static_cast<std::size_t>(sw)] = problem.capacityOf(sw);
+  }
+  std::vector<PlacedRule> placedList;
+
+  for (int i = 0; i < problem.policyCount(); ++i) {
+    const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
+    depgraph::DependencyGraph dg(policy);
+    for (const auto& path :
+         problem.routing[static_cast<std::size_t>(i)].paths) {
+      // Each path is an independent unit: entries placed for other paths
+      // are invisible (duplicated even on shared switches).
+      std::unordered_set<std::uint64_t> pathLocal;
+      auto placedHere = [&](int ruleId, topo::SwitchId sw) {
+        return pathLocal.count(pack(i, ruleId, sw)) != 0;
+      };
+      auto placeHere = [&](int ruleId, topo::SwitchId sw) {
+        if (pathLocal.insert(pack(i, ruleId, sw)).second) {
+          --remaining[static_cast<std::size_t>(sw)];
+          placedList.push_back({i, ruleId, sw});
+        }
+      };
+      for (int dropId : dg.dropRules()) {
+        const acl::Rule* rule = policy.findRule(dropId);
+        if (rule->dummy) continue;
+        if (usePathSlicing && path.traffic.has_value() &&
+            !rule->matchField.overlaps(*path.traffic)) {
+          continue;
+        }
+        bool done = false;
+        for (topo::SwitchId sw : path.switches) {
+          int needed = 1;
+          for (int permitId : dg.shieldsOf(dropId)) {
+            if (!placedHere(permitId, sw)) ++needed;
+          }
+          if (remaining[static_cast<std::size_t>(sw)] < needed) continue;
+          placeHere(dropId, sw);
+          for (int permitId : dg.shieldsOf(dropId)) placeHere(permitId, sw);
+          done = true;
+          break;
+        }
+        if (!done) {
+          std::ostringstream os;
+          os << "path-wise: no room on policy " << i << "'s path to egress "
+             << path.egress << " for rule " << dropId;
+          outcome.failureReason = os.str();
+          return outcome;
+        }
+      }
+    }
+  }
+  outcome.feasible = true;
+  outcome.placement = buildPlacement(problem, placedList);
+  // Count duplicates explicitly: path-wise placement does not share
+  // entries, so its cost is the number of placements, not unique entries.
+  outcome.totalRules = static_cast<std::int64_t>(placedList.size());
+  return outcome;
+}
+
+std::int64_t replicateAllCount(const PlacementProblem& problem) {
+  std::int64_t total = 0;
+  for (int i = 0; i < problem.policyCount(); ++i) {
+    total += static_cast<std::int64_t>(
+                 problem.policies[static_cast<std::size_t>(i)].size()) *
+             static_cast<std::int64_t>(
+                 problem.routing[static_cast<std::size_t>(i)].paths.size());
+  }
+  return total;
+}
+
+}  // namespace ruleplace::core

@@ -1,0 +1,45 @@
+#pragma once
+// Baseline placement strategies, for the §V/§VI comparisons:
+//
+//   * greedyPlace — the ingress-first heuristic the paper sketches for
+//     small incremental updates (§IV-E): walk each path and put every DROP
+//     rule (with its shielding PERMITs) at the first switch with room.
+//     Fast, but *incomplete*: it can fail on instances the ILP solves —
+//     the "no false negatives" advantage claimed for the exact encoding.
+//   * replicateAllCount — the p × r upper bound of techniques that place
+//     every rule of a policy on every path ([1]'s comparison in §V).
+
+#include <cstdint>
+#include <string>
+
+#include "core/placement.h"
+#include "core/problem.h"
+
+namespace ruleplace::core {
+
+struct GreedyOutcome {
+  bool feasible = false;
+  Placement placement;  ///< valid when feasible
+  std::int64_t totalRules = 0;
+  std::string failureReason;
+};
+
+/// Ingress-first greedy heuristic.  Honors path slicing when
+/// `usePathSlicing` and a path carries a traffic descriptor.
+GreedyOutcome greedyPlace(const PlacementProblem& problem,
+                          bool usePathSlicing = false);
+
+/// Rules a replicate-everything strategy would install: Σ_i |Q_i| * |P_i|.
+std::int64_t replicateAllCount(const PlacementProblem& problem);
+
+/// Path-wise baseline in the spirit of Kang et al. [1]: each path is
+/// handled independently — its (optionally sliced) rules are packed
+/// first-fit along that path's switches — with **no sharing across paths
+/// or policies**: a rule used by two paths is installed twice even when a
+/// common switch could serve both.  The gap between this and the ILP
+/// quantifies the value of the paper's global cross-path optimization
+/// (§VI's first claimed advantage).
+GreedyOutcome pathwisePlace(const PlacementProblem& problem,
+                            bool usePathSlicing = false);
+
+}  // namespace ruleplace::core

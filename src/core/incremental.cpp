@@ -1,0 +1,114 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ruleplace::core {
+
+std::vector<int> spareCapacities(const PlacementProblem& problem,
+                                 const Placement& base) {
+  std::vector<int> spare(
+      static_cast<std::size_t>(problem.graph->switchCount()));
+  for (topo::SwitchId sw = 0; sw < problem.graph->switchCount(); ++sw) {
+    spare[static_cast<std::size_t>(sw)] =
+        problem.capacityOf(sw) - base.usedCapacity(sw);
+    if (spare[static_cast<std::size_t>(sw)] < 0) {
+      throw std::invalid_argument(
+          "spareCapacities: base placement exceeds capacity");
+    }
+  }
+  return spare;
+}
+
+PlaceOutcome installPolicies(const PlacementProblem& problem,
+                             const Placement& base,
+                             std::vector<topo::IngressPaths> newRouting,
+                             std::vector<acl::Policy> newPolicies,
+                             const PlaceOptions& options) {
+  if (newRouting.size() != newPolicies.size()) {
+    throw std::invalid_argument(
+        "installPolicies: one routing entry per policy required");
+  }
+  PlacementProblem sub;
+  sub.graph = problem.graph;
+  sub.routing = std::move(newRouting);
+  sub.policies = std::move(newPolicies);
+  sub.capacityOverride = spareCapacities(problem, base);
+
+  PlaceOutcome outcome = place(std::move(sub), options);
+  if (!outcome.hasSolution()) return outcome;
+
+  // Combine: base tags stay, new policies get ids after the existing ones.
+  const int offset = problem.policyCount();
+  std::vector<int> tagMap(outcome.solvedProblem.policies.size());
+  for (std::size_t i = 0; i < tagMap.size(); ++i) {
+    tagMap[i] = offset + static_cast<int>(i);
+  }
+  Placement combined = base;
+  combined.appendMapped(outcome.placement, tagMap);
+  outcome.placement = std::move(combined);
+
+  // Rebuild the solved problem as the combined network view.
+  PlacementProblem combinedProblem;
+  combinedProblem.graph = problem.graph;
+  combinedProblem.routing = problem.routing;
+  combinedProblem.policies = problem.policies;
+  combinedProblem.capacityOverride = problem.capacityOverride;
+  for (auto& r : outcome.solvedProblem.routing) {
+    combinedProblem.routing.push_back(std::move(r));
+  }
+  for (auto& q : outcome.solvedProblem.policies) {
+    combinedProblem.policies.push_back(std::move(q));
+  }
+  outcome.solvedProblem = std::move(combinedProblem);
+  return outcome;
+}
+
+PlaceOutcome reroutePolicies(const PlacementProblem& problem,
+                             const Placement& base,
+                             const std::vector<int>& policyIds,
+                             std::vector<topo::IngressPaths> newRouting,
+                             const PlaceOptions& options) {
+  if (policyIds.size() != newRouting.size()) {
+    throw std::invalid_argument(
+        "reroutePolicies: one routing entry per policy required");
+  }
+  // Retract the moved policies' rules; their slots become spare capacity.
+  Placement stripped = base;
+  for (int id : policyIds) stripped.erasePolicy(id);
+
+  PlacementProblem sub;
+  sub.graph = problem.graph;
+  sub.routing = std::move(newRouting);
+  for (int id : policyIds) {
+    sub.policies.push_back(problem.policies.at(static_cast<std::size_t>(id)));
+  }
+  sub.capacityOverride = spareCapacities(problem, stripped);
+
+  PlaceOutcome outcome = place(std::move(sub), options);
+  if (!outcome.hasSolution()) return outcome;
+
+  std::vector<int> tagMap(policyIds.size());
+  for (std::size_t i = 0; i < policyIds.size(); ++i) tagMap[i] = policyIds[i];
+  Placement combined = std::move(stripped);
+  combined.appendMapped(outcome.placement, tagMap);
+  outcome.placement = std::move(combined);
+
+  PlacementProblem combinedProblem;
+  combinedProblem.graph = problem.graph;
+  combinedProblem.routing = problem.routing;
+  combinedProblem.policies = problem.policies;
+  combinedProblem.capacityOverride = problem.capacityOverride;
+  for (std::size_t i = 0; i < policyIds.size(); ++i) {
+    combinedProblem
+        .routing[static_cast<std::size_t>(policyIds[i])] =
+        outcome.solvedProblem.routing[i];
+    combinedProblem
+        .policies[static_cast<std::size_t>(policyIds[i])] =
+        outcome.solvedProblem.policies[i];
+  }
+  outcome.solvedProblem = std::move(combinedProblem);
+  return outcome;
+}
+
+}  // namespace ruleplace::core

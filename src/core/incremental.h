@@ -1,0 +1,45 @@
+#pragma once
+// Incremental deployment (paper §IV-E, evaluated in experiment 5).
+//
+// A running network changes: new tenants install policies, routes move.
+// Re-solving the whole ILP can take seconds to minutes; instead we build a
+// *restricted* subproblem over only the affected policies, give it the
+// spare capacity left by the existing deployment, and solve that — usually
+// in milliseconds.  The restriction can make a solvable instance
+// infeasible (the fixed base placement is never revisited), which the
+// paper accepts as the price of speed.
+
+#include <vector>
+
+#include "core/placement.h"
+#include "core/placer.h"
+#include "core/problem.h"
+
+namespace ruleplace::core {
+
+/// Capacity left on every switch after `base` is deployed.
+std::vector<int> spareCapacities(const PlacementProblem& problem,
+                                 const Placement& base);
+
+/// Install additional policies on the spare capacity of an existing
+/// deployment.  `newRouting[i]` carries the paths for `newPolicies[i]`;
+/// their policy ids in the combined placement start at
+/// `problem.policyCount()`.  On success the returned outcome's placement
+/// is the *combined* deployment (base plus new rules).
+PlaceOutcome installPolicies(const PlacementProblem& problem,
+                             const Placement& base,
+                             std::vector<topo::IngressPaths> newRouting,
+                             std::vector<acl::Policy> newPolicies,
+                             const PlaceOptions& options = {});
+
+/// Re-route existing policies: erase their rules from the deployment,
+/// then re-place them on their new paths using only the freed + spare
+/// capacity.  `newRouting[i]` replaces the routing of `policyIds[i]`.
+/// On success the returned placement is the combined deployment.
+PlaceOutcome reroutePolicies(const PlacementProblem& problem,
+                             const Placement& base,
+                             const std::vector<int>& policyIds,
+                             std::vector<topo::IngressPaths> newRouting,
+                             const PlaceOptions& options = {});
+
+}  // namespace ruleplace::core

@@ -1,0 +1,62 @@
+#include "core/instance.h"
+
+#include <stdexcept>
+
+#include "topo/routing.h"
+#include "util/rng.h"
+
+namespace ruleplace::core {
+
+Instance::Instance(const InstanceConfig& config) {
+  topo::buildFatTree(graph_, config.fatTreeK, config.capacity);
+  if (config.ingressCount < 1 ||
+      config.ingressCount > graph_.entryPortCount()) {
+    throw std::invalid_argument("instance: ingressCount out of range");
+  }
+  util::Rng rng(config.seed);
+
+  // Sample the ingress ports uniformly without replacement.  Random
+  // selection (rather than an even spread) lets several tenants land on
+  // the same edge switch, the contention that drives rule spilling and
+  // makes cross-policy merging matter — as in the paper's experiments.
+  std::vector<topo::PortId> allPorts;
+  for (int i = 0; i < graph_.entryPortCount(); ++i) {
+    allPorts.push_back(static_cast<topo::PortId>(i));
+  }
+  rng.shuffle(allPorts);
+  std::vector<topo::PortId> ingresses(
+      allPorts.begin(), allPorts.begin() + config.ingressCount);
+  routing_ = topo::generatePaths(graph_, ingresses, config.totalPaths, rng);
+  if (config.slicedTraffic) {
+    topo::assignDstPrefixTraffic(routing_, 0x0a000000u /*10.0.0.0*/, 24);
+  }
+
+  classbench::GeneratorConfig gen = config.gen;
+  gen.rulesPerPolicy = config.rulesPerPolicy;
+  if (config.slicedTraffic) {
+    // Make the policies destination-aware: most rules name the egress
+    // subnets the routed traffic is actually headed to, so path slicing
+    // keeps a realistic fraction of each policy per route.
+    for (const auto& ip : routing_) {
+      for (const auto& path : ip.paths) {
+        std::uint32_t subnet = static_cast<std::uint32_t>(path.egress) << 8;
+        gen.dstPool.push_back({0x0a000000u | subnet, 24});
+      }
+    }
+    gen.dstPoolProb = 0.75;
+  }
+  classbench::PolicyGenerator generator(gen, rng.next());
+  std::vector<acl::Rule> blacklist;
+  if (config.mergeableRules > 0) {
+    blacklist = generator.globalBlacklist(config.mergeableRules);
+  }
+  for (int i = 0; i < config.ingressCount; ++i) {
+    acl::Policy q = generator.generate();
+    if (!blacklist.empty()) {
+      classbench::PolicyGenerator::appendShared(q, blacklist);
+    }
+    policies_.push_back(std::move(q));
+  }
+}
+
+}  // namespace ruleplace::core

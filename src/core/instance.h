@@ -1,0 +1,55 @@
+#pragma once
+// Experiment-instance builder: reconstructs the synthetic benchmark
+// families of §V (Fat-Tree topology, ClassBench-style per-ingress
+// policies, randomized shortest-path routing) from a handful of knobs.
+
+#include <cstdint>
+
+#include "classbench/generator.h"
+#include "core/problem.h"
+#include "topo/fattree.h"
+
+namespace ruleplace::core {
+
+struct InstanceConfig {
+  int fatTreeK = 4;        ///< Fat-Tree arity (paper: 8 / 16 / 32)
+  int capacity = 200;      ///< uniform per-switch ACL capacity C
+  int ingressCount = 8;    ///< ingress ports carrying a policy
+  int totalPaths = 64;     ///< p, spread round-robin over ingresses
+  int rulesPerPolicy = 30; ///< n (ClassBench-generated)
+  int mergeableRules = 0;  ///< global blacklist rules appended to every
+                           ///< policy (experiment 3)
+  std::uint64_t seed = 1;
+  bool slicedTraffic = false;  ///< attach dst-prefix traffic descriptors
+  classbench::GeneratorConfig gen;
+};
+
+/// A self-contained instance: owns the graph the problem points into.
+/// Move-only (the problem's graph pointer must stay stable).
+class Instance {
+ public:
+  explicit Instance(const InstanceConfig& config);
+  Instance(Instance&&) = delete;
+  Instance(const Instance&) = delete;
+
+  const topo::Graph& graph() const noexcept { return graph_; }
+
+  /// A fresh problem view (policies copied so the caller may mutate).
+  PlacementProblem problem() const {
+    return {&graph_, routing_, policies_, {}};
+  }
+
+  const std::vector<topo::IngressPaths>& routing() const noexcept {
+    return routing_;
+  }
+  const std::vector<acl::Policy>& policies() const noexcept {
+    return policies_;
+  }
+
+ private:
+  topo::Graph graph_;
+  std::vector<topo::IngressPaths> routing_;
+  std::vector<acl::Policy> policies_;
+};
+
+}  // namespace ruleplace::core

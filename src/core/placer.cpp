@@ -1,0 +1,62 @@
+#include "core/placer.h"
+
+#include <chrono>
+
+#include "acl/redundancy.h"
+#include "depgraph/merging.h"
+
+namespace ruleplace::core {
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
+  PlaceOutcome outcome;
+  auto t0 = std::chrono::steady_clock::now();
+
+  if (options.removeRedundancy) {
+    for (auto& q : problem.policies) acl::removeRedundant(q);
+  }
+  if (options.encoder.enableMerging) {
+    outcome.mergeInfo = depgraph::analyzeMergeable(problem.policies);
+  }
+
+  Encoder encoder(problem, options.encoder,
+                  options.encoder.enableMerging ? &outcome.mergeInfo
+                                                : nullptr);
+  outcome.encodeSeconds = secondsSince(t0);
+  outcome.encodingStats = encoder.stats();
+  outcome.modelVars = encoder.model().varCount();
+  outcome.modelConstraints =
+      static_cast<std::int64_t>(encoder.model().constraintCount());
+  outcome.modelNonzeros = encoder.model().nonzeroCount();
+
+  t0 = std::chrono::steady_clock::now();
+  solver::OptResult result;
+  if (options.satisfiabilityOnly) {
+    result = solver::Optimizer::solveSat(encoder.model(), options.budget);
+  } else if (options.useIngressHint) {
+    result = solver::Optimizer::solveWithHint(
+        encoder.model(), encoder.ingressHint(), options.budget);
+  } else {
+    result = solver::Optimizer::solve(encoder.model(), options.budget);
+  }
+  outcome.solveSeconds = secondsSince(t0);
+  outcome.status = result.status;
+  outcome.objective = result.objective;
+  outcome.solverStats = result.stats;
+
+  if (result.hasSolution()) {
+    outcome.placement = extractPlacement(
+        problem, encoder, result.assignment,
+        options.encoder.enableMerging ? &outcome.mergeInfo : nullptr);
+  }
+  outcome.solvedProblem = std::move(problem);
+  return outcome;
+}
+
+}  // namespace ruleplace::core

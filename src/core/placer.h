@@ -1,0 +1,58 @@
+#pragma once
+// High-level placement driver: ties the flow chart of Fig. 4 together.
+//
+//   redundancy removal (optional) -> dependency graph -> mergeable rules ->
+//   ILP formulation -> solve -> extract tagged per-switch tables.
+
+#include <cstdint>
+
+#include "core/encoder.h"
+#include "core/placement.h"
+#include "core/problem.h"
+#include "solver/optimize.h"
+
+namespace ruleplace::core {
+
+struct PlaceOptions {
+  EncoderOptions encoder;
+  solver::Budget budget = solver::Budget::unlimited();
+  /// Satisfiability-only mode (§IV-D): any feasible placement, no
+  /// objective optimization.  Much faster; used for incremental updates.
+  bool satisfiabilityOnly = false;
+  /// Seed the search with the greedy "everything at the ingress" phase
+  /// hint.
+  bool useIngressHint = true;
+  /// Run complete redundancy removal on every policy first (Fig. 4's
+  /// optional first stage).
+  bool removeRedundancy = false;
+};
+
+struct PlaceOutcome {
+  solver::OptStatus status = solver::OptStatus::kUnknown;
+  Placement placement;      ///< valid when hasSolution()
+  std::int64_t objective = 0;
+  double encodeSeconds = 0.0;
+  double solveSeconds = 0.0;
+  solver::SolverStats solverStats;
+  EncodingStats encodingStats;
+  int modelVars = 0;
+  std::int64_t modelConstraints = 0;
+  std::int64_t modelNonzeros = 0;
+  depgraph::MergeAnalysis mergeInfo;
+  /// The problem actually solved (policies may contain cycle-breaking
+  /// dummy rules; redundancy removal may have shrunk them).  Verify
+  /// against this, not the original input.
+  PlacementProblem solvedProblem;
+
+  bool hasSolution() const noexcept {
+    return status == solver::OptStatus::kOptimal ||
+           status == solver::OptStatus::kFeasible;
+  }
+};
+
+/// Solve one placement problem.  The problem is taken by value because the
+/// pipeline may rewrite policies (dummy rules, redundancy removal); the
+/// caller's graph must outlive the returned outcome.
+PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options = {});
+
+}  // namespace ruleplace::core

@@ -1,0 +1,89 @@
+#include "core/update_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ruleplace::core {
+
+namespace {
+
+// Identity for diffing: what the entry matches, does, and applies to.
+bool sameEntry(const InstalledRule& a, const InstalledRule& b) {
+  return a.action == b.action && a.tags == b.tags &&
+         a.matchField == b.matchField;
+}
+
+bool containsEntry(const std::vector<InstalledRule>& table,
+                   const InstalledRule& e) {
+  for (const auto& r : table) {
+    if (sameEntry(r, e)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+UpdatePlan planUpdate(const Placement& from, const Placement& to) {
+  if (from.switchCount() != to.switchCount()) {
+    throw std::invalid_argument("planUpdate: switch count mismatch");
+  }
+  UpdatePlan plan;
+  for (int sw = 0; sw < from.switchCount(); ++sw) {
+    TableUpdate update;
+    update.switchId = sw;
+    for (const auto& e : to.table(sw)) {
+      if (!containsEntry(from.table(sw), e)) {
+        update.add.push_back(e);
+        ++plan.addCount;
+      } else {
+        ++plan.unchangedCount;
+      }
+    }
+    for (const auto& e : from.table(sw)) {
+      if (!containsEntry(to.table(sw), e)) {
+        update.remove.push_back(e);
+        ++plan.removeCount;
+      }
+    }
+    if (!update.add.empty() || !update.remove.empty()) {
+      plan.updates.push_back(std::move(update));
+    }
+  }
+  return plan;
+}
+
+Placement unionState(const Placement& from, const Placement& to) {
+  if (from.switchCount() != to.switchCount()) {
+    throw std::invalid_argument("unionState: switch count mismatch");
+  }
+  Placement state(to.switchCount());
+  for (int sw = 0; sw < to.switchCount(); ++sw) {
+    auto& table = state.mutableTable(sw);
+    // Target entries first, in target order: the new policy's semantics
+    // take effect immediately for every header the target tables decide.
+    table = to.table(sw);
+    // Stale source entries go below in their relative order; permits down
+    // there are inert, drops only re-drop what the old policy dropped.
+    for (const auto& e : from.table(sw)) {
+      if (!containsEntry(to.table(sw), e)) table.push_back(e);
+    }
+    int prio = static_cast<int>(table.size());
+    for (auto& e : table) e.priority = prio--;
+  }
+  return state;
+}
+
+std::vector<topo::SwitchId> transientOverflows(
+    const PlacementProblem& problem, const Placement& from,
+    const Placement& to) {
+  Placement state = unionState(from, to);
+  std::vector<topo::SwitchId> out;
+  for (int sw = 0; sw < state.switchCount(); ++sw) {
+    if (state.usedCapacity(sw) > problem.capacityOf(sw)) {
+      out.push_back(sw);
+    }
+  }
+  return out;
+}
+
+}  // namespace ruleplace::core

@@ -1,0 +1,54 @@
+#pragma once
+// Deployment update planning: turning "placement A -> placement B" into
+// switch operations that are safe to apply on a live network.
+//
+// The paper's incremental mode (§IV-E) computes *what* the new placement
+// is; this module computes *how* to roll it out.  The plan is two-phase:
+//
+//   phase 1: add every new entry (tables temporarily hold the union),
+//   phase 2: remove every stale entry.
+//
+// The union state is provably fail-safe: a packet is transiently dropped
+// only if the old or the new policy drops it, and transiently permitted
+// only if the old or the new policy permits it — no packet both policies
+// drop can leak through mid-update, and no packet both policies permit is
+// lost.  (Intuition: new entries sit above surviving old entries, and a
+// PERMIT below every entry of its tag has no effect.)  The price is
+// transient TCAM headroom, which `transientOverflows` reports.
+
+#include <vector>
+
+#include "core/placement.h"
+#include "core/problem.h"
+
+namespace ruleplace::core {
+
+/// Operations for one switch.
+struct TableUpdate {
+  topo::SwitchId switchId = -1;
+  std::vector<InstalledRule> add;     ///< entries only in the target
+  std::vector<InstalledRule> remove;  ///< entries only in the source
+};
+
+struct UpdatePlan {
+  std::vector<TableUpdate> updates;  ///< switches with at least one change
+  std::int64_t addCount = 0;
+  std::int64_t removeCount = 0;
+  std::int64_t unchangedCount = 0;
+};
+
+/// Diff two placements.  Entries are identified by (match, action, tags);
+/// in-switch priorities are re-derived on application.
+UpdatePlan planUpdate(const Placement& from, const Placement& to);
+
+/// The phase-1 (union) state: target tables with surviving and stale
+/// source entries appended below, priorities renumbered.
+Placement unionState(const Placement& from, const Placement& to);
+
+/// Switches whose phase-1 table exceeds capacity (need headroom or an
+/// entry-by-entry schedule).
+std::vector<topo::SwitchId> transientOverflows(
+    const PlacementProblem& problem, const Placement& from,
+    const Placement& to);
+
+}  // namespace ruleplace::core

@@ -1,0 +1,123 @@
+#include "core/verify.h"
+
+#include <sstream>
+
+namespace ruleplace::core {
+
+std::string VerifyResult::summary() const {
+  if (ok) return "OK";
+  std::ostringstream os;
+  os << errors.size() << " violation(s):\n";
+  for (const auto& e : errors) os << "  - " << e << '\n';
+  return os.str();
+}
+
+match::CubeSet switchDropSet(const std::vector<const InstalledRule*>& table,
+                             int width) {
+  // A header is dropped at the switch iff its first match is a DROP.
+  // For the *union* of dropped headers only earlier PERMITs need
+  // subtracting: a header shadowed by an earlier DROP is already in the
+  // union through that entry.  (Subtracting earlier drops too would be
+  // semantically equivalent but multiplies cube fragmentation.)
+  match::CubeSet out(width);
+  std::vector<match::Ternary> permitShadow;
+  for (const InstalledRule* e : table) {
+    if (e->action == acl::Action::kDrop) {
+      std::vector<match::Ternary> eff{e->matchField};
+      for (const auto& s : permitShadow) {
+        eff = match::subtractAll(eff, s);
+        if (eff.empty()) break;
+      }
+      for (const auto& c : eff) out.add(c);
+    } else {
+      permitShadow.push_back(e->matchField);
+    }
+  }
+  return out;
+}
+
+match::CubeSet deployedDropSet(const Placement& placement,
+                               const topo::Path& path, int policyId) {
+  int width = match::kMaxWidth;
+  // Derive the header width from any visible entry; fall back to default.
+  for (topo::SwitchId sw : path.switches) {
+    auto visible = placement.visibleTo(sw, policyId);
+    if (!visible.empty()) {
+      width = visible.front()->matchField.width();
+      break;
+    }
+  }
+  match::CubeSet out(width);
+  for (topo::SwitchId sw : path.switches) {
+    out.unite(switchDropSet(placement.visibleTo(sw, policyId), width));
+  }
+  return out;
+}
+
+VerifyResult verifyPlacement(const PlacementProblem& problem,
+                             const Placement& placement, bool respectTraffic) {
+  VerifyResult result;
+  auto fail = [&](std::string msg) {
+    result.ok = false;
+    result.errors.push_back(std::move(msg));
+  };
+
+  for (topo::SwitchId sw = 0; sw < problem.graph->switchCount(); ++sw) {
+    if (placement.usedCapacity(sw) > problem.capacityOf(sw)) {
+      std::ostringstream os;
+      os << "switch " << problem.graph->sw(sw).name << " holds "
+         << placement.usedCapacity(sw) << " rules, capacity "
+         << problem.capacityOf(sw);
+      fail(os.str());
+    }
+  }
+
+  for (int i = 0; i < problem.policyCount(); ++i) {
+    const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
+    match::CubeSet fullDrop = policy.dropSet();
+    for (std::size_t j = 0;
+         j < problem.routing[static_cast<std::size_t>(i)].paths.size(); ++j) {
+      const topo::Path& path =
+          problem.routing[static_cast<std::size_t>(i)].paths[j];
+      match::CubeSet deployed = deployedDropSet(placement, path, i);
+      const int width = policy.empty() ? match::kMaxWidth : policy.width();
+      // Restrict both sides to the path's traffic (when slicing applies),
+      // then compare with the cofactor-based coverage check — exact, and
+      // robust against the cube fragmentation that makes worklist
+      // subtraction quadratic on wildcard-heavy policies.
+      auto restricted = [&](const match::CubeSet& set) {
+        std::vector<match::Ternary> out;
+        for (const auto& c : set.cubes()) {
+          if (respectTraffic && path.traffic.has_value()) {
+            if (auto cut = c.intersect(*path.traffic)) {
+              out.push_back(*cut);
+            }
+          } else {
+            out.push_back(c);
+          }
+        }
+        return out;
+      };
+      std::vector<match::Ternary> expectedCubes = restricted(fullDrop);
+      std::vector<match::Ternary> deployedCubes = restricted(deployed);
+      if (auto missed =
+              match::uncoveredWitness(expectedCubes, deployedCubes, width)) {
+        std::ostringstream os;
+        os << "policy " << i << " path " << j << ": header "
+           << missed->toString() << " should be dropped but passes through";
+        fail(os.str());
+      }
+      if (auto spurious =
+              match::uncoveredWitness(deployedCubes, expectedCubes, width)) {
+        std::ostringstream os;
+        os << "policy " << i << " path " << j << ": header "
+           << spurious->toString()
+           << " is dropped but the policy permits it";
+        fail(os.str());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ruleplace::core

@@ -1,0 +1,45 @@
+#pragma once
+// Semantic verifier: proves a distributed deployment implements the
+// per-ingress policies exactly.
+//
+// For every policy Q_i and every path p ∈ P_i, the set of headers dropped
+// along p (first-match over each switch's tag-i-visible table, union over
+// the path's switches) must equal Q_i's drop set restricted to the path's
+// traffic.  Both sets are computed exactly with the cube algebra — this is
+// the ground truth the correctness tests and examples audit against, and
+// the precision property the paper claims for its encoding.
+
+#include <string>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/problem.h"
+#include "match/cubeset.h"
+
+namespace ruleplace::core {
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  explicit operator bool() const noexcept { return ok; }
+  std::string summary() const;
+};
+
+/// Exact per-path drop set of a deployment for one policy.
+match::CubeSet deployedDropSet(const Placement& placement,
+                               const topo::Path& path, int policyId);
+
+/// First-match DROP set of one switch's table restricted to a tag.
+match::CubeSet switchDropSet(const std::vector<const InstalledRule*>& table,
+                             int width);
+
+/// Full verification: path semantics for every (policy, path), plus switch
+/// capacity limits.  When `respectTraffic` is true and a path carries a
+/// traffic descriptor, semantics are checked within that traffic only
+/// (required when the placement was produced with path slicing).
+VerifyResult verifyPlacement(const PlacementProblem& problem,
+                             const Placement& placement,
+                             bool respectTraffic = true);
+
+}  // namespace ruleplace::core

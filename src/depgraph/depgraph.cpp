@@ -1,0 +1,51 @@
+#include "depgraph/depgraph.h"
+
+#include <algorithm>
+
+namespace ruleplace::depgraph {
+
+DependencyGraph::DependencyGraph(const acl::Policy& policy) {
+  const auto& rules = policy.rules();
+  for (const auto& r : rules) maxRuleId_ = std::max(maxRuleId_, r.id);
+  shields_.assign(static_cast<std::size_t>(maxRuleId_ + 1), {});
+
+  // rules are in decreasing priority order: rules[u] shields rules[w] when
+  // u < w (higher priority), u is PERMIT, w is DROP, and the fields overlap.
+  for (std::size_t w = 0; w < rules.size(); ++w) {
+    if (rules[w].action != acl::Action::kDrop) continue;
+    dropRules_.push_back(rules[w].id);
+    for (std::size_t u = 0; u < w; ++u) {
+      if (rules[u].action != acl::Action::kPermit) continue;
+      if (rules[u].matchField.overlaps(rules[w].matchField)) {
+        shields_[static_cast<std::size_t>(rules[w].id)].push_back(rules[u].id);
+      }
+    }
+    auto& s = shields_[static_cast<std::size_t>(rules[w].id)];
+    std::sort(s.begin(), s.end());
+  }
+}
+
+const std::vector<int>& DependencyGraph::shieldsOf(int dropRuleId) const {
+  if (dropRuleId < 0 || dropRuleId > maxRuleId_) return empty_;
+  return shields_[static_cast<std::size_t>(dropRuleId)];
+}
+
+std::vector<std::pair<int, int>> DependencyGraph::edges() const {
+  std::vector<std::pair<int, int>> out;
+  for (int w : dropRules_) {
+    for (int u : shields_[static_cast<std::size_t>(w)]) {
+      out.push_back({u, w});
+    }
+  }
+  return out;
+}
+
+std::size_t DependencyGraph::edgeCount() const noexcept {
+  std::size_t n = 0;
+  for (int w : dropRules_) {
+    n += shields_[static_cast<std::size_t>(w)].size();
+  }
+  return n;
+}
+
+}  // namespace ruleplace::depgraph

@@ -1,0 +1,43 @@
+#pragma once
+// Rule dependency graph (paper §I, §IV-A1).
+//
+// Nodes are rules of one ingress policy; a directed edge u -> w records that
+// PERMIT rule u *shields* DROP rule w: u has higher priority and an
+// overlapping match field, so wherever w is placed, u must be placed too
+// (Eq. 1).  DROP rules only depend on PERMIT rules; PERMIT-PERMIT and
+// DROP-DROP pairs never constrain each other (§IV-A1's case analysis).
+
+#include <vector>
+
+#include "acl/policy.h"
+
+namespace ruleplace::depgraph {
+
+/// Dependency edges for one policy, indexed by rule id.
+class DependencyGraph {
+ public:
+  /// Analyze a policy: O(n^2) pairwise overlap checks.
+  explicit DependencyGraph(const acl::Policy& policy);
+
+  /// PERMIT rule ids that must accompany DROP rule `dropRuleId` on any
+  /// switch hosting it (sorted ascending).
+  const std::vector<int>& shieldsOf(int dropRuleId) const;
+
+  /// All DROP rule ids in the policy, in decreasing priority order.
+  const std::vector<int>& dropRules() const noexcept { return dropRules_; }
+
+  /// All edges as (permitId, dropId) pairs, for inspection.
+  std::vector<std::pair<int, int>> edges() const;
+
+  /// Total number of dependency edges (drives the dependency-constraint
+  /// count reported in §V).
+  std::size_t edgeCount() const noexcept;
+
+ private:
+  std::vector<std::vector<int>> shields_;  // by drop rule id
+  std::vector<int> dropRules_;
+  std::vector<int> empty_;
+  int maxRuleId_ = -1;
+};
+
+}  // namespace ruleplace::depgraph

@@ -1,0 +1,254 @@
+#include "depgraph/merging.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+namespace ruleplace::depgraph {
+
+bool orderSensitive(const acl::Rule& a, const acl::Rule& b) {
+  if (a.action == b.action) return false;
+  return a.matchField.overlaps(b.matchField);
+}
+
+namespace {
+
+struct GroupKey {
+  match::Ternary field;
+  acl::Action action;
+  bool operator<(const GroupKey& o) const {
+    if (action != o.action) return action < o.action;
+    return field < o.field;
+  }
+  bool operator==(const GroupKey& o) const {
+    return action == o.action && field == o.field;
+  }
+};
+
+// Build merge groups keyed on (match, action) with >= 2 member policies.
+// Only the highest-priority non-banned instance per policy participates
+// (duplicate identical rules within one policy are themselves redundant;
+// banned originals yield their slot to the dummy inserted below them).
+std::vector<MergeGroup> buildGroups(
+    const std::vector<acl::Policy>& policies,
+    const std::vector<std::pair<int, int>>& banned) {
+  std::map<GroupKey, std::vector<MergeMember>> buckets;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::vector<GroupKey> seenInPolicy;
+    for (const auto& r : policies[p].rules()) {
+      if (std::find(banned.begin(), banned.end(),
+                    std::make_pair(static_cast<int>(p), r.id)) !=
+          banned.end()) {
+        continue;
+      }
+      GroupKey key{r.matchField, r.action};
+      if (std::find(seenInPolicy.begin(), seenInPolicy.end(), key) !=
+          seenInPolicy.end()) {
+        continue;
+      }
+      seenInPolicy.push_back(key);
+      buckets[key].push_back(
+          {static_cast<int>(p), r.id, policies[p].findRule(r.id)->dummy});
+    }
+  }
+  std::vector<MergeGroup> groups;
+  for (auto& [key, members] : buckets) {
+    if (members.size() < 2) continue;
+    MergeGroup g;
+    g.id = static_cast<int>(groups.size());
+    g.matchField = key.field;
+    g.action = key.action;
+    g.members = std::move(members);
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+struct OrderEdge {
+  int fromGroup;  // must be placed above...
+  int toGroup;    // ...this group
+  int policyId;
+  int fromRuleId;  // the higher-priority rule (member of fromGroup)
+  int toRuleId;    // the lower-priority rule (member of toGroup)
+  bool fromIsDummy;
+  bool toIsDummy;
+};
+
+// Collect order constraints between merge groups: for every policy holding
+// members of two groups whose rules are order-sensitive, the
+// higher-priority member's group must sit above the other.
+std::vector<OrderEdge> buildOrderEdges(const std::vector<acl::Policy>& policies,
+                                       const std::vector<MergeGroup>& groups) {
+  // (policy, rule) -> group
+  std::map<std::pair<int, int>, int> groupOf;
+  for (const auto& g : groups) {
+    for (const auto& m : g.members) {
+      groupOf[{m.policyId, m.ruleId}] = g.id;
+    }
+  }
+  std::vector<OrderEdge> edges;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const auto& rules = policies[p].rules();  // priority descending
+    for (std::size_t hi = 0; hi < rules.size(); ++hi) {
+      auto hiIt = groupOf.find({static_cast<int>(p), rules[hi].id});
+      if (hiIt == groupOf.end()) continue;
+      for (std::size_t lo = hi + 1; lo < rules.size(); ++lo) {
+        auto loIt = groupOf.find({static_cast<int>(p), rules[lo].id});
+        if (loIt == groupOf.end()) continue;
+        if (hiIt->second == loIt->second) continue;
+        if (!orderSensitive(rules[hi], rules[lo])) continue;
+        edges.push_back({hiIt->second, loIt->second, static_cast<int>(p),
+                         rules[hi].id, rules[lo].id, rules[hi].dummy,
+                         rules[lo].dummy});
+      }
+    }
+  }
+  return edges;
+}
+
+// Find one cycle in the group-order digraph; returns the edge indices along
+// it, or nullopt when acyclic.  Also emits a topological order when acyclic.
+std::optional<std::vector<std::size_t>> findCycle(
+    int groupCount, const std::vector<OrderEdge>& edges,
+    std::vector<int>* topoOrder) {
+  std::vector<std::vector<std::size_t>> out(static_cast<std::size_t>(groupCount));
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out[static_cast<std::size_t>(edges[i].fromGroup)].push_back(i);
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(static_cast<std::size_t>(groupCount), Color::kWhite);
+  std::vector<std::size_t> pathEdges;
+  std::vector<int> order;
+  std::optional<std::vector<std::size_t>> cycle;
+
+  // Iterative DFS with explicit stack: (node, next-edge-cursor).
+  for (int start = 0; start < groupCount && !cycle; ++start) {
+    if (color[static_cast<std::size_t>(start)] != Color::kWhite) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{start, 0}};
+    color[static_cast<std::size_t>(start)] = Color::kGray;
+    while (!stack.empty() && !cycle) {
+      auto& [node, cursor] = stack.back();
+      const auto& adj = out[static_cast<std::size_t>(node)];
+      if (cursor < adj.size()) {
+        std::size_t edgeIdx = adj[cursor++];
+        int next = edges[edgeIdx].toGroup;
+        if (color[static_cast<std::size_t>(next)] == Color::kGray) {
+          // Back edge => lies on a cycle; collect it plus the gray-path
+          // edges behind it (a superset of one cycle, enough for breaking).
+          std::vector<std::size_t> cyc{edgeIdx};
+          for (auto it = pathEdges.rbegin(); it != pathEdges.rend(); ++it) {
+            cyc.push_back(*it);
+            if (edges[*it].fromGroup == next) break;
+          }
+          cycle = std::move(cyc);
+        } else if (color[static_cast<std::size_t>(next)] == Color::kWhite) {
+          color[static_cast<std::size_t>(next)] = Color::kGray;
+          pathEdges.push_back(edgeIdx);
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[static_cast<std::size_t>(node)] = Color::kBlack;
+        order.push_back(node);
+        stack.pop_back();
+        if (!pathEdges.empty()) pathEdges.pop_back();
+      }
+    }
+  }
+  if (cycle) return cycle;
+  std::reverse(order.begin(), order.end());
+  if (topoOrder != nullptr) *topoOrder = std::move(order);
+  return std::nullopt;
+}
+
+}  // namespace
+
+MergeAnalysis analyzeMergeable(std::vector<acl::Policy>& policies) {
+  MergeAnalysis result;
+  // Iterate: build groups, look for an order cycle, break it, repeat.
+  // Termination: each break either removes a dummy member permanently or
+  // converts an original member to a (bottom-priority) dummy, and a dummy
+  // that still cycles is removed — each (policy, group) pair is touched at
+  // most twice.
+  std::vector<std::pair<int, int>> banned;  // (policyId, ruleId) not mergeable
+  for (int iteration = 0;; ++iteration) {
+    if (iteration > 10000) {
+      throw std::logic_error("merge cycle breaking failed to terminate");
+    }
+    std::vector<MergeGroup> groups = buildGroups(policies, banned);
+    std::erase_if(groups,
+                  [](const MergeGroup& g) { return g.members.size() < 2; });
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      groups[i].id = static_cast<int>(i);
+    }
+
+    std::vector<OrderEdge> edges = buildOrderEdges(policies, groups);
+    std::vector<int> topo;
+    auto cycle = findCycle(static_cast<int>(groups.size()), edges, &topo);
+    if (!cycle) {
+      result.groups = std::move(groups);
+      result.groupOrder = std::move(topo);
+      return result;
+    }
+
+    ++result.cyclesBroken;
+    // Choose the edge to break: prefer one with a dummy endpoint (then we
+    // simply stop merging that dummy — no new rules needed).  Otherwise
+    // follow the paper's Fig. 5 treatment and break the *minority*
+    // orientation — the cycle edge whose (from, to) direction the fewest
+    // policies support — so the majority agreement survives intact.
+    const OrderEdge* toBreak = nullptr;
+    for (std::size_t ei : *cycle) {
+      if (edges[ei].toIsDummy || edges[ei].fromIsDummy) {
+        toBreak = &edges[ei];
+        break;
+      }
+    }
+    if (toBreak == nullptr) {
+      auto support = [&](const OrderEdge& e) {
+        std::size_t n = 0;
+        for (const auto& other : edges) {
+          if (other.fromGroup == e.fromGroup && other.toGroup == e.toGroup) {
+            ++n;
+          }
+        }
+        return n;
+      };
+      std::size_t best = support(edges[cycle->front()]);
+      toBreak = &edges[cycle->front()];
+      for (std::size_t ei : *cycle) {
+        std::size_t s = support(edges[ei]);
+        if (s < best) {
+          best = s;
+          toBreak = &edges[ei];
+        }
+      }
+    }
+
+    if (toBreak->toIsDummy || toBreak->fromIsDummy) {
+      banned.push_back({toBreak->policyId, toBreak->fromIsDummy
+                                               ? toBreak->fromRuleId
+                                               : toBreak->toRuleId});
+      continue;
+    }
+    // Paper §IV-B: in the disagreeing policy, clone the *higher-priority*
+    // rule of the broken constraint as a bottom-priority dummy.  The clone
+    // is dominated by its original (same match field, lower priority) and
+    // thus never matched; merging the clone instead of the original flips
+    // this policy's contribution to the group order — it now agrees with
+    // the majority — while the original is placed per-policy as usual.
+    acl::Policy& policy = policies[static_cast<std::size_t>(toBreak->policyId)];
+    const acl::Rule* original = policy.findRule(toBreak->fromRuleId);
+    if (original == nullptr) {
+      throw std::logic_error("merge cycle breaking lost a rule");
+    }
+    int bottom = policy.rules().back().priority - 1;
+    int dummyId = policy.addRuleWithPriority(original->matchField,
+                                             original->action, bottom,
+                                             /*dummy=*/true);
+    banned.push_back({toBreak->policyId, toBreak->fromRuleId});
+    result.dummies.push_back({toBreak->policyId, toBreak->fromRuleId, dummyId});
+  }
+}
+
+}  // namespace ruleplace::depgraph

@@ -1,0 +1,62 @@
+#pragma once
+// Cross-policy rule merging (paper §IV-B).
+//
+// Rules that are *identical* (same match field, same action) but belong to
+// different ingress policies — e.g. a network-wide blacklist — can be
+// installed once per switch with a tag field covering the union of their
+// policies.  This module finds such merge groups and resolves the subtle
+// priority problem: merged rules acquire a single global position in a
+// switch's table, so all member policies must agree on the relative order
+// of any two interacting merged rules.  When they do not (the paper's
+// Fig. 5 circular dependency), we apply the paper's fix — insert a dummy
+// copy of the offending rule at the bottom of the disagreeing policy (it is
+// dominated by the original, hence semantically dead), merge the dummy, and
+// leave the original to per-policy placement.
+
+#include <vector>
+
+#include "acl/policy.h"
+#include "match/ternary.h"
+
+namespace ruleplace::depgraph {
+
+struct MergeMember {
+  int policyId = -1;
+  int ruleId = -1;
+  bool viaDummy = false;  ///< member is a dummy inserted to break a cycle
+};
+
+/// One group of identical rules mergeable across >= 2 policies.
+struct MergeGroup {
+  int id = -1;
+  match::Ternary matchField;
+  acl::Action action = acl::Action::kPermit;
+  std::vector<MergeMember> members;  ///< at most one per policy
+};
+
+struct DummyInsertion {
+  int policyId = -1;
+  int originalRuleId = -1;
+  int dummyRuleId = -1;
+};
+
+struct MergeAnalysis {
+  std::vector<MergeGroup> groups;
+  std::vector<DummyInsertion> dummies;
+  int cyclesBroken = 0;
+
+  /// Group ids in a topological order consistent with every member
+  /// policy's priorities (valid after analyzeMergeable succeeds).
+  std::vector<int> groupOrder;
+};
+
+/// Find merge groups across `policies` and break circular dependencies.
+/// May mutate the policies by appending dummy rules (recorded in the
+/// result).  Policies are identified by their index in the vector.
+MergeAnalysis analyzeMergeable(std::vector<acl::Policy>& policies);
+
+/// Do two rules constrain each other's relative order in one table?
+/// (opposite actions + overlapping match fields; §IV-A1 case analysis).
+bool orderSensitive(const acl::Rule& a, const acl::Rule& b);
+
+}  // namespace ruleplace::depgraph

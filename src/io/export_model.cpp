@@ -1,0 +1,135 @@
+#include "io/export_model.h"
+
+#include <sstream>
+
+namespace ruleplace::io {
+
+namespace {
+
+// LP-format names must avoid leading digits and operator characters; our
+// model names (v_i_j_k, m_g_k, x<N>) are already safe, but guard anyway.
+std::string lpName(const solver::Model& model, solver::ModelVar v) {
+  const std::string& n = model.varName(v);
+  if (n.empty() || (n[0] >= '0' && n[0] <= '9')) {
+    return "x" + std::to_string(v);
+  }
+  return n;
+}
+
+std::string sanitizeLpName(std::string name) {
+  for (char& c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
+void writeSmtSum(std::ostringstream& os, const solver::Model& model,
+                 const solver::LinearExpr& expr) {
+  if (expr.terms().empty()) {
+    if (expr.constant() >= 0) {
+      os << expr.constant();
+    } else {
+      os << "(- " << -expr.constant() << ')';
+    }
+    return;
+  }
+  os << "(+";
+  for (const auto& [coeff, v] : expr.terms()) {
+    if (coeff == 1) {
+      os << ' ' << model.varName(v);
+    } else if (coeff >= 0) {
+      os << " (* " << coeff << ' ' << model.varName(v) << ')';
+    } else {
+      os << " (* (- " << -coeff << ") " << model.varName(v) << ')';
+    }
+  }
+  if (expr.constant() >= 0) {
+    os << ' ' << expr.constant();
+  } else {
+    os << " (- " << -expr.constant() << ')';
+  }
+  os << ')';
+}
+
+}  // namespace
+
+std::string toSmtLib2(const solver::Model& model) {
+  std::ostringstream os;
+  os << "; rule-placement model: " << model.varCount() << " vars, "
+     << model.constraintCount() << " constraints\n";
+  os << "(set-logic QF_LIA)\n";
+  for (int v = 0; v < model.varCount(); ++v) {
+    const std::string& name = model.varName(v);
+    os << "(declare-const " << name << " Int)\n";
+    os << "(assert (<= 0 " << name << "))\n";
+    os << "(assert (<= " << name << " 1))\n";
+  }
+  for (const auto& c : model.constraints()) {
+    const char* op = c.cmp == solver::Cmp::kLe   ? "<="
+                     : c.cmp == solver::Cmp::kGe ? ">="
+                                                 : "=";
+    os << "(assert (" << op << ' ';
+    writeSmtSum(os, model, c.expr);
+    os << ' ' << c.rhs << "))";
+    if (!c.name.empty()) os << " ; " << c.name;
+    os << '\n';
+  }
+  if (model.hasObjective() && !model.objective().terms().empty()) {
+    os << "(minimize ";
+    writeSmtSum(os, model, model.objective());
+    os << ")\n";
+  }
+  os << "(check-sat)\n(get-model)\n";
+  return os.str();
+}
+
+std::string toCplexLp(const solver::Model& model) {
+  std::ostringstream os;
+  auto writeExpr = [&](const solver::LinearExpr& expr) {
+    bool first = true;
+    for (const auto& [coeff, v] : expr.terms()) {
+      if (coeff >= 0) {
+        os << (first ? "" : " + ");
+        if (coeff != 1) os << coeff << ' ';
+      } else {
+        os << (first ? "- " : " - ");
+        if (coeff != -1) os << -coeff << ' ';
+      }
+      os << lpName(model, v);
+      first = false;
+    }
+    if (first) os << "0";
+  };
+
+  os << "\\ rule-placement model: " << model.varCount() << " vars, "
+     << model.constraintCount() << " constraints\n";
+  os << "Minimize\n obj: ";
+  if (model.hasObjective()) {
+    writeExpr(model.objective());
+  } else {
+    os << "0";
+  }
+  os << "\nSubject To\n";
+  int idx = 0;
+  for (const auto& c : model.constraints()) {
+    std::string name =
+        c.name.empty() ? "c" + std::to_string(idx) : sanitizeLpName(c.name);
+    os << ' ' << name << ": ";
+    writeExpr(c.expr);
+    const char* op = c.cmp == solver::Cmp::kLe   ? " <= "
+                     : c.cmp == solver::Cmp::kGe ? " >= "
+                                                 : " = ";
+    os << op << (c.rhs - c.expr.constant()) << '\n';
+    ++idx;
+  }
+  os << "Binary\n";
+  for (int v = 0; v < model.varCount(); ++v) {
+    os << ' ' << lpName(model, v) << '\n';
+  }
+  os << "End\n";
+  return os.str();
+}
+
+}  // namespace ruleplace::io

@@ -1,0 +1,25 @@
+#pragma once
+// Model exporters for external solvers.
+//
+// The paper solves the same constraint system with an ILP solver (CPLEX)
+// or an SMT / Pseudo-Boolean solver (§IV, §IV-D).  These exporters emit
+// the encoder's 0-1 model in the two standard interchange formats so a
+// deployment can cross-check our built-in CDCL backend against Z3 /
+// OptiMathSAT (SMT-LIB 2, with an OMT `minimize` objective) or
+// CPLEX / CBC / Gurobi (LP file format).
+
+#include <string>
+
+#include "solver/model.h"
+
+namespace ruleplace::io {
+
+/// SMT-LIB 2 rendering (logic QF_LIA; binary vars as 0/1-bounded Ints).
+/// When the model has an objective, an OMT `(minimize ...)` directive is
+/// emitted (understood by Z3 and OptiMathSAT; harmless elsewhere).
+std::string toSmtLib2(const solver::Model& model);
+
+/// CPLEX LP file rendering (Minimize / Subject To / Binary sections).
+std::string toCplexLp(const solver::Model& model);
+
+}  // namespace ruleplace::io

@@ -1,0 +1,74 @@
+#include "io/json.h"
+
+#include <sstream>
+
+#include "io/policy_text.h"
+
+namespace ruleplace::io {
+
+std::string jsonEscape(const std::string& s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string placementToJson(const core::PlacementProblem& problem,
+                            const core::Placement& placement) {
+  std::ostringstream os;
+  os << "{\"switches\":[";
+  bool firstSwitch = true;
+  for (int sw = 0; sw < placement.switchCount(); ++sw) {
+    const auto& table = placement.table(sw);
+    if (table.empty()) continue;
+    if (!firstSwitch) os << ',';
+    firstSwitch = false;
+    os << "{\"name\":\"" << jsonEscape(problem.graph->sw(sw).name)
+       << "\",\"capacity\":" << problem.capacityOf(sw) << ",\"entries\":[";
+    for (std::size_t e = 0; e < table.size(); ++e) {
+      const auto& r = table[e];
+      if (e != 0) os << ',';
+      os << "{\"priority\":" << r.priority << ",\"action\":\""
+         << (r.action == acl::Action::kDrop ? "drop" : "permit")
+         << "\",\"match\":\"" << jsonEscape(formatMatch(r.matchField))
+         << "\",\"tags\":[";
+      for (std::size_t t = 0; t < r.tags.size(); ++t) {
+        if (t != 0) os << ',';
+        os << r.tags[t];
+      }
+      os << "],\"merged\":" << (r.merged ? "true" : "false") << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string reportToJson(const PlacementReport& report) {
+  std::ostringstream os;
+  os << "{\"rules_installed\":" << report.totalInstalled
+     << ",\"required_rules\":" << report.requiredRules
+     << ",\"duplication_overhead_pct\":" << report.duplicationOverheadPct
+     << ",\"replicate_all_rules\":" << report.replicateAllRules
+     << ",\"switches_used\":" << report.switchesUsed
+     << ",\"max_switch_load\":" << report.maxSwitchLoad
+     << ",\"mean_switch_load_pct\":" << report.meanSwitchLoadPct
+     << ",\"merged_entries\":" << report.mergedEntries << '}';
+  return os.str();
+}
+
+}  // namespace ruleplace::io

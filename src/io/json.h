@@ -1,0 +1,27 @@
+#pragma once
+// JSON rendering of placements and reports — for dashboards, diffing in
+// CI, or feeding an SDN controller's northbound API.  Hand-rolled writer
+// (no external dependency); strings we emit are identifier-safe, and the
+// few free-form ones (switch names) are escaped.
+
+#include <string>
+
+#include "core/placement.h"
+#include "core/problem.h"
+#include "io/report.h"
+
+namespace ruleplace::io {
+
+/// The whole deployment as JSON:
+/// {"switches":[{"name":..,"capacity":..,"entries":[{"priority":..,
+///  "action":"drop","match":"src ...","tags":[0,1],"merged":false},..]},..]}
+std::string placementToJson(const core::PlacementProblem& problem,
+                            const core::Placement& placement);
+
+/// The quality report as a flat JSON object.
+std::string reportToJson(const PlacementReport& report);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string& s);
+
+}  // namespace ruleplace::io

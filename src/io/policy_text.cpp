@@ -1,0 +1,255 @@
+#include "io/policy_text.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "match/tuple5.h"
+
+namespace ruleplace::io {
+
+namespace {
+
+using match::Tuple5Layout;
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+int parseInt(std::string_view s, int line, int lo, int hi,
+             const char* what) {
+  int value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size() || value < lo ||
+      value > hi) {
+    throw ParseError(line, std::string("invalid ") + what + " '" +
+                               std::string(s) + "'");
+  }
+  return value;
+}
+
+match::IpPrefix parsePrefix(std::string_view s, int line) {
+  // a.b.c.d[/len]
+  int len = 32;
+  std::size_t slash = s.find('/');
+  std::string_view addrPart = s;
+  if (slash != std::string_view::npos) {
+    len = parseInt(s.substr(slash + 1), line, 0, 32, "prefix length");
+    addrPart = s.substr(0, slash);
+  }
+  std::uint32_t addr = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (octets < 4) {
+    std::size_t dot = addrPart.find('.', pos);
+    std::string_view part =
+        addrPart.substr(pos, dot == std::string_view::npos ? std::string_view::npos
+                                                           : dot - pos);
+    addr = (addr << 8) |
+           static_cast<std::uint32_t>(parseInt(part, line, 0, 255, "octet"));
+    ++octets;
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  if (octets != 4) throw ParseError(line, "invalid IPv4 address");
+  if (len < 32) addr &= ~((1u << (32 - len)) - 1u);
+  return {addr, len};
+}
+
+}  // namespace
+
+bool parseRuleLine(std::string_view line, int lineNumber,
+                   match::Ternary* fieldOut, acl::Action* actionOut) {
+  std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  auto tokens = tokenize(line);
+  if (tokens.empty()) return false;
+
+  acl::Action action;
+  if (tokens[0] == "permit") {
+    action = acl::Action::kPermit;
+  } else if (tokens[0] == "drop") {
+    action = acl::Action::kDrop;
+  } else {
+    throw ParseError(lineNumber,
+                     "expected 'permit' or 'drop', got '" +
+                         std::string(tokens[0]) + "'");
+  }
+
+  if (tokens.size() >= 2 && tokens[1] == "raw") {
+    if (tokens.size() != 3) {
+      throw ParseError(lineNumber, "raw rule: expected one ternary field");
+    }
+    try {
+      *fieldOut = match::Ternary::fromString(tokens[2]);
+    } catch (const std::exception& e) {
+      throw ParseError(lineNumber, e.what());
+    }
+    *actionOut = action;
+    return true;
+  }
+
+  match::Tuple5 tuple;
+  std::size_t i = 1;
+  auto need = [&](const char* what) -> std::string_view {
+    if (i >= tokens.size()) {
+      throw ParseError(lineNumber, std::string(what) + ": missing value");
+    }
+    return tokens[i++];
+  };
+  while (i < tokens.size()) {
+    std::string_view key = tokens[i++];
+    if (key == "src") {
+      tuple.src = parsePrefix(need("src"), lineNumber);
+    } else if (key == "dst") {
+      tuple.dst = parsePrefix(need("dst"), lineNumber);
+    } else if (key == "tcp") {
+      tuple.proto = match::ProtoMatch::tcp();
+    } else if (key == "udp") {
+      tuple.proto = match::ProtoMatch::udp();
+    } else if (key == "proto") {
+      tuple.proto = {static_cast<std::uint8_t>(
+                         parseInt(need("proto"), lineNumber, 0, 255, "proto")),
+                     true};
+    } else if (key == "sport") {
+      tuple.srcPort = match::PortMatch::exact(static_cast<std::uint16_t>(
+          parseInt(need("sport"), lineNumber, 0, 65535, "sport")));
+    } else if (key == "dport") {
+      tuple.dstPort = match::PortMatch::exact(static_cast<std::uint16_t>(
+          parseInt(need("dport"), lineNumber, 0, 65535, "dport")));
+    } else {
+      throw ParseError(lineNumber,
+                       "unknown field '" + std::string(key) + "'");
+    }
+  }
+  *fieldOut = tuple.toTernary();
+  *actionOut = action;
+  return true;
+}
+
+acl::Policy parsePolicy(std::string_view text) {
+  acl::Policy policy;
+  int lineNumber = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                      : nl - pos);
+    ++lineNumber;
+    match::Ternary field;
+    acl::Action action;
+    if (parseRuleLine(line, lineNumber, &field, &action)) {
+      policy.addRule(field, action);
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return policy;
+}
+
+namespace {
+
+// Try to decode a Tuple5-layout cube back into structured text.
+// Returns false when any field is not prefix/exact/wildcard-shaped.
+bool decodeTuple5(const match::Ternary& f, match::Tuple5* out) {
+  if (f.width() != Tuple5Layout::kWidth) return false;
+  auto ipField = [&](int offset, match::IpPrefix* prefix) {
+    int len = 0;
+    while (len < 32 && f.bit(offset + 31 - len) >= 0) ++len;
+    std::uint32_t addr = 0;
+    for (int j = 0; j < len; ++j) {
+      addr |= static_cast<std::uint32_t>(f.bit(offset + 31 - j)) << (31 - j);
+    }
+    for (int j = len; j < 32; ++j) {
+      if (f.bit(offset + 31 - j) >= 0) return false;  // gap: not a prefix
+    }
+    *prefix = {addr, len};
+    return true;
+  };
+  auto portField = [&](int offset, match::PortMatch* port) {
+    int cared = 0;
+    std::uint16_t value = 0;
+    for (int j = 0; j < 16; ++j) {
+      int b = f.bit(offset + j);
+      if (b >= 0) {
+        ++cared;
+        value = static_cast<std::uint16_t>(value |
+                                           (static_cast<unsigned>(b) << j));
+      }
+    }
+    if (cared == 0) {
+      *port = match::PortMatch::any();
+      return true;
+    }
+    if (cared == 16) {
+      *port = match::PortMatch::exact(value);
+      return true;
+    }
+    return false;
+  };
+  if (!ipField(Tuple5Layout::kSrcIpOffset, &out->src)) return false;
+  if (!ipField(Tuple5Layout::kDstIpOffset, &out->dst)) return false;
+  if (!portField(Tuple5Layout::kSrcPortOffset, &out->srcPort)) return false;
+  if (!portField(Tuple5Layout::kDstPortOffset, &out->dstPort)) return false;
+  int protoCared = 0;
+  std::uint8_t protoVal = 0;
+  for (int j = 0; j < 8; ++j) {
+    int b = f.bit(Tuple5Layout::kProtoOffset + j);
+    if (b >= 0) {
+      ++protoCared;
+      protoVal = static_cast<std::uint8_t>(protoVal |
+                                           (static_cast<unsigned>(b) << j));
+    }
+  }
+  if (protoCared == 8) {
+    out->proto = {protoVal, true};
+  } else if (protoCared == 0) {
+    out->proto = match::ProtoMatch::any();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string formatMatch(const match::Ternary& field) {
+  match::Tuple5 tuple;
+  if (!decodeTuple5(field, &tuple)) {
+    return "raw " + field.toString();
+  }
+  std::ostringstream os;
+  os << "src " << tuple.src.toString() << " dst " << tuple.dst.toString();
+  if (tuple.proto.exact) {
+    if (tuple.proto.value == 6) {
+      os << " tcp";
+    } else if (tuple.proto.value == 17) {
+      os << " udp";
+    } else {
+      os << " proto " << static_cast<int>(tuple.proto.value);
+    }
+  }
+  if (tuple.srcPort.careBits == 16) os << " sport " << tuple.srcPort.value;
+  if (tuple.dstPort.careBits == 16) os << " dport " << tuple.dstPort.value;
+  return os.str();
+}
+
+std::string formatPolicy(const acl::Policy& policy) {
+  std::ostringstream os;
+  for (const auto& r : policy.rules()) {
+    os << (r.action == acl::Action::kDrop ? "drop " : "permit ")
+       << formatMatch(r.matchField) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ruleplace::io

@@ -1,0 +1,96 @@
+#include "io/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "io/policy_text.h"
+
+namespace ruleplace::io {
+
+std::string PlacementReport::toString() const {
+  std::ostringstream os;
+  os << "rules installed      : " << totalInstalled << '\n'
+     << "required (no dup)    : " << requiredRules << '\n'
+     << "duplication overhead : " << duplicationOverheadPct << "%\n"
+     << "replicate-all (p x r): " << replicateAllRules << '\n'
+     << "switches used        : " << switchesUsed << '\n'
+     << "max switch load      : " << maxSwitchLoad << '\n'
+     << "mean load (used)     : " << meanSwitchLoadPct << "%\n"
+     << "merged entries       : " << mergedEntries << '\n';
+  return os.str();
+}
+
+PlacementReport analyzePlacement(const core::PlaceOutcome& outcome) {
+  PlacementReport report;
+  if (!outcome.hasSolution()) return report;
+  const core::Placement& placement = outcome.placement;
+  const core::PlacementProblem& problem = outcome.solvedProblem;
+
+  report.totalInstalled = placement.totalInstalledRules();
+  report.requiredRules = outcome.encodingStats.requiredRules;
+  if (report.requiredRules > 0) {
+    report.duplicationOverheadPct =
+        100.0 *
+        static_cast<double>(report.totalInstalled - report.requiredRules) /
+        static_cast<double>(report.requiredRules);
+  }
+  report.replicateAllRules = core::replicateAllCount(problem);
+
+  double loadSum = 0;
+  for (int sw = 0; sw < placement.switchCount(); ++sw) {
+    int used = placement.usedCapacity(sw);
+    if (used == 0) continue;
+    ++report.switchesUsed;
+    report.maxSwitchLoad = std::max(report.maxSwitchLoad, used);
+    int cap = problem.capacityOf(sw);
+    if (cap > 0) loadSum += 100.0 * used / cap;
+    for (const auto& entry : placement.table(sw)) {
+      if (entry.merged) ++report.mergedEntries;
+    }
+  }
+  if (report.switchesUsed > 0) {
+    report.meanSwitchLoadPct = loadSum / report.switchesUsed;
+  }
+  return report;
+}
+
+std::string utilizationTable(const core::PlacementProblem& problem,
+                             const core::Placement& placement) {
+  std::ostringstream os;
+  for (int sw = 0; sw < placement.switchCount(); ++sw) {
+    int used = placement.usedCapacity(sw);
+    if (used == 0) continue;
+    int cap = problem.capacityOf(sw);
+    os << "  " << problem.graph->sw(sw).name << " " << used << "/" << cap
+       << " ";
+    int bars = cap > 0 ? (20 * used + cap - 1) / cap : 0;
+    for (int b = 0; b < std::min(bars, 20); ++b) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string formatPlacement(const core::PlacementProblem& problem,
+                            const core::Placement& placement) {
+  std::ostringstream os;
+  for (int sw = 0; sw < placement.switchCount(); ++sw) {
+    const auto& table = placement.table(sw);
+    if (table.empty()) continue;
+    os << problem.graph->sw(sw).name << " (" << table.size() << "/"
+       << problem.capacityOf(sw) << "):\n";
+    for (const auto& r : table) {
+      os << "  [" << r.priority << "] tags={";
+      for (std::size_t i = 0; i < r.tags.size(); ++i) {
+        if (i != 0) os << ',';
+        os << r.tags[i];
+      }
+      os << "} " << (r.action == acl::Action::kDrop ? "drop " : "permit ")
+         << formatMatch(r.matchField);
+      if (r.merged) os << "  (merged)";
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ruleplace::io

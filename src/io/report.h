@@ -1,0 +1,37 @@
+#pragma once
+// Placement quality reports: what an operator looks at after a solve.
+
+#include <string>
+
+#include "core/greedy.h"
+#include "core/placer.h"
+
+namespace ruleplace::io {
+
+/// Aggregate placement statistics.
+struct PlacementReport {
+  std::int64_t totalInstalled = 0;
+  std::int64_t requiredRules = 0;      ///< duplication-free ideal (A)
+  double duplicationOverheadPct = 0;   ///< (B - A) / A * 100
+  int switchesUsed = 0;                ///< switches holding >= 1 rule
+  int maxSwitchLoad = 0;
+  double meanSwitchLoadPct = 0;        ///< mean used/capacity over used switches
+  int mergedEntries = 0;
+  std::int64_t replicateAllRules = 0;  ///< naive p x r comparison
+
+  std::string toString() const;
+};
+
+/// Compute the report for a solved outcome.
+PlacementReport analyzePlacement(const core::PlaceOutcome& outcome);
+
+/// Per-switch utilization table ("<name> used/capacity [bar]").
+std::string utilizationTable(const core::PlacementProblem& problem,
+                             const core::Placement& placement);
+
+/// Per-switch tables with structured (5-tuple) match rendering — the
+/// human-facing version of Placement::toString.
+std::string formatPlacement(const core::PlacementProblem& problem,
+                            const core::Placement& placement);
+
+}  // namespace ruleplace::io

@@ -1,0 +1,197 @@
+#include "match/cubeset.h"
+
+#include <cmath>
+
+#include <stdexcept>
+
+namespace ruleplace::match {
+
+CubeSet::CubeSet(const Ternary& single) : width_(single.width()) {
+  cubes_.push_back(single);
+}
+
+CubeSet::CubeSet(int width, std::vector<Ternary> cubes)
+    : width_(width), cubes_(std::move(cubes)) {
+  for (const auto& c : cubes_) {
+    if (c.width() != width_) {
+      throw std::invalid_argument("CubeSet width mismatch");
+    }
+  }
+}
+
+void CubeSet::add(const Ternary& cube) {
+  if (cube.width() != width_) {
+    throw std::invalid_argument("CubeSet::add width mismatch");
+  }
+  for (const auto& c : cubes_) {
+    if (c.subsumes(cube)) return;  // already covered by a single member
+  }
+  std::erase_if(cubes_, [&](const Ternary& c) { return cube.subsumes(c); });
+  cubes_.push_back(cube);
+}
+
+void CubeSet::unite(const CubeSet& other) {
+  for (const auto& c : other.cubes_) add(c);
+}
+
+bool CubeSet::contains(const Ternary& header) const noexcept {
+  for (const auto& c : cubes_) {
+    if (c.matches(header)) return true;
+  }
+  return false;
+}
+
+std::vector<Ternary> subtractAll(const std::vector<Ternary>& from,
+                                 const Ternary& sub) {
+  std::vector<Ternary> out;
+  for (const auto& c : from) {
+    auto pieces = c.subtract(sub);
+    out.insert(out.end(), pieces.begin(), pieces.end());
+  }
+  return out;
+}
+
+bool CubeSet::covers(const Ternary& cube) const {
+  std::vector<Ternary> remainder{cube};
+  for (const auto& c : cubes_) {
+    remainder = subtractAll(remainder, c);
+    if (remainder.empty()) return true;
+  }
+  return remainder.empty();
+}
+
+bool CubeSet::coversSet(const CubeSet& other) const {
+  for (const auto& c : other.cubes_) {
+    if (!covers(c)) return false;
+  }
+  return true;
+}
+
+CubeSet CubeSet::subtract(const CubeSet& other) const {
+  CubeSet out(width_);
+  for (const auto& c : cubes_) {
+    std::vector<Ternary> remainder{c};
+    for (const auto& o : other.cubes_) {
+      remainder = subtractAll(remainder, o);
+      if (remainder.empty()) break;
+    }
+    for (const auto& r : remainder) out.add(r);
+  }
+  return out;
+}
+
+CubeSet CubeSet::intersect(const CubeSet& other) const {
+  CubeSet out(width_);
+  for (const auto& a : cubes_) {
+    for (const auto& b : other.cubes_) {
+      if (auto i = a.intersect(b)) out.add(*i);
+    }
+  }
+  return out;
+}
+
+bool CubeSet::equals(const CubeSet& other) const {
+  return coversSet(other) && other.coversSet(*this);
+}
+
+namespace {
+
+// Recursive cofactor search for a header in (∪A) \ (∪B).
+// `assignment` pins the bits decided so far.  Invariant: every cube in A/B
+// is compatible with `assignment` and has been cofactored on decided bits
+// (decided bits are wildcards in the cubes).
+std::optional<Ternary> witnessRec(std::vector<Ternary> a,
+                                  std::vector<Ternary> b,
+                                  Ternary assignment, int width) {
+  while (true) {
+    if (a.empty()) return std::nullopt;  // nothing left to cover
+    // If any cover cube has no remaining care bits it covers everything.
+    for (const auto& c : b) {
+      if (c.isFullWildcard()) return std::nullopt;
+    }
+    if (b.empty()) {
+      // Concretize: assignment bits + first A-cube's cares + zeros.
+      Ternary h = assignment;
+      const Ternary& seed = a.front();
+      for (int i = 0; i < width; ++i) {
+        if (h.bit(i) >= 0) continue;
+        int sb = seed.bit(i);
+        h.setBit(i, sb >= 0 ? sb : 0);
+      }
+      return h;
+    }
+    // Split on the lowest bit some cover cube cares about.
+    int splitBit = -1;
+    for (const auto& c : b) {
+      for (int i = 0; i < width; ++i) {
+        if (c.bit(i) >= 0) {
+          splitBit = i;
+          break;
+        }
+      }
+      if (splitBit >= 0) break;
+    }
+    // b is non-empty and no cube is full-wildcard, so a bit exists.
+    auto cofactor = [&](const std::vector<Ternary>& cubes, int bit, int v) {
+      std::vector<Ternary> out;
+      out.reserve(cubes.size());
+      for (const auto& c : cubes) {
+        int cb = c.bit(bit);
+        if (cb >= 0 && cb != v) continue;  // incompatible branch
+        Ternary reduced = c;
+        if (cb >= 0) reduced.setBit(bit, -1);
+        out.push_back(std::move(reduced));
+      }
+      return out;
+    };
+    // Explore branch 0 recursively; loop on branch 1 (tail call).
+    Ternary assign0 = assignment;
+    assign0.setBit(splitBit, 0);
+    auto w0 = witnessRec(cofactor(a, splitBit, 0), cofactor(b, splitBit, 0),
+                         assign0, width);
+    if (w0) return w0;
+    assignment.setBit(splitBit, 1);
+    a = cofactor(a, splitBit, 1);
+    b = cofactor(b, splitBit, 1);
+  }
+}
+
+}  // namespace
+
+std::optional<Ternary> uncoveredWitness(const std::vector<Ternary>& covered,
+                                        const std::vector<Ternary>& cover,
+                                        int width) {
+  return witnessRec(covered, cover, Ternary(width), width);
+}
+
+long double CubeSet::volumeFraction() const {
+  // Disjoint the cubes by subtracting everything seen so far, then sum
+  // 2^(wildcards - width) per disjoint piece.
+  long double total = 0.0L;
+  std::vector<Ternary> seen;
+  for (const auto& c : cubes_) {
+    std::vector<Ternary> pieces{c};
+    for (const auto& s : seen) {
+      pieces = subtractAll(pieces, s);
+      if (pieces.empty()) break;
+    }
+    for (const auto& p : pieces) {
+      total += std::pow(2.0L, static_cast<long double>(p.wildcardCount() -
+                                                       p.width()));
+    }
+    seen.push_back(c);
+  }
+  return total;
+}
+
+std::optional<Ternary> CubeSet::sample() const {
+  if (cubes_.empty()) return std::nullopt;
+  // Concretize the first cube: wildcards become 0.
+  Ternary h = cubes_.front();
+  for (int i = 0; i < h.width(); ++i) {
+    if (h.bit(i) < 0) h.setBit(i, 0);
+  }
+  return h;
+}
+
+}  // namespace ruleplace::match

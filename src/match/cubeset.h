@@ -1,0 +1,83 @@
+#pragma once
+// Sets of headers represented as unions of ternary cubes.
+//
+// Exact set operations on cube unions power two components that must be
+// *precise* rather than approximate (a design goal the paper emphasises —
+// "our encoding is precise"):
+//   * complete redundancy removal on prioritized ACLs (flow-chart stage 1),
+//   * the semantic verifier that proves a distributed deployment implements
+//     the ingress policy exactly on every path.
+
+#include <vector>
+
+#include "match/ternary.h"
+
+namespace ruleplace::match {
+
+/// A (not necessarily disjoint) union of ternary cubes over one header width.
+class CubeSet {
+ public:
+  CubeSet() = default;
+  explicit CubeSet(int width) : width_(width) {}
+  explicit CubeSet(const Ternary& single);
+  CubeSet(int width, std::vector<Ternary> cubes);
+
+  int width() const noexcept { return width_; }
+  bool empty() const noexcept { return cubes_.empty(); }
+  std::size_t cubeCount() const noexcept { return cubes_.size(); }
+  const std::vector<Ternary>& cubes() const noexcept { return cubes_; }
+
+  /// Add one cube (skips cubes already subsumed by a member, and drops
+  /// members subsumed by the new cube — cheap canonicalization).
+  void add(const Ternary& cube);
+
+  /// Union with another set.
+  void unite(const CubeSet& other);
+
+  /// Does some cube of the set match the concrete header?
+  bool contains(const Ternary& header) const noexcept;
+
+  /// Is `cube` entirely covered by this union?  Exact (worklist subtract).
+  bool covers(const Ternary& cube) const;
+
+  /// Is every header of `other` in this set?
+  bool coversSet(const CubeSet& other) const;
+
+  /// this \ other, exact.
+  CubeSet subtract(const CubeSet& other) const;
+
+  /// this ∩ other, exact.
+  CubeSet intersect(const CubeSet& other) const;
+
+  /// Set equality (mutual coverage).
+  bool equals(const CubeSet& other) const;
+
+  /// A concrete header in the set, if any (witness for diagnostics).
+  std::optional<Ternary> sample() const;
+
+  /// Exact fraction of the full header space covered by this union,
+  /// in [0, 1].  Overlaps are handled by disjointing the cubes first
+  /// (sequential subtraction), so the result is exact up to long-double
+  /// rounding.
+  long double volumeFraction() const;
+
+ private:
+  int width_ = kMaxWidth;
+  std::vector<Ternary> cubes_;
+};
+
+/// Subtract a single cube from a worklist of cubes (helper shared with the
+/// redundancy checker).  Returns the (disjoint-from-`sub`) remainder.
+std::vector<Ternary> subtractAll(const std::vector<Ternary>& from,
+                                 const Ternary& sub);
+
+/// Exact coverage check with witness: a concrete header in (∪covered) \
+/// (∪cover), or nullopt when the cover is complete.  Implemented by
+/// recursive Shannon cofactoring rather than cube subtraction, so it stays
+/// fast on the wildcard-heavy unions (thousands of fragmented cubes) that
+/// make the worklist algebra quadratic — the verifier's workhorse.
+std::optional<Ternary> uncoveredWitness(const std::vector<Ternary>& covered,
+                                        const std::vector<Ternary>& cover,
+                                        int width);
+
+}  // namespace ruleplace::match

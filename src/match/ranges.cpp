@@ -1,0 +1,50 @@
+#include "match/ranges.h"
+
+namespace ruleplace::match {
+
+std::vector<PortMatch> expandRange(const PortRange& range) {
+  std::vector<PortMatch> out;
+  if (range.lo > range.hi) return out;
+  // Greedy maximal-block walk: at `cur`, emit the largest prefix-aligned
+  // block starting at cur that stays within [lo, hi].
+  std::uint32_t cur = range.lo;
+  const std::uint32_t end = static_cast<std::uint32_t>(range.hi) + 1;
+  while (cur < end) {
+    // Largest block size: limited by alignment of cur and remaining span.
+    std::uint32_t maxAligned = cur == 0 ? 65536u : (cur & (~cur + 1));
+    std::uint32_t remaining = end - cur;
+    std::uint32_t block = maxAligned;
+    while (block > remaining) block >>= 1;
+    int wildcardBits = 0;
+    while ((1u << (wildcardBits + 1)) <= block) ++wildcardBits;
+    out.push_back(PortMatch{static_cast<std::uint16_t>(cur),
+                            16 - wildcardBits});
+    cur += block;
+  }
+  return out;
+}
+
+std::vector<Ternary> expandRule(const RangeRule& rule) {
+  std::vector<PortMatch> srcCover = expandRange(rule.srcPort);
+  std::vector<PortMatch> dstCover = expandRange(rule.dstPort);
+  std::vector<Ternary> out;
+  out.reserve(srcCover.size() * dstCover.size());
+  for (const PortMatch& sp : srcCover) {
+    for (const PortMatch& dp : dstCover) {
+      Tuple5 t;
+      t.src = rule.src;
+      t.dst = rule.dst;
+      t.srcPort = sp;
+      t.dstPort = dp;
+      t.proto = rule.proto;
+      out.push_back(t.toTernary());
+    }
+  }
+  return out;
+}
+
+std::size_t expansionCost(const RangeRule& rule) {
+  return expandRange(rule.srcPort).size() * expandRange(rule.dstPort).size();
+}
+
+}  // namespace ruleplace::match

@@ -1,0 +1,51 @@
+#pragma once
+// Port-range to TCAM-prefix expansion.
+//
+// Real firewall rules (and ClassBench seeds) constrain ports with
+// arbitrary ranges like 1024-65535, but a TCAM entry can only express a
+// prefix-aligned pattern.  The classic expansion turns a range [lo, hi]
+// into at most 2*16 - 2 prefix cubes; a rule with ranges on both port
+// fields becomes the cross product of the two expansions.  This is the
+// standard "range blowup" that makes TCAM capacity precious — the very
+// resource pressure rule placement optimizes (paper §II-B).
+
+#include <cstdint>
+#include <vector>
+
+#include "match/tuple5.h"
+
+namespace ruleplace::match {
+
+/// Inclusive port range.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+
+  bool isAny() const noexcept { return lo == 0 && hi == 65535; }
+  bool isExact() const noexcept { return lo == hi; }
+  bool contains(std::uint16_t p) const noexcept { return p >= lo && p <= hi; }
+};
+
+/// Minimal prefix cover of [range.lo, range.hi]: the unique set of maximal
+/// prefix-aligned blocks, in increasing order.  At most 30 entries for
+/// 16-bit ports.
+std::vector<PortMatch> expandRange(const PortRange& range);
+
+/// A 5-tuple rule whose port fields are ranges.
+struct RangeRule {
+  IpPrefix src;
+  IpPrefix dst;
+  PortRange srcPort;
+  PortRange dstPort;
+  ProtoMatch proto = ProtoMatch::any();
+};
+
+/// Expand to the TCAM entries implementing the rule: the cross product of
+/// both ranges' prefix covers (order: srcPort-major).  All returned cubes
+/// are pairwise disjoint and their union matches exactly the rule.
+std::vector<Ternary> expandRule(const RangeRule& rule);
+
+/// Number of TCAM entries expandRule would produce (without building them).
+std::size_t expansionCost(const RangeRule& rule);
+
+}  // namespace ruleplace::match

@@ -1,0 +1,174 @@
+#include "match/ternary.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ruleplace::match {
+
+namespace {
+void checkWidth(int width) {
+  if (width < 1 || width > kMaxWidth) {
+    throw std::invalid_argument("Ternary width out of range");
+  }
+}
+}  // namespace
+
+Ternary::Ternary(int width) : width_(width) { checkWidth(width); }
+
+Ternary Ternary::fromString(std::string_view s) {
+  Ternary t(static_cast<int>(s.size()));
+  // Character 0 is the MSB: bit index (width-1).
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    int bitIndex = static_cast<int>(s.size() - 1 - i);
+    switch (s[i]) {
+      case '0': t.setBit(bitIndex, 0); break;
+      case '1': t.setBit(bitIndex, 1); break;
+      case '*': t.setBit(bitIndex, -1); break;
+      default: throw std::invalid_argument("Ternary string must be 0/1/*");
+    }
+  }
+  return t;
+}
+
+Ternary Ternary::field(int width, int offset, int nbits, std::uint64_t bits) {
+  Ternary t(width);
+  if (offset < 0 || nbits < 0 || offset + nbits > width || nbits > 64) {
+    throw std::invalid_argument("Ternary::field range out of bounds");
+  }
+  for (int i = 0; i < nbits; ++i) {
+    t.setBit(offset + i, static_cast<int>((bits >> i) & 1));
+  }
+  return t;
+}
+
+Ternary Ternary::exact(int width, std::uint64_t lo, std::uint64_t hi) {
+  Ternary t(width);
+  for (int i = 0; i < width; ++i) {
+    std::uint64_t word = (i < 64) ? lo : hi;
+    t.setBit(i, static_cast<int>((word >> (i % 64)) & 1));
+  }
+  return t;
+}
+
+int Ternary::wildcardCount() const noexcept {
+  int cared = std::popcount(care_[0]) + std::popcount(care_[1]);
+  return width_ - cared;
+}
+
+bool Ternary::isFullWildcard() const noexcept {
+  return care_[0] == 0 && care_[1] == 0;
+}
+
+void Ternary::setBit(int i, int v) {
+  if (i < 0 || i >= width_) throw std::out_of_range("Ternary::setBit");
+  std::uint64_t m = 1ULL << (i % 64);
+  auto& c = care_[static_cast<std::size_t>(i / 64)];
+  auto& val = value_[static_cast<std::size_t>(i / 64)];
+  if (v < 0) {
+    c &= ~m;
+    val &= ~m;
+  } else {
+    c |= m;
+    if (v) {
+      val |= m;
+    } else {
+      val &= ~m;
+    }
+  }
+}
+
+int Ternary::bit(int i) const noexcept {
+  std::uint64_t m = 1ULL << (i % 64);
+  std::size_t w = static_cast<std::size_t>(i / 64);
+  if (!(care_[w] & m)) return -1;
+  return (value_[w] & m) ? 1 : 0;
+}
+
+bool Ternary::overlaps(const Ternary& other) const noexcept {
+  // Disjoint iff some bit is cared by both with opposite values.
+  for (std::size_t w = 0; w < 2; ++w) {
+    std::uint64_t conflict =
+        care_[w] & other.care_[w] & (value_[w] ^ other.value_[w]);
+    if (conflict != 0) return false;
+  }
+  return true;
+}
+
+std::optional<Ternary> Ternary::intersect(const Ternary& other) const {
+  if (!overlaps(other)) return std::nullopt;
+  Ternary out(width_);
+  for (std::size_t w = 0; w < 2; ++w) {
+    out.care_[w] = care_[w] | other.care_[w];
+    out.value_[w] = (value_[w] & care_[w]) | (other.value_[w] & other.care_[w]);
+  }
+  return out;
+}
+
+bool Ternary::subsumes(const Ternary& other) const noexcept {
+  // this ⊇ other  iff every bit we care about is cared by other with the
+  // same value.
+  for (std::size_t w = 0; w < 2; ++w) {
+    if ((care_[w] & other.care_[w]) != care_[w]) return false;
+    if ((care_[w] & (value_[w] ^ other.value_[w])) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<Ternary> Ternary::subtract(const Ternary& other) const {
+  std::vector<Ternary> out;
+  if (!overlaps(other)) {
+    out.push_back(*this);
+    return out;
+  }
+  if (other.subsumes(*this)) return out;  // empty difference
+  // Classic cube-splitting: walk the bits where `other` cares and we do not.
+  // For each such bit b we emit the slice of *this* that disagrees with
+  // `other` at b while agreeing on all previously processed bits; the
+  // emitted cubes are pairwise disjoint and their union is this \ other.
+  Ternary remainder = *this;
+  for (int i = 0; i < width_; ++i) {
+    int ob = other.bit(i);
+    if (ob < 0) continue;
+    int tb = remainder.bit(i);
+    if (tb >= 0) continue;  // we already pin this bit (values agree: overlap)
+    Ternary slice = remainder;
+    slice.setBit(i, 1 - ob);
+    out.push_back(slice);
+    remainder.setBit(i, ob);
+  }
+  return out;
+}
+
+std::string Ternary::toString() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(width_));
+  for (int i = width_ - 1; i >= 0; --i) {
+    int b = bit(i);
+    s.push_back(b < 0 ? '*' : static_cast<char>('0' + b));
+  }
+  return s;
+}
+
+bool Ternary::operator<(const Ternary& other) const noexcept {
+  if (width_ != other.width_) return width_ < other.width_;
+  for (std::size_t w = 0; w < 2; ++w) {
+    if (care_[w] != other.care_[w]) return care_[w] < other.care_[w];
+    if (value_[w] != other.value_[w]) return value_[w] < other.value_[w];
+  }
+  return false;
+}
+
+std::uint64_t Ternary::hash() const noexcept {
+  auto mix = [](std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = static_cast<std::uint64_t>(width_);
+  h = mix(h, care_[0]);
+  h = mix(h, care_[1]);
+  h = mix(h, value_[0]);
+  h = mix(h, value_[1]);
+  return h;
+}
+
+}  // namespace ruleplace::match

@@ -1,0 +1,83 @@
+#include "match/tuple5.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ruleplace::match {
+
+namespace {
+
+// Pin the top `prefixLen` bits of a 32-bit IP field located at `offset`.
+// IP bits are stored LSB-first, so prefix bit j (from the top) is header bit
+// offset + 31 - j.
+void applyPrefix(Ternary& t, int offset, const IpPrefix& p) {
+  if (p.length < 0 || p.length > 32) {
+    throw std::invalid_argument("IpPrefix length out of range");
+  }
+  for (int j = 0; j < p.length; ++j) {
+    int bitVal = static_cast<int>((p.addr >> (31 - j)) & 1);
+    t.setBit(offset + 31 - j, bitVal);
+  }
+}
+
+void applyPort(Ternary& t, int offset, const PortMatch& p) {
+  if (p.careBits < 0 || p.careBits > 16) {
+    throw std::invalid_argument("PortMatch careBits out of range");
+  }
+  for (int j = 0; j < p.careBits; ++j) {
+    int bitVal = static_cast<int>((p.value >> (15 - j)) & 1);
+    t.setBit(offset + 15 - j, bitVal);
+  }
+}
+
+}  // namespace
+
+std::string IpPrefix::toString() const {
+  std::ostringstream os;
+  os << ((addr >> 24) & 0xff) << '.' << ((addr >> 16) & 0xff) << '.'
+     << ((addr >> 8) & 0xff) << '.' << (addr & 0xff) << '/' << length;
+  return os.str();
+}
+
+Ternary Tuple5::toTernary() const {
+  Ternary t(Tuple5Layout::kWidth);
+  applyPrefix(t, Tuple5Layout::kSrcIpOffset, src);
+  applyPrefix(t, Tuple5Layout::kDstIpOffset, dst);
+  applyPort(t, Tuple5Layout::kSrcPortOffset, srcPort);
+  applyPort(t, Tuple5Layout::kDstPortOffset, dstPort);
+  if (proto.exact) {
+    for (int j = 0; j < Tuple5Layout::kProtoBits; ++j) {
+      t.setBit(Tuple5Layout::kProtoOffset + j,
+               static_cast<int>((proto.value >> j) & 1));
+    }
+  }
+  return t;
+}
+
+std::string Tuple5::toString() const {
+  std::ostringstream os;
+  os << src.toString() << " -> " << dst.toString();
+  if (proto.exact) {
+    os << (proto.value == 6 ? " tcp" : proto.value == 17 ? " udp" : " proto");
+    if (proto.value != 6 && proto.value != 17) {
+      os << '=' << static_cast<int>(proto.value);
+    }
+  }
+  if (srcPort.careBits == 16) os << " sport=" << srcPort.value;
+  if (dstPort.careBits == 16) os << " dport=" << dstPort.value;
+  return os.str();
+}
+
+Ternary dstPrefixCube(const IpPrefix& prefix) {
+  Ternary t(Tuple5Layout::kWidth);
+  applyPrefix(t, Tuple5Layout::kDstIpOffset, prefix);
+  return t;
+}
+
+Ternary srcPrefixCube(const IpPrefix& prefix) {
+  Ternary t(Tuple5Layout::kWidth);
+  applyPrefix(t, Tuple5Layout::kSrcIpOffset, prefix);
+  return t;
+}
+
+}  // namespace ruleplace::match

@@ -1,0 +1,118 @@
+#include "sim/dataplane.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ruleplace::sim {
+
+std::string TraceResult::toString(const topo::Graph& graph) const {
+  std::ostringstream os;
+  for (const auto& hop : hops) {
+    os << graph.sw(hop.switchId).name << ": ";
+    if (hop.matchedEntry < 0) {
+      os << "no match, forward\n";
+    } else {
+      os << "entry #" << hop.matchedEntry << " -> "
+         << acl::toString(hop.action) << '\n';
+    }
+  }
+  os << (verdict == Verdict::kDropped ? "DROPPED" : "DELIVERED");
+  if (verdict == Verdict::kDropped && droppedAt >= 0) {
+    os << " at " << graph.sw(droppedAt).name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+Dataplane::Dataplane(const core::PlacementProblem& problem,
+                     const core::Placement& placement)
+    : problem_(&problem), placement_(&placement) {
+  problem.validate();
+  if (placement.switchCount() != problem.graph->switchCount()) {
+    throw std::invalid_argument("dataplane: placement/graph size mismatch");
+  }
+}
+
+TraceResult Dataplane::inject(int policyId, std::size_t pathIndex,
+                              const match::Ternary& header) const {
+  const topo::Path& path =
+      problem_->routing.at(static_cast<std::size_t>(policyId))
+          .paths.at(pathIndex);
+  TraceResult trace;
+  for (topo::SwitchId sw : path.switches) {
+    // Tag-filtered TCAM lookup: highest-priority matching entry wins.
+    auto visible = placement_->visibleTo(sw, policyId);
+    HopRecord hop;
+    hop.switchId = sw;
+    for (std::size_t e = 0; e < visible.size(); ++e) {
+      if (visible[e]->matchField.matches(header)) {
+        hop.matchedEntry = static_cast<int>(e);
+        hop.action = visible[e]->action;
+        break;
+      }
+    }
+    trace.hops.push_back(hop);
+    if (hop.matchedEntry >= 0 && hop.action == acl::Action::kDrop) {
+      trace.verdict = Verdict::kDropped;
+      trace.droppedAt = sw;
+      return trace;
+    }
+    // PERMIT or no match: forward to the next switch.
+  }
+  trace.verdict = Verdict::kDelivered;
+  return trace;
+}
+
+match::Ternary Dataplane::sampleHeader(
+    const std::optional<match::Ternary>& traffic, int width,
+    util::Rng& rng) const {
+  match::Ternary h = traffic.value_or(match::Ternary(width));
+  for (int i = 0; i < h.width(); ++i) {
+    if (h.bit(i) < 0) h.setBit(i, static_cast<int>(rng.below(2)));
+  }
+  return h;
+}
+
+Dataplane::FuzzResult Dataplane::fuzzPath(int policyId, std::size_t pathIndex,
+                                          std::int64_t samples,
+                                          util::Rng& rng) const {
+  const acl::Policy& policy =
+      problem_->policies.at(static_cast<std::size_t>(policyId));
+  const topo::Path& path =
+      problem_->routing.at(static_cast<std::size_t>(policyId))
+          .paths.at(pathIndex);
+  FuzzResult result;
+  const int width = policy.empty() ? match::kMaxWidth : policy.width();
+  for (std::int64_t s = 0; s < samples; ++s) {
+    match::Ternary header = sampleHeader(path.traffic, width, rng);
+    Verdict got = verdictOf(policyId, pathIndex, header);
+    Verdict want = policy.evaluate(header) == acl::Action::kDrop
+                       ? Verdict::kDropped
+                       : Verdict::kDelivered;
+    ++result.samples;
+    if (got != want) {
+      ++result.mismatches;
+      if (!result.firstCounterexample) result.firstCounterexample = header;
+    }
+  }
+  return result;
+}
+
+Dataplane::FuzzResult Dataplane::fuzzAll(std::int64_t samplesPerPath,
+                                         util::Rng& rng) const {
+  FuzzResult total;
+  for (int i = 0; i < problem_->policyCount(); ++i) {
+    const auto& paths = problem_->routing[static_cast<std::size_t>(i)].paths;
+    for (std::size_t j = 0; j < paths.size(); ++j) {
+      FuzzResult r = fuzzPath(i, j, samplesPerPath, rng);
+      total.samples += r.samples;
+      total.mismatches += r.mismatches;
+      if (!total.firstCounterexample && r.firstCounterexample) {
+        total.firstCounterexample = r.firstCounterexample;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace ruleplace::sim

@@ -1,0 +1,85 @@
+#pragma once
+// Packet-level dataplane simulator.
+//
+// Complements the exact cube-algebra verifier: where verify.h proves
+// equivalence symbolically, the simulator *executes* a deployment the way
+// the switches would — ingress tagging, per-switch TCAM first-match,
+// forwarding along the routed path — one concrete header at a time.  It
+// scales to deployments whose symbolic drop sets would be expensive, and
+// it doubles as a demonstration substrate (examples can trace individual
+// packets hop by hop).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/problem.h"
+#include "match/ternary.h"
+#include "util/rng.h"
+
+namespace ruleplace::sim {
+
+/// Verdict for one simulated packet.
+enum class Verdict : std::uint8_t { kDelivered, kDropped };
+
+/// One hop of a packet trace.
+struct HopRecord {
+  topo::SwitchId switchId = -1;
+  /// Index of the matching entry in the switch's (tag-filtered) table,
+  /// -1 when no entry matched (packet passes through).
+  int matchedEntry = -1;
+  acl::Action action = acl::Action::kPermit;  ///< valid if matchedEntry >= 0
+};
+
+struct TraceResult {
+  Verdict verdict = Verdict::kDelivered;
+  std::vector<HopRecord> hops;  ///< up to and including the deciding hop
+  topo::SwitchId droppedAt = -1;
+
+  std::string toString(const topo::Graph& graph) const;
+};
+
+/// Simulates a deployment over a routed network.
+class Dataplane {
+ public:
+  /// Both references must outlive the simulator.
+  Dataplane(const core::PlacementProblem& problem,
+            const core::Placement& placement);
+
+  /// Inject a concrete header at `policyId`'s ingress along path
+  /// `pathIndex`; returns the full hop-by-hop trace.
+  TraceResult inject(int policyId, std::size_t pathIndex,
+                     const match::Ternary& header) const;
+
+  /// Convenience: final verdict only.
+  Verdict verdictOf(int policyId, std::size_t pathIndex,
+                    const match::Ternary& header) const {
+    return inject(policyId, pathIndex, header).verdict;
+  }
+
+  /// Fuzz one policy/path pair with `samples` random concrete headers and
+  /// compare against the policy oracle (first-match over Q_i restricted to
+  /// the path's traffic).  Returns the number of disagreements (0 for a
+  /// correct deployment) and stores the first counterexample.
+  struct FuzzResult {
+    std::int64_t samples = 0;
+    std::int64_t mismatches = 0;
+    std::optional<match::Ternary> firstCounterexample;
+  };
+  FuzzResult fuzzPath(int policyId, std::size_t pathIndex,
+                      std::int64_t samples, util::Rng& rng) const;
+
+  /// Fuzz every (policy, path) pair.
+  FuzzResult fuzzAll(std::int64_t samplesPerPath, util::Rng& rng) const;
+
+ private:
+  /// Header sampled from the path's traffic cube (wildcards randomized).
+  match::Ternary sampleHeader(const std::optional<match::Ternary>& traffic,
+                              int width, util::Rng& rng) const;
+
+  const core::PlacementProblem* problem_;
+  const core::Placement* placement_;
+};
+
+}  // namespace ruleplace::sim

@@ -1,0 +1,34 @@
+#include "solver/bruteforce.h"
+
+#include <stdexcept>
+
+namespace ruleplace::solver {
+
+OptResult bruteForceSolve(const Model& model, int maxVars) {
+  const int n = model.varCount();
+  if (n > maxVars) {
+    throw std::invalid_argument("bruteForceSolve: too many variables");
+  }
+  OptResult result;
+  result.status = OptStatus::kInfeasible;
+  bool haveBest = false;
+  std::vector<bool> assignment(static_cast<std::size_t>(n));
+  for (std::uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+    for (int i = 0; i < n; ++i) {
+      assignment[static_cast<std::size_t>(i)] = ((bits >> i) & 1) != 0;
+    }
+    if (!model.feasible(assignment)) continue;
+    std::int64_t obj =
+        model.hasObjective() ? model.objective().evaluate(assignment) : 0;
+    if (!haveBest || obj < result.objective) {
+      haveBest = true;
+      result.objective = obj;
+      result.assignment = assignment;
+      result.status = OptStatus::kOptimal;
+      if (!model.hasObjective()) break;  // any feasible point suffices
+    }
+  }
+  return result;
+}
+
+}  // namespace ruleplace::solver

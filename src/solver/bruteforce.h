@@ -1,0 +1,17 @@
+#pragma once
+// Exhaustive reference solver for small models.  Exists purely so tests can
+// cross-check the CDCL optimizer against ground truth on randomized
+// instances (<= ~22 variables).
+
+#include <optional>
+
+#include "solver/model.h"
+#include "solver/optimize.h"
+
+namespace ruleplace::solver {
+
+/// Enumerate all 2^n assignments.  Throws if the model has more than
+/// `maxVars` variables (guard against accidental blowup in tests).
+OptResult bruteForceSolve(const Model& model, int maxVars = 24);
+
+}  // namespace ruleplace::solver

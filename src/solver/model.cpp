@@ -1,0 +1,83 @@
+#include "solver/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ruleplace::solver {
+
+void LinearExpr::canonicalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::vector<std::pair<std::int64_t, ModelVar>> merged;
+  for (const auto& [coeff, v] : terms_) {
+    if (!merged.empty() && merged.back().second == v) {
+      merged.back().first += coeff;
+    } else {
+      merged.push_back({coeff, v});
+    }
+  }
+  std::erase_if(merged, [](const auto& t) { return t.first == 0; });
+  terms_ = std::move(merged);
+}
+
+std::int64_t LinearExpr::evaluate(const std::vector<bool>& assignment) const {
+  std::int64_t total = constant_;
+  for (const auto& [coeff, v] : terms_) {
+    if (assignment.at(static_cast<std::size_t>(v))) total += coeff;
+  }
+  return total;
+}
+
+bool Constraint::satisfiedBy(const std::vector<bool>& assignment) const {
+  std::int64_t lhs = expr.evaluate(assignment);
+  switch (cmp) {
+    case Cmp::kLe: return lhs <= rhs;
+    case Cmp::kGe: return lhs >= rhs;
+    case Cmp::kEq: return lhs == rhs;
+  }
+  return false;
+}
+
+ModelVar Model::addBinary(std::string name) {
+  ModelVar v = static_cast<ModelVar>(varNames_.size());
+  if (name.empty()) name = "x" + std::to_string(v);
+  varNames_.push_back(std::move(name));
+  return v;
+}
+
+void Model::addConstraint(LinearExpr expr, Cmp cmp, std::int64_t rhs,
+                          std::string name) {
+  expr.canonicalize();
+  for (const auto& [coeff, v] : expr.terms()) {
+    (void)coeff;
+    if (v < 0 || v >= varCount()) {
+      throw std::out_of_range("constraint references unknown variable");
+    }
+  }
+  constraints_.push_back(Constraint{std::move(expr), cmp, rhs, std::move(name)});
+}
+
+void Model::fixVariable(ModelVar v, bool value) {
+  LinearExpr e;
+  e.add(1, v);
+  addConstraint(std::move(e), Cmp::kEq, value ? 1 : 0,
+                "fix:" + varName(v));
+}
+
+std::int64_t Model::nonzeroCount() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& c : constraints_) {
+    n += static_cast<std::int64_t>(c.expr.terms().size());
+  }
+  return n;
+}
+
+bool Model::feasible(const std::vector<bool>& assignment) const {
+  if (assignment.size() != static_cast<std::size_t>(varCount())) return false;
+  for (const auto& c : constraints_) {
+    if (!c.satisfiedBy(assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace ruleplace::solver

@@ -1,0 +1,124 @@
+#pragma once
+// 0-1 ILP model intermediate representation.
+//
+// The rule-placement encoder (src/core/encoder.*) emits models in this IR;
+// the optimizer lowers them to the CDCL pseudo-Boolean engine.  Keeping the
+// IR separate mirrors the paper's design, where the same constraint system
+// is handed either to an ILP solver (optimization) or to an SMT /
+// Pseudo-Boolean solver (satisfiability only, §IV-D).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ruleplace::solver {
+
+using ModelVar = std::int32_t;
+
+/// A linear expression Σ coeff_i * x_i + constant over binary variables.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+
+  LinearExpr& add(std::int64_t coeff, ModelVar v) {
+    if (coeff != 0) terms_.push_back({coeff, v});
+    return *this;
+  }
+  LinearExpr& addConstant(std::int64_t c) {
+    constant_ += c;
+    return *this;
+  }
+
+  const std::vector<std::pair<std::int64_t, ModelVar>>& terms() const noexcept {
+    return terms_;
+  }
+  std::int64_t constant() const noexcept { return constant_; }
+  bool empty() const noexcept { return terms_.empty(); }
+
+  /// Merge duplicate variables (summing coefficients, dropping zeros).
+  void canonicalize();
+
+  /// Evaluate under a full 0/1 assignment.
+  std::int64_t evaluate(const std::vector<bool>& assignment) const;
+
+ private:
+  std::vector<std::pair<std::int64_t, ModelVar>> terms_;
+  std::int64_t constant_ = 0;
+};
+
+enum class Cmp : std::uint8_t { kLe, kGe, kEq };
+
+struct Constraint {
+  LinearExpr expr;
+  Cmp cmp = Cmp::kLe;
+  std::int64_t rhs = 0;
+  std::string name;  ///< for diagnostics; may be empty
+
+  bool satisfiedBy(const std::vector<bool>& assignment) const;
+};
+
+/// A 0-1 integer linear program: binary variables, linear constraints, and
+/// an optional linear objective to *minimize*.
+class Model {
+ public:
+  /// Create a binary variable; returns its dense index.
+  ModelVar addBinary(std::string name = {});
+
+  void addConstraint(LinearExpr expr, Cmp cmp, std::int64_t rhs,
+                     std::string name = {});
+
+  /// Force a variable's value (used by the incremental placer to pin the
+  /// existing deployment, §IV-E).
+  void fixVariable(ModelVar v, bool value);
+
+  void setObjective(LinearExpr objective) {
+    objective_ = std::move(objective);
+    objective_.canonicalize();
+    hasObjective_ = true;
+  }
+
+  /// Declare a proven lower bound on the objective value (full value, i.e.
+  /// including the objective's constant).  The optimizer adds it as a
+  /// constraint and stops as soon as an incumbent attains it — replacing
+  /// the LP bound an ILP solver would use to finish counting-style
+  /// optimality proofs that are exponential for clause learning alone.
+  void setObjectiveLowerBound(std::int64_t bound) {
+    objectiveLowerBound_ = bound;
+    hasObjectiveLowerBound_ = true;
+  }
+  bool hasObjectiveLowerBound() const noexcept {
+    return hasObjectiveLowerBound_;
+  }
+  std::int64_t objectiveLowerBound() const noexcept {
+    return objectiveLowerBound_;
+  }
+
+  int varCount() const noexcept { return static_cast<int>(varNames_.size()); }
+  std::size_t constraintCount() const noexcept { return constraints_.size(); }
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  const LinearExpr& objective() const noexcept { return objective_; }
+  bool hasObjective() const noexcept { return hasObjective_; }
+  const std::string& varName(ModelVar v) const {
+    return varNames_.at(static_cast<std::size_t>(v));
+  }
+
+  /// Total number of (coeff, var) entries across all constraints — the
+  /// "model size" statistic reported in §V.
+  std::int64_t nonzeroCount() const noexcept;
+
+  /// Exact feasibility check of a full assignment (used by tests and the
+  /// optimizer's internal postcondition).
+  bool feasible(const std::vector<bool>& assignment) const;
+
+ private:
+  std::vector<std::string> varNames_;
+  std::vector<Constraint> constraints_;
+  LinearExpr objective_;
+  bool hasObjective_ = false;
+  std::int64_t objectiveLowerBound_ = 0;
+  bool hasObjectiveLowerBound_ = false;
+};
+
+}  // namespace ruleplace::solver

@@ -1,0 +1,351 @@
+#include "solver/optimize.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ruleplace::solver {
+
+namespace {
+
+// Normalize `Σ coeff_i * x_i >= bound` (vars, possibly negative coeffs)
+// into positive-coefficient literal form and feed it to the solver.
+bool addNormalizedGe(Solver& solver,
+                     const std::vector<std::pair<std::int64_t, ModelVar>>& terms,
+                     std::int64_t bound, const std::vector<Var>& varMap) {
+  std::vector<std::pair<std::int64_t, Lit>> out;
+  out.reserve(terms.size());
+  for (const auto& [coeff, mv] : terms) {
+    Var v = varMap[static_cast<std::size_t>(mv)];
+    if (coeff > 0) {
+      out.push_back({coeff, Lit(v, false)});
+    } else if (coeff < 0) {
+      // c*x == c + |c|*(1-x): substitute |c| * ¬x and raise the bound.
+      out.push_back({-coeff, Lit(v, true)});
+      bound += -coeff;
+    }
+  }
+  return solver.addPB(std::move(out), bound);
+}
+
+// Greedy 1-opt polisher: drop placed variables with positive objective
+// cost whenever every constraint stays satisfied.  CDCL models routinely
+// contain gratuitous assignments (set by phase defaults, never forced);
+// polishing turns each SAT step of the linear search into a much larger
+// objective improvement.
+class Polisher {
+ public:
+  explicit Polisher(const Model& model) : model_(&model) {
+    occs_.resize(static_cast<std::size_t>(model.varCount()));
+    const auto& cons = model.constraints();
+    for (std::size_t ci = 0; ci < cons.size(); ++ci) {
+      for (const auto& [coeff, v] : cons[ci].expr.terms()) {
+        occs_[static_cast<std::size_t>(v)].push_back(
+            {static_cast<std::int32_t>(ci), coeff});
+      }
+    }
+    for (const auto& [coeff, v] : model.objective().terms()) {
+      if (coeff > 0) candidates_.push_back({coeff, v});
+      objCoeff_.emplace(v, coeff);
+    }
+    std::sort(candidates_.begin(), candidates_.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+  }
+
+  void polish(std::vector<bool>& assignment) const {
+    const auto& cons = model_->constraints();
+    std::vector<std::int64_t> lhs(cons.size());
+    for (std::size_t ci = 0; ci < cons.size(); ++ci) {
+      lhs[ci] = cons[ci].expr.evaluate(assignment);
+    }
+    for (int round = 0; round < 6; ++round) {
+      bool changed = removalPass(assignment, lhs);
+      changed |= flipUpPass(assignment, lhs);
+      if (!changed) break;
+    }
+  }
+
+ private:
+  bool removalPass(std::vector<bool>& assignment,
+                   std::vector<std::int64_t>& lhs) const {
+    const auto& cons = model_->constraints();
+    auto removable = [&](ModelVar v) {
+      for (const auto& [ci, coeff] : occs_[static_cast<std::size_t>(v)]) {
+        std::int64_t next = lhs[static_cast<std::size_t>(ci)] - coeff;
+        const Constraint& c = cons[static_cast<std::size_t>(ci)];
+        switch (c.cmp) {
+          case Cmp::kLe:
+            if (next > c.rhs) return false;
+            break;
+          case Cmp::kGe:
+            if (next < c.rhs) return false;
+            break;
+          case Cmp::kEq:
+            if (next != c.rhs) return false;
+            break;
+        }
+      }
+      return true;
+    };
+    bool changedAny = false;
+    for (int pass = 0; pass < 4; ++pass) {
+      bool changed = false;
+      for (const auto& [coeff, v] : candidates_) {
+        (void)coeff;
+        if (!assignment[static_cast<std::size_t>(v)]) continue;
+        if (!removable(v)) continue;
+        assignment[static_cast<std::size_t>(v)] = false;
+        for (const auto& [ci, cf] : occs_[static_cast<std::size_t>(v)]) {
+          lhs[static_cast<std::size_t>(ci)] -= cf;
+        }
+        changed = true;
+        changedAny = true;
+      }
+      if (!changed) break;
+    }
+    return changedAny;
+  }
+
+  // Compound improving move: flip a 0-variable with *negative* objective
+  // coefficient (e.g. a rule-merging indicator, which reduces installed
+  // count) to 1, then repair any violated constraints by flipping further
+  // variables up.  Commit only when the cascade's net objective delta is
+  // negative.  This finds the "complete the merge group" moves that pure
+  // removal cannot reach.
+  bool flipUpPass(std::vector<bool>& assignment,
+                  std::vector<std::int64_t>& lhs) const {
+    const auto& cons = model_->constraints();
+    bool changedAny = false;
+    for (const auto& [coeff, seed] : model_->objective().terms()) {
+      if (coeff >= 0) continue;
+      if (assignment[static_cast<std::size_t>(seed)]) continue;
+      // Tentative cascade with incremental lhs deltas.
+      std::vector<ModelVar> flipped;
+      std::unordered_map<ModelVar, bool> inCascade;
+      std::unordered_map<std::int32_t, std::int64_t> lhsDelta;
+      std::vector<ModelVar> queue{seed};
+      std::int64_t delta = 0;
+      bool ok = true;
+      while (ok && !queue.empty() && flipped.size() < 24) {
+        ModelVar v = queue.back();
+        queue.pop_back();
+        if (assignment[static_cast<std::size_t>(v)] || inCascade.count(v)) {
+          continue;
+        }
+        inCascade.emplace(v, true);
+        flipped.push_back(v);
+        auto oc = objCoeff_.find(v);
+        if (oc != objCoeff_.end()) delta += oc->second;
+        for (const auto& [ci, cf] : occs_[static_cast<std::size_t>(v)]) {
+          lhsDelta[ci] += cf;
+        }
+        // Repair constraints v participates in.
+        for (const auto& [ci, cf] : occs_[static_cast<std::size_t>(v)]) {
+          (void)cf;
+          const Constraint& c = cons[static_cast<std::size_t>(ci)];
+          std::int64_t now = lhs[static_cast<std::size_t>(ci)] + lhsDelta[ci];
+          if (c.cmp == Cmp::kEq) {
+            if (now != c.rhs) ok = false;
+            continue;
+          }
+          bool violated = (c.cmp == Cmp::kLe) ? now > c.rhs : now < c.rhs;
+          if (!violated) continue;
+          // Fix by flipping up a variable whose coefficient moves lhs the
+          // right way: negative for kLe, positive for kGe.
+          bool fixedOrQueued = false;
+          for (const auto& [tc, tv] : c.expr.terms()) {
+            bool helps = (c.cmp == Cmp::kLe) ? tc < 0 : tc > 0;
+            if (!helps) continue;
+            if (assignment[static_cast<std::size_t>(tv)] ||
+                inCascade.count(tv)) {
+              continue;
+            }
+            queue.push_back(tv);
+            fixedOrQueued = true;
+            break;
+          }
+          if (!fixedOrQueued) ok = false;
+        }
+      }
+      if (!ok || delta >= 0 || flipped.size() >= 24) continue;
+      // Re-validate the full cascade exactly, then commit.
+      std::vector<bool> trial = assignment;
+      for (ModelVar fv : flipped) trial[static_cast<std::size_t>(fv)] = true;
+      if (!model_->feasible(trial)) continue;
+      assignment = std::move(trial);
+      for (std::size_t ci = 0; ci < cons.size(); ++ci) {
+        lhs[ci] = cons[ci].expr.evaluate(assignment);
+      }
+      changedAny = true;
+    }
+    return changedAny;
+  }
+
+ public:
+
+ private:
+  const Model* model_;
+  std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> occs_;
+  std::vector<std::pair<std::int64_t, ModelVar>> candidates_;
+  std::unordered_map<ModelVar, std::int64_t> objCoeff_;
+};
+
+}  // namespace
+
+bool lowerConstraint(Solver& solver, const Constraint& c,
+                     const std::vector<Var>& varMap) {
+  const auto& terms = c.expr.terms();
+  std::int64_t rhs = c.rhs - c.expr.constant();
+  switch (c.cmp) {
+    case Cmp::kGe:
+      return addNormalizedGe(solver, terms, rhs, varMap);
+    case Cmp::kLe: {
+      std::vector<std::pair<std::int64_t, ModelVar>> negated;
+      negated.reserve(terms.size());
+      for (const auto& [coeff, v] : terms) negated.push_back({-coeff, v});
+      return addNormalizedGe(solver, negated, -rhs, varMap);
+    }
+    case Cmp::kEq:
+      if (!addNormalizedGe(solver, terms, rhs, varMap)) return false;
+      {
+        std::vector<std::pair<std::int64_t, ModelVar>> negated;
+        negated.reserve(terms.size());
+        for (const auto& [coeff, v] : terms) negated.push_back({-coeff, v});
+        return addNormalizedGe(solver, negated, -rhs, varMap);
+      }
+  }
+  return false;
+}
+
+OptResult Optimizer::solve(const Model& model, const Budget& budget) {
+  return run(model, model.hasObjective(), nullptr, budget);
+}
+
+OptResult Optimizer::solveSat(const Model& model, const Budget& budget) {
+  return run(model, false, nullptr, budget);
+}
+
+OptResult Optimizer::solveWithHint(
+    const Model& model, const std::vector<std::pair<ModelVar, bool>>& hint,
+    const Budget& budget) {
+  return run(model, model.hasObjective(), &hint, budget);
+}
+
+OptResult Optimizer::run(const Model& model, bool useObjective,
+                         const std::vector<std::pair<ModelVar, bool>>* hint,
+                         const Budget& budget) {
+  const auto startTime = std::chrono::steady_clock::now();
+  auto remaining = [&]() -> Budget {
+    Budget b = budget;
+    if (budget.maxSeconds >= 0) {
+      double elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - startTime)
+                           .count();
+      // Clamp at zero: a negative value would read as "unlimited".
+      b.maxSeconds = std::max(0.0, budget.maxSeconds - elapsed);
+    }
+    return b;
+  };
+  auto exhausted = [&](const Budget& b) {
+    return budget.maxSeconds >= 0 && b.maxSeconds <= 0;
+  };
+
+  Solver solver;
+  std::vector<Var> varMap;
+  varMap.reserve(static_cast<std::size_t>(model.varCount()));
+  for (int i = 0; i < model.varCount(); ++i) varMap.push_back(solver.newVar());
+  if (hint != nullptr) {
+    for (const auto& [mv, value] : *hint) {
+      solver.setPolarity(varMap.at(static_cast<std::size_t>(mv)), value);
+    }
+  }
+
+  OptResult result;
+  for (const auto& c : model.constraints()) {
+    if (!lowerConstraint(solver, c, varMap)) {
+      result.status = OptStatus::kInfeasible;
+      result.stats = solver.stats();
+      return result;
+    }
+  }
+
+  const bool optimizing = useObjective && !model.objective().terms().empty();
+  // Install the declared objective lower bound as a native constraint —
+  // the counting argument CDCL cannot re-derive on its own.
+  if (optimizing && model.hasObjectiveLowerBound()) {
+    std::int64_t rawBound =
+        model.objectiveLowerBound() - model.objective().constant();
+    if (!addNormalizedGe(solver, model.objective().terms(), rawBound,
+                         varMap)) {
+      result.status = OptStatus::kInfeasible;
+      result.stats = solver.stats();
+      return result;
+    }
+  }
+  std::optional<Polisher> polisher;
+  if (optimizing) polisher.emplace(model);
+
+  bool haveIncumbent = false;
+  while (true) {
+    Budget b = remaining();
+    if (exhausted(b)) {
+      result.status =
+          haveIncumbent ? OptStatus::kFeasible : OptStatus::kUnknown;
+      result.stats = solver.stats();
+      return result;
+    }
+    SolveStatus st = solver.solve(b);
+    result.stats = solver.stats();
+    if (st == SolveStatus::kUnknown) {
+      result.status =
+          haveIncumbent ? OptStatus::kFeasible : OptStatus::kUnknown;
+      return result;
+    }
+    if (st == SolveStatus::kUnsat) {
+      result.status =
+          haveIncumbent ? OptStatus::kOptimal : OptStatus::kInfeasible;
+      return result;
+    }
+    // SAT: extract and polish the assignment.
+    std::vector<bool> assignment(static_cast<std::size_t>(model.varCount()));
+    for (int i = 0; i < model.varCount(); ++i) {
+      assignment[static_cast<std::size_t>(i)] =
+          solver.modelValue(varMap[static_cast<std::size_t>(i)]);
+    }
+    if (!model.feasible(assignment)) {
+      throw std::logic_error(
+          "optimizer postcondition violated: solver model infeasible");
+    }
+    if (polisher.has_value()) polisher->polish(assignment);
+    result.assignment = std::move(assignment);
+    result.objective = model.objective().evaluate(result.assignment);
+    haveIncumbent = true;
+    ++result.improvementSteps;
+
+    if (!optimizing) {
+      result.status = OptStatus::kOptimal;  // nothing to optimize
+      return result;
+    }
+    if (model.hasObjectiveLowerBound() &&
+        result.objective <= model.objectiveLowerBound()) {
+      result.status = OptStatus::kOptimal;  // incumbent meets the bound
+      return result;
+    }
+    // Strengthen: objective <= incumbent - 1, i.e. -obj >= -(incumbent-1).
+    std::int64_t rawIncumbent =
+        result.objective - model.objective().constant();
+    std::vector<std::pair<std::int64_t, ModelVar>> negated;
+    negated.reserve(model.objective().terms().size());
+    for (const auto& [coeff, v] : model.objective().terms()) {
+      negated.push_back({-coeff, v});
+    }
+    if (!addNormalizedGe(solver, negated, -(rawIncumbent - 1), varMap)) {
+      result.status = OptStatus::kOptimal;  // cannot improve further
+      return result;
+    }
+  }
+}
+
+}  // namespace ruleplace::solver

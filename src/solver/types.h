@@ -1,0 +1,75 @@
+#pragma once
+// Basic literal/value types for the CDCL pseudo-Boolean solver.
+
+#include <cstdint>
+#include <vector>
+
+namespace ruleplace::solver {
+
+using Var = std::int32_t;
+inline constexpr Var kUndefVar = -1;
+
+/// A literal: variable + sign. Encoded as 2*var (positive) or 2*var+1
+/// (negated), the classic MiniSat layout.
+class Lit {
+ public:
+  Lit() = default;
+  Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+  static Lit fromCode(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+  static Lit undef() { return fromCode(-2); }
+
+  Var var() const noexcept { return code_ >> 1; }
+  bool sign() const noexcept { return (code_ & 1) != 0; }  ///< true = negated
+  std::int32_t code() const noexcept { return code_; }
+  Lit operator~() const noexcept { return fromCode(code_ ^ 1); }
+
+  bool operator==(const Lit& o) const noexcept { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const noexcept { return code_ != o.code_; }
+  bool operator<(const Lit& o) const noexcept { return code_ < o.code_; }
+
+ private:
+  std::int32_t code_ = -2;
+};
+
+/// Three-valued assignment.
+enum class LBool : std::uint8_t { kTrue, kFalse, kUndef };
+
+inline LBool operator^(LBool b, bool flip) noexcept {
+  if (b == LBool::kUndef) return b;
+  if (!flip) return b;
+  return b == LBool::kTrue ? LBool::kFalse : LBool::kTrue;
+}
+
+/// Solver verdicts.
+enum class SolveStatus : std::uint8_t {
+  kSat,
+  kUnsat,
+  kUnknown,  ///< budget exhausted
+};
+
+/// Resource budget for one solve call.
+struct Budget {
+  std::int64_t maxConflicts = -1;  ///< -1 = unlimited
+  double maxSeconds = -1.0;        ///< -1 = unlimited
+
+  static Budget unlimited() { return {}; }
+  static Budget conflicts(std::int64_t n) { return {n, -1.0}; }
+  static Budget seconds(double s) { return {-1, s}; }
+};
+
+/// Aggregate search statistics (exposed for the benchmark harness).
+struct SolverStats {
+  std::int64_t conflicts = 0;
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learntLiterals = 0;
+  std::int64_t deletedClauses = 0;
+};
+
+}  // namespace ruleplace::solver

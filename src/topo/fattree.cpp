@@ -1,0 +1,110 @@
+#include "topo/fattree.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ruleplace::topo {
+
+FatTreeInfo buildFatTree(Graph& g, int k, int capacity) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("Fat-Tree arity k must be even and >= 2");
+  }
+  const int half = k / 2;
+  FatTreeInfo info;
+  info.k = k;
+
+  // Per-pod edge and aggregation switches.
+  std::vector<std::vector<SwitchId>> edge(static_cast<std::size_t>(k));
+  std::vector<std::vector<SwitchId>> agg(static_cast<std::size_t>(k));
+  for (int pod = 0; pod < k; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      edge[static_cast<std::size_t>(pod)].push_back(g.addSwitch(
+          capacity, SwitchRole::kEdge,
+          "edge-p" + std::to_string(pod) + "-" + std::to_string(i)));
+      ++info.edgeCount;
+    }
+    for (int i = 0; i < half; ++i) {
+      agg[static_cast<std::size_t>(pod)].push_back(g.addSwitch(
+          capacity, SwitchRole::kAggregation,
+          "agg-p" + std::to_string(pod) + "-" + std::to_string(i)));
+      ++info.aggCount;
+    }
+    // Complete bipartite edge<->agg inside the pod.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        g.addLink(edge[static_cast<std::size_t>(pod)][static_cast<std::size_t>(e)],
+                  agg[static_cast<std::size_t>(pod)][static_cast<std::size_t>(a)]);
+      }
+    }
+  }
+
+  // Core switches: (k/2)^2, organised in k/2 groups of k/2; core group j
+  // connects to aggregation switch j of every pod.
+  for (int grp = 0; grp < half; ++grp) {
+    for (int c = 0; c < half; ++c) {
+      SwitchId core = g.addSwitch(
+          capacity, SwitchRole::kCore,
+          "core-" + std::to_string(grp) + "-" + std::to_string(c));
+      ++info.coreCount;
+      for (int pod = 0; pod < k; ++pod) {
+        g.addLink(core, agg[static_cast<std::size_t>(pod)][static_cast<std::size_t>(grp)]);
+      }
+    }
+  }
+
+  // Host-facing entry ports: k/2 per edge switch -> k^3/4 total.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        g.addEntryPort(edge[static_cast<std::size_t>(pod)][static_cast<std::size_t>(e)],
+                       "host-p" + std::to_string(pod) + "-e" +
+                           std::to_string(e) + "-" + std::to_string(h));
+        ++info.hostPorts;
+      }
+    }
+  }
+  return info;
+}
+
+void buildLinear(Graph& g, int n, int capacity) {
+  if (n < 1) throw std::invalid_argument("linear topology needs >= 1 switch");
+  SwitchId first = -1;
+  SwitchId prev = -1;
+  for (int i = 0; i < n; ++i) {
+    SwitchId s = g.addSwitch(capacity);
+    if (i == 0) first = s;
+    if (prev >= 0) g.addLink(prev, s);
+    prev = s;
+  }
+  g.addEntryPort(first, "left");
+  g.addEntryPort(prev, "right");
+}
+
+void buildLeafSpine(Graph& g, int leaves, int spines, int hostsPerLeaf,
+                    int capacity) {
+  if (leaves < 1 || spines < 1 || hostsPerLeaf < 0) {
+    throw std::invalid_argument("invalid leaf-spine parameters");
+  }
+  std::vector<SwitchId> leafIds;
+  std::vector<SwitchId> spineIds;
+  for (int i = 0; i < leaves; ++i) {
+    leafIds.push_back(
+        g.addSwitch(capacity, SwitchRole::kEdge, "leaf" + std::to_string(i)));
+  }
+  for (int i = 0; i < spines; ++i) {
+    spineIds.push_back(g.addSwitch(capacity, SwitchRole::kCore,
+                                   "spine" + std::to_string(i)));
+  }
+  for (SwitchId l : leafIds) {
+    for (SwitchId s : spineIds) g.addLink(l, s);
+  }
+  for (int i = 0; i < leaves; ++i) {
+    for (int h = 0; h < hostsPerLeaf; ++h) {
+      g.addEntryPort(leafIds[static_cast<std::size_t>(i)],
+                     "host-l" + std::to_string(i) + "-" + std::to_string(h));
+    }
+  }
+}
+
+}  // namespace ruleplace::topo

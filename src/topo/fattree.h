@@ -1,0 +1,34 @@
+#pragma once
+// Fat-Tree topology builder (Al-Fares et al. [26]), the topology used by
+// every experiment in the paper's evaluation: 5k²/4 switches and k³/4 host
+// ports for a k-ary Fat-Tree.
+
+#include "topo/graph.h"
+
+namespace ruleplace::topo {
+
+struct FatTreeInfo {
+  int k = 0;
+  int edgeCount = 0;
+  int aggCount = 0;
+  int coreCount = 0;
+  int hostPorts = 0;  ///< network entry ports created (k^3/4)
+};
+
+/// Build a k-ary Fat-Tree: k pods of k/2 edge + k/2 aggregation switches,
+/// (k/2)^2 core switches; every edge switch exposes k/2 entry (host) ports.
+/// `capacity` is the uniform per-switch ACL capacity C.
+/// Requires k even, k >= 2.
+FatTreeInfo buildFatTree(Graph& g, int k, int capacity);
+
+/// Other topologies (library extensions used by examples and ablations).
+
+/// A line of `n` switches with one entry port at each end.
+void buildLinear(Graph& g, int n, int capacity);
+
+/// A two-level Clos/leaf-spine: `leaves` leaf switches (each with
+/// `hostsPerLeaf` entry ports) fully connected to `spines` spine switches.
+void buildLeafSpine(Graph& g, int leaves, int spines, int hostsPerLeaf,
+                    int capacity);
+
+}  // namespace ruleplace::topo

@@ -1,0 +1,57 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ruleplace::topo {
+
+SwitchId Graph::addSwitch(int capacity, SwitchRole role, std::string name) {
+  if (capacity < 0) throw std::invalid_argument("negative switch capacity");
+  SwitchId id = static_cast<SwitchId>(switches_.size());
+  if (name.empty()) name = "s" + std::to_string(id);
+  switches_.push_back({id, capacity, role, std::move(name)});
+  adjacency_.emplace_back();
+  return id;
+}
+
+void Graph::addLink(SwitchId a, SwitchId b) {
+  if (a == b) throw std::invalid_argument("self-loop link");
+  if (a < 0 || b < 0 || a >= switchCount() || b >= switchCount()) {
+    throw std::out_of_range("link endpoint out of range");
+  }
+  if (hasLink(a, b)) throw std::invalid_argument("duplicate link");
+  adjacency_[static_cast<std::size_t>(a)].push_back(b);
+  adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  ++linkCount_;
+}
+
+bool Graph::removeLink(SwitchId a, SwitchId b) {
+  if (!hasLink(a, b)) return false;
+  std::erase(adjacency_[static_cast<std::size_t>(a)], b);
+  std::erase(adjacency_[static_cast<std::size_t>(b)], a);
+  --linkCount_;
+  return true;
+}
+
+PortId Graph::addEntryPort(SwitchId attachedSwitch, std::string name) {
+  if (attachedSwitch < 0 || attachedSwitch >= switchCount()) {
+    throw std::out_of_range("entry port switch out of range");
+  }
+  PortId id = static_cast<PortId>(entryPorts_.size());
+  if (name.empty()) name = "l" + std::to_string(id);
+  entryPorts_.push_back({id, attachedSwitch, std::move(name)});
+  return id;
+}
+
+bool Graph::hasLink(SwitchId a, SwitchId b) const noexcept {
+  if (a < 0 || a >= switchCount()) return false;
+  const auto& adj = adjacency_[static_cast<std::size_t>(a)];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+void Graph::setUniformCapacity(int capacity) {
+  if (capacity < 0) throw std::invalid_argument("negative switch capacity");
+  for (auto& s : switches_) s.capacity = capacity;
+}
+
+}  // namespace ruleplace::topo

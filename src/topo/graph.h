@@ -1,0 +1,84 @@
+#pragma once
+// Network topology model (paper §III, Table I).
+//
+// The network N is a set of switches s_i, each with a TCAM capacity C_i,
+// connected by links.  Some switches additionally expose *network entry
+// ports* l_i (ingress/egress); the distributed firewall attaches one policy
+// per ingress port.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ruleplace::topo {
+
+using SwitchId = int;
+using PortId = int;
+
+/// Role annotation for Fat-Tree layers (useful for diagnostics and for
+/// placement heuristics that prefer edge switches).
+enum class SwitchRole : std::uint8_t { kGeneric, kEdge, kAggregation, kCore };
+
+struct Switch {
+  SwitchId id = -1;
+  int capacity = 0;  ///< C_i: TCAM entries available for ACL rules
+  SwitchRole role = SwitchRole::kGeneric;
+  std::string name;
+};
+
+/// A network entry (ingress/egress) port l_i, attached to one switch.
+struct EntryPort {
+  PortId id = -1;
+  SwitchId attachedSwitch = -1;
+  std::string name;
+};
+
+/// Undirected switch-level topology with entry ports.
+class Graph {
+ public:
+  /// Add a switch; returns its id (dense, starting at 0).
+  SwitchId addSwitch(int capacity, SwitchRole role = SwitchRole::kGeneric,
+                     std::string name = {});
+
+  /// Add an undirected link between two switches.  Parallel links and
+  /// self-loops are rejected.
+  void addLink(SwitchId a, SwitchId b);
+
+  /// Remove a link (e.g. to model a failure).  Returns false if absent.
+  bool removeLink(SwitchId a, SwitchId b);
+
+  /// Attach a network entry port to a switch; returns the port id.
+  PortId addEntryPort(SwitchId attachedSwitch, std::string name = {});
+
+  int switchCount() const noexcept { return static_cast<int>(switches_.size()); }
+  int linkCount() const noexcept { return linkCount_; }
+  int entryPortCount() const noexcept {
+    return static_cast<int>(entryPorts_.size());
+  }
+
+  const Switch& sw(SwitchId id) const { return switches_.at(static_cast<std::size_t>(id)); }
+  Switch& sw(SwitchId id) { return switches_.at(static_cast<std::size_t>(id)); }
+  const EntryPort& entryPort(PortId id) const {
+    return entryPorts_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<EntryPort>& entryPorts() const noexcept {
+    return entryPorts_;
+  }
+
+  const std::vector<SwitchId>& neighbors(SwitchId id) const {
+    return adjacency_.at(static_cast<std::size_t>(id));
+  }
+
+  bool hasLink(SwitchId a, SwitchId b) const noexcept;
+
+  /// Set every switch's ACL capacity to `capacity` (experiment knob).
+  void setUniformCapacity(int capacity);
+
+ private:
+  std::vector<Switch> switches_;
+  std::vector<std::vector<SwitchId>> adjacency_;
+  std::vector<EntryPort> entryPorts_;
+  int linkCount_ = 0;
+};
+
+}  // namespace ruleplace::topo

@@ -1,0 +1,264 @@
+#include "topo/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "match/tuple5.h"
+
+namespace ruleplace::topo {
+
+int Path::locOf(SwitchId s) const noexcept {
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    if (switches[i] == s) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<SwitchId> IngressPaths::reachableSwitches() const {
+  std::vector<SwitchId> out;
+  for (const auto& p : paths) {
+    out.insert(out.end(), p.switches.begin(), p.switches.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int IngressPaths::minLoc(SwitchId s) const noexcept {
+  int best = std::numeric_limits<int>::max();
+  for (const auto& p : paths) {
+    int l = p.locOf(s);
+    if (l >= 0 && l < best) best = l;
+  }
+  return best;
+}
+
+std::vector<int> ShortestPathRouter::distancesFrom(SwitchId source) const {
+  std::vector<int> dist(static_cast<std::size_t>(graph_->switchCount()), -1);
+  std::queue<SwitchId> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    SwitchId u = q.front();
+    q.pop();
+    for (SwitchId v : graph_->neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Path ShortestPathRouter::route(PortId ingress, PortId egress,
+                               util::Rng& rng) const {
+  SwitchId src = graph_->entryPort(ingress).attachedSwitch;
+  SwitchId dst = graph_->entryPort(egress).attachedSwitch;
+  // BFS from the destination, then walk downhill from the source choosing a
+  // uniformly random neighbor among those one hop closer — this samples a
+  // shortest path with randomized tie-breaking (ECMP-style).
+  std::vector<int> dist = distancesFrom(dst);
+  if (dist[static_cast<std::size_t>(src)] < 0) {
+    throw std::runtime_error("route: ingress and egress are disconnected");
+  }
+  Path path;
+  path.ingress = ingress;
+  path.egress = egress;
+  SwitchId cur = src;
+  path.switches.push_back(cur);
+  while (cur != dst) {
+    std::vector<SwitchId> candidates;
+    for (SwitchId v : graph_->neighbors(cur)) {
+      if (dist[static_cast<std::size_t>(v)] ==
+          dist[static_cast<std::size_t>(cur)] - 1) {
+        candidates.push_back(v);
+      }
+    }
+    cur = candidates[rng.below(candidates.size())];
+    path.switches.push_back(cur);
+  }
+  return path;
+}
+
+std::optional<std::vector<SwitchId>> ShortestPathRouter::bfsAvoiding(
+    SwitchId src, SwitchId dst, const std::vector<bool>& bannedNode,
+    const std::vector<std::pair<SwitchId, SwitchId>>& bannedEdges) const {
+  if (bannedNode[static_cast<std::size_t>(src)] ||
+      bannedNode[static_cast<std::size_t>(dst)]) {
+    return std::nullopt;
+  }
+  auto edgeBanned = [&](SwitchId a, SwitchId b) {
+    for (const auto& [x, y] : bannedEdges) {
+      if (x == a && y == b) return true;
+    }
+    return false;
+  };
+  std::vector<SwitchId> parent(
+      static_cast<std::size_t>(graph_->switchCount()), -2);
+  std::queue<SwitchId> q;
+  parent[static_cast<std::size_t>(src)] = -1;
+  q.push(src);
+  while (!q.empty()) {
+    SwitchId u = q.front();
+    q.pop();
+    if (u == dst) break;
+    for (SwitchId v : graph_->neighbors(u)) {
+      if (parent[static_cast<std::size_t>(v)] != -2) continue;
+      if (bannedNode[static_cast<std::size_t>(v)]) continue;
+      if (edgeBanned(u, v)) continue;
+      parent[static_cast<std::size_t>(v)] = u;
+      q.push(v);
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] == -2) return std::nullopt;
+  std::vector<SwitchId> path;
+  for (SwitchId cur = dst; cur != -1;
+       cur = parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Path> ShortestPathRouter::kShortest(PortId ingress, PortId egress,
+                                                int k) const {
+  SwitchId src = graph_->entryPort(ingress).attachedSwitch;
+  SwitchId dst = graph_->entryPort(egress).attachedSwitch;
+  std::vector<std::vector<SwitchId>> accepted;
+  // Candidate set, kept sorted by (length, lexicographic) for determinism.
+  std::vector<std::vector<SwitchId>> candidates;
+  std::vector<bool> noBan(static_cast<std::size_t>(graph_->switchCount()),
+                          false);
+
+  auto first = bfsAvoiding(src, dst, noBan, {});
+  if (!first) return {};
+  accepted.push_back(std::move(*first));
+
+  while (static_cast<int>(accepted.size()) < k) {
+    const std::vector<SwitchId>& last = accepted.back();
+    // Yen: branch at every spur node of the last accepted path.
+    for (std::size_t spur = 0; spur + 1 < last.size(); ++spur) {
+      std::vector<SwitchId> rootPath(last.begin(),
+                                     last.begin() + static_cast<std::ptrdiff_t>(spur) + 1);
+      // Ban the next edge of every accepted/candidate path sharing this
+      // root, and the root's interior nodes.
+      std::vector<std::pair<SwitchId, SwitchId>> bannedEdges;
+      for (const auto& p : accepted) {
+        if (p.size() > spur + 1 &&
+            std::equal(rootPath.begin(), rootPath.end(), p.begin())) {
+          bannedEdges.push_back({p[spur], p[spur + 1]});
+        }
+      }
+      std::vector<bool> bannedNode(
+          static_cast<std::size_t>(graph_->switchCount()), false);
+      for (std::size_t i = 0; i < spur; ++i) {
+        bannedNode[static_cast<std::size_t>(rootPath[i])] = true;
+      }
+      auto spurPath =
+          bfsAvoiding(last[spur], dst, bannedNode, bannedEdges);
+      if (!spurPath) continue;
+      std::vector<SwitchId> full = rootPath;
+      full.insert(full.end(), spurPath->begin() + 1, spurPath->end());
+      if (std::find(accepted.begin(), accepted.end(), full) !=
+              accepted.end() ||
+          std::find(candidates.begin(), candidates.end(), full) !=
+              candidates.end()) {
+        continue;
+      }
+      candidates.push_back(std::move(full));
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const auto& a, const auto& b) {
+          if (a.size() != b.size()) return a.size() < b.size();
+          return a < b;
+        });
+    accepted.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+
+  std::vector<Path> out;
+  out.reserve(accepted.size());
+  for (auto& switches : accepted) {
+    Path p;
+    p.ingress = ingress;
+    p.egress = egress;
+    p.switches = std::move(switches);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<IngressPaths> generatePaths(const Graph& g,
+                                        const std::vector<PortId>& ingressPorts,
+                                        int totalPaths, util::Rng& rng) {
+  if (ingressPorts.empty()) {
+    throw std::invalid_argument("generatePaths: no ingress ports");
+  }
+  ShortestPathRouter router(g);
+  std::vector<IngressPaths> out;
+  out.reserve(ingressPorts.size());
+  for (PortId p : ingressPorts) out.push_back({p, {}});
+
+  const int nPorts = g.entryPortCount();
+  for (int i = 0; i < totalPaths; ++i) {
+    auto& bucket = out[static_cast<std::size_t>(i) % out.size()];
+    // Random egress different from the ingress.
+    PortId egress;
+    do {
+      egress = static_cast<PortId>(rng.below(static_cast<std::uint64_t>(nPorts)));
+    } while (egress == bucket.ingress && nPorts > 1);
+    bucket.paths.push_back(router.route(bucket.ingress, egress, rng));
+  }
+  return out;
+}
+
+std::vector<IngressPaths> generateEcmpPaths(
+    const Graph& g, const std::vector<PortId>& ingressPorts,
+    int flowsPerIngress, int maxPathsPerFlow, util::Rng& rng) {
+  if (ingressPorts.empty()) {
+    throw std::invalid_argument("generateEcmpPaths: no ingress ports");
+  }
+  ShortestPathRouter router(g);
+  std::vector<IngressPaths> out;
+  const int nPorts = g.entryPortCount();
+  for (PortId in : ingressPorts) {
+    IngressPaths bucket{in, {}};
+    for (int f = 0; f < flowsPerIngress; ++f) {
+      PortId egress;
+      do {
+        egress = static_cast<PortId>(rng.below(static_cast<std::uint64_t>(nPorts)));
+      } while (egress == in && nPorts > 1);
+      std::vector<Path> group = router.kShortest(in, egress, maxPathsPerFlow);
+      if (group.empty()) continue;
+      // Keep only the equal-cost tier (kShortest is length-sorted).
+      int best = group.front().hops();
+      for (auto& p : group) {
+        if (p.hops() != best) break;
+        bucket.paths.push_back(std::move(p));
+      }
+    }
+    out.push_back(std::move(bucket));
+  }
+  return out;
+}
+
+void assignDstPrefixTraffic(std::vector<IngressPaths>& ingressPaths,
+                            std::uint32_t baseAddr, int prefixLen) {
+  for (auto& ip : ingressPaths) {
+    for (auto& path : ip.paths) {
+      // Each egress owns a distinct subnet: shift its id into the prefix
+      // bits so different egresses get disjoint dst prefixes.
+      std::uint32_t subnet =
+          static_cast<std::uint32_t>(path.egress) << (32 - prefixLen);
+      match::IpPrefix prefix{baseAddr | subnet, prefixLen};
+      path.traffic = match::dstPrefixCube(prefix);
+    }
+  }
+}
+
+}  // namespace ruleplace::topo

@@ -1,0 +1,104 @@
+#pragma once
+// Routing module (paper §III): the routing policy is produced by an
+// external module and handed to rule placement as a set of paths per
+// ingress.  We provide the "randomly generated shortest-path routing"
+// module used by the paper's experiments, with deterministic randomized
+// tie-breaking over equal-cost paths (which a Fat-Tree has in abundance).
+//
+// Each path optionally carries a *traffic descriptor* — a ternary cube
+// over-approximating the headers routed along it (e.g. "dst in
+// 10.0.1.0/24").  Path-sliced placement (§IV-C) uses it to drop rules that
+// the path's traffic can never match.
+
+#include <optional>
+#include <vector>
+
+#include "match/ternary.h"
+#include "topo/graph.h"
+#include "util/rng.h"
+
+namespace ruleplace::topo {
+
+/// One routing path p_{i,j}: an ordered switch sequence from the switch of
+/// ingress port `ingress` to the switch of egress port `egress`.
+struct Path {
+  PortId ingress = -1;
+  PortId egress = -1;
+  std::vector<SwitchId> switches;  ///< in traversal order, ingress first
+
+  /// Headers carried by this path (nullopt = could be anything).
+  std::optional<match::Ternary> traffic;
+
+  int hops() const noexcept { return static_cast<int>(switches.size()); }
+
+  /// Distance of `s` from the ingress (loc(s_k, P_i) in §IV-A4);
+  /// -1 if the switch is not on the path.
+  int locOf(SwitchId s) const noexcept;
+};
+
+/// All paths originating at one ingress port: P_i of Table I, plus the
+/// derived reachable-switch set S_i = ∪_j p_{i,j}.
+struct IngressPaths {
+  PortId ingress = -1;
+  std::vector<Path> paths;
+
+  /// S_i, sorted ascending, deduplicated.
+  std::vector<SwitchId> reachableSwitches() const;
+
+  /// min over paths of loc(s, path); used by the traffic-weighted
+  /// objective. Returns a large value if s is unreachable.
+  int minLoc(SwitchId s) const noexcept;
+};
+
+/// Shortest-path router with seeded random tie-breaking among equal-cost
+/// next hops.
+class ShortestPathRouter {
+ public:
+  explicit ShortestPathRouter(const Graph& g) : graph_(&g) {}
+
+  /// One shortest path between two entry ports (throws if disconnected).
+  Path route(PortId ingress, PortId egress, util::Rng& rng) const;
+
+  /// BFS hop distances from a switch.
+  std::vector<int> distancesFrom(SwitchId source) const;
+
+  /// Up to k loop-free shortest paths in increasing length order (Yen's
+  /// algorithm over the unweighted graph).  Fewer than k are returned
+  /// when the graph does not have that many distinct simple paths.
+  /// Deterministic (no randomized tie-breaking).
+  std::vector<Path> kShortest(PortId ingress, PortId egress, int k) const;
+
+ private:
+  /// Shortest simple path from `src` to `dst` avoiding the given nodes and
+  /// directed edges; nullopt when disconnected under the bans.
+  std::optional<std::vector<SwitchId>> bfsAvoiding(
+      SwitchId src, SwitchId dst, const std::vector<bool>& bannedNode,
+      const std::vector<std::pair<SwitchId, SwitchId>>& bannedEdges) const;
+
+  const Graph* graph_;
+};
+
+/// Experiment-style workload: spread `totalPaths` shortest paths over
+/// `ingressPorts` (round-robin over their list), choosing a distinct random
+/// egress per path.  Traffic descriptors are left unset (set them with
+/// `assignDstPrefixTraffic` when slicing is wanted).
+std::vector<IngressPaths> generatePaths(const Graph& g,
+                                        const std::vector<PortId>& ingressPorts,
+                                        int totalPaths, util::Rng& rng);
+
+/// Multipath (ECMP-style) workload: for each ingress, pick `flowsPerIngress`
+/// random egresses and install *all* equal-cost shortest paths (up to
+/// `maxPathsPerFlow`) for each flow.  Firewall rules must then hold on every
+/// member of each ECMP group — the placement pressure multipath routing
+/// creates.
+std::vector<IngressPaths> generateEcmpPaths(
+    const Graph& g, const std::vector<PortId>& ingressPorts,
+    int flowsPerIngress, int maxPathsPerFlow, util::Rng& rng);
+
+/// Give path j of every ingress a dst-prefix traffic descriptor derived
+/// from its egress port id: dst = base + egress, /`prefixLen`.  This models
+/// the routing library also specifying which flows use each route (§IV-C).
+void assignDstPrefixTraffic(std::vector<IngressPaths>& ingressPaths,
+                            std::uint32_t baseAddr, int prefixLen);
+
+}  // namespace ruleplace::topo

@@ -1,0 +1,138 @@
+// Tests for policy analysis (diff, drop fraction, shadowing) and cube-set
+// volume computation.
+
+#include <gtest/gtest.h>
+
+#include "acl/analysis.h"
+#include "acl/redundancy.h"
+#include "classbench/generator.h"
+#include "util/rng.h"
+
+namespace ruleplace::acl {
+namespace {
+
+using match::CubeSet;
+using match::Ternary;
+
+Ternary T(const char* s) { return Ternary::fromString(s); }
+
+TEST(Volume, BasicFractions) {
+  CubeSet s(4);
+  EXPECT_DOUBLE_EQ(static_cast<double>(s.volumeFraction()), 0.0);
+  s.add(T("1***"));
+  EXPECT_DOUBLE_EQ(static_cast<double>(s.volumeFraction()), 0.5);
+  s.add(T("01**"));
+  EXPECT_DOUBLE_EQ(static_cast<double>(s.volumeFraction()), 0.75);
+  s.add(T("****"));
+  EXPECT_DOUBLE_EQ(static_cast<double>(s.volumeFraction()), 1.0);
+}
+
+TEST(Volume, OverlapsNotDoubleCounted) {
+  CubeSet s(4);
+  s.add(T("1***"));
+  s.add(T("**11"));  // overlaps 1*11
+  // |1***| = 8/16, |**11 \ 1***| = |0*11| = 2/16 -> 10/16.
+  EXPECT_DOUBLE_EQ(static_cast<double>(s.volumeFraction()), 0.625);
+}
+
+TEST(PolicyDiff, EmptyForEquivalentPolicies) {
+  Policy a;
+  a.addRule(T("1*"), Action::kDrop);
+  Policy b;
+  b.addRule(T("10"), Action::kDrop);
+  b.addRule(T("11"), Action::kDrop);
+  EXPECT_TRUE(policyDiff(a, b).empty());
+}
+
+TEST(PolicyDiff, FindsBothDirections) {
+  Policy a;
+  a.addRule(T("1*"), Action::kDrop);  // drops 10, 11
+  Policy b;
+  b.addRule(T("*1"), Action::kDrop);  // drops 01, 11
+  CubeSet diff = policyDiff(a, b);
+  EXPECT_TRUE(diff.contains(T("10")));  // a drops, b permits
+  EXPECT_TRUE(diff.contains(T("01")));  // b drops, a permits
+  EXPECT_FALSE(diff.contains(T("11")));
+  EXPECT_FALSE(diff.contains(T("00")));
+  EXPECT_DOUBLE_EQ(static_cast<double>(diff.volumeFraction()), 0.5);
+}
+
+TEST(DropFraction, RespectsShielding) {
+  Policy q;
+  q.addRule(T("11*"), Action::kPermit);
+  q.addRule(T("1**"), Action::kDrop);  // effectively drops only 10*
+  EXPECT_DOUBLE_EQ(static_cast<double>(dropFraction(q)), 0.25);
+}
+
+TEST(RuleEffects, ReportsShadowedAndFractions) {
+  Policy q;
+  int top = q.addRule(T("1***"), Action::kPermit);
+  int partial = q.addRule(T("1*1*"), Action::kDrop);   // fully shadowed
+  int bottom = q.addRule(T("****"), Action::kDrop);    // decides 0***
+  auto effects = ruleEffects(q);
+  ASSERT_EQ(effects.size(), 3u);
+  EXPECT_EQ(effects[0].ruleId, top);
+  EXPECT_DOUBLE_EQ(static_cast<double>(effects[0].effectiveFraction), 0.5);
+  EXPECT_FALSE(effects[0].shadowed);
+  EXPECT_EQ(effects[1].ruleId, partial);
+  EXPECT_TRUE(effects[1].shadowed);
+  EXPECT_EQ(effects[2].ruleId, bottom);
+  EXPECT_DOUBLE_EQ(static_cast<double>(effects[2].effectiveFraction), 0.5);
+
+  auto shadowed = shadowedRules(q);
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(shadowed[0], partial);
+}
+
+TEST(RuleEffects, EffectiveFractionsSumToCoverage) {
+  // The effective fractions of all rules partition the matched space.
+  Policy q;
+  q.addRule(T("11**"), Action::kPermit);
+  q.addRule(T("1***"), Action::kDrop);
+  q.addRule(T("**00"), Action::kDrop);
+  auto effects = ruleEffects(q);
+  long double sum = 0;
+  for (const auto& e : effects) sum += e.effectiveFraction;
+  // Matched space = union of all fields.
+  CubeSet all(4);
+  for (const auto& r : q.rules()) all.add(r.matchField);
+  EXPECT_NEAR(static_cast<double>(sum),
+              static_cast<double>(all.volumeFraction()), 1e-12);
+}
+
+// Properties on generated policies.
+class AnalysisProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisProperty, ShadowedRulesAreExactlyTheMaskedRedundancies) {
+  classbench::GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 16;
+  cfg.nestProbability = 0.8;
+  classbench::PolicyGenerator gen(cfg, GetParam());
+  Policy q = gen.generate();
+  for (int id : shadowedRules(q)) {
+    EXPECT_TRUE(isRedundant(q, id));
+  }
+  // Diff with self is empty; drop fraction is in [0, 1].
+  EXPECT_TRUE(policyDiff(q, q).empty());
+  long double f = dropFraction(q);
+  EXPECT_GE(f, 0.0L);
+  EXPECT_LE(f, 1.0L);
+}
+
+TEST_P(AnalysisProperty, RedundancyRemovalPreservesDropFraction) {
+  classbench::GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 14;
+  cfg.nestProbability = 0.8;
+  classbench::PolicyGenerator gen(cfg, GetParam() * 7);
+  Policy q = gen.generate();
+  long double before = dropFraction(q);
+  removeRedundant(q);
+  EXPECT_NEAR(static_cast<double>(dropFraction(q)),
+              static_cast<double>(before), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace ruleplace::acl

@@ -1,0 +1,136 @@
+// Tests for the ClassBench-style policy generator: determinism, structural
+// knobs, and the properties placement relies on.
+
+#include <gtest/gtest.h>
+
+#include "classbench/generator.h"
+#include "depgraph/depgraph.h"
+
+namespace ruleplace::classbench {
+namespace {
+
+TEST(Generator, ProducesRequestedRuleCount) {
+  GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 37;
+  PolicyGenerator gen(cfg, 1);
+  acl::Policy q = gen.generate();
+  EXPECT_EQ(q.size(), 37u);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 25;
+  PolicyGenerator a(cfg, 99);
+  PolicyGenerator b(cfg, 99);
+  acl::Policy qa = a.generate();
+  acl::Policy qb = b.generate();
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa.rules()[i].matchField, qb.rules()[i].matchField);
+    EXPECT_EQ(qa.rules()[i].action, qb.rules()[i].action);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig cfg;
+  PolicyGenerator a(cfg, 1);
+  PolicyGenerator b(cfg, 2);
+  acl::Policy qa = a.generate();
+  acl::Policy qb = b.generate();
+  bool anyDifferent = false;
+  for (std::size_t i = 0; i < qa.size(); ++i) {
+    if (!(qa.rules()[i].matchField == qb.rules()[i].matchField)) {
+      anyDifferent = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Generator, AlwaysContainsADropRule) {
+  GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 5;
+  cfg.dropFraction = 0.0;  // adversarial: generator must still force one
+  PolicyGenerator gen(cfg, 3);
+  for (int i = 0; i < 10; ++i) {
+    acl::Policy q = gen.generate();
+    int drops = 0;
+    for (const auto& r : q.rules()) {
+      drops += (r.action == acl::Action::kDrop) ? 1 : 0;
+    }
+    EXPECT_GE(drops, 1);
+  }
+}
+
+TEST(Generator, DropFractionRoughlyHonored) {
+  GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 400;
+  cfg.dropFraction = 0.5;
+  PolicyGenerator gen(cfg, 11);
+  acl::Policy q = gen.generate();
+  int drops = 0;
+  for (const auto& r : q.rules()) {
+    drops += (r.action == acl::Action::kDrop) ? 1 : 0;
+  }
+  EXPECT_GT(drops, 120);
+  EXPECT_LT(drops, 280);
+}
+
+TEST(Generator, NestingCreatesDependencies) {
+  GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 60;
+  cfg.nestProbability = 0.7;
+  PolicyGenerator gen(cfg, 5);
+  acl::Policy q = gen.generate();
+  depgraph::DependencyGraph dg(q);
+  EXPECT_GT(dg.edgeCount(), 0u)
+      << "nested generation must produce permit->drop shields";
+}
+
+TEST(Generator, PrioritiesStrictlyDescending) {
+  GeneratorConfig cfg;
+  PolicyGenerator gen(cfg, 8);
+  acl::Policy q = gen.generate();
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    EXPECT_GT(q.rules()[i - 1].priority, q.rules()[i].priority);
+  }
+}
+
+TEST(GlobalBlacklist, SharedRulesAreIdenticalDropRules) {
+  GeneratorConfig cfg;
+  PolicyGenerator gen(cfg, 21);
+  auto blacklist = gen.globalBlacklist(6);
+  ASSERT_EQ(blacklist.size(), 6u);
+  for (const auto& r : blacklist) {
+    EXPECT_EQ(r.action, acl::Action::kDrop);
+  }
+  // Appended to two policies, the rules match exactly (mergeable).
+  acl::Policy q1 = gen.generate();
+  acl::Policy q2 = gen.generate();
+  PolicyGenerator::appendShared(q1, blacklist);
+  PolicyGenerator::appendShared(q2, blacklist);
+  const auto& r1 = q1.rules();
+  const auto& r2 = q2.rules();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(r1[r1.size() - 6 + i].matchField,
+              r2[r2.size() - 6 + i].matchField);
+  }
+}
+
+TEST(GlobalBlacklist, AppendSharedKeepsPolicySemanticsAboveIt) {
+  GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 10;
+  PolicyGenerator gen(cfg, 31);
+  acl::Policy q = gen.generate();
+  std::size_t before = q.size();
+  auto blacklist = gen.globalBlacklist(3);
+  PolicyGenerator::appendShared(q, blacklist);
+  EXPECT_EQ(q.size(), before + 3);
+  // Shared rules are at the bottom of the priority order.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.rules()[before + i].action, acl::Action::kDrop);
+  }
+}
+
+}  // namespace
+}  // namespace ruleplace::classbench

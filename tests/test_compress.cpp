@@ -1,0 +1,170 @@
+// Tests for post-placement TCAM table compression.
+
+#include <gtest/gtest.h>
+
+#include "core/compress.h"
+#include "core/instance.h"
+#include "core/placer.h"
+#include "core/verify.h"
+#include "sim/dataplane.h"
+
+namespace ruleplace::core {
+namespace {
+
+using acl::Action;
+using match::Ternary;
+
+Ternary T(const char* s) { return Ternary::fromString(s); }
+
+// Hand-build a placement on a one-switch network.
+struct OneSwitch {
+  topo::Graph graph;
+  topo::SwitchId s0;
+  core::PlacementProblem problem;
+
+  explicit OneSwitch(acl::Policy q, int capacity = 10) {
+    s0 = graph.addSwitch(capacity);
+    topo::SwitchId s1 = graph.addSwitch(capacity);
+    graph.addLink(s0, s1);
+    topo::PortId in = graph.addEntryPort(s0);
+    topo::PortId out = graph.addEntryPort(s1);
+    problem.graph = &graph;
+    problem.routing = {{in, {{in, out, {s0, s1}, std::nullopt}}}};
+    problem.policies = {std::move(q)};
+  }
+};
+
+TEST(Compress, RemovesShadowedDuplicate) {
+  acl::Policy q;
+  int d1 = q.addRule(T("10**"), Action::kDrop);
+  int d2 = q.addRule(T("100*"), Action::kDrop);  // subsumed by d1
+  OneSwitch net(q);
+  Placement pl =
+      buildPlacement(net.problem, {{0, d1, net.s0}, {0, d2, net.s0}});
+  CompressionStats stats = compressTables(pl);
+  EXPECT_EQ(stats.redundantRemoved, 1);
+  EXPECT_EQ(pl.usedCapacity(net.s0), 1);
+  auto v = verifyPlacement(net.problem, pl);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+TEST(Compress, RemovesInertPermit) {
+  // A permit that shields nothing (below the drop / disjoint) is a no-op.
+  acl::Policy q;
+  int d = q.addRule(T("10**"), Action::kDrop);
+  int p = q.addRule(T("01**"), Action::kPermit);
+  OneSwitch net(q);
+  Placement pl =
+      buildPlacement(net.problem, {{0, d, net.s0}, {0, p, net.s0}});
+  CompressionStats stats = compressTables(pl);
+  EXPECT_EQ(stats.redundantRemoved, 1);
+  EXPECT_EQ(pl.usedCapacity(net.s0), 1);
+  EXPECT_EQ(pl.table(net.s0)[0].action, Action::kDrop);
+}
+
+TEST(Compress, KeepsShieldingPermit) {
+  acl::Policy q;
+  int p = q.addRule(T("101*"), Action::kPermit);
+  int d = q.addRule(T("10**"), Action::kDrop);
+  OneSwitch net(q);
+  Placement pl =
+      buildPlacement(net.problem, {{0, p, net.s0}, {0, d, net.s0}});
+  CompressionStats stats = compressTables(pl);
+  EXPECT_EQ(stats.totalSaved(), 0);
+  EXPECT_EQ(pl.usedCapacity(net.s0), 2);
+}
+
+TEST(Compress, FusesAdjacentCubes) {
+  // 100* and 101* fuse into 10**; the placer could never do this (it does
+  // not construct new rules), which is exactly why the post-pass exists.
+  acl::Policy q;
+  int d1 = q.addRule(T("100*"), Action::kDrop);
+  int d2 = q.addRule(T("101*"), Action::kDrop);
+  OneSwitch net(q);
+  Placement pl =
+      buildPlacement(net.problem, {{0, d1, net.s0}, {0, d2, net.s0}});
+  CompressionStats stats = compressTables(pl);
+  EXPECT_EQ(stats.pairsFused, 1);
+  EXPECT_EQ(pl.usedCapacity(net.s0), 1);
+  EXPECT_EQ(pl.table(net.s0)[0].matchField.toString(), "10**");
+  auto v = verifyPlacement(net.problem, pl);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+TEST(Compress, DoesNotFuseAcrossTags) {
+  // Same fields but different tags: fusing would leak rules across
+  // policies.
+  topo::Graph g;
+  topo::SwitchId s = g.addSwitch(10);
+  topo::SwitchId s2 = g.addSwitch(10);
+  g.addLink(s, s2);
+  topo::PortId inA = g.addEntryPort(s);
+  topo::PortId inB = g.addEntryPort(s);
+  topo::PortId out = g.addEntryPort(s2);
+  acl::Policy qa;
+  int ra = qa.addRule(T("100*"), Action::kDrop);
+  acl::Policy qb;
+  int rb = qb.addRule(T("101*"), Action::kDrop);
+  PlacementProblem p;
+  p.graph = &g;
+  p.routing = {{inA, {{inA, out, {s, s2}, std::nullopt}}},
+               {inB, {{inB, out, {s, s2}, std::nullopt}}}};
+  p.policies = {qa, qb};
+  Placement pl = buildPlacement(p, {{0, ra, s}, {1, rb, s}});
+  CompressionStats stats = compressTables(pl);
+  EXPECT_EQ(stats.totalSaved(), 0);
+  EXPECT_EQ(pl.usedCapacity(s), 2);
+}
+
+TEST(Compress, ChainFusionCollapsesQuadrant) {
+  // Four disjoint cubes covering 1***: fuse pairwise down to one entry.
+  acl::Policy q;
+  std::vector<int> ids;
+  for (const char* f : {"100*", "101*", "110*", "111*"}) {
+    ids.push_back(q.addRule(T(f), Action::kDrop));
+  }
+  OneSwitch net(q);
+  std::vector<PlacedRule> placed;
+  for (int id : ids) placed.push_back({0, id, net.s0});
+  Placement pl = buildPlacement(net.problem, placed);
+  CompressionStats stats = compressTables(pl);
+  EXPECT_EQ(pl.usedCapacity(net.s0), 1);
+  EXPECT_EQ(pl.table(net.s0)[0].matchField.toString(), "1***");
+  EXPECT_EQ(stats.pairsFused, 3);
+  auto v = verifyPlacement(net.problem, pl);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+// Property: compression never changes semantics on solver-produced
+// deployments (checked both symbolically and by packet fuzz).
+class CompressionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompressionProperty, PreservesSemanticsOnRealPlacements) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.capacity = 30;
+  cfg.ingressCount = 4;
+  cfg.totalPaths = 10;
+  cfg.rulesPerPolicy = 12;
+  cfg.gen.nestProbability = 0.8;  // heavy overlap: compression fodder
+  cfg.seed = GetParam();
+  Instance inst(cfg);
+  PlaceOptions opts;
+  opts.budget = solver::Budget::seconds(20);
+  PlaceOutcome out = place(inst.problem(), opts);
+  ASSERT_TRUE(out.hasSolution());
+  std::int64_t before = out.placement.totalInstalledRules();
+  CompressionStats stats = compressTables(out.placement);
+  EXPECT_EQ(out.placement.totalInstalledRules(), before - stats.totalSaved());
+  auto v = verifyPlacement(out.solvedProblem, out.placement);
+  EXPECT_TRUE(v.ok) << v.summary();
+  sim::Dataplane dp(out.solvedProblem, out.placement);
+  util::Rng rng(GetParam() * 17);
+  EXPECT_EQ(dp.fuzzAll(100, rng).mismatches, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ruleplace::core

@@ -1,0 +1,244 @@
+// Tests for dependency-graph construction and cross-policy merging,
+// including the paper's Fig. 5 circular-dependency scenario.
+
+#include <gtest/gtest.h>
+
+#include "acl/redundancy.h"
+#include "classbench/generator.h"
+#include "depgraph/depgraph.h"
+#include "depgraph/merging.h"
+#include "match/tuple5.h"
+#include "util/rng.h"
+
+namespace ruleplace::depgraph {
+namespace {
+
+using acl::Action;
+using acl::Policy;
+using match::Ternary;
+
+Ternary T(const char* s) { return Ternary::fromString(s); }
+
+TEST(DependencyGraph, PermitShieldsOverlappingLowerDrop) {
+  Policy q;
+  int permit = q.addRule(T("1*"), Action::kPermit);
+  int drop = q.addRule(T("**"), Action::kDrop);
+  DependencyGraph dg(q);
+  ASSERT_EQ(dg.dropRules().size(), 1u);
+  EXPECT_EQ(dg.dropRules()[0], drop);
+  ASSERT_EQ(dg.shieldsOf(drop).size(), 1u);
+  EXPECT_EQ(dg.shieldsOf(drop)[0], permit);
+  EXPECT_EQ(dg.edgeCount(), 1u);
+}
+
+TEST(DependencyGraph, DisjointRulesDoNotConstrain) {
+  Policy q;
+  q.addRule(T("00"), Action::kPermit);
+  int drop = q.addRule(T("11"), Action::kDrop);
+  DependencyGraph dg(q);
+  EXPECT_TRUE(dg.shieldsOf(drop).empty());
+}
+
+TEST(DependencyGraph, DropDropPairsDoNotConstrain) {
+  Policy q;
+  q.addRule(T("1*"), Action::kDrop);
+  int lower = q.addRule(T("**"), Action::kDrop);
+  DependencyGraph dg(q);
+  EXPECT_TRUE(dg.shieldsOf(lower).empty());
+  EXPECT_EQ(dg.dropRules().size(), 2u);
+}
+
+TEST(DependencyGraph, LowerPermitDoesNotShield) {
+  Policy q;
+  int drop = q.addRule(T("**"), Action::kDrop);
+  q.addRule(T("1*"), Action::kPermit);  // lower priority than the drop
+  DependencyGraph dg(q);
+  EXPECT_TRUE(dg.shieldsOf(drop).empty());
+}
+
+TEST(DependencyGraph, MultipleShieldsCollected) {
+  Policy q;
+  int p1 = q.addRule(T("11*"), Action::kPermit);
+  int p2 = q.addRule(T("*11"), Action::kPermit);
+  int drop = q.addRule(T("***"), Action::kDrop);
+  DependencyGraph dg(q);
+  EXPECT_EQ(dg.shieldsOf(drop), (std::vector<int>{p1, p2}));
+  auto edges = dg.edges();
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(OrderSensitive, OppositeActionsAndOverlapOnly) {
+  acl::Rule permit{T("1*"), Action::kPermit, 2, 0, false};
+  acl::Rule drop{T("11"), Action::kDrop, 1, 1, false};
+  acl::Rule dropFar{T("00"), Action::kDrop, 0, 2, false};
+  EXPECT_TRUE(orderSensitive(permit, drop));
+  EXPECT_FALSE(orderSensitive(permit, dropFar));
+  EXPECT_FALSE(orderSensitive(drop, dropFar));
+}
+
+TEST(Merging, IdenticalRulesAcrossPoliciesFormGroups) {
+  std::vector<Policy> policies(3);
+  Ternary blacklist = T("1010");
+  for (auto& q : policies) {
+    q.addRule(T("01*0"), Action::kPermit);  // distinct context rule is fine
+    q.addRule(blacklist, Action::kDrop);
+  }
+  MergeAnalysis ma = analyzeMergeable(policies);
+  ASSERT_EQ(ma.groups.size(), 2u);  // the permit is identical everywhere too
+  for (const auto& g : ma.groups) {
+    EXPECT_EQ(g.members.size(), 3u);
+  }
+  EXPECT_EQ(ma.cyclesBroken, 0);
+}
+
+TEST(Merging, NonIdenticalRulesDoNotMerge) {
+  std::vector<Policy> policies(2);
+  policies[0].addRule(T("10"), Action::kDrop);
+  policies[1].addRule(T("10"), Action::kPermit);  // same match, other action
+  MergeAnalysis ma = analyzeMergeable(policies);
+  EXPECT_TRUE(ma.groups.empty());
+}
+
+TEST(Merging, SinglePolicyNeverMerges) {
+  std::vector<Policy> policies(1);
+  policies[0].addRule(T("10"), Action::kDrop);
+  policies[0].addRule(T("01"), Action::kDrop);
+  MergeAnalysis ma = analyzeMergeable(policies);
+  EXPECT_TRUE(ma.groups.empty());
+}
+
+// The paper's Fig. 5: permit r1 = src 10.0.0.0/16, dst 11.0.0.0/8;
+// drop r2 = src 10.0.0.0/8, dst 11.0.0.0/16.  Policies A and B order r1
+// above r2; policy C reverses them -> circular dependency, broken by a
+// dummy copy of r2 in C.
+TEST(Merging, Figure5CircularDependencyIsBroken) {
+  match::Tuple5 r1;
+  r1.src = {0x0a000000u, 16};
+  r1.dst = {0x0b000000u, 8};
+  match::Tuple5 r2;
+  r2.src = {0x0a000000u, 8};
+  r2.dst = {0x0b000000u, 16};
+  Ternary m1 = r1.toTernary();
+  Ternary m2 = r2.toTernary();
+  ASSERT_TRUE(m1.overlaps(m2));
+
+  std::vector<Policy> policies(3);
+  policies[0].addRule(m1, Action::kPermit);
+  policies[0].addRule(m2, Action::kDrop);
+  policies[1].addRule(m1, Action::kPermit);
+  policies[1].addRule(m2, Action::kDrop);
+  policies[2].addRule(m2, Action::kDrop);    // C: r2 first
+  policies[2].addRule(m1, Action::kPermit);  // then r1
+
+  MergeAnalysis ma = analyzeMergeable(policies);
+  EXPECT_GE(ma.cyclesBroken, 1);
+  ASSERT_EQ(ma.dummies.size(), 1u);
+  EXPECT_EQ(ma.dummies[0].policyId, 2);
+  // The dummy sits at the bottom of policy C and is semantically dead.
+  const Policy& c = policies[2];
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.rules().back().dummy);
+  Policy before;
+  before.addRule(m2, Action::kDrop);
+  before.addRule(m1, Action::kPermit);
+  EXPECT_TRUE(c.semanticallyEquals(before));
+
+  // Both groups still merge across all three policies (C contributes the
+  // dummy for r2), and the final order graph is acyclic.
+  ASSERT_EQ(ma.groups.size(), 2u);
+  for (const auto& g : ma.groups) {
+    EXPECT_EQ(g.members.size(), 3u);
+  }
+  EXPECT_EQ(ma.groupOrder.size(), 2u);
+  // The permit group must come first in the shared order.
+  const MergeGroup& first =
+      ma.groups[static_cast<std::size_t>(ma.groupOrder[0])];
+  EXPECT_EQ(first.action, Action::kPermit);
+}
+
+TEST(Merging, TwoPolicyDisagreementAlsoBreaks) {
+  // Minimal cycle: two policies, two interacting rules, opposite orders.
+  Ternary m1 = T("1***");
+  Ternary m2 = T("11**");
+  std::vector<Policy> policies(2);
+  policies[0].addRule(m1, Action::kPermit);
+  policies[0].addRule(m2, Action::kDrop);
+  policies[1].addRule(m2, Action::kDrop);
+  policies[1].addRule(m1, Action::kPermit);
+  MergeAnalysis ma = analyzeMergeable(policies);
+  EXPECT_GE(ma.cyclesBroken, 1);
+  // Semantics preserved in both policies.
+  for (const auto& q : policies) {
+    for (const auto& r : q.rules()) {
+      if (r.dummy) {
+        EXPECT_TRUE(acl::isRedundant(q, r.id));
+      }
+    }
+  }
+  // Order graph acyclic on the surviving groups.
+  EXPECT_EQ(ma.groupOrder.size(), ma.groups.size());
+}
+
+TEST(Merging, GroupOrderRespectsEveryPolicy) {
+  // Three mergeable rules with consistent relative order everywhere.
+  Ternary a = T("1***");   // permit
+  Ternary b = T("11**");   // drop (interacts with a)
+  Ternary c = T("111*");   // permit (interacts with b)
+  std::vector<Policy> policies(2);
+  for (auto& q : policies) {
+    q.addRule(a, Action::kPermit);
+    q.addRule(b, Action::kDrop);
+    q.addRule(c, Action::kPermit);
+  }
+  MergeAnalysis ma = analyzeMergeable(policies);
+  ASSERT_EQ(ma.groups.size(), 3u);
+  EXPECT_EQ(ma.cyclesBroken, 0);
+  // In groupOrder, group(a) precedes group(b) precedes group(c).
+  auto posOf = [&](const Ternary& field) {
+    for (std::size_t i = 0; i < ma.groupOrder.size(); ++i) {
+      if (ma.groups[static_cast<std::size_t>(ma.groupOrder[i])].matchField ==
+          field) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  EXPECT_LT(posOf(a), posOf(b));
+  EXPECT_LT(posOf(b), posOf(c));
+}
+
+// Property: on generated multi-tenant policies with a shared blacklist,
+// merging always terminates, groups have >= 2 members, and any inserted
+// dummies are redundant (semantics preserved).
+class MergingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergingProperty, TerminatesAndPreservesSemantics) {
+  util::Rng rng(GetParam());
+  classbench::GeneratorConfig cfg;
+  cfg.rulesPerPolicy = 12;
+  classbench::PolicyGenerator gen(cfg, rng.next());
+  auto blacklist = gen.globalBlacklist(4);
+  std::vector<Policy> policies;
+  std::vector<Policy> originals;
+  for (int i = 0; i < 4; ++i) {
+    Policy q = gen.generate();
+    classbench::PolicyGenerator::appendShared(q, blacklist);
+    policies.push_back(q);
+    originals.push_back(q);
+  }
+  MergeAnalysis ma = analyzeMergeable(policies);
+  EXPECT_GE(ma.groups.size(), 4u);  // at least the blacklist rules merge
+  for (const auto& g : ma.groups) {
+    EXPECT_GE(g.members.size(), 2u);
+  }
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    EXPECT_TRUE(policies[i].semanticallyEquals(originals[i]));
+  }
+  EXPECT_EQ(ma.groupOrder.size(), ma.groups.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergingProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ruleplace::depgraph

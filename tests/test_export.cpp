@@ -1,0 +1,193 @@
+// Tests for the SMT-LIB 2 / CPLEX LP model exporters and the k-shortest
+// path routing extension.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/encoder.h"
+#include "io/export_model.h"
+#include "topo/fattree.h"
+#include "topo/routing.h"
+
+namespace ruleplace::io {
+namespace {
+
+solver::Model smallModel() {
+  solver::Model m;
+  solver::ModelVar a = m.addBinary("a");
+  solver::ModelVar b = m.addBinary("b");
+  solver::ModelVar c = m.addBinary("c");
+  solver::LinearExpr cover;
+  cover.add(1, a).add(1, b);
+  m.addConstraint(cover, solver::Cmp::kGe, 1, "cover");
+  solver::LinearExpr cap;
+  cap.add(1, a).add(2, b).add(-1, c);
+  m.addConstraint(cap, solver::Cmp::kLe, 2, "cap:with-colon");
+  solver::LinearExpr eq;
+  eq.add(1, c);
+  m.addConstraint(eq, solver::Cmp::kEq, 1);
+  solver::LinearExpr obj;
+  obj.add(1, a).add(1, b).add(-2, c);
+  m.setObjective(obj);
+  return m;
+}
+
+TEST(SmtExport, ContainsDeclarationsAndAssertions) {
+  std::string smt = toSmtLib2(smallModel());
+  EXPECT_NE(smt.find("(set-logic QF_LIA)"), std::string::npos);
+  EXPECT_NE(smt.find("(declare-const a Int)"), std::string::npos);
+  EXPECT_NE(smt.find("(assert (<= a 1))"), std::string::npos);
+  EXPECT_NE(smt.find("(assert (>= (+ a b 0) 1))"), std::string::npos);
+  EXPECT_NE(smt.find("(minimize"), std::string::npos);
+  EXPECT_NE(smt.find("(check-sat)"), std::string::npos);
+  // Negative coefficients render as (* (- 2) c), never bare "-2".
+  EXPECT_NE(smt.find("(* (- 2) c)"), std::string::npos);
+  // Balanced parentheses.
+  int depth = 0;
+  for (char ch : smt) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(SmtExport, NoObjectiveMeansNoMinimize) {
+  solver::Model m;
+  m.addBinary("x");
+  EXPECT_EQ(toSmtLib2(m).find("(minimize"), std::string::npos);
+}
+
+TEST(LpExport, SectionsAndSanitizedNames) {
+  std::string lp = toCplexLp(smallModel());
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+  EXPECT_NE(lp.find(" cover: a + b >= 1"), std::string::npos);
+  // ':' in the user name is sanitized to '_'.
+  EXPECT_NE(lp.find("cap_with_colon:"), std::string::npos);
+  EXPECT_EQ(lp.find("cap:with-colon:"), std::string::npos);
+  EXPECT_NE(lp.find("- 2 c"), std::string::npos);  // objective: a + b - 2 c
+}
+
+TEST(LpExport, EncoderModelExports) {
+  // A real encoder model exports without blowing up and carries the
+  // capacity constraint names.
+  topo::Graph g;
+  topo::buildLinear(g, 3, 4);
+  topo::ShortestPathRouter router(g);
+  util::Rng rng(1);
+  topo::Path path = router.route(0, 1, rng);
+  acl::Policy q;
+  q.addRule(match::Ternary::fromString("1*"), acl::Action::kPermit);
+  q.addRule(match::Ternary::fromString("**"), acl::Action::kDrop);
+  core::PlacementProblem p;
+  p.graph = &g;
+  p.routing = {{0, {path}}};
+  p.policies = {q};
+  core::Encoder enc(p, {});
+  std::string lp = toCplexLp(enc.model());
+  EXPECT_NE(lp.find("cap_s0"), std::string::npos);
+  std::string smt = toSmtLib2(enc.model());
+  EXPECT_NE(smt.find("v_0_1_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ruleplace::io
+
+namespace ruleplace::topo {
+namespace {
+
+TEST(KShortest, DiamondHasTwoShortest) {
+  Graph g;
+  SwitchId a = g.addSwitch(1);
+  SwitchId b = g.addSwitch(1);
+  SwitchId c = g.addSwitch(1);
+  SwitchId d = g.addSwitch(1);
+  g.addLink(a, b);
+  g.addLink(a, c);
+  g.addLink(b, d);
+  g.addLink(c, d);
+  PortId in = g.addEntryPort(a);
+  PortId out = g.addEntryPort(d);
+  ShortestPathRouter router(g);
+  auto paths = router.kShortest(in, out, 5);
+  // Exactly two simple paths exist: a-b-d and a-c-d.
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].hops(), 3);
+  EXPECT_EQ(paths[1].hops(), 3);
+  EXPECT_NE(paths[0].switches, paths[1].switches);
+}
+
+TEST(KShortest, LengthsAreNonDecreasingAndPathsSimple) {
+  Graph g;
+  buildFatTree(g, 4, 10);
+  ShortestPathRouter router(g);
+  auto paths = router.kShortest(0, g.entryPortCount() - 1, 8);
+  ASSERT_GE(paths.size(), 4u);  // k=4 fat-tree: 4 equal-cost cross-pod paths
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].hops(), paths[i - 1].hops());
+  }
+  std::set<std::vector<SwitchId>> distinct;
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.switches.front(), g.entryPort(0).attachedSwitch);
+    EXPECT_EQ(p.switches.back(),
+              g.entryPort(g.entryPortCount() - 1).attachedSwitch);
+    std::set<SwitchId> nodes(p.switches.begin(), p.switches.end());
+    EXPECT_EQ(nodes.size(), p.switches.size()) << "path not simple";
+    distinct.insert(p.switches);
+    for (std::size_t h = 0; h + 1 < p.switches.size(); ++h) {
+      EXPECT_TRUE(g.hasLink(p.switches[h], p.switches[h + 1]));
+    }
+  }
+  EXPECT_EQ(distinct.size(), paths.size());
+  // The 4 shortest are the 5-hop ECMP paths.
+  EXPECT_EQ(paths[0].hops(), 5);
+  EXPECT_EQ(paths[3].hops(), 5);
+}
+
+TEST(KShortest, DisconnectedReturnsEmpty) {
+  Graph g;
+  SwitchId a = g.addSwitch(1);
+  SwitchId b = g.addSwitch(1);
+  PortId in = g.addEntryPort(a);
+  PortId out = g.addEntryPort(b);
+  ShortestPathRouter router(g);
+  EXPECT_TRUE(router.kShortest(in, out, 3).empty());
+}
+
+TEST(Graph, RemoveLinkModelsFailure) {
+  Graph g;
+  SwitchId a = g.addSwitch(1);
+  SwitchId b = g.addSwitch(1);
+  g.addLink(a, b);
+  EXPECT_TRUE(g.removeLink(a, b));
+  EXPECT_FALSE(g.hasLink(a, b));
+  EXPECT_FALSE(g.removeLink(a, b));
+  EXPECT_EQ(g.linkCount(), 0);
+}
+
+TEST(Graph, RerouteAroundFailedLink) {
+  // Diamond; kill one arm; routing still works via the other.
+  Graph g;
+  SwitchId a = g.addSwitch(1);
+  SwitchId b = g.addSwitch(1);
+  SwitchId c = g.addSwitch(1);
+  SwitchId d = g.addSwitch(1);
+  g.addLink(a, b);
+  g.addLink(a, c);
+  g.addLink(b, d);
+  g.addLink(c, d);
+  PortId in = g.addEntryPort(a);
+  PortId out = g.addEntryPort(d);
+  g.removeLink(a, b);
+  ShortestPathRouter router(g);
+  util::Rng rng(1);
+  Path p = router.route(in, out, rng);
+  EXPECT_EQ(p.switches, (std::vector<SwitchId>{a, c, d}));
+}
+
+}  // namespace
+}  // namespace ruleplace::topo

@@ -1,0 +1,136 @@
+// Tests for the experiment-instance builder and cross-topology end-to-end
+// placements (leaf-spine fabric alongside the Fat-Tree benchmarks).
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/instance.h"
+#include "core/placer.h"
+#include "core/verify.h"
+#include "topo/fattree.h"
+
+namespace ruleplace::core {
+namespace {
+
+TEST(Instance, BuildsConsistentProblem) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.capacity = 50;
+  cfg.ingressCount = 6;
+  cfg.totalPaths = 24;
+  cfg.rulesPerPolicy = 9;
+  cfg.seed = 5;
+  Instance inst(cfg);
+  EXPECT_EQ(inst.graph().switchCount(), 20);
+  PlacementProblem p = inst.problem();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.policyCount(), 6);
+  EXPECT_EQ(p.totalPaths(), 24);
+  for (const auto& q : p.policies) {
+    EXPECT_EQ(q.size(), 9u);
+  }
+  // Distinct ingress ports.
+  std::set<topo::PortId> ports;
+  for (const auto& r : p.routing) ports.insert(r.ingress);
+  EXPECT_EQ(ports.size(), 6u);
+}
+
+TEST(Instance, DeterministicForSeed) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.ingressCount = 4;
+  cfg.totalPaths = 12;
+  cfg.rulesPerPolicy = 8;
+  cfg.seed = 77;
+  Instance a(cfg);
+  Instance b(cfg);
+  PlacementProblem pa = a.problem();
+  PlacementProblem pb = b.problem();
+  ASSERT_EQ(pa.routing.size(), pb.routing.size());
+  for (std::size_t i = 0; i < pa.routing.size(); ++i) {
+    EXPECT_EQ(pa.routing[i].ingress, pb.routing[i].ingress);
+    ASSERT_EQ(pa.routing[i].paths.size(), pb.routing[i].paths.size());
+    for (std::size_t j = 0; j < pa.routing[i].paths.size(); ++j) {
+      EXPECT_EQ(pa.routing[i].paths[j].switches,
+                pb.routing[i].paths[j].switches);
+    }
+    EXPECT_TRUE(pa.policies[i].semanticallyEquals(pb.policies[i]));
+  }
+}
+
+TEST(Instance, SlicedTrafficAssignsDescriptors) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.ingressCount = 4;
+  cfg.totalPaths = 12;
+  cfg.rulesPerPolicy = 8;
+  cfg.slicedTraffic = true;
+  cfg.seed = 3;
+  Instance inst(cfg);
+  int overlapping = 0;
+  for (const auto& r : inst.routing()) {
+    for (const auto& path : r.paths) {
+      ASSERT_TRUE(path.traffic.has_value());
+    }
+  }
+  // With the dst-pool generator, a healthy fraction of rules relate to
+  // real egress subnets (slicing keeps them).
+  for (std::size_t i = 0; i < inst.policies().size(); ++i) {
+    for (const auto& rule : inst.policies()[i].rules()) {
+      for (const auto& path : inst.routing()[i].paths) {
+        if (rule.matchField.overlaps(*path.traffic)) {
+          ++overlapping;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(overlapping, 0);
+}
+
+TEST(Instance, RejectsBadConfig) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.ingressCount = 0;
+  EXPECT_THROW(Instance inst(cfg), std::invalid_argument);
+  cfg.ingressCount = 100;  // > 16 host ports at k=4
+  EXPECT_THROW(Instance inst2(cfg), std::invalid_argument);
+}
+
+// End-to-end on a *leaf-spine* fabric (the benchmarks use Fat-Tree; the
+// library is topology-agnostic).
+class LeafSpineEndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeafSpineEndToEnd, PlaceAndVerify) {
+  topo::Graph g;
+  topo::buildLeafSpine(g, 4, 2, 3, 30);
+  util::Rng rng(GetParam());
+  std::vector<topo::PortId> ingresses{0, 3, 6, 9};
+  auto routing = topo::generatePaths(g, ingresses, 16, rng);
+  classbench::GeneratorConfig gen;
+  gen.rulesPerPolicy = 10;
+  classbench::PolicyGenerator pg(gen, rng.next());
+  PlacementProblem p;
+  p.graph = &g;
+  p.routing = routing;
+  for (std::size_t i = 0; i < ingresses.size(); ++i) {
+    p.policies.push_back(pg.generate());
+  }
+  PlaceOptions opts;
+  opts.budget = solver::Budget::seconds(20);
+  PlaceOutcome out = place(p, opts);
+  ASSERT_TRUE(out.hasSolution());
+  auto v = verifyPlacement(out.solvedProblem, out.placement);
+  EXPECT_TRUE(v.ok) << v.summary();
+  // Global sharing beats path-wise duplication whenever both succeed.
+  GreedyOutcome pw = pathwisePlace(p);
+  if (pw.feasible) {
+    EXPECT_LE(out.objective, pw.totalRules);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeafSpineEndToEnd,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace ruleplace::core

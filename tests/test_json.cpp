@@ -1,0 +1,73 @@
+// Tests for JSON rendering of placements and reports.
+
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "io/json.h"
+#include "io/scenario.h"
+
+namespace ruleplace::io {
+namespace {
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, PlacementRendersEntries) {
+  Scenario sc;
+  parseScenario(
+      "switch a capacity 5\nswitch b capacity 5\nlink a b\n"
+      "port p1 switch a\nport p2 switch b\n"
+      "path p1 p2 via a b\n"
+      "policy p1\n"
+      "  permit src 10.1.0.0/16\n"
+      "  drop src 10.0.0.0/8\n"
+      "end\n",
+      sc);
+  core::PlaceOutcome out = core::place(sc.problem());
+  ASSERT_TRUE(out.hasSolution());
+  std::string js = placementToJson(out.solvedProblem, out.placement);
+  EXPECT_EQ(js.front(), '{');
+  EXPECT_EQ(js.back(), '}');
+  EXPECT_NE(js.find("\"switches\":["), std::string::npos);
+  EXPECT_NE(js.find("\"action\":\"drop\""), std::string::npos);
+  EXPECT_NE(js.find("\"action\":\"permit\""), std::string::npos);
+  EXPECT_NE(js.find("\"tags\":[0]"), std::string::npos);
+  EXPECT_NE(js.find("src 10.0.0.0/8"), std::string::npos);
+  // Empty switches are omitted.
+  EXPECT_EQ(js.find("\"name\":\"b\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int brace = 0;
+  int bracket = 0;
+  for (char c : js) {
+    brace += (c == '{') - (c == '}');
+    bracket += (c == '[') - (c == ']');
+    ASSERT_GE(brace, 0);
+    ASSERT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+}
+
+TEST(Json, ReportRendersAllFields) {
+  PlacementReport r;
+  r.totalInstalled = 12;
+  r.requiredRules = 10;
+  r.duplicationOverheadPct = 20.0;
+  r.replicateAllRules = 48;
+  r.switchesUsed = 3;
+  r.maxSwitchLoad = 5;
+  r.meanSwitchLoadPct = 41.5;
+  r.mergedEntries = 2;
+  std::string js = reportToJson(r);
+  EXPECT_NE(js.find("\"rules_installed\":12"), std::string::npos);
+  EXPECT_NE(js.find("\"duplication_overhead_pct\":20"), std::string::npos);
+  EXPECT_NE(js.find("\"merged_entries\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ruleplace::io

@@ -1,0 +1,288 @@
+// Unit and property tests for the ternary match algebra — the foundation
+// every other module's correctness rests on.
+
+#include <gtest/gtest.h>
+
+#include "match/cubeset.h"
+#include "match/ternary.h"
+#include "match/tuple5.h"
+#include "util/rng.h"
+
+namespace ruleplace::match {
+namespace {
+
+TEST(Ternary, RoundTripsThroughString) {
+  for (const char* s : {"10*1", "****", "0000", "1111", "01*0*1"}) {
+    EXPECT_EQ(Ternary::fromString(s).toString(), s);
+  }
+}
+
+TEST(Ternary, RejectsBadInput) {
+  EXPECT_THROW(Ternary::fromString("10x"), std::invalid_argument);
+  EXPECT_THROW(Ternary(0), std::invalid_argument);
+  EXPECT_THROW(Ternary(kMaxWidth + 1), std::invalid_argument);
+  EXPECT_THROW(Ternary(4).setBit(4, 0), std::out_of_range);
+}
+
+TEST(Ternary, BitAccessors) {
+  Ternary t = Ternary::fromString("10*");
+  EXPECT_EQ(t.bit(2), 1);
+  EXPECT_EQ(t.bit(1), 0);
+  EXPECT_EQ(t.bit(0), -1);
+  t.setBit(0, 1);
+  EXPECT_EQ(t.toString(), "101");
+  t.setBit(2, -1);
+  EXPECT_EQ(t.toString(), "*01");
+}
+
+TEST(Ternary, WildcardCount) {
+  EXPECT_EQ(Ternary::fromString("****").wildcardCount(), 4);
+  EXPECT_EQ(Ternary::fromString("10*1").wildcardCount(), 1);
+  EXPECT_EQ(Ternary::fromString("0000").wildcardCount(), 0);
+  EXPECT_TRUE(Ternary(16).isFullWildcard());
+}
+
+TEST(Ternary, OverlapBasics) {
+  EXPECT_TRUE(Ternary::fromString("1*").overlaps(Ternary::fromString("*0")));
+  EXPECT_FALSE(Ternary::fromString("11").overlaps(Ternary::fromString("10")));
+  EXPECT_TRUE(Ternary::fromString("**").overlaps(Ternary::fromString("01")));
+}
+
+TEST(Ternary, IntersectComputesMeet) {
+  auto i = Ternary::fromString("1**").intersect(Ternary::fromString("*0*"));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->toString(), "10*");
+  EXPECT_FALSE(
+      Ternary::fromString("11").intersect(Ternary::fromString("00")));
+}
+
+TEST(Ternary, SubsumesIsContainment) {
+  EXPECT_TRUE(Ternary::fromString("1**").subsumes(Ternary::fromString("101")));
+  EXPECT_FALSE(
+      Ternary::fromString("101").subsumes(Ternary::fromString("1**")));
+  EXPECT_TRUE(Ternary::fromString("***").subsumes(Ternary::fromString("***")));
+}
+
+TEST(Ternary, SubtractDisjointReturnsSelf) {
+  Ternary a = Ternary::fromString("11*");
+  auto diff = a.subtract(Ternary::fromString("00*"));
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].toString(), "11*");
+}
+
+TEST(Ternary, SubtractSubsumedIsEmpty) {
+  EXPECT_TRUE(Ternary::fromString("101")
+                  .subtract(Ternary::fromString("1**"))
+                  .empty());
+}
+
+TEST(Ternary, SubtractSplitsCube) {
+  // *** minus 1*1 = {0**, 1*0}.
+  auto diff = Ternary::fromString("***").subtract(Ternary::fromString("1*1"));
+  CubeSet set(3);
+  for (const auto& c : diff) set.add(c);
+  // The pieces are disjoint from the subtrahend...
+  for (const auto& c : diff) {
+    EXPECT_FALSE(c.overlaps(Ternary::fromString("1*1")));
+  }
+  // ...and together with it cover everything.
+  set.add(Ternary::fromString("1*1"));
+  EXPECT_TRUE(set.covers(Ternary::fromString("***")));
+}
+
+TEST(Tuple5, LayoutWidthIs104) {
+  EXPECT_EQ(Tuple5Layout::kWidth, 104);
+  Tuple5 t;
+  EXPECT_TRUE(t.toTernary().isFullWildcard());
+}
+
+TEST(Tuple5, PrefixPinsTopBits) {
+  Tuple5 t;
+  t.src = {0x0a000000u, 8};  // 10.0.0.0/8
+  Ternary cube = t.toTernary();
+  // src IP occupies bits [72, 104); the /8 pins the top 8 of them.
+  EXPECT_EQ(cube.wildcardCount(), 104 - 8);
+  EXPECT_EQ(cube.bit(Tuple5Layout::kSrcIpOffset + 31), 0);  // MSB of 10 = 0
+  EXPECT_EQ(cube.bit(Tuple5Layout::kSrcIpOffset + 27), 1);  // 10 = 00001010
+}
+
+TEST(Tuple5, NestedPrefixesOverlap) {
+  Tuple5 wide;
+  wide.src = {0x0a000000u, 8};
+  Tuple5 narrow;
+  narrow.src = {0x0a010000u, 16};
+  EXPECT_TRUE(wide.toTernary().overlaps(narrow.toTernary()));
+  EXPECT_TRUE(wide.toTernary().subsumes(narrow.toTernary()));
+  Tuple5 other;
+  other.src = {0x0b000000u, 8};
+  EXPECT_FALSE(wide.toTernary().overlaps(other.toTernary()));
+}
+
+TEST(Tuple5, PortsAndProtoNarrowTheCube) {
+  Tuple5 t;
+  t.dstPort = PortMatch::exact(443);
+  t.proto = ProtoMatch::tcp();
+  Ternary cube = t.toTernary();
+  EXPECT_EQ(cube.wildcardCount(), 104 - 16 - 8);
+  EXPECT_EQ(t.toString(), "0.0.0.0/0 -> 0.0.0.0/0 tcp dport=443");
+}
+
+TEST(Tuple5, DstPrefixCubeMatchesOnlyDstField) {
+  Ternary c = dstPrefixCube({0x0a000100u, 24});
+  EXPECT_EQ(c.wildcardCount(), 104 - 24);
+  Tuple5 inside;
+  inside.dst = {0x0a000100u, 32};
+  EXPECT_TRUE(c.overlaps(inside.toTernary()));
+  Tuple5 outside;
+  outside.dst = {0x0a000200u, 32};
+  EXPECT_FALSE(c.overlaps(outside.toTernary()));
+}
+
+TEST(CubeSet, AddDeduplicatesSubsumed) {
+  CubeSet s(4);
+  s.add(Ternary::fromString("10*1"));
+  s.add(Ternary::fromString("1001"));  // subsumed: ignored
+  EXPECT_EQ(s.cubeCount(), 1u);
+  s.add(Ternary::fromString("1***"));  // absorbs the previous one
+  EXPECT_EQ(s.cubeCount(), 1u);
+  EXPECT_EQ(s.cubes()[0].toString(), "1***");
+}
+
+TEST(CubeSet, CoversAcrossMultipleCubes) {
+  CubeSet s(2);
+  s.add(Ternary::fromString("0*"));
+  s.add(Ternary::fromString("1*"));
+  EXPECT_TRUE(s.covers(Ternary::fromString("**")));
+  CubeSet partial(2);
+  partial.add(Ternary::fromString("00"));
+  partial.add(Ternary::fromString("11"));
+  EXPECT_FALSE(partial.covers(Ternary::fromString("**")));
+}
+
+TEST(CubeSet, SubtractAndIntersectAreExact) {
+  CubeSet a(3);
+  a.add(Ternary::fromString("1**"));
+  CubeSet b(3);
+  b.add(Ternary::fromString("**1"));
+  CubeSet diff = a.subtract(b);     // 1*0
+  CubeSet inter = a.intersect(b);   // 1*1
+  EXPECT_TRUE(diff.covers(Ternary::fromString("1*0")));
+  EXPECT_FALSE(diff.contains(Ternary::fromString("101")));
+  EXPECT_TRUE(inter.covers(Ternary::fromString("1*1")));
+  EXPECT_FALSE(inter.contains(Ternary::fromString("100")));
+}
+
+TEST(CubeSet, EqualsIsMutualCoverage) {
+  CubeSet a(2);
+  a.add(Ternary::fromString("**"));
+  CubeSet b(2);
+  b.add(Ternary::fromString("0*"));
+  b.add(Ternary::fromString("1*"));
+  EXPECT_TRUE(a.equals(b));
+  b.add(Ternary::fromString("11"));
+  EXPECT_TRUE(a.equals(b));  // redundant cube changes nothing
+}
+
+TEST(CubeSet, SampleReturnsMember) {
+  CubeSet s(4);
+  EXPECT_FALSE(s.sample().has_value());
+  s.add(Ternary::fromString("1*0*"));
+  auto h = s.sample();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(s.contains(*h));
+  EXPECT_EQ(h->wildcardCount(), 0);
+}
+
+// ---- randomized property sweep --------------------------------------------
+
+Ternary randomCube(util::Rng& rng, int width) {
+  Ternary t(width);
+  for (int i = 0; i < width; ++i) {
+    std::uint64_t r = rng.below(3);
+    t.setBit(i, r == 2 ? -1 : static_cast<int>(r));
+  }
+  return t;
+}
+
+Ternary randomHeader(util::Rng& rng, int width) {
+  Ternary t(width);
+  for (int i = 0; i < width; ++i) {
+    t.setBit(i, static_cast<int>(rng.below(2)));
+  }
+  return t;
+}
+
+class CubeAlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CubeAlgebraProperty, SubtractPartitionsMembership) {
+  util::Rng rng(GetParam());
+  const int width = 8;
+  Ternary a = randomCube(rng, width);
+  Ternary b = randomCube(rng, width);
+  auto diff = a.subtract(b);
+  // Pieces are disjoint from b and from each other, and membership is
+  // exactly a \ b for 64 random headers.
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    EXPECT_FALSE(diff[i].overlaps(b));
+    for (std::size_t j = i + 1; j < diff.size(); ++j) {
+      EXPECT_FALSE(diff[i].overlaps(diff[j]));
+    }
+  }
+  for (int trial = 0; trial < 64; ++trial) {
+    Ternary h = randomHeader(rng, width);
+    bool inDiff = false;
+    for (const auto& c : diff) inDiff |= c.matches(h);
+    EXPECT_EQ(inDiff, a.matches(h) && !b.matches(h))
+        << "header " << h.toString() << " a=" << a.toString()
+        << " b=" << b.toString();
+  }
+}
+
+TEST_P(CubeAlgebraProperty, IntersectAgreesWithMembership) {
+  util::Rng rng(GetParam() ^ 0x1234);
+  const int width = 8;
+  Ternary a = randomCube(rng, width);
+  Ternary b = randomCube(rng, width);
+  auto meet = a.intersect(b);
+  for (int trial = 0; trial < 64; ++trial) {
+    Ternary h = randomHeader(rng, width);
+    bool inMeet = meet.has_value() && meet->matches(h);
+    EXPECT_EQ(inMeet, a.matches(h) && b.matches(h));
+  }
+  EXPECT_EQ(a.overlaps(b), meet.has_value());
+  EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+}
+
+TEST_P(CubeAlgebraProperty, SubsumesAgreesWithSubtract) {
+  util::Rng rng(GetParam() ^ 0x9999);
+  const int width = 6;
+  Ternary a = randomCube(rng, width);
+  Ternary b = randomCube(rng, width);
+  EXPECT_EQ(b.subsumes(a), a.subtract(b).empty());
+}
+
+TEST_P(CubeAlgebraProperty, CubeSetOpsAgreeWithMembership) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const int width = 6;
+  CubeSet a(width);
+  CubeSet b(width);
+  for (int i = 0; i < 4; ++i) {
+    a.add(randomCube(rng, width));
+    b.add(randomCube(rng, width));
+  }
+  CubeSet diff = a.subtract(b);
+  CubeSet inter = a.intersect(b);
+  for (int trial = 0; trial < 64; ++trial) {
+    Ternary h = randomHeader(rng, width);
+    EXPECT_EQ(diff.contains(h), a.contains(h) && !b.contains(h));
+    EXPECT_EQ(inter.contains(h), a.contains(h) && b.contains(h));
+  }
+  EXPECT_TRUE(a.coversSet(inter));
+  EXPECT_TRUE(a.coversSet(diff));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubeAlgebraProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ruleplace::match

@@ -1,0 +1,212 @@
+// Additional optimizer/solver coverage: constraint lowering shapes, the
+// solution polisher's behavior on merge-like structures, lower-bound
+// early stopping, and budget semantics.
+
+#include <gtest/gtest.h>
+
+#include "solver/bruteforce.h"
+#include "solver/optimize.h"
+#include "solver/sat.h"
+#include "util/rng.h"
+
+namespace ruleplace::solver {
+namespace {
+
+TEST(Lowering, GeConstraintWithNegativeCoeffs) {
+  // x - y >= 0 (implication y -> x).
+  Model m;
+  ModelVar x = m.addBinary();
+  ModelVar y = m.addBinary();
+  LinearExpr e;
+  e.add(1, x).add(-1, y);
+  m.addConstraint(e, Cmp::kGe, 0);
+  LinearExpr fix;
+  fix.add(1, y);
+  m.addConstraint(fix, Cmp::kGe, 1);
+  auto r = Optimizer::solveSat(m);
+  ASSERT_TRUE(r.hasSolution());
+  EXPECT_TRUE(r.assignment[static_cast<std::size_t>(x)]);
+}
+
+TEST(Lowering, ConstantInExpressionFoldsIntoRhs) {
+  // (x + 3) <= 3  =>  x = 0.
+  Model m;
+  ModelVar x = m.addBinary();
+  LinearExpr e;
+  e.add(1, x).addConstant(3);
+  m.addConstraint(e, Cmp::kLe, 3);
+  auto r = Optimizer::solveSat(m);
+  ASSERT_TRUE(r.hasSolution());
+  EXPECT_FALSE(r.assignment[static_cast<std::size_t>(x)]);
+}
+
+TEST(Lowering, InfeasibleEqualityDetectedAtRoot) {
+  // x + y == 3 over binaries: impossible.
+  Model m;
+  ModelVar x = m.addBinary();
+  ModelVar y = m.addBinary();
+  LinearExpr e;
+  e.add(1, x).add(1, y);
+  m.addConstraint(e, Cmp::kEq, 3);
+  EXPECT_EQ(Optimizer::solveSat(m).status, OptStatus::kInfeasible);
+}
+
+// Merge-gadget: two "member" variables m1, m2 that each must be 1 (cover),
+// and a shared variable s with objective -1 that may be 1 only when both
+// members are 1 — the paper's Eq. 4/5 in miniature.  The optimizer must
+// turn s on.
+TEST(Polisher, CompletesMergeGadget) {
+  Model m;
+  ModelVar m1 = m.addBinary("m1");
+  ModelVar m2 = m.addBinary("m2");
+  ModelVar s = m.addBinary("s");
+  LinearExpr c1;
+  c1.add(1, m1);
+  m.addConstraint(c1, Cmp::kGe, 1);
+  LinearExpr c2;
+  c2.add(1, m2);
+  m.addConstraint(c2, Cmp::kGe, 1);
+  // s <= m1, s <= m2 ; m1 + m2 - s <= 1 (s forced when both on).
+  LinearExpr e1;
+  e1.add(1, s).add(-1, m1);
+  m.addConstraint(e1, Cmp::kLe, 0);
+  LinearExpr e2;
+  e2.add(1, s).add(-1, m2);
+  m.addConstraint(e2, Cmp::kLe, 0);
+  LinearExpr link;
+  link.add(1, m1).add(1, m2).add(-1, s);
+  m.addConstraint(link, Cmp::kLe, 1);
+  LinearExpr obj;
+  obj.add(1, m1).add(1, m2).add(-1, s);
+  m.setObjective(obj);
+  auto r = Optimizer::solve(m);
+  ASSERT_EQ(r.status, OptStatus::kOptimal);
+  EXPECT_EQ(r.objective, 1);
+  EXPECT_TRUE(r.assignment[static_cast<std::size_t>(s)]);
+}
+
+TEST(LowerBound, EarlyStopDeclaresOptimal) {
+  // Disjoint cover: 20 variables, 10 cover constraints over pairs.
+  // Without the bound, proving obj <= 9 unsat is pigeonhole-hard for
+  // clause learning; with bound 10 declared, the first incumbent at 10 is
+  // recognized optimal with (near) zero conflicts.
+  Model m;
+  std::vector<ModelVar> vars;
+  for (int i = 0; i < 20; ++i) vars.push_back(m.addBinary());
+  LinearExpr obj;
+  for (ModelVar v : vars) obj.add(1, v);
+  for (int i = 0; i < 10; ++i) {
+    LinearExpr cover;
+    cover.add(1, vars[static_cast<std::size_t>(2 * i)]);
+    cover.add(1, vars[static_cast<std::size_t>(2 * i + 1)]);
+    m.addConstraint(cover, Cmp::kGe, 1);
+  }
+  m.setObjective(obj);
+  m.setObjectiveLowerBound(10);
+  auto r = Optimizer::solve(m, Budget::seconds(5));
+  EXPECT_EQ(r.status, OptStatus::kOptimal);
+  EXPECT_EQ(r.objective, 10);
+}
+
+TEST(LowerBound, ExactBoundStopsAtOptimum) {
+  // A bound equal to the true optimum: the first polished incumbent that
+  // attains it is declared optimal without any UNSAT proof.
+  Model m;
+  ModelVar x = m.addBinary();
+  ModelVar y = m.addBinary();
+  LinearExpr cover;
+  cover.add(1, x).add(1, y);
+  m.addConstraint(cover, Cmp::kGe, 1);
+  LinearExpr obj;
+  obj.add(1, x).add(2, y);
+  m.setObjective(obj);
+  m.setObjectiveLowerBound(1);  // optimum: x=1, y=0
+  auto r = Optimizer::solve(m);
+  ASSERT_EQ(r.status, OptStatus::kOptimal);
+  EXPECT_EQ(r.objective, 1);
+  EXPECT_TRUE(r.assignment[0]);
+  EXPECT_FALSE(r.assignment[1]);
+}
+
+TEST(Budget, ZeroSecondsReturnsUnknownOrFeasible) {
+  Model m;
+  std::vector<ModelVar> vars;
+  for (int i = 0; i < 12; ++i) vars.push_back(m.addBinary());
+  LinearExpr any;
+  for (ModelVar v : vars) any.add(1, v);
+  m.addConstraint(any, Cmp::kGe, 6);
+  LinearExpr obj = any;
+  m.setObjective(obj);
+  auto r = Optimizer::solve(m, Budget::seconds(0.0));
+  EXPECT_TRUE(r.status == OptStatus::kUnknown ||
+              r.status == OptStatus::kFeasible);
+}
+
+TEST(Stats, ConflictsAccumulateAcrossSolves) {
+  Solver s;
+  Var a = s.newVar();
+  Var b = s.newVar();
+  Var c = s.newVar();
+  s.addClause({Lit(a, false), Lit(b, false)});
+  s.addClause({Lit(a, false), Lit(b, true)});
+  s.addClause({Lit(a, true), Lit(c, false)});
+  s.addClause({Lit(a, true), Lit(c, true)});
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+  EXPECT_GE(s.stats().conflicts, 1);
+  EXPECT_GE(s.stats().decisions, 0);
+}
+
+TEST(Hint, PolarityHintSteersFirstModel) {
+  Model m;
+  ModelVar x = m.addBinary();
+  ModelVar y = m.addBinary();
+  LinearExpr e;
+  e.add(1, x).add(1, y);
+  m.addConstraint(e, Cmp::kGe, 1);
+  // No objective: the first model stands.  Hint x=true.
+  auto r = Optimizer::solveWithHint(m, {{x, true}});
+  ASSERT_TRUE(r.hasSolution());
+  EXPECT_TRUE(r.assignment[static_cast<std::size_t>(x)]);
+}
+
+// Larger randomized stress: optimizer vs brute force with tighter models
+// (equalities + wide covers), 14 vars.
+class StressCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressCrossCheck, MatchesBruteForce) {
+  util::Rng rng(GetParam() * 13 + 5);
+  for (int round = 0; round < 6; ++round) {
+    Model m;
+    const int n = 14;
+    std::vector<ModelVar> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(m.addBinary());
+    int nCons = static_cast<int>(rng.range(3, 9));
+    for (int c = 0; c < nCons; ++c) {
+      LinearExpr e;
+      int terms = static_cast<int>(rng.range(2, 6));
+      for (int t = 0; t < terms; ++t) {
+        e.add(rng.range(-2, 3), vars[rng.below(n)]);
+      }
+      m.addConstraint(std::move(e), static_cast<Cmp>(rng.below(3)),
+                      rng.range(-1, 3));
+    }
+    LinearExpr obj;
+    for (int i = 0; i < n; ++i) {
+      obj.add(rng.range(-2, 4), vars[static_cast<std::size_t>(i)]);
+    }
+    m.setObjective(obj);
+    OptResult exact = bruteForceSolve(m);
+    OptResult got = Optimizer::solve(m);
+    ASSERT_EQ(got.status, exact.status);
+    if (exact.status == OptStatus::kOptimal) {
+      EXPECT_EQ(got.objective, exact.objective);
+      EXPECT_TRUE(m.feasible(got.assignment));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace ruleplace::solver

@@ -1,0 +1,171 @@
+// Additional placement/table edge cases: merged-entry tag surgery,
+// ordering determinism, and miscellaneous API guards.
+
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "core/placer.h"
+#include "core/verify.h"
+
+namespace ruleplace::core {
+namespace {
+
+using acl::Action;
+using match::Ternary;
+
+Ternary T(const char* s) { return Ternary::fromString(s); }
+
+// Shared-middle topology from the merging test: two ingresses whose paths
+// cross s1 (capacity only there), with an identical blacklist rule.
+struct SharedMiddle {
+  topo::Graph graph;
+  topo::SwitchId s0, s1, s2;
+  PlacementProblem problem;
+
+  SharedMiddle() {
+    s0 = graph.addSwitch(0);
+    s1 = graph.addSwitch(1);
+    s2 = graph.addSwitch(0);
+    graph.addLink(s0, s1);
+    graph.addLink(s1, s2);
+    topo::PortId l0 = graph.addEntryPort(s0);
+    topo::PortId l2 = graph.addEntryPort(s2);
+    acl::Policy qa;
+    qa.addRule(T("11**"), Action::kDrop);
+    acl::Policy qb;
+    qb.addRule(T("11**"), Action::kDrop);
+    problem.graph = &graph;
+    problem.routing = {{l0, {{l0, l2, {s0, s1, s2}, std::nullopt}}},
+                       {l2, {{l2, l0, {s2, s1, s0}, std::nullopt}}}};
+    problem.policies = {qa, qb};
+  }
+};
+
+TEST(MergedEntries, ErasePolicyStripsOneTagKeepsEntry) {
+  SharedMiddle net;
+  PlaceOptions opts;
+  opts.encoder.enableMerging = true;
+  PlaceOutcome out = place(net.problem, opts);
+  ASSERT_TRUE(out.hasSolution());
+  ASSERT_EQ(out.placement.table(net.s1).size(), 1u);
+  ASSERT_EQ(out.placement.table(net.s1)[0].tags.size(), 2u);
+
+  Placement stripped = out.placement;
+  stripped.erasePolicy(0);
+  // The shared entry survives for policy 1.
+  ASSERT_EQ(stripped.table(net.s1).size(), 1u);
+  EXPECT_EQ(stripped.table(net.s1)[0].tags, (std::vector<int>{1}));
+  // Policy 1's semantics are intact on its path.
+  PlacementProblem only1 = out.solvedProblem;
+  match::CubeSet drops = deployedDropSet(
+      stripped, only1.routing[1].paths[0], 1);
+  EXPECT_TRUE(drops.equals(only1.policies[1].dropSet()));
+  // Policy 0 no longer sees it.
+  EXPECT_TRUE(stripped.visibleTo(net.s1, 0).empty());
+
+  // Erasing the second policy removes the entry entirely.
+  stripped.erasePolicy(1);
+  EXPECT_EQ(stripped.totalInstalledRules(), 0);
+}
+
+TEST(MergedEntries, AppendMappedRemapsMergedTags) {
+  SharedMiddle net;
+  PlaceOptions opts;
+  opts.encoder.enableMerging = true;
+  PlaceOutcome out = place(net.problem, opts);
+  ASSERT_TRUE(out.hasSolution());
+  Placement target(net.graph.switchCount());
+  target.appendMapped(out.placement, {7, 3});
+  ASSERT_EQ(target.table(net.s1).size(), 1u);
+  EXPECT_EQ(target.table(net.s1)[0].tags, (std::vector<int>{3, 7}));
+}
+
+TEST(Extraction, DeterministicAcrossRepeatedSolves) {
+  SharedMiddle net;
+  PlaceOptions opts;
+  opts.encoder.enableMerging = true;
+  PlaceOutcome a = place(net.problem, opts);
+  PlaceOutcome b = place(net.problem, opts);
+  ASSERT_TRUE(a.hasSolution());
+  ASSERT_TRUE(b.hasSolution());
+  EXPECT_EQ(a.objective, b.objective);
+  for (int sw = 0; sw < net.graph.switchCount(); ++sw) {
+    const auto& ta = a.placement.table(sw);
+    const auto& tb = b.placement.table(sw);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].matchField, tb[i].matchField);
+      EXPECT_EQ(ta[i].tags, tb[i].tags);
+      EXPECT_EQ(ta[i].priority, tb[i].priority);
+    }
+  }
+}
+
+TEST(Placement, ToStringListsEntries) {
+  SharedMiddle net;
+  PlaceOptions opts;
+  opts.encoder.enableMerging = true;
+  PlaceOutcome out = place(net.problem, opts);
+  ASSERT_TRUE(out.hasSolution());
+  std::string text = out.placement.toString(out.solvedProblem);
+  EXPECT_NE(text.find("11**"), std::string::npos);
+  EXPECT_NE(text.find("(merged)"), std::string::npos);
+  EXPECT_NE(text.find("tags={0,1}"), std::string::npos);
+}
+
+TEST(Placement, AppendMappedRejectsSizeMismatch) {
+  Placement a(3);
+  Placement b(2);
+  EXPECT_THROW(a.appendMapped(b, {0}), std::invalid_argument);
+}
+
+TEST(BuildPlacement, RejectsUnknownRule) {
+  SharedMiddle net;
+  EXPECT_THROW(buildPlacement(net.problem, {{0, 999, net.s1}}),
+               std::invalid_argument);
+}
+
+TEST(Problem, CapacityOverrideTakesPrecedence) {
+  SharedMiddle net;
+  PlacementProblem p = net.problem;
+  EXPECT_EQ(p.capacityOf(net.s1), 1);
+  p.capacityOverride = {5, 0, 5};
+  EXPECT_EQ(p.capacityOf(net.s1), 0);
+  // With the override the middle switch is unusable, but the end switches
+  // (capacity 0 in the graph) open up: the drops move to the ends.
+  PlaceOutcome out = place(p);
+  ASSERT_EQ(out.status, solver::OptStatus::kOptimal);
+  EXPECT_EQ(out.placement.usedCapacity(net.s1), 0);
+  EXPECT_GT(out.placement.usedCapacity(net.s0), 0);
+  auto v = verifyPlacement(out.solvedProblem, out.placement);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+TEST(Verify, SlicedPlacementFailsUnslicedCheck) {
+  // A placement produced with slicing implements only the sliced
+  // semantics; checking it against the *full* policy on each path must
+  // fail (documents why verifyPlacement takes respectTraffic).
+  topo::Graph g;
+  topo::SwitchId s0 = g.addSwitch(4);
+  topo::SwitchId s1 = g.addSwitch(4);
+  g.addLink(s0, s1);
+  topo::PortId in = g.addEntryPort(s0);
+  topo::PortId out = g.addEntryPort(s1);
+  acl::Policy q;
+  q.addRule(T("1***"), Action::kDrop);
+  q.addRule(T("0***"), Action::kDrop);
+  PlacementProblem p;
+  p.graph = &g;
+  topo::Path path{in, out, {s0, s1}, T("1***")};
+  p.routing = {{in, {path}}};
+  p.policies = {q};
+  PlaceOptions opts;
+  opts.encoder.enablePathSlicing = true;
+  PlaceOutcome sol = place(p, opts);
+  ASSERT_TRUE(sol.hasSolution());
+  EXPECT_TRUE(verifyPlacement(sol.solvedProblem, sol.placement, true).ok);
+  EXPECT_FALSE(verifyPlacement(sol.solvedProblem, sol.placement, false).ok);
+}
+
+}  // namespace
+}  // namespace ruleplace::core

@@ -1,0 +1,141 @@
+// Tests for port-range -> TCAM prefix expansion.
+
+#include <gtest/gtest.h>
+
+#include "acl/range_rules.h"
+#include "match/ranges.h"
+#include "util/rng.h"
+
+namespace ruleplace::match {
+namespace {
+
+// Does a PortMatch (prefix-shaped) contain port p?
+bool matchesPort(const PortMatch& m, std::uint16_t p) {
+  if (m.careBits == 0) return true;
+  std::uint16_t mask =
+      static_cast<std::uint16_t>(0xffffu << (16 - m.careBits));
+  return (p & mask) == (m.value & mask);
+}
+
+TEST(ExpandRange, FullRangeIsOneWildcard) {
+  auto cover = expandRange({0, 65535});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].careBits, 0);
+}
+
+TEST(ExpandRange, ExactPortIsOneEntry) {
+  auto cover = expandRange({443, 443});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].careBits, 16);
+  EXPECT_EQ(cover[0].value, 443);
+}
+
+TEST(ExpandRange, ClassicEphemeralRange) {
+  // 1024-65535 is the canonical example: 6 prefixes
+  // (1024-2047, 2048-4095, ..., 32768-65535).
+  auto cover = expandRange({1024, 65535});
+  EXPECT_EQ(cover.size(), 6u);
+}
+
+TEST(ExpandRange, EmptyRange) {
+  EXPECT_TRUE(expandRange({10, 5}).empty());
+}
+
+TEST(ExpandRange, WorstCaseIsBounded) {
+  // [1, 65534] is the classic worst case: 30 prefixes (2w - 2 for w=16).
+  auto cover = expandRange({1, 65534});
+  EXPECT_EQ(cover.size(), 30u);
+}
+
+class ExpandRangeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExpandRangeProperty, CoverIsExactAndDisjoint) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::uint16_t a = static_cast<std::uint16_t>(rng.below(65536));
+    std::uint16_t b = static_cast<std::uint16_t>(rng.below(65536));
+    PortRange range{std::min(a, b), std::max(a, b)};
+    auto cover = expandRange(range);
+    EXPECT_LE(cover.size(), 30u);
+    // Membership agrees on sampled ports (and range endpoints).
+    for (int s = 0; s < 40; ++s) {
+      std::uint16_t p = (s == 0)   ? range.lo
+                        : (s == 1) ? range.hi
+                                   : static_cast<std::uint16_t>(rng.below(65536));
+      int hits = 0;
+      for (const auto& m : cover) hits += matchesPort(m, p) ? 1 : 0;
+      EXPECT_EQ(hits, range.contains(p) ? 1 : 0)
+          << "port " << p << " range [" << range.lo << "," << range.hi << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpandRangeProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(ExpandRule, CrossProductAndCost) {
+  RangeRule rule;
+  rule.src = {0x0a000000u, 8};
+  rule.srcPort = {1024, 65535};  // 6 prefixes
+  rule.dstPort = {80, 81};       // 1 prefix (80-81 aligned)
+  EXPECT_EQ(expansionCost(rule), 6u);
+  auto cubes = expandRule(rule);
+  ASSERT_EQ(cubes.size(), 6u);
+  // Pieces are pairwise disjoint.
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+      EXPECT_FALSE(cubes[i].overlaps(cubes[j]));
+    }
+  }
+  // A header inside the rule hits exactly one piece.
+  Tuple5 probe;
+  probe.src = {0x0a010203u, 32};
+  probe.srcPort = PortMatch::exact(5000);
+  probe.dstPort = PortMatch::exact(80);
+  probe.proto = ProtoMatch::tcp();
+  int hits = 0;
+  for (const auto& c : cubes) {
+    if (c.overlaps(probe.toTernary())) ++hits;
+  }
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ExpandRule, UnalignedDstRange) {
+  RangeRule rule;
+  rule.dstPort = {80, 90};  // 80-87, 88-89, 90 -> 3 prefixes
+  EXPECT_EQ(expansionCost(rule), 3u);
+}
+
+}  // namespace
+}  // namespace ruleplace::match
+
+namespace ruleplace::acl {
+namespace {
+
+TEST(RangeRules, AppendExpandsIntoPolicy) {
+  Policy q;
+  match::RangeRule blk;
+  blk.src = {0xac100000u, 12};   // 172.16/12
+  blk.srcPort = {1024, 65535};   // 6 prefixes
+  auto ids = appendRangeRule(q, blk, Action::kDrop);
+  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(q.size(), 6u);
+  // Semantics: a packet in the range is dropped, below it is permitted.
+  match::Tuple5 in;
+  in.src = {0xac100001u, 32};
+  in.srcPort = match::PortMatch::exact(2000);
+  match::Tuple5 below = in;
+  below.srcPort = match::PortMatch::exact(22);
+  // Concretize wildcards for evaluation.
+  auto concretize = [](match::Ternary t) {
+    for (int i = 0; i < t.width(); ++i) {
+      if (t.bit(i) < 0) t.setBit(i, 0);
+    }
+    return t;
+  };
+  EXPECT_EQ(q.evaluate(concretize(in.toTernary())), Action::kDrop);
+  EXPECT_EQ(q.evaluate(concretize(below.toTernary())), Action::kPermit);
+}
+
+}  // namespace
+}  // namespace ruleplace::acl

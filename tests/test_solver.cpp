@@ -1,0 +1,359 @@
+// Tests for the CDCL pseudo-Boolean solver and the 0-1 ILP optimizer —
+// including randomized cross-checks against the brute-force reference.
+
+#include <gtest/gtest.h>
+
+#include "solver/bruteforce.h"
+#include "solver/model.h"
+#include "solver/optimize.h"
+#include "solver/sat.h"
+#include "util/rng.h"
+
+namespace ruleplace::solver {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+TEST(Sat, TrivialSatAndModel) {
+  Solver s;
+  Var a = s.newVar();
+  Var b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({neg(a)}));
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_FALSE(s.modelValue(a));
+  EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  Solver s;
+  Var a = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a)}));
+  EXPECT_FALSE(s.addClause({neg(a)}));
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Sat, UnsatViaResolution) {
+  Solver s;
+  Var a = s.newVar();
+  Var b = s.newVar();
+  s.addClause({pos(a), pos(b)});
+  s.addClause({pos(a), neg(b)});
+  s.addClause({neg(a), pos(b)});
+  s.addClause({neg(a), neg(b)});
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Sat, TautologyAndDuplicatesHandled) {
+  Solver s;
+  Var a = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), neg(a)}));  // tautology: dropped
+  ASSERT_TRUE(s.addClause({pos(a), pos(a)}));  // duplicate: unit
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Sat, CardinalityAtLeast) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(pos(s.newVar()));
+  ASSERT_TRUE(s.addCardinality(lits, 3));
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  int count = 0;
+  for (int i = 0; i < 5; ++i) count += s.modelValue(i) ? 1 : 0;
+  EXPECT_GE(count, 3);
+}
+
+TEST(Sat, CardinalityConflictsWithForcedFalse) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(pos(s.newVar()));
+  ASSERT_TRUE(s.addCardinality(lits, 3));
+  s.addClause({neg(0)});
+  s.addClause({neg(1)});
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Sat, CardinalityPropagatesAtThreshold) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(pos(s.newVar()));
+  ASSERT_TRUE(s.addCardinality(lits, 3));
+  s.addClause({neg(0)});
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.modelValue(1));
+  EXPECT_TRUE(s.modelValue(2));
+  EXPECT_TRUE(s.modelValue(3));
+}
+
+TEST(Sat, CardinalityOverCommittedAtAddTime) {
+  Solver s;
+  std::vector<Lit> lits{pos(s.newVar()), pos(s.newVar())};
+  EXPECT_FALSE(s.addCardinality(lits, 3));
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Sat, PseudoBooleanPropagation) {
+  Solver s;
+  Var a = s.newVar();
+  Var b = s.newVar();
+  Var c = s.newVar();
+  // 3a + 2b + 1c >= 4 and a false -> impossible (2+1 < 4).
+  ASSERT_TRUE(s.addPB({{3, pos(a)}, {2, pos(b)}, {1, pos(c)}}, 4));
+  s.addClause({neg(a)});
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Sat, PseudoBooleanForcesBigCoefficient) {
+  Solver s;
+  Var a = s.newVar();
+  Var b = s.newVar();
+  Var c = s.newVar();
+  // 5a + 2b + 2c >= 6: a must be true.
+  ASSERT_TRUE(s.addPB({{5, pos(a)}, {2, pos(b)}, {2, pos(c)}}, 6));
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Sat, LubySequence) {
+  EXPECT_EQ(luby(0), 1);
+  EXPECT_EQ(luby(1), 1);
+  EXPECT_EQ(luby(2), 2);
+  EXPECT_EQ(luby(3), 1);
+  EXPECT_EQ(luby(4), 1);
+  EXPECT_EQ(luby(5), 2);
+  EXPECT_EQ(luby(6), 4);
+}
+
+TEST(Sat, PigeonholeIsUnsat) {
+  // 5 pigeons, 4 holes: classic hard-ish UNSAT exercise for learning.
+  const int pigeons = 5;
+  const int holes = 4;
+  Solver s;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (auto& row : x) {
+    for (auto& v : row) v = s.newVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> atLeastOne;
+    for (int h = 0; h < holes; ++h) atLeastOne.push_back(pos(x[p][h]));
+    s.addClause(atLeastOne);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0);
+}
+
+TEST(Sat, BudgetReturnsUnknown) {
+  // A larger pigeonhole with a 1-conflict budget cannot finish.
+  const int pigeons = 8;
+  const int holes = 7;
+  Solver s;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (auto& row : x) {
+    for (auto& v : row) v = s.newVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> any;
+    for (int h = 0; h < holes; ++h) any.push_back(pos(x[p][h]));
+    s.addClause(any);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(Budget::conflicts(1)), SolveStatus::kUnknown);
+}
+
+// ---- Model / Optimizer -----------------------------------------------------
+
+TEST(Model, EvaluateAndFeasible) {
+  Model m;
+  ModelVar a = m.addBinary("a");
+  ModelVar b = m.addBinary("b");
+  LinearExpr e;
+  e.add(2, a).add(3, b);
+  m.addConstraint(e, Cmp::kLe, 4);
+  EXPECT_TRUE(m.feasible({true, false}));
+  EXPECT_TRUE(m.feasible({false, true}));
+  EXPECT_FALSE(m.feasible({true, true}));
+  EXPECT_EQ(m.constraints()[0].expr.evaluate({true, true}), 5);
+}
+
+TEST(Model, CanonicalizeMergesTerms) {
+  LinearExpr e;
+  e.add(2, 0).add(3, 0).add(-5, 0).add(1, 1);
+  e.canonicalize();
+  ASSERT_EQ(e.terms().size(), 1u);  // var 0 cancels out entirely
+  EXPECT_EQ(e.terms()[0].second, 1);
+}
+
+TEST(Model, FixVariable) {
+  Model m;
+  ModelVar a = m.addBinary();
+  m.fixVariable(a, true);
+  auto r = Optimizer::solveSat(m);
+  ASSERT_TRUE(r.hasSolution());
+  EXPECT_TRUE(r.assignment[0]);
+}
+
+TEST(Optimizer, MinimizesSimpleCover) {
+  // Cover two sets with minimum elements: x0 covers both.
+  Model m;
+  ModelVar x0 = m.addBinary();
+  ModelVar x1 = m.addBinary();
+  ModelVar x2 = m.addBinary();
+  LinearExpr c1;
+  c1.add(1, x0).add(1, x1);
+  m.addConstraint(c1, Cmp::kGe, 1);
+  LinearExpr c2;
+  c2.add(1, x0).add(1, x2);
+  m.addConstraint(c2, Cmp::kGe, 1);
+  LinearExpr obj;
+  obj.add(1, x0).add(1, x1).add(1, x2);
+  m.setObjective(obj);
+  auto r = Optimizer::solve(m);
+  EXPECT_EQ(r.status, OptStatus::kOptimal);
+  EXPECT_EQ(r.objective, 1);
+  EXPECT_TRUE(r.assignment[0]);
+}
+
+TEST(Optimizer, DetectsInfeasibility) {
+  Model m;
+  ModelVar a = m.addBinary();
+  LinearExpr e;
+  e.add(1, a);
+  m.addConstraint(e, Cmp::kGe, 1);
+  m.addConstraint(e, Cmp::kLe, 0);
+  auto r = Optimizer::solve(m);
+  EXPECT_EQ(r.status, OptStatus::kInfeasible);
+  EXPECT_FALSE(r.hasSolution());
+}
+
+TEST(Optimizer, HandlesEqualityAndNegativeCoefficients) {
+  Model m;
+  ModelVar a = m.addBinary();
+  ModelVar b = m.addBinary();
+  ModelVar c = m.addBinary();
+  // a - b == 0 (a <-> b), a + b + c == 2.
+  LinearExpr e1;
+  e1.add(1, a).add(-1, b);
+  m.addConstraint(e1, Cmp::kEq, 0);
+  LinearExpr e2;
+  e2.add(1, a).add(1, b).add(1, c);
+  m.addConstraint(e2, Cmp::kEq, 2);
+  LinearExpr obj;
+  obj.add(1, c);  // prefer c = 0 -> a = b = 1
+  m.setObjective(obj);
+  auto r = Optimizer::solve(m);
+  ASSERT_EQ(r.status, OptStatus::kOptimal);
+  EXPECT_EQ(r.objective, 0);
+  EXPECT_TRUE(r.assignment[0]);
+  EXPECT_TRUE(r.assignment[1]);
+  EXPECT_FALSE(r.assignment[2]);
+}
+
+TEST(Optimizer, ObjectiveWithConstantOffset) {
+  Model m;
+  ModelVar a = m.addBinary();
+  LinearExpr e;
+  e.add(1, a);
+  m.addConstraint(e, Cmp::kGe, 1);
+  LinearExpr obj;
+  obj.add(5, a).addConstant(7);
+  m.setObjective(obj);
+  auto r = Optimizer::solve(m);
+  ASSERT_EQ(r.status, OptStatus::kOptimal);
+  EXPECT_EQ(r.objective, 12);
+}
+
+TEST(Optimizer, SatOnlyIgnoresObjective) {
+  Model m;
+  ModelVar a = m.addBinary();
+  LinearExpr obj;
+  obj.add(1, a);
+  m.setObjective(obj);
+  auto r = Optimizer::solveSat(m);
+  EXPECT_EQ(r.status, OptStatus::kOptimal);  // one solve, no tightening
+  EXPECT_TRUE(r.hasSolution());
+}
+
+TEST(BruteForce, RejectsOversizedModels) {
+  Model m;
+  for (int i = 0; i < 30; ++i) m.addBinary();
+  EXPECT_THROW(bruteForceSolve(m, 24), std::invalid_argument);
+}
+
+// ---- randomized cross-check vs brute force --------------------------------
+
+class RandomIlpCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+Model randomModel(util::Rng& rng, int nVars) {
+  Model m;
+  for (int i = 0; i < nVars; ++i) m.addBinary();
+  int nCons = static_cast<int>(rng.range(2, 8));
+  for (int c = 0; c < nCons; ++c) {
+    LinearExpr e;
+    int nTerms = static_cast<int>(rng.range(1, std::min(nVars, 5)));
+    for (int t = 0; t < nTerms; ++t) {
+      e.add(rng.range(-3, 3), static_cast<ModelVar>(rng.below(nVars)));
+    }
+    Cmp cmp = static_cast<Cmp>(rng.below(3));
+    m.addConstraint(std::move(e), cmp, rng.range(-2, 4));
+  }
+  LinearExpr obj;
+  for (int i = 0; i < nVars; ++i) {
+    obj.add(rng.range(0, 4), static_cast<ModelVar>(i));
+  }
+  m.setObjective(obj);
+  return m;
+}
+
+TEST_P(RandomIlpCrossCheck, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    Model m = randomModel(rng, 10);
+    OptResult exact = bruteForceSolve(m);
+    OptResult cdcl = Optimizer::solve(m);
+    ASSERT_EQ(cdcl.status, exact.status) << "round " << round;
+    if (exact.status == OptStatus::kOptimal) {
+      EXPECT_EQ(cdcl.objective, exact.objective) << "round " << round;
+      EXPECT_TRUE(m.feasible(cdcl.assignment));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomIlpCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+class RandomSatCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSatCrossCheck, FeasibilityMatchesBruteForce) {
+  util::Rng rng(GetParam() * 77);
+  for (int round = 0; round < 10; ++round) {
+    Model m = randomModel(rng, 12);
+    OptResult exact = bruteForceSolve(m);
+    OptResult sat = Optimizer::solveSat(m);
+    bool exactFeasible = exact.status == OptStatus::kOptimal;
+    EXPECT_EQ(sat.hasSolution(), exactFeasible) << "round " << round;
+    if (sat.hasSolution()) {
+      EXPECT_TRUE(m.feasible(sat.assignment));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSatCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace ruleplace::solver

@@ -1,0 +1,138 @@
+// Dedicated randomized stress for cardinality- and PB-heavy models —
+// the constraint mix the placement encoder actually produces (covers,
+// implications, capacities, objective bounds) — cross-checked against the
+// brute-force reference.
+
+#include <gtest/gtest.h>
+
+#include "solver/bruteforce.h"
+#include "solver/optimize.h"
+#include "util/rng.h"
+
+namespace ruleplace::solver {
+namespace {
+
+// Placement-shaped random model: cover constraints (>= 1 over subsets),
+// implication pairs (a >= b), and capacity constraints (<= C over
+// subsets), unit objective.
+Model placementShapedModel(util::Rng& rng, int nVars) {
+  Model m;
+  std::vector<ModelVar> vars;
+  for (int i = 0; i < nVars; ++i) vars.push_back(m.addBinary());
+  int nCovers = static_cast<int>(rng.range(2, 5));
+  for (int c = 0; c < nCovers; ++c) {
+    LinearExpr e;
+    int k = static_cast<int>(rng.range(2, 5));
+    for (int t = 0; t < k; ++t) e.add(1, vars[rng.below(nVars)]);
+    m.addConstraint(std::move(e), Cmp::kGe, 1);
+  }
+  int nImpl = static_cast<int>(rng.range(1, 5));
+  for (int c = 0; c < nImpl; ++c) {
+    LinearExpr e;
+    e.add(1, vars[rng.below(nVars)]).add(-1, vars[rng.below(nVars)]);
+    m.addConstraint(std::move(e), Cmp::kGe, 0);
+  }
+  int nCaps = static_cast<int>(rng.range(1, 4));
+  for (int c = 0; c < nCaps; ++c) {
+    LinearExpr e;
+    int k = static_cast<int>(rng.range(3, std::min(nVars, 8)));
+    for (int t = 0; t < k; ++t) e.add(1, vars[rng.below(nVars)]);
+    m.addConstraint(std::move(e), Cmp::kLe, rng.range(1, 3));
+  }
+  LinearExpr obj;
+  for (ModelVar v : vars) obj.add(1, v);
+  m.setObjective(obj);
+  return m;
+}
+
+// Weighted-PB random model: coefficients up to 7 both in constraints and
+// the objective, exercising the general PB propagation path.
+Model weightedPbModel(util::Rng& rng, int nVars) {
+  Model m;
+  std::vector<ModelVar> vars;
+  for (int i = 0; i < nVars; ++i) vars.push_back(m.addBinary());
+  int nCons = static_cast<int>(rng.range(3, 7));
+  for (int c = 0; c < nCons; ++c) {
+    LinearExpr e;
+    int k = static_cast<int>(rng.range(2, 6));
+    for (int t = 0; t < k; ++t) {
+      e.add(rng.range(1, 7), vars[rng.below(nVars)]);
+    }
+    if (rng.chance(0.5)) {
+      m.addConstraint(std::move(e), Cmp::kGe, rng.range(2, 9));
+    } else {
+      m.addConstraint(std::move(e), Cmp::kLe, rng.range(3, 12));
+    }
+  }
+  LinearExpr obj;
+  for (ModelVar v : vars) obj.add(rng.range(1, 5), v);
+  m.setObjective(obj);
+  return m;
+}
+
+class PlacementShapedCrossCheck
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementShapedCrossCheck, MatchesBruteForce) {
+  util::Rng rng(GetParam() * 101);
+  for (int round = 0; round < 8; ++round) {
+    Model m = placementShapedModel(rng, 12);
+    OptResult exact = bruteForceSolve(m);
+    OptResult got = Optimizer::solve(m);
+    ASSERT_EQ(got.status, exact.status) << "round " << round;
+    if (exact.status == OptStatus::kOptimal) {
+      EXPECT_EQ(got.objective, exact.objective) << "round " << round;
+      EXPECT_TRUE(m.feasible(got.assignment));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementShapedCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class WeightedPbCrossCheck : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WeightedPbCrossCheck, MatchesBruteForce) {
+  util::Rng rng(GetParam() * 211);
+  for (int round = 0; round < 8; ++round) {
+    Model m = weightedPbModel(rng, 11);
+    OptResult exact = bruteForceSolve(m);
+    OptResult got = Optimizer::solve(m);
+    ASSERT_EQ(got.status, exact.status) << "round " << round;
+    if (exact.status == OptStatus::kOptimal) {
+      EXPECT_EQ(got.objective, exact.objective) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedPbCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// With a *valid* lower bound attached, results must not change (the bound
+// is an optimization aid, never a semantics change).
+class BoundedCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundedCrossCheck, ValidBoundPreservesOptimum) {
+  util::Rng rng(GetParam() * 307);
+  for (int round = 0; round < 6; ++round) {
+    Model m = placementShapedModel(rng, 10);
+    OptResult exact = bruteForceSolve(m);
+    if (exact.status != OptStatus::kOptimal) continue;
+    // Any bound <= optimum is valid; try a few.
+    for (std::int64_t delta : {0, 1, 3}) {
+      Model bounded = m;
+      bounded.setObjectiveLowerBound(exact.objective - delta);
+      OptResult got = Optimizer::solve(bounded);
+      ASSERT_EQ(got.status, OptStatus::kOptimal);
+      EXPECT_EQ(got.objective, exact.objective)
+          << "round " << round << " delta " << delta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ruleplace::solver

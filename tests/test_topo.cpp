@@ -1,0 +1,203 @@
+// Tests for the topology/routing substrate: graph invariants, Fat-Tree
+// structure, shortest-path routing, path bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/fattree.h"
+#include "topo/graph.h"
+#include "topo/routing.h"
+#include "util/rng.h"
+
+namespace ruleplace::topo {
+namespace {
+
+TEST(Graph, AddAndQuery) {
+  Graph g;
+  SwitchId a = g.addSwitch(100);
+  SwitchId b = g.addSwitch(200, SwitchRole::kEdge, "myedge");
+  g.addLink(a, b);
+  EXPECT_EQ(g.switchCount(), 2);
+  EXPECT_EQ(g.linkCount(), 1);
+  EXPECT_TRUE(g.hasLink(a, b));
+  EXPECT_TRUE(g.hasLink(b, a));
+  EXPECT_EQ(g.sw(b).name, "myedge");
+  EXPECT_EQ(g.sw(a).capacity, 100);
+  PortId p = g.addEntryPort(a);
+  EXPECT_EQ(g.entryPort(p).attachedSwitch, a);
+}
+
+TEST(Graph, RejectsBadLinks) {
+  Graph g;
+  SwitchId a = g.addSwitch(10);
+  SwitchId b = g.addSwitch(10);
+  EXPECT_THROW(g.addLink(a, a), std::invalid_argument);
+  EXPECT_THROW(g.addLink(a, 99), std::out_of_range);
+  g.addLink(a, b);
+  EXPECT_THROW(g.addLink(b, a), std::invalid_argument);  // duplicate
+  EXPECT_THROW(g.addSwitch(-1), std::invalid_argument);
+  EXPECT_THROW(g.addEntryPort(42), std::out_of_range);
+}
+
+TEST(Graph, UniformCapacity) {
+  Graph g;
+  g.addSwitch(1);
+  g.addSwitch(2);
+  g.setUniformCapacity(77);
+  EXPECT_EQ(g.sw(0).capacity, 77);
+  EXPECT_EQ(g.sw(1).capacity, 77);
+}
+
+class FatTreeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeStructure, CountsMatchAlFares) {
+  const int k = GetParam();
+  Graph g;
+  FatTreeInfo info = buildFatTree(g, k, 100);
+  // 5k^2/4 switches, k^3/4 host ports (paper §V / [26]).
+  EXPECT_EQ(g.switchCount(), 5 * k * k / 4);
+  EXPECT_EQ(info.edgeCount, k * k / 2);
+  EXPECT_EQ(info.aggCount, k * k / 2);
+  EXPECT_EQ(info.coreCount, k * k / 4);
+  EXPECT_EQ(g.entryPortCount(), k * k * k / 4);
+  // Link count: k pods * (k/2)^2 intra-pod + (k/2)^2 cores * k uplinks.
+  EXPECT_EQ(g.linkCount(), k * k * k / 4 + k * k * k / 4);
+}
+
+TEST_P(FatTreeStructure, EveryHostPairIsConnected) {
+  const int k = GetParam();
+  Graph g;
+  buildFatTree(g, k, 100);
+  ShortestPathRouter router(g);
+  util::Rng rng(7);
+  // Same-pod and cross-pod routes both exist and have the expected length.
+  if (k >= 4) {  // k=2 has a single host per edge switch
+    Path same = router.route(0, 1, rng);  // hosts on the same edge switch
+    EXPECT_EQ(same.hops(), 1);
+  }
+  Path cross = router.route(0, g.entryPortCount() - 1, rng);
+  EXPECT_EQ(cross.hops(), 5);  // edge-agg-core-agg-edge
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, FatTreeStructure, ::testing::Values(2, 4, 8));
+
+TEST(FatTree, RejectsOddK) {
+  Graph g;
+  EXPECT_THROW(buildFatTree(g, 3, 10), std::invalid_argument);
+  EXPECT_THROW(buildFatTree(g, 0, 10), std::invalid_argument);
+}
+
+TEST(OtherTopologies, LinearAndLeafSpine) {
+  Graph line;
+  buildLinear(line, 4, 10);
+  EXPECT_EQ(line.switchCount(), 4);
+  EXPECT_EQ(line.linkCount(), 3);
+  EXPECT_EQ(line.entryPortCount(), 2);
+
+  Graph ls;
+  buildLeafSpine(ls, 3, 2, 4, 10);
+  EXPECT_EQ(ls.switchCount(), 5);
+  EXPECT_EQ(ls.linkCount(), 6);
+  EXPECT_EQ(ls.entryPortCount(), 12);
+  ShortestPathRouter router(ls);
+  util::Rng rng(1);
+  Path p = router.route(0, 11, rng);  // leaf0 host -> leaf2 host
+  EXPECT_EQ(p.hops(), 3);             // leaf-spine-leaf
+}
+
+TEST(Routing, PathStartsAndEndsAtAttachedSwitches) {
+  Graph g;
+  buildFatTree(g, 4, 100);
+  ShortestPathRouter router(g);
+  util::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    PortId in = static_cast<PortId>(rng.below(g.entryPortCount()));
+    PortId out = static_cast<PortId>(rng.below(g.entryPortCount()));
+    Path p = router.route(in, out, rng);
+    EXPECT_EQ(p.switches.front(), g.entryPort(in).attachedSwitch);
+    EXPECT_EQ(p.switches.back(), g.entryPort(out).attachedSwitch);
+    for (std::size_t i = 0; i + 1 < p.switches.size(); ++i) {
+      EXPECT_TRUE(g.hasLink(p.switches[i], p.switches[i + 1]));
+    }
+  }
+}
+
+TEST(Routing, TieBreakingDiversifiesPaths) {
+  Graph g;
+  buildFatTree(g, 4, 100);
+  ShortestPathRouter router(g);
+  util::Rng rng(5);
+  PortId in = 0;
+  PortId out = static_cast<PortId>(g.entryPortCount() - 1);
+  std::set<std::vector<SwitchId>> distinct;
+  for (int i = 0; i < 64; ++i) {
+    distinct.insert(router.route(in, out, rng).switches);
+  }
+  // A k=4 fat-tree has 4 equal-cost cross-pod paths.
+  EXPECT_GT(distinct.size(), 1u);
+  EXPECT_LE(distinct.size(), 4u);
+}
+
+TEST(Routing, LocAndReachability) {
+  Graph g;
+  buildLinear(g, 3, 10);
+  ShortestPathRouter router(g);
+  util::Rng rng(1);
+  IngressPaths ip{0, {router.route(0, 1, rng)}};
+  const Path& p = ip.paths[0];
+  EXPECT_EQ(p.locOf(p.switches[0]), 0);
+  EXPECT_EQ(p.locOf(p.switches[2]), 2);
+  EXPECT_EQ(p.locOf(99), -1);
+  auto reach = ip.reachableSwitches();
+  EXPECT_EQ(reach.size(), 3u);
+  EXPECT_EQ(ip.minLoc(p.switches[1]), 1);
+}
+
+TEST(Routing, GeneratePathsSpreadsOverIngresses) {
+  Graph g;
+  buildFatTree(g, 4, 100);
+  util::Rng rng(9);
+  std::vector<PortId> ingresses{0, 5, 10};
+  auto routing = generatePaths(g, ingresses, 30, rng);
+  ASSERT_EQ(routing.size(), 3u);
+  for (const auto& ip : routing) {
+    EXPECT_EQ(ip.paths.size(), 10u);
+    for (const auto& p : ip.paths) {
+      EXPECT_EQ(p.ingress, ip.ingress);
+      EXPECT_NE(p.egress, ip.ingress);
+    }
+  }
+}
+
+TEST(Routing, DstPrefixTrafficIsDisjointAcrossEgresses) {
+  Graph g;
+  buildFatTree(g, 4, 100);
+  util::Rng rng(11);
+  auto routing = generatePaths(g, {0}, 8, rng);
+  assignDstPrefixTraffic(routing, 0x0a000000u, 24);
+  for (const auto& p : routing[0].paths) {
+    ASSERT_TRUE(p.traffic.has_value());
+    for (const auto& q : routing[0].paths) {
+      if (p.egress == q.egress) {
+        EXPECT_TRUE(p.traffic->overlaps(*q.traffic));
+      } else {
+        EXPECT_FALSE(p.traffic->overlaps(*q.traffic));
+      }
+    }
+  }
+}
+
+TEST(Routing, DisconnectedThrows) {
+  Graph g;
+  SwitchId a = g.addSwitch(10);
+  SwitchId b = g.addSwitch(10);
+  PortId pa = g.addEntryPort(a);
+  PortId pb = g.addEntryPort(b);
+  ShortestPathRouter router(g);
+  util::Rng rng(1);
+  EXPECT_THROW(router.route(pa, pb, rng), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ruleplace::topo

@@ -1,0 +1,249 @@
+// Tests for deployment update planning (two-phase rollout) and the
+// monitoring-point placement constraint (§VII future work).
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/instance.h"
+#include "core/placer.h"
+#include "core/update_plan.h"
+#include "core/verify.h"
+#include "match/cubeset.h"
+
+namespace ruleplace::core {
+namespace {
+
+using acl::Action;
+using match::Ternary;
+
+Ternary T(const char* s) { return Ternary::fromString(s); }
+
+// Simple 3-switch line with one ingress and one egress.
+struct Line {
+  topo::Graph graph;
+  topo::PortId in, out;
+  topo::SwitchId s0, s1, s2;
+
+  explicit Line(int capacity) {
+    s0 = graph.addSwitch(capacity);
+    s1 = graph.addSwitch(capacity);
+    s2 = graph.addSwitch(capacity);
+    graph.addLink(s0, s1);
+    graph.addLink(s1, s2);
+    in = graph.addEntryPort(s0);
+    out = graph.addEntryPort(s2);
+  }
+
+  PlacementProblem problem(acl::Policy q) const {
+    PlacementProblem p;
+    p.graph = &graph;
+    p.routing = {{in, {{in, out, {s0, s1, s2}, std::nullopt}}}};
+    p.policies = {std::move(q)};
+    return p;
+  }
+};
+
+acl::Policy simplePolicy() {
+  acl::Policy q;
+  q.addRule(T("1010"), Action::kPermit);
+  q.addRule(T("10**"), Action::kDrop);
+  return q;
+}
+
+TEST(UpdatePlan, EmptyDiffForIdenticalPlacements) {
+  Line net(5);
+  PlacementProblem p = net.problem(simplePolicy());
+  PlaceOutcome a = place(p);
+  ASSERT_TRUE(a.hasSolution());
+  UpdatePlan plan = planUpdate(a.placement, a.placement);
+  EXPECT_TRUE(plan.updates.empty());
+  EXPECT_EQ(plan.addCount, 0);
+  EXPECT_EQ(plan.removeCount, 0);
+  EXPECT_EQ(plan.unchangedCount, a.placement.totalInstalledRules());
+}
+
+TEST(UpdatePlan, DiffCountsMovedEntries) {
+  Line net(5);
+  PlacementProblem p = net.problem(simplePolicy());
+  const auto& rules = p.policies[0].rules();
+  Placement from = buildPlacement(
+      p, {{0, rules[0].id, net.s0}, {0, rules[1].id, net.s0}});
+  Placement to = buildPlacement(
+      p, {{0, rules[0].id, net.s2}, {0, rules[1].id, net.s2}});
+  UpdatePlan plan = planUpdate(from, to);
+  EXPECT_EQ(plan.addCount, 2);
+  EXPECT_EQ(plan.removeCount, 2);
+  ASSERT_EQ(plan.updates.size(), 2u);
+  EXPECT_EQ(plan.updates[0].switchId, net.s0);
+  EXPECT_EQ(plan.updates[0].remove.size(), 2u);
+  EXPECT_EQ(plan.updates[1].switchId, net.s2);
+  EXPECT_EQ(plan.updates[1].add.size(), 2u);
+}
+
+TEST(UpdatePlan, UnionStateContainsBothAndOrdersTargetFirst) {
+  Line net(5);
+  PlacementProblem p = net.problem(simplePolicy());
+  const auto& rules = p.policies[0].rules();
+  Placement from = buildPlacement(p, {{0, rules[1].id, net.s1}});
+  Placement to = buildPlacement(
+      p, {{0, rules[0].id, net.s1}, {0, rules[1].id, net.s1}});
+  Placement u = unionState(from, to);
+  // The stale and target copies of rules[1] are the same (match, action,
+  // tags) entry, so the union holds exactly the target's two entries.
+  EXPECT_EQ(u.usedCapacity(net.s1), 2);
+  EXPECT_EQ(u.table(net.s1)[0].action, Action::kPermit);
+}
+
+TEST(UpdatePlan, TransientOverflowDetected) {
+  Line net(2);
+  PlacementProblem p = net.problem(simplePolicy());
+  const auto& rules = p.policies[0].rules();
+  Placement from = buildPlacement(
+      p, {{0, rules[0].id, net.s0}, {0, rules[1].id, net.s0}});
+  acl::Policy q2;  // a different policy whose entries do not dedupe
+  q2.addRule(T("0101"), Action::kPermit);
+  q2.addRule(T("01**"), Action::kDrop);
+  PlacementProblem p2 = net.problem(q2);
+  const auto& rules2 = p2.policies[0].rules();
+  Placement to = buildPlacement(
+      p2, {{0, rules2[0].id, net.s0}, {0, rules2[1].id, net.s0}});
+  auto overflows = transientOverflows(p, from, to);
+  ASSERT_EQ(overflows.size(), 1u);
+  EXPECT_EQ(overflows[0], net.s0);
+}
+
+// Property: across a reroute, the phase-1 union state never drops a packet
+// both deployments permit and never permits a packet both deployments
+// drop, on every path of both routings (checked exactly with cube sets).
+class UpdateSafetyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpdateSafetyProperty, UnionStateIsFailSafe) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.capacity = 60;
+  cfg.ingressCount = 4;
+  cfg.totalPaths = 10;
+  cfg.rulesPerPolicy = 8;
+  cfg.seed = GetParam();
+  Instance inst(cfg);
+  PlaceOutcome base = place(inst.problem());
+  ASSERT_TRUE(base.hasSolution());
+
+  // Reroute policy 0, producing a second placement.
+  util::Rng rng(GetParam() * 3 + 1);
+  topo::ShortestPathRouter router(inst.graph());
+  topo::PortId in0 = base.solvedProblem.routing[0].ingress;
+  std::vector<topo::IngressPaths> newRouting{
+      {in0,
+       {router.route(in0, 1, rng),
+        router.route(in0, inst.graph().entryPortCount() - 1, rng)}}};
+  PlaceOptions fast;
+  fast.satisfiabilityOnly = true;
+  PlaceOutcome next = reroutePolicies(base.solvedProblem, base.placement, {0},
+                                      newRouting, fast);
+  ASSERT_TRUE(next.hasSolution());
+
+  Placement u = unionState(base.placement, next.placement);
+  // For every policy and every path present in either routing, check the
+  // union state's drop set against the two endpoint deployments.
+  for (int i = 0; i < base.solvedProblem.policyCount(); ++i) {
+    std::vector<const topo::Path*> paths;
+    for (const auto& path : base.solvedProblem.routing[static_cast<std::size_t>(i)].paths) {
+      paths.push_back(&path);
+    }
+    for (const auto& path : next.solvedProblem.routing[static_cast<std::size_t>(i)].paths) {
+      paths.push_back(&path);
+    }
+    for (const topo::Path* path : paths) {
+      match::CubeSet oldDrop = deployedDropSet(base.placement, *path, i);
+      match::CubeSet newDrop = deployedDropSet(next.placement, *path, i);
+      match::CubeSet uniDrop = deployedDropSet(u, *path, i);
+      // Dropped in union => dropped by old or new.
+      match::CubeSet both = oldDrop;
+      both.unite(newDrop);
+      EXPECT_TRUE(both.coversSet(uniDrop))
+          << "policy " << i << ": transient drop of a packet both "
+          << "deployments permit";
+      // Dropped by old AND new => dropped in union.
+      match::CubeSet critical = oldDrop.intersect(newDrop);
+      EXPECT_TRUE(uniDrop.coversSet(critical))
+          << "policy " << i << ": transient leak of a packet both "
+          << "deployments drop";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateSafetyProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---- monitoring points (§VII) ----------------------------------------------
+
+TEST(Monitors, DropForcedDownstreamOfMonitor) {
+  Line net(5);
+  PlacementProblem p = net.problem(simplePolicy());
+  PlaceOptions opts;
+  opts.encoder.monitors = {{net.s1, T("10**")}};
+  PlaceOutcome out = place(p, opts);
+  ASSERT_EQ(out.status, solver::OptStatus::kOptimal);
+  // The drop (and thus its shield) may not sit on s0, upstream of the
+  // monitor on s1.
+  EXPECT_EQ(out.placement.usedCapacity(net.s0), 0);
+  EXPECT_GT(out.encodingStats.monitorForbiddenVars, 0);
+  auto v = verifyPlacement(out.solvedProblem, out.placement);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+TEST(Monitors, NonOverlappingMonitorChangesNothing) {
+  Line net(5);
+  PlacementProblem p = net.problem(simplePolicy());
+  PlaceOptions opts;
+  opts.encoder.monitors = {{net.s1, T("01**")}};  // disjoint from the drop
+  PlaceOutcome out = place(p, opts);
+  ASSERT_EQ(out.status, solver::OptStatus::kOptimal);
+  EXPECT_EQ(out.encodingStats.monitorForbiddenVars, 0);
+  EXPECT_EQ(out.objective, place(p).objective);
+}
+
+TEST(Monitors, MonitorAtIngressForbidsNothing) {
+  Line net(5);
+  PlacementProblem p = net.problem(simplePolicy());
+  PlaceOptions opts;
+  opts.encoder.monitors = {{net.s0, T("****")}};
+  PlaceOutcome out = place(p, opts);
+  ASSERT_EQ(out.status, solver::OptStatus::kOptimal);
+  EXPECT_EQ(out.encodingStats.monitorForbiddenVars, 0);
+}
+
+TEST(Monitors, CanMakeInstanceInfeasible) {
+  // Monitor at the last switch with zero capacity there: the drop has no
+  // legal home.
+  topo::Graph g;
+  topo::SwitchId s0 = g.addSwitch(5);
+  topo::SwitchId s1 = g.addSwitch(0);
+  g.addLink(s0, s1);
+  topo::PortId in = g.addEntryPort(s0);
+  topo::PortId out = g.addEntryPort(s1);
+  acl::Policy q;
+  q.addRule(T("1***"), Action::kDrop);
+  PlacementProblem p;
+  p.graph = &g;
+  p.routing = {{in, {{in, out, {s0, s1}, std::nullopt}}}};
+  p.policies = {q};
+  PlaceOptions opts;
+  opts.encoder.monitors = {{s1, T("1***")}};
+  EXPECT_EQ(place(p, opts).status, solver::OptStatus::kInfeasible);
+  EXPECT_EQ(place(p).status, solver::OptStatus::kOptimal);
+}
+
+TEST(Monitors, RejectsBadMonitor) {
+  Line net(5);
+  PlacementProblem p = net.problem(simplePolicy());
+  PlaceOptions opts;
+  opts.encoder.monitors = {{99, T("1***")}};
+  EXPECT_THROW(place(p, opts), std::invalid_argument);
+  opts.encoder.monitors = {{net.s1, match::Ternary(8)}};  // width mismatch
+  EXPECT_THROW(place(p, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ruleplace::core

@@ -1,0 +1,153 @@
+// Focused tests for the semantic verifier's building blocks and the ECMP
+// routing generator.
+
+#include <gtest/gtest.h>
+
+#include "core/placer.h"
+#include "core/verify.h"
+#include "topo/fattree.h"
+
+namespace ruleplace::core {
+namespace {
+
+using acl::Action;
+using match::Ternary;
+
+Ternary T(const char* s) { return Ternary::fromString(s); }
+
+InstalledRule entry(const char* field, Action a, std::vector<int> tags,
+                    int prio) {
+  InstalledRule r;
+  r.matchField = T(field);
+  r.action = a;
+  r.tags = std::move(tags);
+  r.priority = prio;
+  return r;
+}
+
+TEST(SwitchDropSet, FirstMatchOrderMatters) {
+  // permit above drop shields; drop above permit does not.
+  InstalledRule permit = entry("11*", Action::kPermit, {0}, 2);
+  InstalledRule drop = entry("1**", Action::kDrop, {0}, 1);
+  match::CubeSet shielded =
+      switchDropSet({&permit, &drop}, 3);
+  EXPECT_TRUE(shielded.contains(T("100")));
+  EXPECT_FALSE(shielded.contains(T("110")));
+
+  match::CubeSet unshielded = switchDropSet({&drop, &permit}, 3);
+  EXPECT_TRUE(unshielded.contains(T("110")));
+}
+
+TEST(SwitchDropSet, EmptyTableDropsNothing) {
+  EXPECT_TRUE(switchDropSet({}, 4).empty());
+}
+
+TEST(SwitchDropSet, LaterDropShadowedByEarlierDrop) {
+  InstalledRule wide = entry("1***", Action::kDrop, {0}, 2);
+  InstalledRule narrow = entry("10**", Action::kDrop, {0}, 1);
+  match::CubeSet drops = switchDropSet({&wide, &narrow}, 4);
+  // Same set as wide alone.
+  EXPECT_TRUE(drops.equals(match::CubeSet(T("1***"))));
+}
+
+TEST(DeployedDropSet, UnionsAcrossPathSwitches) {
+  topo::Graph g;
+  topo::SwitchId s0 = g.addSwitch(5);
+  topo::SwitchId s1 = g.addSwitch(5);
+  g.addLink(s0, s1);
+  topo::PortId in = g.addEntryPort(s0);
+  topo::PortId out = g.addEntryPort(s1);
+  acl::Policy q;
+  int d1 = q.addRule(T("10**"), Action::kDrop);
+  int d2 = q.addRule(T("01**"), Action::kDrop);
+  PlacementProblem p;
+  p.graph = &g;
+  topo::Path path{in, out, {s0, s1}, std::nullopt};
+  p.routing = {{in, {path}}};
+  p.policies = {q};
+  Placement pl = buildPlacement(p, {{0, d1, s0}, {0, d2, s1}});
+  match::CubeSet drops = deployedDropSet(pl, path, 0);
+  EXPECT_TRUE(drops.contains(T("1000")));
+  EXPECT_TRUE(drops.contains(T("0100")));
+  EXPECT_FALSE(drops.contains(T("1100")));
+}
+
+TEST(Verify, MultiErrorReportEnumeratesAll) {
+  topo::Graph g;
+  topo::SwitchId s0 = g.addSwitch(5);
+  topo::SwitchId s1 = g.addSwitch(5);
+  g.addLink(s0, s1);
+  topo::PortId in = g.addEntryPort(s0);
+  topo::PortId out = g.addEntryPort(s1);
+  acl::Policy q;
+  q.addRule(T("1***"), Action::kDrop);
+  PlacementProblem p;
+  p.graph = &g;
+  p.routing = {{in,
+                {{in, out, {s0, s1}, std::nullopt},
+                 {in, out, {s0, s1}, std::nullopt}}}};
+  p.policies = {q};
+  Placement empty(2);
+  auto v = verifyPlacement(p, empty);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.errors.size(), 2u);  // one per path
+}
+
+}  // namespace
+}  // namespace ruleplace::core
+
+namespace ruleplace::topo {
+namespace {
+
+TEST(EcmpPaths, InstallsWholeEqualCostGroup) {
+  Graph g;
+  buildFatTree(g, 4, 50);
+  util::Rng rng(3);
+  auto routing = generateEcmpPaths(g, {0}, 3, 8, rng);
+  ASSERT_EQ(routing.size(), 1u);
+  EXPECT_GE(routing[0].paths.size(), 3u);
+  // All members of each (ingress, egress) group share the same length.
+  std::map<PortId, int> lengthOf;
+  for (const auto& p : routing[0].paths) {
+    auto [it, inserted] = lengthOf.emplace(p.egress, p.hops());
+    if (!inserted) {
+      EXPECT_EQ(p.hops(), it->second);
+    }
+    EXPECT_EQ(p.ingress, 0);
+  }
+}
+
+TEST(EcmpPaths, CrossPodFlowsGetFourPaths) {
+  Graph g;
+  buildFatTree(g, 4, 50);
+  ShortestPathRouter router(g);
+  // Deterministically verify the ECMP tier size via kShortest.
+  auto tier = router.kShortest(0, g.entryPortCount() - 1, 16);
+  int equal = 0;
+  for (const auto& p : tier) {
+    if (p.hops() == tier.front().hops()) ++equal;
+  }
+  EXPECT_EQ(equal, 4);  // k=4 fat-tree: 4 cross-pod ECMP paths
+}
+
+TEST(EcmpPaths, PlacementCoversEveryGroupMember) {
+  // End to end: a drop must appear on every ECMP member path.
+  Graph g;
+  buildFatTree(g, 4, 2);  // tight: cannot just sit at the shared edge? it
+                          // can (edge is shared by all members) - fine.
+  util::Rng rng(5);
+  auto routing = generateEcmpPaths(g, {0}, 2, 8, rng);
+  acl::Policy q;
+  q.addRule(match::Ternary::fromString("1***"), acl::Action::kDrop);
+  core::PlacementProblem p;
+  p.graph = &g;
+  p.routing = routing;
+  p.policies = {q};
+  core::PlaceOutcome out = core::place(p);
+  ASSERT_TRUE(out.hasSolution());
+  auto v = core::verifyPlacement(out.solvedProblem, out.placement);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+}  // namespace
+}  // namespace ruleplace::topo
