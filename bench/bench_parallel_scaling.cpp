@@ -1,0 +1,88 @@
+// Parallel placement scaling: the same decomposable instance solved with
+// 1 / 2 / 4 / 8 worker threads.  Capacity is kept roomy so the instance
+// splits into one coupling component per ingress and the thread pool has
+// real parallel work; the useful comparison is wall time (UseManualTime
+// over encode+solve) versus the `cpu_s` counter, which sums the
+// per-component solve times and stays ~constant across the sweep.  On a
+// single-core host the sweep still runs but shows no speedup.
+
+#include "bench_common.h"
+
+namespace ruleplace::bench {
+namespace {
+
+core::InstanceConfig scalingConfig() {
+  core::InstanceConfig cfg;
+  cfg.fatTreeK = fullScale() ? 8 : 4;
+  cfg.capacity = 10000;  // roomy: no switch couples, components = ingresses
+  cfg.ingressCount = fullScale() ? 16 : 8;
+  cfg.totalPaths = fullScale() ? 64 : 24;
+  cfg.rulesPerPolicy = fullScale() ? 30 : 12;
+  cfg.seed = 7;
+  return cfg;
+}
+
+void BM_ParallelScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  core::InstanceConfig cfg = scalingConfig();
+  core::PlaceOptions opts;
+  opts.threads = threads;
+  opts.budget = pointBudget();
+  for (auto _ : state) {
+    core::Instance inst(cfg);
+    core::PlaceOutcome out = core::place(inst.problem(), opts);
+    state.SetIterationTime(out.encodeSeconds + out.solveSeconds);
+    double cpu = 0;
+    for (const auto& c : out.componentStats) {
+      cpu += c.encodeSeconds + c.solveSeconds;
+    }
+    state.counters["cpu_s"] = cpu;
+    state.counters["components"] =
+        static_cast<double>(out.componentStats.size());
+    state.counters["threads_used"] = static_cast<double>(out.threadsUsed);
+    state.counters["optimal"] =
+        out.status == solver::OptStatus::kOptimal ? 1 : 0;
+    state.counters["objective"] = out.hasSolution()
+                                      ? static_cast<double>(out.objective)
+                                      : 0;
+  }
+}
+
+BENCHMARK(BM_ParallelScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Tightly coupled control: capacity low enough that shared aggregation /
+// core switches glue everything into one component — the decomposition
+// finds nothing to parallelize and every thread count must cost the same.
+void BM_ParallelScalingCoupled(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  core::InstanceConfig cfg = scalingConfig();
+  cfg.capacity = fullScale() ? 60 : 30;
+  core::PlaceOptions opts;
+  opts.threads = threads;
+  opts.budget = pointBudget();
+  for (auto _ : state) {
+    core::Instance inst(cfg);
+    core::PlaceOutcome out = core::place(inst.problem(), opts);
+    state.SetIterationTime(out.encodeSeconds + out.solveSeconds);
+    state.counters["components"] =
+        static_cast<double>(out.componentStats.size());
+    state.counters["threads_used"] = static_cast<double>(out.threadsUsed);
+  }
+}
+
+BENCHMARK(BM_ParallelScalingCoupled)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ruleplace::bench
+
+BENCHMARK_MAIN();

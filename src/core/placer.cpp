@@ -1,26 +1,33 @@
 #include "core/placer.h"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
 
 #include "acl/redundancy.h"
 #include "depgraph/merging.h"
+#include "util/thread_pool.h"
 
 namespace ruleplace::core {
 
 namespace {
+
 double secondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
-}  // namespace
 
-PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
+// The monolithic Fig. 4 pipeline on one (sub)problem.  Redundancy removal
+// has already run in place(); everything else happens here, so a
+// single-component instance takes exactly this path.
+PlaceOutcome placeComponent(PlacementProblem problem,
+                            const PlaceOptions& options) {
   PlaceOutcome outcome;
   auto t0 = std::chrono::steady_clock::now();
 
-  if (options.removeRedundancy) {
-    for (auto& q : problem.policies) acl::removeRedundant(q);
-  }
   if (options.encoder.enableMerging) {
     outcome.mergeInfo = depgraph::analyzeMergeable(problem.policies);
   }
@@ -56,6 +63,289 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
         options.encoder.enableMerging ? &outcome.mergeInfo : nullptr);
   }
   outcome.solvedProblem = std::move(problem);
+  return outcome;
+}
+
+ComponentSolveStats componentStatsOf(const PlaceOutcome& out) {
+  ComponentSolveStats cs;
+  cs.policyCount = out.solvedProblem.policyCount();
+  cs.ruleCount = out.solvedProblem.totalPolicyRules();
+  cs.status = out.status;
+  cs.objective = out.objective;
+  cs.encodeSeconds = out.encodeSeconds;
+  cs.solveSeconds = out.solveSeconds;
+  cs.solverStats = out.solverStats;
+  return cs;
+}
+
+void accumulate(solver::SolverStats& into, const solver::SolverStats& s) {
+  into.conflicts += s.conflicts;
+  into.decisions += s.decisions;
+  into.propagations += s.propagations;
+  into.restarts += s.restarts;
+  into.learntLiterals += s.learntLiterals;
+  into.deletedClauses += s.deletedClauses;
+}
+
+void accumulate(EncodingStats& into, const EncodingStats& s) {
+  into.placementVars += s.placementVars;
+  into.mergeVars += s.mergeVars;
+  into.ruleDependencyConstraints += s.ruleDependencyConstraints;
+  into.pathDependencyConstraints += s.pathDependencyConstraints;
+  into.capacityConstraints += s.capacityConstraints;
+  into.mergeConstraints += s.mergeConstraints;
+  into.slicedAwayRules += s.slicedAwayRules;
+  into.objectiveLowerBound += s.objectiveLowerBound;
+  into.requiredRules += s.requiredRules;
+  into.presolveInfeasiblePaths += s.presolveInfeasiblePaths;
+  into.monitorForbiddenVars += s.monitorForbiddenVars;
+}
+
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(int n) : parent(static_cast<std::size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(b)] = a;
+  }
+};
+
+struct RuleKey {
+  match::Ternary field;
+  acl::Action action;
+  bool operator<(const RuleKey& o) const {
+    if (action != o.action) return action < o.action;
+    return field < o.field;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> couplingComponents(
+    const PlacementProblem& problem, const EncoderOptions& options) {
+  const int n = problem.policyCount();
+  Dsu dsu(n);
+
+  // Worst case for one policy's entry count at a single switch: every rule
+  // installed there once.  With merging, cycle breaking may append dummy
+  // rules later (inside the per-component pipeline) — at most one per
+  // distinct rule shared with another policy, since each break bans the
+  // original for good — so reserve that headroom too.
+  std::vector<std::int64_t> sizeBound(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sizeBound[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+        problem.policies[static_cast<std::size_t>(i)].size());
+  }
+
+  if (options.enableMerging) {
+    // Distinct (match, action) keys per policy — the same keying
+    // depgraph::analyzeMergeable groups on.  Policies sharing a key may
+    // merge (and dummies only ever clone such rules, so this covers every
+    // post-dummy group too).
+    std::map<RuleKey, std::vector<int>> holders;
+    for (int i = 0; i < n; ++i) {
+      std::set<RuleKey> distinct;
+      for (const auto& r :
+           problem.policies[static_cast<std::size_t>(i)].rules()) {
+        distinct.insert(RuleKey{r.matchField, r.action});
+      }
+      for (const auto& key : distinct) holders[key].push_back(i);
+    }
+    for (const auto& [key, policies] : holders) {
+      (void)key;
+      if (policies.size() < 2) continue;
+      for (std::size_t k = 1; k < policies.size(); ++k) {
+        dsu.unite(policies[0], policies[k]);
+      }
+      for (int p : policies) ++sizeBound[static_cast<std::size_t>(p)];
+    }
+  }
+
+  // Capacity coupling: a switch can only couple the policies reaching it
+  // when their worst-case combined load exceeds its capacity — otherwise
+  // Eq. 3 is slack under *every* assignment and drops out.
+  const int switchCount = problem.graph->switchCount();
+  std::vector<std::int64_t> potential(static_cast<std::size_t>(switchCount),
+                                      0);
+  std::vector<std::vector<int>> reachers(
+      static_cast<std::size_t>(switchCount));
+  for (int i = 0; i < n; ++i) {
+    for (topo::SwitchId sw :
+         problem.routing[static_cast<std::size_t>(i)].reachableSwitches()) {
+      potential[static_cast<std::size_t>(sw)] +=
+          sizeBound[static_cast<std::size_t>(i)];
+      reachers[static_cast<std::size_t>(sw)].push_back(i);
+    }
+  }
+  for (int sw = 0; sw < switchCount; ++sw) {
+    const auto& r = reachers[static_cast<std::size_t>(sw)];
+    if (r.size() < 2) continue;
+    if (potential[static_cast<std::size_t>(sw)] <= problem.capacityOf(sw)) {
+      continue;
+    }
+    for (std::size_t k = 1; k < r.size(); ++k) dsu.unite(r[0], r[k]);
+  }
+
+  // Emit components ordered by smallest member id (ascending scan), each
+  // sorted internally — the fixed merge order of the parallel placer.
+  std::vector<std::vector<int>> components;
+  std::vector<int> slotOfRoot(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    int root = dsu.find(i);
+    if (slotOfRoot[static_cast<std::size_t>(root)] < 0) {
+      slotOfRoot[static_cast<std::size_t>(root)] =
+          static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<std::size_t>(
+                   slotOfRoot[static_cast<std::size_t>(root)])]
+        .push_back(i);
+  }
+  return components;
+}
+
+PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
+  auto wallStart = std::chrono::steady_clock::now();
+  if (options.removeRedundancy) {
+    for (auto& q : problem.policies) acl::removeRedundant(q);
+  }
+
+  std::vector<std::vector<int>> components =
+      couplingComponents(problem, options.encoder);
+
+  PlaceOptions subOptions = options;
+  subOptions.removeRedundancy = false;  // already done above
+
+  if (components.size() <= 1) {
+    PlaceOutcome outcome = placeComponent(std::move(problem), subOptions);
+    outcome.componentStats = {componentStatsOf(outcome)};
+    outcome.threadsUsed = 1;
+    return outcome;
+  }
+
+  const int k = static_cast<int>(components.size());
+  // Slice the global budget fairly over components (by component count,
+  // not thread count, so the slices — and hence the results — do not
+  // depend on the parallelism level).
+  subOptions.budget = options.budget.sliced(k);
+  subOptions.threads = 1;
+
+  std::vector<PlacementProblem> subProblems(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    PlacementProblem& sub = subProblems[static_cast<std::size_t>(c)];
+    sub.graph = problem.graph;
+    sub.capacityOverride = problem.capacityOverride;
+    for (int g : components[static_cast<std::size_t>(c)]) {
+      sub.routing.push_back(problem.routing[static_cast<std::size_t>(g)]);
+      sub.policies.push_back(problem.policies[static_cast<std::size_t>(g)]);
+    }
+  }
+  const double partitionSeconds = secondsSince(wallStart);
+
+  // Solve every component — even after an infeasible one, so statuses and
+  // statistics do not depend on completion order.  Each result lands in
+  // its pre-assigned slot; nothing below depends on *when* it got there.
+  std::vector<PlaceOutcome> subOutcomes(static_cast<std::size_t>(k));
+  const int requested = options.threads > 0
+                            ? options.threads
+                            : util::ThreadPool::hardwareThreads();
+  const int workers = std::min(requested, k);
+  auto solveStart = std::chrono::steady_clock::now();
+  auto solveOne = [&](int c) {
+    subOutcomes[static_cast<std::size_t>(c)] = placeComponent(
+        std::move(subProblems[static_cast<std::size_t>(c)]), subOptions);
+  };
+  if (workers <= 1) {
+    for (int c = 0; c < k; ++c) solveOne(c);
+  } else {
+    util::ThreadPool pool(workers);
+    for (int c = 0; c < k; ++c) {
+      pool.submit([&solveOne, c] { solveOne(c); });
+    }
+    pool.wait();
+  }
+
+  // ---- deterministic merge, in fixed component order ----------------------
+  PlaceOutcome outcome;
+  outcome.threadsUsed = workers;
+  outcome.encodeSeconds = partitionSeconds;
+
+  bool anyInfeasible = false;
+  bool anyUnknown = false;
+  bool allOptimal = true;
+  int groupOffset = 0;
+  for (int c = 0; c < k; ++c) {
+    const PlaceOutcome& sub = subOutcomes[static_cast<std::size_t>(c)];
+    switch (sub.status) {
+      case solver::OptStatus::kInfeasible: anyInfeasible = true; break;
+      case solver::OptStatus::kUnknown: anyUnknown = true; break;
+      case solver::OptStatus::kFeasible: allOptimal = false; break;
+      case solver::OptStatus::kOptimal: break;
+    }
+    accumulate(outcome.solverStats, sub.solverStats);
+    accumulate(outcome.encodingStats, sub.encodingStats);
+    outcome.modelVars += sub.modelVars;
+    outcome.modelConstraints += sub.modelConstraints;
+    outcome.modelNonzeros += sub.modelNonzeros;
+    outcome.componentStats.push_back(componentStatsOf(sub));
+
+    // Merge analysis: remap member policies to global ids, renumber
+    // groups densely across components.
+    const auto& comp = components[static_cast<std::size_t>(c)];
+    for (depgraph::MergeGroup g : sub.mergeInfo.groups) {
+      g.id += groupOffset;
+      for (auto& m : g.members) {
+        m.policyId = comp[static_cast<std::size_t>(m.policyId)];
+      }
+      outcome.mergeInfo.groups.push_back(std::move(g));
+    }
+    for (depgraph::DummyInsertion d : sub.mergeInfo.dummies) {
+      d.policyId = comp[static_cast<std::size_t>(d.policyId)];
+      outcome.mergeInfo.dummies.push_back(d);
+    }
+    for (int id : sub.mergeInfo.groupOrder) {
+      outcome.mergeInfo.groupOrder.push_back(id + groupOffset);
+    }
+    outcome.mergeInfo.cyclesBroken += sub.mergeInfo.cyclesBroken;
+    groupOffset += static_cast<int>(sub.mergeInfo.groups.size());
+
+    // Write the component's solved policies (possibly with dummy rules)
+    // back into the global problem.
+    for (std::size_t l = 0; l < comp.size(); ++l) {
+      problem.policies[static_cast<std::size_t>(comp[l])] =
+          std::move(subOutcomes[static_cast<std::size_t>(c)]
+                        .solvedProblem.policies[l]);
+    }
+  }
+
+  outcome.status = anyInfeasible ? solver::OptStatus::kInfeasible
+                   : anyUnknown  ? solver::OptStatus::kUnknown
+                   : allOptimal  ? solver::OptStatus::kOptimal
+                                 : solver::OptStatus::kFeasible;
+  if (outcome.hasSolution()) {
+    outcome.placement = Placement(problem.graph->switchCount());
+    for (int c = 0; c < k; ++c) {
+      const auto& comp = components[static_cast<std::size_t>(c)];
+      std::vector<int> tagMap(comp.begin(), comp.end());
+      outcome.placement.appendMapped(
+          subOutcomes[static_cast<std::size_t>(c)].placement, tagMap);
+      outcome.objective +=
+          subOutcomes[static_cast<std::size_t>(c)].objective;
+    }
+  }
+  outcome.solvedProblem = std::move(problem);
+  outcome.solveSeconds = secondsSince(solveStart);
   return outcome;
 }
 

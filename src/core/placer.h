@@ -3,8 +3,17 @@
 //
 //   redundancy removal (optional) -> dependency graph -> mergeable rules ->
 //   ILP formulation -> solve -> extract tagged per-switch tables.
+//
+// The driver additionally decomposes the instance into independent
+// *coupling components* — per-ingress subproblems, glued together only when
+// policies can interact through a bindable shared switch-capacity
+// constraint or a cross-policy merge group — and solves the components on a
+// work-stealing thread pool (PlaceOptions::threads).  Sub-results are
+// merged in a fixed component order, independent of completion order, so
+// the outcome is deterministic and bit-identical across thread counts.
 
 #include <cstdint>
+#include <vector>
 
 #include "core/encoder.h"
 #include "core/placement.h"
@@ -25,20 +34,47 @@ struct PlaceOptions {
   /// Run complete redundancy removal on every policy first (Fig. 4's
   /// optional first stage).
   bool removeRedundancy = false;
+  /// Worker threads for solving independent coupling components
+  /// (0 = hardware concurrency).  Thread count only changes scheduling,
+  /// never the result: placements, objectives and statuses are
+  /// bit-identical for every value.
+  int threads = 0;
+};
+
+/// Solve detail for one coupling component (tentpole observability: lets
+/// benches attribute parallel speedups component by component).
+struct ComponentSolveStats {
+  int policyCount = 0;           ///< ingress policies in the component
+  std::int64_t ruleCount = 0;    ///< total rules (incl. inserted dummies)
+  solver::OptStatus status = solver::OptStatus::kUnknown;
+  std::int64_t objective = 0;    ///< valid when the component has a solution
+  double encodeSeconds = 0.0;
+  double solveSeconds = 0.0;
+  solver::SolverStats solverStats;
 };
 
 struct PlaceOutcome {
   solver::OptStatus status = solver::OptStatus::kUnknown;
   Placement placement;      ///< valid when hasSolution()
   std::int64_t objective = 0;
+  /// Wall-clock times.  When the instance decomposes, encodeSeconds covers
+  /// the partitioning stage and solveSeconds the parallel encode+solve
+  /// phase (per-component split times live in componentStats); their sum
+  /// is always the end-to-end wall time of place().
   double encodeSeconds = 0.0;
   double solveSeconds = 0.0;
+  /// Aggregated over all components (conflicts, propagations, ... sum).
   solver::SolverStats solverStats;
   EncodingStats encodingStats;
   int modelVars = 0;
   std::int64_t modelConstraints = 0;
   std::int64_t modelNonzeros = 0;
   depgraph::MergeAnalysis mergeInfo;
+  /// Per coupling component, in merge order (smallest member policy id
+  /// first).  Always has >= 1 entry after place().
+  std::vector<ComponentSolveStats> componentStats;
+  /// Worker threads actually used (min(threads, component count)).
+  int threadsUsed = 1;
   /// The problem actually solved (policies may contain cycle-breaking
   /// dummy rules; redundancy removal may have shrunk them).  Verify
   /// against this, not the original input.
@@ -54,5 +90,21 @@ struct PlaceOutcome {
 /// pipeline may rewrite policies (dummy rules, redundancy removal); the
 /// caller's graph must outlive the returned outcome.
 PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options = {});
+
+/// Partition policy indices into independent coupling components.  Two
+/// policies land in the same component iff (transitively) they could
+/// interact in the encoding:
+///   * they both reach a switch whose *worst-case* combined load (every
+///     reaching policy installing all of its rules there, plus headroom
+///     for cycle-breaking dummies) exceeds the switch's capacity — a
+///     switch that can never make Eq. 3 bind cannot couple policies; or
+///   * merging is enabled and they share an identical (match, action)
+///     rule, i.e. they may form a merge group (Eq. 4/5).
+/// Components are returned sorted, each sorted internally, ordered by
+/// their smallest policy id.  Solving components independently and
+/// summing is exact: the feasible set factors into a product and every
+/// supported objective is separable per policy/merge group.
+std::vector<std::vector<int>> couplingComponents(
+    const PlacementProblem& problem, const EncoderOptions& options);
 
 }  // namespace ruleplace::core

@@ -67,7 +67,14 @@ std::string reportToJson(const PlacementReport& report) {
      << ",\"switches_used\":" << report.switchesUsed
      << ",\"max_switch_load\":" << report.maxSwitchLoad
      << ",\"mean_switch_load_pct\":" << report.meanSwitchLoadPct
-     << ",\"merged_entries\":" << report.mergedEntries << '}';
+     << ",\"merged_entries\":" << report.mergedEntries
+     << ",\"components\":" << report.components
+     << ",\"threads_used\":" << report.threadsUsed
+     << ",\"solver_conflicts\":" << report.solverConflicts
+     << ",\"solver_propagations\":" << report.solverPropagations
+     << ",\"solver_restarts\":" << report.solverRestarts
+     << ",\"solve_wall_seconds\":" << report.solveWallSeconds
+     << ",\"solve_cpu_seconds\":" << report.solveCpuSeconds << '}';
   return os.str();
 }
 

@@ -1,6 +1,7 @@
 #include "io/report.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 #include "io/policy_text.h"
@@ -16,12 +17,28 @@ std::string PlacementReport::toString() const {
      << "switches used        : " << switchesUsed << '\n'
      << "max switch load      : " << maxSwitchLoad << '\n'
      << "mean load (used)     : " << meanSwitchLoadPct << "%\n"
-     << "merged entries       : " << mergedEntries << '\n';
+     << "merged entries       : " << mergedEntries << '\n'
+     << "components           : " << components << " (" << threadsUsed
+     << (threadsUsed == 1 ? " thread)\n" : " threads)\n")
+     << "solver conflicts     : " << solverConflicts << '\n'
+     << "solver propagations  : " << solverPropagations << '\n'
+     << "solver restarts      : " << solverRestarts << '\n'
+     << "solve wall / cpu     : " << solveWallSeconds << "s / "
+     << solveCpuSeconds << "s\n";
   return os.str();
 }
 
 PlacementReport analyzePlacement(const core::PlaceOutcome& outcome) {
   PlacementReport report;
+  report.components = static_cast<int>(outcome.componentStats.size());
+  report.threadsUsed = outcome.threadsUsed;
+  report.solverConflicts = outcome.solverStats.conflicts;
+  report.solverPropagations = outcome.solverStats.propagations;
+  report.solverRestarts = outcome.solverStats.restarts;
+  report.solveWallSeconds = outcome.solveSeconds;
+  for (const auto& c : outcome.componentStats) {
+    report.solveCpuSeconds += c.encodeSeconds + c.solveSeconds;
+  }
   if (!outcome.hasSolution()) return report;
   const core::Placement& placement = outcome.placement;
   const core::PlacementProblem& problem = outcome.solvedProblem;
@@ -52,6 +69,32 @@ PlacementReport analyzePlacement(const core::PlaceOutcome& outcome) {
     report.meanSwitchLoadPct = loadSum / report.switchesUsed;
   }
   return report;
+}
+
+std::string componentTable(const core::PlaceOutcome& outcome) {
+  std::ostringstream os;
+  os << std::setw(4) << "#" << std::setw(10) << "policies" << std::setw(7)
+     << "rules" << std::setw(12) << "status" << std::setw(11) << "objective"
+     << std::setw(11) << "conflicts" << std::setw(10) << "time(s)" << '\n';
+  for (std::size_t i = 0; i < outcome.componentStats.size(); ++i) {
+    const core::ComponentSolveStats& c = outcome.componentStats[i];
+    const bool solved = c.status == solver::OptStatus::kOptimal ||
+                        c.status == solver::OptStatus::kFeasible;
+    os << std::setw(4) << i << std::setw(10) << c.policyCount << std::setw(7)
+       << c.ruleCount << std::setw(12) << solver::toString(c.status)
+       << std::setw(11);
+    if (solved) {
+      os << c.objective;
+    } else {
+      os << '-';
+    }
+    os << std::setw(11) << c.solverStats.conflicts << std::setw(10)
+       << std::fixed << std::setprecision(3)
+       << (c.encodeSeconds + c.solveSeconds) << '\n';
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+  }
+  return os.str();
 }
 
 std::string utilizationTable(const core::PlacementProblem& problem,

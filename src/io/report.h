@@ -19,11 +19,25 @@ struct PlacementReport {
   int mergedEntries = 0;
   std::int64_t replicateAllRules = 0;  ///< naive p x r comparison
 
+  // Decomposed-solve attribution (aggregated over coupling components —
+  // filled even when the outcome has no solution).
+  int components = 0;                  ///< coupling components solved
+  int threadsUsed = 0;
+  std::int64_t solverConflicts = 0;
+  std::int64_t solverPropagations = 0;
+  std::int64_t solverRestarts = 0;
+  double solveWallSeconds = 0;         ///< elapsed encode+solve wall time
+  double solveCpuSeconds = 0;          ///< Σ per-component encode+solve time
+
   std::string toString() const;
 };
 
 /// Compute the report for a solved outcome.
 PlacementReport analyzePlacement(const core::PlaceOutcome& outcome);
+
+/// Per-component solve table ("#c policies rules status objective
+/// conflicts time") — how benches attribute parallel speedups.
+std::string componentTable(const core::PlaceOutcome& outcome);
 
 /// Per-switch utilization table ("<name> used/capacity [bar]").
 std::string utilizationTable(const core::PlacementProblem& problem,

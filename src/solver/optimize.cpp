@@ -183,9 +183,6 @@ class Polisher {
     return changedAny;
   }
 
- public:
-
- private:
   const Model* model_;
   std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> occs_;
   std::vector<std::pair<std::int64_t, ModelVar>> candidates_;
@@ -235,11 +232,15 @@ OptResult Optimizer::solveWithHint(
 
 OptResult Optimizer::run(const Model& model, bool useObjective,
                          const std::vector<std::pair<ModelVar, bool>>* hint,
-                         const Budget& budget) {
+                         const Budget& budgetIn) {
+  // Canonicalize once at the API boundary: any negative limit means
+  // unlimited (mapped to the -1 sentinel), maxSeconds == 0 means the
+  // budget is already spent (see Budget in types.h).
+  const Budget budget = budgetIn.normalized();
   const auto startTime = std::chrono::steady_clock::now();
   auto remaining = [&]() -> Budget {
     Budget b = budget;
-    if (budget.maxSeconds >= 0) {
+    if (!budget.unlimitedTime()) {
       double elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - startTime)
                            .count();
@@ -248,9 +249,7 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
     }
     return b;
   };
-  auto exhausted = [&](const Budget& b) {
-    return budget.maxSeconds >= 0 && b.maxSeconds <= 0;
-  };
+  auto exhausted = [&](const Budget& b) { return b.timeExhausted(); };
 
   Solver solver;
   std::vector<Var> varMap;

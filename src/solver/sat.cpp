@@ -1,6 +1,7 @@
 #include "solver/sat.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <stdexcept>
 
@@ -96,6 +97,25 @@ bool Solver::addCardinality(std::vector<Lit> lits, int bound) {
   }
   if (bound <= 0) return true;  // trivially satisfied
   if (bound == 1) return addClause(std::move(lits));
+  // Normalize repeated / complementary literals (addClause handles its
+  // own).  A repeated literal contributes its multiplicity and an x/¬x
+  // pair contributes a constant 1 — exactly pseudo-Boolean semantics —
+  // while the falseCount counter below assumes unique literals, so route
+  // such inputs through addPB, whose normalization merges them.
+  std::sort(lits.begin(), lits.end());
+  bool unique = true;
+  for (std::size_t i = 1; i < lits.size(); ++i) {
+    if (lits[i] == lits[i - 1] || lits[i] == ~lits[i - 1]) {
+      unique = false;
+      break;
+    }
+  }
+  if (!unique) {
+    std::vector<std::pair<std::int64_t, Lit>> terms;
+    terms.reserve(lits.size());
+    for (Lit l : lits) terms.push_back({1, l});
+    return addPB(std::move(terms), bound);
+  }
   if (static_cast<int>(lits.size()) < bound) {
     ok_ = false;
     return false;
@@ -141,9 +161,38 @@ bool Solver::addPB(std::vector<std::pair<std::int64_t, Lit>> terms,
       throw std::invalid_argument("addPB requires positive coefficients");
     }
   }
-  if (bound <= 0) return true;
+  // Normalize to unique literals: repeated literals merge (coefficients
+  // add) and complementary x/¬x pairs cancel — min(a, b) of the pair is
+  // contributed unconditionally, so it moves into the bound and only the
+  // residual |a - b| stays on the stronger literal.  The possibleSum /
+  // falseCount propagation counters assume each variable occurs at most
+  // once per constraint; without this a duplicated literal would be
+  // double-counted on a single assignment.
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (j > 0 && terms[i].second == terms[j - 1].second) {
+      terms[j - 1].first += terms[i].first;
+    } else if (j > 0 && terms[i].second == ~terms[j - 1].second) {
+      const std::int64_t a = terms[j - 1].first;
+      const std::int64_t b = terms[i].first;
+      bound -= std::min(a, b);
+      if (a == b) {
+        --j;
+      } else if (a > b) {
+        terms[j - 1].first = a - b;
+      } else {
+        terms[j - 1] = {b - a, terms[i].second};
+      }
+    } else {
+      terms[j++] = terms[i];
+    }
+  }
+  terms.resize(j);
+  if (bound <= 0) return true;  // satisfied by the cancelled constant part
   if (terms.empty()) {
-    ok_ = false;
+    ok_ = false;  // positive bound over an empty sum: UNSAT at the root
     return false;
   }
   // Coefficients larger than the bound act like the bound (saturation).
@@ -629,6 +678,42 @@ void Solver::reduceDB() {
     ++stats_.deletedClauses;
     --learntCount_;
   }
+  if (toDelete > 0) compactClauseDB();
+}
+
+void Solver::compactClauseDB() {
+  // Physically erase tombstoned clauses.  Without this, clauses_ and the
+  // stale Watcher entries referencing deleted clauses grow without bound
+  // across long optimization runs.  Compaction renumbers clauses, so every
+  // stored clause index — watcher lists and clausal reasons on the trail —
+  // is rebuilt or remapped.
+  std::vector<std::int32_t> remap(clauses_.size(), -1);
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].deleted) continue;
+    remap[i] = static_cast<std::int32_t>(alive);
+    if (alive != i) clauses_[alive] = std::move(clauses_[i]);
+    ++alive;
+  }
+  clauses_.resize(alive);
+  // Rebuild the watcher lists from scratch.  The watched literals of a
+  // clause are always lits[0] and lits[1] (propagateClauses maintains that
+  // positional invariant), so re-attaching preserves the two-watched
+  // scheme exactly; blockers are heuristic and may be refreshed freely.
+  for (auto& ws : watches_) ws.clear();
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    attachClause(static_cast<std::int32_t>(i));
+  }
+  // Remap clausal reasons.  Every assigned variable sits on the trail, so
+  // this covers all live Reason records; reduceDB never deletes a locked
+  // clause, which the assert double-checks.
+  for (Lit p : trail_) {
+    Reason& r = reasons_[static_cast<std::size_t>(p.var())];
+    if (r.kind != Reason::Kind::kClause) continue;
+    assert(remap[static_cast<std::size_t>(r.idx)] >= 0 &&
+           "reason points at a deleted clause");
+    r.idx = remap[static_cast<std::size_t>(r.idx)];
+  }
 }
 
 // ---- main search ---------------------------------------------------------------
@@ -637,14 +722,15 @@ SolveStatus Solver::solve(const Budget& budget) {
   if (!ok_) return SolveStatus::kUnsat;
   const auto startTime = std::chrono::steady_clock::now();
   auto timedOut = [&] {
-    if (budget.maxSeconds < 0) return false;
+    if (budget.unlimitedTime()) return false;
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - startTime)
                        .count();
     return elapsed > budget.maxSeconds;
   };
   const std::int64_t conflictBudget =
-      budget.maxConflicts < 0 ? -1 : stats_.conflicts + budget.maxConflicts;
+      budget.unlimitedConflicts() ? -1
+                                  : stats_.conflicts + budget.maxConflicts;
 
   cancelUntil(0);
   std::vector<Lit> conflict;

@@ -176,6 +176,7 @@ class Solver {
 
   Lit pickBranchLit();
   void reduceDB();
+  void compactClauseDB();
   void rescaleActivity();
 
   std::vector<bool> model_;

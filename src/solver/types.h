@@ -53,13 +53,53 @@ enum class SolveStatus : std::uint8_t {
 };
 
 /// Resource budget for one solve call.
+///
+/// Semantics (normative for every consumer in this repo):
+///   * a *negative* limit means unlimited (the canonical sentinel is -1);
+///   * a limit of *zero* means the budget is already exhausted: the call
+///     must give up that resource immediately and report kUnknown, unless
+///     the instance is decided for free (e.g. root-level UNSAT);
+///   * a *positive* limit is consumed incrementally.
+/// Callers that do arithmetic on budgets (deadline subtraction, fair
+/// slicing) must clamp at zero rather than let a remainder go negative,
+/// because a negative value would silently read as "unlimited".
+/// normalized() maps any negative value onto the -1 sentinel so budgets
+/// can be compared structurally.
 struct Budget {
-  std::int64_t maxConflicts = -1;  ///< -1 = unlimited
-  double maxSeconds = -1.0;        ///< -1 = unlimited
+  std::int64_t maxConflicts = -1;  ///< < 0 = unlimited, 0 = exhausted
+  double maxSeconds = -1.0;        ///< < 0 = unlimited, 0 = exhausted
 
   static Budget unlimited() { return {}; }
   static Budget conflicts(std::int64_t n) { return {n, -1.0}; }
   static Budget seconds(double s) { return {-1, s}; }
+
+  bool unlimitedConflicts() const noexcept { return maxConflicts < 0; }
+  bool unlimitedTime() const noexcept { return maxSeconds < 0; }
+  /// True when a finite time budget is fully spent.
+  bool timeExhausted() const noexcept {
+    return !unlimitedTime() && maxSeconds <= 0.0;
+  }
+
+  /// Canonical form: every negative (unlimited) limit becomes exactly -1.
+  Budget normalized() const noexcept {
+    Budget b = *this;
+    if (b.maxConflicts < 0) b.maxConflicts = -1;
+    if (b.maxSeconds < 0) b.maxSeconds = -1.0;
+    return b;
+  }
+
+  /// Fair share for one of `parts` independent sub-solves. Unlimited
+  /// limits stay unlimited; finite limits are divided evenly (conflicts
+  /// by integer division). The result depends only on `parts` — never on
+  /// scheduling or completion order — which keeps budgeted parallel runs
+  /// deterministic.
+  Budget sliced(int parts) const noexcept {
+    Budget b = normalized();
+    if (parts <= 1) return b;
+    if (!b.unlimitedConflicts()) b.maxConflicts /= parts;
+    if (!b.unlimitedTime()) b.maxSeconds /= parts;
+    return b;
+  }
 };
 
 /// Aggregate search statistics (exposed for the benchmark harness).

@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace ruleplace::util {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this, i] { workerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    stopping_ = true;
+  }
+  sleepCv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    target = nextQueue_;
+    nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  sleepCv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(sleepMutex_);
+  doneCv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int ThreadPool::hardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool ThreadPool::tryPopOwn(std::size_t id, std::function<void()>& task) {
+  WorkerQueue& q = *queues_[id];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  task = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::trySteal(std::size_t id, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    WorkerQueue& q = *queues_[(id + k) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t id) {
+  std::function<void()> task;
+  while (true) {
+    if (tryPopOwn(id, task) || trySteal(id, task)) {
+      {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        --queued_;
+      }
+      task();
+      task = nullptr;
+      bool allDone;
+      {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        allDone = (--pending_ == 0);
+      }
+      if (allDone) doneCv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    // queued_ > 0 covers the race where a task was submitted after the
+    // failed pop/steal attempts above: the predicate keeps this worker
+    // awake and it retries instead of missing the wakeup.
+    sleepCv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (stopping_ && queued_ == 0) return;
+  }
+}
+
+}  // namespace ruleplace::util

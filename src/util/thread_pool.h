@@ -1,0 +1,73 @@
+#pragma once
+// Small work-stealing thread pool.
+//
+// Each worker owns a deque of tasks: it pops its *own* work LIFO (newest
+// first, cache-friendly for tasks submitted from tasks) and, when empty,
+// steals from a victim's deque FIFO (oldest first, which tends to take the
+// largest remaining chunk of a fan-out).  submit() distributes tasks
+// round-robin so an initial batch spreads across all workers before any
+// stealing is needed.  Idle workers sleep on a condition variable.
+//
+// The pool makes no ordering promises — callers that need deterministic
+// results must make the *merge* of task results order-independent (see
+// core::place, which writes each sub-result into a pre-sized slot and
+// combines them in a fixed order after wait()).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ruleplace::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding work (as if by wait()), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threadCount() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueue one task.  Tasks must not throw; they may call submit().
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished running.
+  void wait();
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to return 0 when undetectable).
+  static int hardwareThreads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void workerLoop(std::size_t id);
+  bool tryPopOwn(std::size_t id, std::function<void()>& task);
+  bool trySteal(std::size_t id, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleepMutex_;
+  std::condition_variable sleepCv_;   // idle workers park here
+  std::condition_variable doneCv_;    // wait() parks here
+  std::size_t queued_ = 0;            // submitted, not yet started
+  std::size_t pending_ = 0;           // submitted, not yet finished
+  std::size_t nextQueue_ = 0;         // round-robin submit cursor
+  bool stopping_ = false;
+};
+
+}  // namespace ruleplace::util

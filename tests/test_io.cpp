@@ -209,6 +209,62 @@ TEST(Report, EmptyForInfeasibleOutcome) {
   EXPECT_EQ(report.switchesUsed, 0);
 }
 
+TEST(Report, CarriesComponentAggregates) {
+  Scenario sc;
+  parseScenario(kFig3Scenario, sc);
+  core::PlaceOutcome out = core::place(sc.problem());
+  PlacementReport report = analyzePlacement(out);
+  EXPECT_EQ(report.components,
+            static_cast<int>(out.componentStats.size()));
+  EXPECT_GE(report.components, 1);
+  EXPECT_EQ(report.threadsUsed, out.threadsUsed);
+  EXPECT_EQ(report.solverPropagations, out.solverStats.propagations);
+  EXPECT_GT(report.solveCpuSeconds, 0.0);
+  EXPECT_NE(report.toString().find("components"), std::string::npos);
+  EXPECT_NE(report.toString().find("solve wall / cpu"), std::string::npos);
+}
+
+TEST(Report, SolverAggregatesSurviveInfeasibleOutcome) {
+  // Solve attribution must be filled even when there is no placement.
+  core::PlaceOutcome out;
+  out.threadsUsed = 3;
+  core::ComponentSolveStats c;
+  c.policyCount = 2;
+  c.ruleCount = 9;
+  c.status = solver::OptStatus::kInfeasible;
+  c.encodeSeconds = 0.25;
+  c.solveSeconds = 0.5;
+  c.solverStats.conflicts = 17;
+  out.componentStats = {c, c};
+  out.solverStats.conflicts = 34;
+  out.status = solver::OptStatus::kInfeasible;
+  PlacementReport report = analyzePlacement(out);
+  EXPECT_EQ(report.components, 2);
+  EXPECT_EQ(report.threadsUsed, 3);
+  EXPECT_EQ(report.solverConflicts, 34);
+  EXPECT_DOUBLE_EQ(report.solveCpuSeconds, 1.5);
+  EXPECT_EQ(report.totalInstalled, 0);  // still no placement numbers
+}
+
+TEST(Report, ComponentTableListsEveryComponent) {
+  core::PlaceOutcome out;
+  core::ComponentSolveStats a;
+  a.policyCount = 1;
+  a.ruleCount = 5;
+  a.status = solver::OptStatus::kOptimal;
+  a.objective = 7;
+  core::ComponentSolveStats b;
+  b.policyCount = 3;
+  b.ruleCount = 21;
+  b.status = solver::OptStatus::kInfeasible;
+  out.componentStats = {a, b};
+  std::string table = componentTable(out);
+  EXPECT_NE(table.find("policies"), std::string::npos);
+  EXPECT_NE(table.find("optimal"), std::string::npos);
+  EXPECT_NE(table.find("infeasible"), std::string::npos);
+  EXPECT_NE(table.find("21"), std::string::npos);
+}
+
 TEST(Report, FormatPlacementRendersStructuredMatches) {
   Scenario sc;
   parseScenario(kFig3Scenario, sc);

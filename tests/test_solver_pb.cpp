@@ -7,6 +7,7 @@
 
 #include "solver/bruteforce.h"
 #include "solver/optimize.h"
+#include "solver/sat.h"
 #include "util/rng.h"
 
 namespace ruleplace::solver {
@@ -132,6 +133,215 @@ TEST_P(BoundedCrossCheck, ValidBoundPreservesOptimum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BoundedCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Duplicate / complementary literal normalization (regression).
+//
+// The counter-based propagators assume each variable occurs at most once
+// per constraint, so addPB/addCardinality must normalize multiset inputs
+// under linear semantics: duplicates merge, x/¬x pairs contribute their
+// min coefficient as a constant.  Before normalization was added, both
+// add paths silently accepted such inputs and missed root-level
+// consequences that the merged form exposes immediately.
+
+TEST(PbNormalization, CancellingPairsDetectUnsatAtAddTime) {
+  // 5x + 5¬x + 5y + 5¬y >= 12 is 10 >= 12 after cancellation: UNSAT at
+  // the root, which addPB must report by returning false.
+  Solver s;
+  Lit x(s.newVar(), false);
+  Lit y(s.newVar(), false);
+  EXPECT_FALSE(s.addPB({{5, x}, {5, ~x}, {5, y}, {5, ~y}}, 12));
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(PbNormalization, CancellingPairsKeepSatisfiableResidual) {
+  // 5x + 5¬x + 5y + 5¬y >= 10 is 10 >= 10: trivially true.
+  Solver s;
+  Lit x(s.newVar(), false);
+  Lit y(s.newVar(), false);
+  EXPECT_TRUE(s.addPB({{5, x}, {5, ~x}, {5, y}, {5, ~y}}, 10));
+  EXPECT_TRUE(s.okay());
+  EXPECT_EQ(s.solve(), SolveStatus::kSat);
+}
+
+TEST(PbNormalization, UnequalPairLeavesResidualOnStrongerLiteral) {
+  // 7x + 3¬x >= 7  ==  3 + 4x >= 7  ==  4x >= 4: forces x at the root.
+  Solver s;
+  Lit x(s.newVar(), false);
+  EXPECT_TRUE(s.addPB({{7, x}, {3, ~x}}, 7));
+  EXPECT_FALSE(s.addClause({~x}));
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(PbNormalization, DuplicateCardinalityLiteralsMergeAndPropagate) {
+  // x + x + y + z >= 3  ==  2x + y + z >= 3: x is forced at the root
+  // (without x at most 2 is reachable), so ¬x must be rejected.
+  Solver s;
+  Lit x(s.newVar(), false);
+  Lit y(s.newVar(), false);
+  Lit z(s.newVar(), false);
+  EXPECT_TRUE(s.addCardinality({x, x, y, z}, 3));
+  EXPECT_FALSE(s.addClause({~x}));
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(PbNormalization, DuplicatePbLiteralsMerge) {
+  // 2x + 1x + y >= 3  ==  3x + y >= 3: forces x.
+  Solver s;
+  Lit x(s.newVar(), false);
+  Lit y(s.newVar(), false);
+  EXPECT_TRUE(s.addPB({{2, x}, {1, x}, {1, y}}, 3));
+  EXPECT_FALSE(s.addClause({~x}));
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(PbNormalization, ComplementaryCardinalityPairRoutesThroughPb) {
+  // x + ¬x + y + z >= 3  ==  1 + y + z >= 3: forces y and z.
+  Solver s;
+  Lit x(s.newVar(), false);
+  Lit y(s.newVar(), false);
+  Lit z(s.newVar(), false);
+  EXPECT_TRUE(s.addCardinality({x, ~x, y, z}, 3));
+  EXPECT_FALSE(s.addClause({~y}));
+  EXPECT_FALSE(s.okay());
+}
+
+// Differential battery: random multiset PB systems (duplicates and
+// complementary pairs allowed) against a brute-force evaluation of the
+// raw, un-normalized term lists under linear semantics.
+
+struct RawPb {
+  std::vector<std::pair<std::int64_t, Lit>> terms;
+  std::int64_t bound;
+};
+
+bool multisetSat(const std::vector<RawPb>& system, std::uint32_t mask) {
+  for (const RawPb& c : system) {
+    std::int64_t sum = 0;
+    for (const auto& [coeff, lit] : c.terms) {
+      bool varTrue = (mask >> lit.var()) & 1u;
+      if (varTrue != lit.sign()) sum += coeff;
+    }
+    if (sum < c.bound) return false;
+  }
+  return true;
+}
+
+bool multisetSatisfiable(int nVars, const std::vector<RawPb>& system) {
+  for (std::uint32_t mask = 0; mask < (1u << nVars); ++mask) {
+    if (multisetSat(system, mask)) return true;
+  }
+  return false;
+}
+
+class MultisetPbCrossCheck : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MultisetPbCrossCheck, MatchesBruteForce) {
+  util::Rng rng(GetParam() * 733);
+  for (int round = 0; round < 40; ++round) {
+    const int nVars = 6;
+    std::vector<RawPb> system;
+    int nCons = static_cast<int>(rng.range(2, 4));
+    for (int c = 0; c < nCons; ++c) {
+      RawPb raw;
+      int k = static_cast<int>(rng.range(3, 6));
+      for (int t = 0; t < k; ++t) {
+        // Duplicates and complementary pairs arise naturally from the
+        // small variable pool.
+        raw.terms.push_back({rng.range(1, 4),
+                             Lit(static_cast<Var>(rng.below(nVars)),
+                                 rng.chance(0.5))});
+      }
+      raw.bound = static_cast<std::int64_t>(rng.range(1, 8));
+      system.push_back(std::move(raw));
+    }
+
+    Solver s;
+    for (int v = 0; v < nVars; ++v) s.newVar();
+    bool addedOk = true;
+    for (const RawPb& c : system) {
+      if (!s.addPB(c.terms, c.bound)) {
+        addedOk = false;
+        break;
+      }
+    }
+    const bool expected = multisetSatisfiable(nVars, system);
+    if (!addedOk) {
+      // Add-time UNSAT of a prefix implies the full system is UNSAT.
+      EXPECT_FALSE(expected) << "round " << round;
+      continue;
+    }
+    SolveStatus got = s.solve();
+    ASSERT_NE(got, SolveStatus::kUnknown);
+    EXPECT_EQ(got == SolveStatus::kSat, expected) << "round " << round;
+    if (got == SolveStatus::kSat) {
+      std::uint32_t mask = 0;
+      for (int v = 0; v < nVars; ++v) {
+        if (s.modelValue(static_cast<Var>(v))) mask |= (1u << v);
+      }
+      EXPECT_TRUE(multisetSat(system, mask)) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultisetPbCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class MultisetCardCrossCheck
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultisetCardCrossCheck, MatchesBruteForce) {
+  util::Rng rng(GetParam() * 977);
+  for (int round = 0; round < 40; ++round) {
+    const int nVars = 6;
+    std::vector<RawPb> system;
+    int nCons = static_cast<int>(rng.range(2, 4));
+    for (int c = 0; c < nCons; ++c) {
+      RawPb raw;
+      int k = static_cast<int>(rng.range(3, 7));
+      for (int t = 0; t < k; ++t) {
+        raw.terms.push_back({1, Lit(static_cast<Var>(rng.below(nVars)),
+                                    rng.chance(0.5))});
+      }
+      raw.bound = static_cast<std::int64_t>(rng.range(1, 5));
+      system.push_back(std::move(raw));
+    }
+
+    Solver s;
+    for (int v = 0; v < nVars; ++v) s.newVar();
+    bool addedOk = true;
+    for (const RawPb& c : system) {
+      std::vector<Lit> lits;
+      for (const auto& [coeff, lit] : c.terms) {
+        (void)coeff;
+        lits.push_back(lit);
+      }
+      if (!s.addCardinality(std::move(lits), static_cast<int>(c.bound))) {
+        addedOk = false;
+        break;
+      }
+    }
+    const bool expected = multisetSatisfiable(nVars, system);
+    if (!addedOk) {
+      EXPECT_FALSE(expected) << "round " << round;
+      continue;
+    }
+    SolveStatus got = s.solve();
+    ASSERT_NE(got, SolveStatus::kUnknown);
+    EXPECT_EQ(got == SolveStatus::kSat, expected) << "round " << round;
+    if (got == SolveStatus::kSat) {
+      std::uint32_t mask = 0;
+      for (int v = 0; v < nVars; ++v) {
+        if (s.modelValue(static_cast<Var>(v))) mask |= (1u << v);
+      }
+      EXPECT_TRUE(multisetSat(system, mask)) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultisetCardCrossCheck,
                          ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Local CI: the gate a change must pass before review.
+#
+#   tools/ci.sh            default build + full ctest suite
+#   tools/ci.sh --san      additionally build the asan-ubsan and tsan
+#                          presets and run the solver + parallel-engine
+#                          tests under each (the suites that exercise raw
+#                          pointer juggling and the thread pool)
+#
+# Presets live in CMakePresets.json; sanitizer builds keep assert() live
+# (Debug + -O1), unlike the default RelWithDebInfo build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_sanitized() {
+  local preset="$1" builddir="$2"
+  echo "=== ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j \
+    --target test_solver --target test_solver_pb --target test_parallel
+  for t in test_solver test_solver_pb test_parallel; do
+    "./${builddir}/tests/${t}"
+  done
+}
+
+echo "=== default ==="
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+if [[ "${1:-}" == "--san" ]]; then
+  run_sanitized asan-ubsan build-asan
+  run_sanitized tsan build-tsan
+fi
+
+echo "ci: all green"

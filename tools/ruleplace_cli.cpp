@@ -11,6 +11,9 @@
 //     --objective O      total-rules | upstream-traffic
 //     --remove-redundant run complete redundancy removal first
 //     --budget S         time budget in seconds (default: unlimited)
+//     --jobs N           worker threads for independent coupling
+//                        components (0 = hardware concurrency; results
+//                        are identical for every value)
 //     --no-verify        skip the semantic verification pass
 //     --quiet            report only (no per-switch tables)
 //     --emit-smt2 FILE   export the encoding as SMT-LIB 2 (OMT minimize)
@@ -40,7 +43,7 @@ int usage(const char* argv0) {
                "usage: %s <scenario-file> [--merge] [--slice] [--sat-only]\n"
                "          [--objective total-rules|upstream-traffic]\n"
                "          [--remove-redundant] [--budget <seconds>]\n"
-               "          [--no-verify] [--quiet]\n",
+               "          [--jobs <threads>] [--no-verify] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--budget" && i + 1 < argc) {
       options.budget = solver::Budget::seconds(std::atof(argv[++i]));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
     } else if (arg == "--emit-smt2" && i + 1 < argc) {
       emitSmt2 = argv[++i];
     } else if (arg == "--emit-lp" && i + 1 < argc) {
@@ -186,6 +191,10 @@ int main(int argc, char** argv) {
                     .c_str());
   }
   std::printf("\n%s", io::analyzePlacement(out).toString().c_str());
+  if (!quiet && out.componentStats.size() > 1) {
+    std::printf("\ncoupling components:\n%s",
+                io::componentTable(out).c_str());
+  }
 
   if (verify) {
     core::VerifyResult check =
