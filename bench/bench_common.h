@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/instance.h"
 #include "core/placer.h"
@@ -59,6 +61,36 @@ inline void runPlacementPoint(benchmark::State& state,
     state.counters["conflicts"] =
         static_cast<double>(out.solverStats.conflicts);
   }
+}
+
+/// Entry point shared by the bench binaries: standard Google Benchmark
+/// CLI, plus machine-readable output for CI.  When RULEPLACE_BENCH_JSON_DIR
+/// is set (and the caller didn't pass --benchmark_out themselves), results
+/// are also written to $RULEPLACE_BENCH_JSON_DIR/BENCH_<name>.json —
+/// the files tools/check_bench.py compares against bench/baselines/.
+inline int benchMain(int argc, char** argv, const char* name) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string outFlag;
+  std::string fmtFlag = "--benchmark_out_format=json";
+  const char* dir = std::getenv("RULEPLACE_BENCH_JSON_DIR");
+  bool userProvidedOut = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      userProvidedOut = true;
+    }
+  }
+  if (dir != nullptr && *dir != '\0' && !userProvidedOut) {
+    outFlag = std::string("--benchmark_out=") + dir + "/BENCH_" + name +
+              ".json";
+    args.push_back(outFlag.data());
+    args.push_back(fmtFlag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace ruleplace::bench

@@ -7,7 +7,5 @@
 
 int main(int argc, char** argv) {
   ruleplace::bench::registerRulesSweep("fig7_k8", 8);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ruleplace::bench::benchMain(argc, argv, "fig7_k8");
 }

@@ -85,4 +85,6 @@ BENCHMARK(BM_ParallelScalingCoupled)
 }  // namespace
 }  // namespace ruleplace::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ruleplace::bench::benchMain(argc, argv, "parallel_scaling");
+}

@@ -1,0 +1,242 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ruleplace::fuzz {
+
+namespace {
+
+int countRules(const FuzzCase& fc) {
+  int n = 0;
+  for (const auto& q : fc.policies) n += static_cast<int>(q.size());
+  return n;
+}
+
+int countPaths(const FuzzCase& fc) {
+  int n = 0;
+  for (const auto& ip : fc.routing) n += static_cast<int>(ip.paths.size());
+  return n;
+}
+
+struct Budgeted {
+  const FailurePredicate& fails;
+  int remaining;
+  int used = 0;
+
+  /// True when the candidate is valid and still failing.
+  bool stillFails(const FuzzCase& candidate) {
+    if (remaining <= 0) return false;
+    --remaining;
+    ++used;
+    try {
+      candidate.problem().validate();
+    } catch (const std::exception&) {
+      return false;  // over-aggressive reduction; discard the candidate
+    }
+    try {
+      return fails(candidate);
+    } catch (const std::exception&) {
+      // A predicate that crashes on the candidate still reproduces a
+      // defect, but not necessarily *the* defect; be conservative.
+      return false;
+    }
+  }
+};
+
+bool dropPoliciesPass(FuzzCase& best, Budgeted& b) {
+  bool reduced = false;
+  for (std::size_t i = best.policies.size(); i-- > 0;) {
+    if (best.policies.size() < 2) break;
+    FuzzCase candidate = best;
+    candidate.policies.erase(candidate.policies.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+    candidate.routing.erase(candidate.routing.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    if (b.stillFails(candidate)) {
+      best = std::move(candidate);
+      reduced = true;
+    }
+  }
+  return reduced;
+}
+
+bool dropPathsPass(FuzzCase& best, Budgeted& b) {
+  bool reduced = false;
+  for (std::size_t i = 0; i < best.routing.size(); ++i) {
+    for (std::size_t j = best.routing[i].paths.size(); j-- > 0;) {
+      if (best.routing[i].paths.size() < 2) break;
+      FuzzCase candidate = best;
+      auto& paths = candidate.routing[i].paths;
+      paths.erase(paths.begin() + static_cast<std::ptrdiff_t>(j));
+      if (b.stillFails(candidate)) {
+        best = std::move(candidate);
+        reduced = true;
+      }
+    }
+  }
+  return reduced;
+}
+
+// Remove a contiguous chunk of rule ids from one policy.
+FuzzCase withoutRules(const FuzzCase& fc, std::size_t policy,
+                      const std::vector<int>& ids, std::size_t from,
+                      std::size_t count) {
+  FuzzCase candidate = fc;
+  for (std::size_t k = from; k < from + count && k < ids.size(); ++k) {
+    candidate.policies[policy].removeRule(ids[k]);
+  }
+  return candidate;
+}
+
+bool dropRulesPass(FuzzCase& best, Budgeted& b) {
+  bool reduced = false;
+  for (std::size_t p = 0; p < best.policies.size(); ++p) {
+    // ddmin-style: halves, then quarters, ... then singles.
+    for (std::size_t chunk = std::max<std::size_t>(best.policies[p].size() / 2, 1);; chunk /= 2) {
+      bool chunkReduced = true;
+      while (chunkReduced) {
+        chunkReduced = false;
+        std::vector<int> ids;
+        for (const auto& r : best.policies[p].rules()) ids.push_back(r.id);
+        if (ids.size() < 2) break;
+        for (std::size_t from = 0; from < ids.size(); from += chunk) {
+          std::size_t count = std::min(chunk, ids.size() - from);
+          if (count >= ids.size()) continue;  // keep >= 1 rule
+          FuzzCase candidate = withoutRules(best, p, ids, from, count);
+          if (b.stillFails(candidate)) {
+            best = std::move(candidate);
+            chunkReduced = true;
+            reduced = true;
+            break;  // ids changed; rebuild and rescan this chunk size
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return reduced;
+}
+
+bool dropSwitchesPass(FuzzCase& best, Budgeted& b) {
+  FuzzCase candidate = dropUnusedSwitches(best);
+  if (candidate.graph->switchCount() >= best.graph->switchCount()) {
+    return false;
+  }
+  if (b.stillFails(candidate)) {
+    best = std::move(candidate);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FuzzCase dropUnusedSwitches(const FuzzCase& fc) {
+  const topo::Graph& g = *fc.graph;
+  std::vector<bool> keepSwitch(static_cast<std::size_t>(g.switchCount()),
+                               false);
+  std::vector<bool> keepPort(static_cast<std::size_t>(g.entryPortCount()),
+                             false);
+  for (const auto& ip : fc.routing) {
+    keepPort[static_cast<std::size_t>(ip.ingress)] = true;
+    for (const auto& path : ip.paths) {
+      keepPort[static_cast<std::size_t>(path.ingress)] = true;
+      keepPort[static_cast<std::size_t>(path.egress)] = true;
+      for (topo::SwitchId sw : path.switches) {
+        keepSwitch[static_cast<std::size_t>(sw)] = true;
+      }
+    }
+  }
+  // Kept ports must keep their attachment switch.
+  for (int p = 0; p < g.entryPortCount(); ++p) {
+    if (keepPort[static_cast<std::size_t>(p)]) {
+      keepSwitch[static_cast<std::size_t>(g.entryPort(p).attachedSwitch)] =
+          true;
+    }
+  }
+
+  std::vector<int> switchMap(static_cast<std::size_t>(g.switchCount()), -1);
+  std::vector<int> portMap(static_cast<std::size_t>(g.entryPortCount()), -1);
+  FuzzCase out;
+  out.graph = std::make_shared<topo::Graph>();
+  for (int sw = 0; sw < g.switchCount(); ++sw) {
+    if (!keepSwitch[static_cast<std::size_t>(sw)]) continue;
+    switchMap[static_cast<std::size_t>(sw)] = out.graph->addSwitch(
+        g.sw(sw).capacity, g.sw(sw).role, g.sw(sw).name);
+  }
+  for (int a = 0; a < g.switchCount(); ++a) {
+    if (switchMap[static_cast<std::size_t>(a)] < 0) continue;
+    for (topo::SwitchId nb : g.neighbors(a)) {
+      if (nb > a && switchMap[static_cast<std::size_t>(nb)] >= 0) {
+        out.graph->addLink(switchMap[static_cast<std::size_t>(a)],
+                           switchMap[static_cast<std::size_t>(nb)]);
+      }
+    }
+  }
+  for (int p = 0; p < g.entryPortCount(); ++p) {
+    if (!keepPort[static_cast<std::size_t>(p)]) continue;
+    portMap[static_cast<std::size_t>(p)] = out.graph->addEntryPort(
+        switchMap[static_cast<std::size_t>(g.entryPort(p).attachedSwitch)],
+        g.entryPort(p).name);
+  }
+
+  out.policies = fc.policies;
+  for (const auto& ip : fc.routing) {
+    topo::IngressPaths mapped;
+    mapped.ingress = portMap[static_cast<std::size_t>(ip.ingress)];
+    for (const auto& path : ip.paths) {
+      topo::Path mp;
+      mp.ingress = portMap[static_cast<std::size_t>(path.ingress)];
+      mp.egress = portMap[static_cast<std::size_t>(path.egress)];
+      mp.traffic = path.traffic;
+      for (topo::SwitchId sw : path.switches) {
+        mp.switches.push_back(switchMap[static_cast<std::size_t>(sw)]);
+      }
+      mapped.paths.push_back(std::move(mp));
+    }
+    out.routing.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+std::string MinimizeStats::toString() const {
+  std::ostringstream os;
+  os << "rules " << rulesBefore << "->" << rulesAfter << ", paths "
+     << pathsBefore << "->" << pathsAfter << ", policies " << policiesBefore
+     << "->" << policiesAfter << ", switches " << switchesBefore << "->"
+     << switchesAfter << " (" << evaluations << " evaluations)";
+  return os.str();
+}
+
+FuzzCase minimizeCase(const FuzzCase& failing, const FailurePredicate& fails,
+                      MinimizeStats* stats, int maxEvaluations) {
+  FuzzCase best = failing;
+  Budgeted b{fails, maxEvaluations};
+  if (stats != nullptr) {
+    stats->rulesBefore = countRules(best);
+    stats->pathsBefore = countPaths(best);
+    stats->policiesBefore = static_cast<int>(best.policies.size());
+    stats->switchesBefore = best.graph->switchCount();
+  }
+
+  bool reduced = true;
+  while (reduced && b.remaining > 0) {
+    reduced = false;
+    reduced |= dropPoliciesPass(best, b);
+    reduced |= dropPathsPass(best, b);
+    reduced |= dropRulesPass(best, b);
+    reduced |= dropSwitchesPass(best, b);
+  }
+
+  if (stats != nullptr) {
+    stats->rulesAfter = countRules(best);
+    stats->pathsAfter = countPaths(best);
+    stats->policiesAfter = static_cast<int>(best.policies.size());
+    stats->switchesAfter = best.graph->switchCount();
+    stats->evaluations = b.used;
+  }
+  return best;
+}
+
+}  // namespace ruleplace::fuzz

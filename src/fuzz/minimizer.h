@@ -1,0 +1,46 @@
+#pragma once
+// Delta-debugging minimizer: shrink a failing fuzz case while the failure
+// keeps reproducing, so a reproducer is small enough to read and to check
+// into tests/corpus/.
+//
+// Reduction passes (to fixpoint, each candidate accepted only when the
+// caller's predicate still fails on it):
+//   * drop whole policies (with their routing),
+//   * drop individual paths (a policy always keeps >= 1),
+//   * drop rules — ddmin-style chunks first, then singles,
+//   * drop switches unused by any remaining path, rebuilding the graph
+//     with compacted switch/port ids.
+
+#include <functional>
+
+#include "fuzz/generator.h"
+
+namespace ruleplace::fuzz {
+
+/// Returns true when the candidate still exhibits the failure under
+/// investigation.  The minimizer never accepts a candidate the predicate
+/// rejects, and skips candidates that fail problem validation.
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+struct MinimizeStats {
+  int rulesBefore = 0, rulesAfter = 0;
+  int pathsBefore = 0, pathsAfter = 0;
+  int policiesBefore = 0, policiesAfter = 0;
+  int switchesBefore = 0, switchesAfter = 0;
+  int evaluations = 0;  ///< predicate calls spent
+
+  std::string toString() const;
+};
+
+/// Shrink `failing` (which must satisfy the predicate).  `maxEvaluations`
+/// caps predicate calls; the best case found so far is returned when the
+/// cap is hit.
+FuzzCase minimizeCase(const FuzzCase& failing, const FailurePredicate& fails,
+                      MinimizeStats* stats = nullptr,
+                      int maxEvaluations = 2000);
+
+/// Rebuild the case's graph keeping only switches on some path (plus the
+/// entry ports paths reference), compacting ids.  Exposed for tests.
+FuzzCase dropUnusedSwitches(const FuzzCase& fc);
+
+}  // namespace ruleplace::fuzz

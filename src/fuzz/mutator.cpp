@@ -1,0 +1,143 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+
+namespace ruleplace::fuzz {
+
+const char* toString(BugKind k) {
+  switch (k) {
+    case BugKind::kDropInstalledRule: return "drop-installed-rule";
+    case BugKind::kFlipAction: return "flip-action";
+    case BugKind::kStripTag: return "strip-tag";
+    case BugKind::kInflateObjective: return "inflate-objective";
+  }
+  return "?";
+}
+
+namespace {
+
+// Clone one random rule of policy `from` into policy `to` at the bottom of
+// its priority order — manufactures cross-policy merge groups.
+bool cloneRuleAcross(FuzzCase& fc, util::Rng& rng) {
+  if (fc.policies.size() < 2) return false;
+  std::size_t from = static_cast<std::size_t>(rng.below(fc.policies.size()));
+  std::size_t to = static_cast<std::size_t>(rng.below(fc.policies.size()));
+  if (from == to || fc.policies[from].empty()) return false;
+  const auto& rules = fc.policies[from].rules();
+  const acl::Rule& r =
+      rules[static_cast<std::size_t>(rng.below(rules.size()))];
+  fc.policies[to].addRule(r.matchField, r.action);
+  return true;
+}
+
+bool dropRule(FuzzCase& fc, util::Rng& rng) {
+  std::size_t p = static_cast<std::size_t>(rng.below(fc.policies.size()));
+  if (fc.policies[p].size() < 2) return false;
+  const auto& rules = fc.policies[p].rules();
+  int id = rules[static_cast<std::size_t>(rng.below(rules.size()))].id;
+  return fc.policies[p].removeRule(id);
+}
+
+bool dropPath(FuzzCase& fc, util::Rng& rng) {
+  std::size_t i = static_cast<std::size_t>(rng.below(fc.routing.size()));
+  auto& paths = fc.routing[i].paths;
+  if (paths.size() < 2) return false;
+  paths.erase(paths.begin() +
+              static_cast<std::ptrdiff_t>(rng.below(paths.size())));
+  return true;
+}
+
+bool tweakCapacity(FuzzCase& fc, util::Rng& rng) {
+  // The graph is shared with the original case, so copy-on-write here.
+  auto fresh = std::make_shared<topo::Graph>(*fc.graph);
+  fc.graph = std::move(fresh);
+  topo::Graph& g = *fc.graph;
+  topo::SwitchId sw = static_cast<topo::SwitchId>(
+      rng.below(static_cast<std::uint64_t>(g.switchCount())));
+  int delta = static_cast<int>(rng.range(-2, 2));
+  g.sw(sw).capacity = std::max(1, g.sw(sw).capacity + delta);
+  return true;
+}
+
+bool widenRuleBit(FuzzCase& fc, util::Rng& rng) {
+  std::size_t p = static_cast<std::size_t>(rng.below(fc.policies.size()));
+  acl::Policy& q = fc.policies[p];
+  if (q.empty()) return false;
+  const auto& rules = q.rules();
+  std::size_t ri = static_cast<std::size_t>(rng.below(rules.size()));
+  match::Ternary cube = rules[ri].matchField;
+  int bit = static_cast<int>(rng.below(static_cast<std::uint64_t>(cube.width())));
+  if (cube.bit(bit) < 0) return false;  // already wildcard
+  cube.setBit(bit, -1);
+  acl::Action action = rules[ri].action;
+  q.removeRule(rules[ri].id);
+  q.addRule(cube, action);
+  return true;
+}
+
+}  // namespace
+
+FuzzCase mutateCase(const FuzzCase& original, util::Rng& rng) {
+  FuzzCase fc = original;  // graph shared until a mutation needs to write it
+  int applied = 0;
+  const int wanted = static_cast<int>(rng.range(1, 3));
+  for (int attempt = 0; attempt < 16 && applied < wanted; ++attempt) {
+    bool ok = false;
+    switch (rng.below(5)) {
+      case 0: ok = dropRule(fc, rng); break;
+      case 1: ok = cloneRuleAcross(fc, rng); break;
+      case 2: ok = dropPath(fc, rng); break;
+      case 3: ok = tweakCapacity(fc, rng); break;
+      default: ok = widenRuleBit(fc, rng); break;
+    }
+    if (ok) ++applied;
+  }
+  fc.problem().validate();
+  return fc;
+}
+
+bool injectBug(core::PlaceOutcome& outcome, BugKind kind) {
+  if (!outcome.hasSolution()) return false;
+  core::Placement& placement = outcome.placement;
+  switch (kind) {
+    case BugKind::kDropInstalledRule:
+      for (int sw = 0; sw < placement.switchCount(); ++sw) {
+        auto& table = placement.mutableTable(sw);
+        for (std::size_t i = 0; i < table.size(); ++i) {
+          if (table[i].action == acl::Action::kDrop) {
+            table.erase(table.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+          }
+        }
+      }
+      return false;
+    case BugKind::kFlipAction:
+      for (int sw = 0; sw < placement.switchCount(); ++sw) {
+        auto& table = placement.mutableTable(sw);
+        if (!table.empty()) {
+          auto& entry = table.front();
+          entry.action = entry.action == acl::Action::kDrop
+                             ? acl::Action::kPermit
+                             : acl::Action::kDrop;
+          return true;
+        }
+      }
+      return false;
+    case BugKind::kStripTag:
+      for (int sw = 0; sw < placement.switchCount(); ++sw) {
+        for (auto& entry : placement.mutableTable(sw)) {
+          if (entry.tags.size() > 1) {
+            entry.tags.pop_back();
+            return true;
+          }
+        }
+      }
+      return false;
+    case BugKind::kInflateObjective:
+      outcome.objective += 1;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace ruleplace::fuzz

@@ -1,0 +1,42 @@
+#pragma once
+// Case mutation, two ways:
+//
+//  * `mutateCase` perturbs a valid problem (drop/clone rules, tweak
+//    capacities, drop paths) to explore the neighborhood of a generated
+//    case — incremental re-placement bugs live exactly at such deltas.
+//  * `injectBug` corrupts a *solved* PlaceOutcome to emulate a placer
+//    defect.  The fuzz tests (and `ruleplace_fuzz --self-check`) wire it
+//    through the oracle's afterPlace hook to prove the pipeline actually
+//    catches and minimizes semantic / optimality / determinism violations —
+//    mutation testing for the oracle itself.
+
+#include <cstdint>
+
+#include "core/placer.h"
+#include "fuzz/generator.h"
+#include "util/rng.h"
+
+namespace ruleplace::fuzz {
+
+/// One random, validity-preserving mutation (the case is returned ready to
+/// solve; mutations that would empty a policy or strand a path are
+/// skipped).  Deterministic in (case, rng state).
+FuzzCase mutateCase(const FuzzCase& original, util::Rng& rng);
+
+/// Placer-defect models for oracle mutation testing.
+enum class BugKind : std::uint8_t {
+  kDropInstalledRule,  ///< silently lose one installed DROP entry
+  kFlipAction,         ///< flip an installed entry's action
+  kStripTag,           ///< remove one policy tag from a merged entry
+  kInflateObjective,   ///< report a worse objective than the placement
+};
+
+const char* toString(BugKind k);
+
+/// Apply `kind` to a solved outcome.  Returns false when the outcome has no
+/// spot the bug applies to (e.g. no merged entry for kStripTag); the
+/// outcome is unchanged then.  Deterministic: the corrupted entry is chosen
+/// by fixed scan order, not randomness, so a reproducer stays a reproducer.
+bool injectBug(core::PlaceOutcome& outcome, BugKind kind);
+
+}  // namespace ruleplace::fuzz

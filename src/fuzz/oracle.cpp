@@ -1,0 +1,479 @@
+#include "fuzz/oracle.h"
+
+#include <sstream>
+
+#include "acl/redundancy.h"
+#include "core/incremental.h"
+#include "core/verify.h"
+#include "depgraph/merging.h"
+#include "solver/bruteforce.h"
+
+namespace ruleplace::fuzz {
+
+namespace {
+
+const char* objectiveName(core::ObjectiveKind k) {
+  switch (k) {
+    case core::ObjectiveKind::kTotalRules: return "total-rules";
+    case core::ObjectiveKind::kUpstreamTraffic: return "upstream-traffic";
+    case core::ObjectiveKind::kWeightedSwitch: return "weighted-switch";
+  }
+  return "?";
+}
+
+core::PlaceOptions optionsFor(const ModeConfig& mode,
+                              const OracleOptions& oracle, int jobs) {
+  core::PlaceOptions o;
+  o.encoder.enableMerging = mode.merge;
+  o.encoder.enablePathSlicing = mode.slice;
+  o.encoder.objective = mode.objective;
+  o.satisfiabilityOnly = mode.satOnly;
+  o.removeRedundancy = mode.removeRedundancy;
+  o.budget = solver::Budget::conflicts(oracle.conflictBudget);
+  o.threads = jobs;
+  return o;
+}
+
+std::string describeOutcome(const core::PlaceOutcome& out) {
+  std::ostringstream os;
+  os << solver::toString(out.status);
+  if (out.hasSolution()) {
+    os << " obj=" << out.objective
+       << " installed=" << out.placement.totalInstalledRules();
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ModeConfig::toString() const {
+  std::ostringstream os;
+  os << "merge=" << (merge ? 1 : 0) << " slice=" << (slice ? 1 : 0)
+     << " sat-only=" << (satOnly ? 1 : 0)
+     << " redundancy=" << (removeRedundancy ? 1 : 0)
+     << " objective=" << objectiveName(objective) << " base=" << basePolicies;
+  return os.str();
+}
+
+std::optional<ModeConfig> ModeConfig::parse(std::string_view text) {
+  ModeConfig mode;
+  std::istringstream is{std::string(text)};
+  std::string tok;
+  while (is >> tok) {
+    std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    std::string key = tok.substr(0, eq);
+    std::string value = tok.substr(eq + 1);
+    if (key == "merge") {
+      mode.merge = value == "1";
+    } else if (key == "slice") {
+      mode.slice = value == "1";
+    } else if (key == "sat-only") {
+      mode.satOnly = value == "1";
+    } else if (key == "redundancy") {
+      mode.removeRedundancy = value == "1";
+    } else if (key == "objective") {
+      if (value == "total-rules") {
+        mode.objective = core::ObjectiveKind::kTotalRules;
+      } else if (value == "upstream-traffic") {
+        mode.objective = core::ObjectiveKind::kUpstreamTraffic;
+      } else {
+        return std::nullopt;
+      }
+    } else if (key == "base") {
+      try {
+        mode.basePolicies = std::stoi(value);
+      } catch (...) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return mode;
+}
+
+std::vector<ModeConfig> modeMatrix(const FuzzCase& fc) {
+  bool hasTraffic = false;
+  for (const auto& ip : fc.routing) {
+    for (const auto& p : ip.paths) hasTraffic |= p.traffic.has_value();
+  }
+  const int n = static_cast<int>(fc.policies.size());
+
+  std::vector<ModeConfig> modes;
+  auto add = [&](ModeConfig m) { modes.push_back(m); };
+
+  add({});  // plain ILP, total-rules — the reference mode, always first
+  {
+    ModeConfig m;
+    m.merge = true;
+    add(m);
+  }
+  {
+    ModeConfig m;
+    m.satOnly = true;
+    add(m);
+  }
+  {
+    ModeConfig m;
+    m.objective = core::ObjectiveKind::kUpstreamTraffic;
+    add(m);
+  }
+  {
+    ModeConfig m;
+    m.removeRedundancy = true;
+    add(m);
+  }
+  if (hasTraffic) {
+    ModeConfig m;
+    m.slice = true;
+    add(m);
+    m.merge = true;
+    add(m);
+  }
+  {
+    ModeConfig m;
+    m.merge = true;
+    m.satOnly = true;
+    add(m);
+  }
+  if (n >= 2) {
+    ModeConfig m;
+    m.basePolicies = n / 2 > 0 ? n / 2 : 1;
+    add(m);
+    m.merge = true;
+    add(m);
+  }
+  return modes;
+}
+
+const char* toString(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kSemantics: return "semantics";
+    case ViolationKind::kOptimality: return "optimality";
+    case ViolationKind::kDeterminism: return "determinism";
+    case ViolationKind::kStatus: return "status";
+    case ViolationKind::kIncremental: return "incremental";
+    case ViolationKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+void OracleCounters::add(const OracleCounters& o) {
+  solves += o.solves;
+  semanticChecks += o.semanticChecks;
+  bruteChecks += o.bruteChecks;
+  determinismComparisons += o.determinismComparisons;
+  statusCrossChecks += o.statusCrossChecks;
+  incrementalChecks += o.incrementalChecks;
+}
+
+std::string OracleReport::summary() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << toString(violations[i].kind) << ": " << violations[i].message;
+  }
+  return os.str();
+}
+
+bool placementsEqual(const core::Placement& a, const core::Placement& b,
+                     std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (a.switchCount() != b.switchCount()) {
+    return fail("switch count differs");
+  }
+  for (int sw = 0; sw < a.switchCount(); ++sw) {
+    const auto& ta = a.table(sw);
+    const auto& tb = b.table(sw);
+    if (ta.size() != tb.size()) {
+      return fail("switch " + std::to_string(sw) + ": " +
+                  std::to_string(ta.size()) + " vs " +
+                  std::to_string(tb.size()) + " entries");
+    }
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      const auto& ea = ta[i];
+      const auto& eb = tb[i];
+      if (!(ea.matchField == eb.matchField) || ea.action != eb.action ||
+          ea.tags != eb.tags || ea.priority != eb.priority ||
+          ea.merged != eb.merged) {
+        return fail("switch " + std::to_string(sw) + " entry " +
+                    std::to_string(i) + " differs");
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Run the non-incremental pipeline over the jobs sweep; first outcome is
+/// the reference, the rest are compared bit-for-bit.
+std::optional<core::PlaceOutcome> sweepAndCompare(
+    const FuzzCase& fc, const ModeConfig& mode, const OracleOptions& options,
+    OracleReport& report) {
+  std::optional<core::PlaceOutcome> ref;
+  int refJobs = 0;
+  for (int jobs : options.jobsSweep) {
+    core::PlaceOutcome out;
+    try {
+      out = core::place(fc.problem(), optionsFor(mode, options, jobs));
+    } catch (const std::exception& e) {
+      report.violations.push_back(
+          {ViolationKind::kCrash,
+           std::string("place() threw with jobs=") + std::to_string(jobs) +
+               ": " + e.what()});
+      return std::nullopt;
+    }
+    if (options.hooks.afterPlace) options.hooks.afterPlace(out, mode, jobs);
+    ++report.counters.solves;
+    if (!ref.has_value()) {
+      ref = std::move(out);
+      refJobs = jobs;
+      continue;
+    }
+    ++report.counters.determinismComparisons;
+    if (out.status != ref->status) {
+      report.violations.push_back(
+          {ViolationKind::kDeterminism,
+           "status jobs=" + std::to_string(refJobs) + " -> " +
+               describeOutcome(*ref) + ", jobs=" + std::to_string(jobs) +
+               " -> " + describeOutcome(out)});
+      continue;
+    }
+    if (!mode.satOnly && out.hasSolution() &&
+        out.objective != ref->objective) {
+      report.violations.push_back(
+          {ViolationKind::kDeterminism,
+           "objective jobs=" + std::to_string(refJobs) + "=" +
+               std::to_string(ref->objective) + " vs jobs=" +
+               std::to_string(jobs) + "=" + std::to_string(out.objective)});
+      continue;
+    }
+    std::string why;
+    if (out.hasSolution() &&
+        !placementsEqual(ref->placement, out.placement, &why)) {
+      report.violations.push_back(
+          {ViolationKind::kDeterminism,
+           "placement jobs=" + std::to_string(refJobs) + " vs jobs=" +
+               std::to_string(jobs) + ": " + why});
+    }
+  }
+  return ref;
+}
+
+void checkSemantics(const core::PlaceOutcome& out, const ModeConfig& mode,
+                    ViolationKind kind, OracleReport& report) {
+  if (!out.hasSolution()) return;
+  ++report.counters.semanticChecks;
+  core::VerifyResult v = core::verifyPlacement(
+      out.solvedProblem, out.placement, /*respectTraffic=*/mode.slice);
+  if (!v.ok) {
+    report.violations.push_back({kind, v.summary()});
+  }
+}
+
+/// Re-encode the (preprocessed) problem monolithically and enumerate it.
+/// This is deliberately *not* the placer's decomposed path: agreement
+/// between the two is the point of the check.
+void checkBruteForce(const FuzzCase& fc, const ModeConfig& mode,
+                     const OracleOptions& options,
+                     const core::PlaceOutcome& ref, OracleReport& report) {
+  if (ref.status != solver::OptStatus::kOptimal &&
+      ref.status != solver::OptStatus::kInfeasible) {
+    return;  // budget-bound outcome: nothing exact to compare
+  }
+  try {
+    core::PlacementProblem copy = fc.problem();
+    if (mode.removeRedundancy) {
+      for (auto& q : copy.policies) acl::removeRedundant(q);
+    }
+    depgraph::MergeAnalysis mergeInfo;
+    if (mode.merge) mergeInfo = depgraph::analyzeMergeable(copy.policies);
+    core::EncoderOptions enc;
+    enc.enableMerging = mode.merge;
+    enc.enablePathSlicing = mode.slice;
+    enc.objective = mode.objective;
+    core::Encoder encoder(copy, enc, mode.merge ? &mergeInfo : nullptr);
+    if (encoder.model().varCount() > options.bruteMaxVars) return;
+
+    ++report.counters.bruteChecks;
+    solver::OptResult truth =
+        solver::bruteForceSolve(encoder.model(), options.bruteMaxVars);
+    const bool refInfeasible = ref.status == solver::OptStatus::kInfeasible;
+    const bool truthInfeasible =
+        truth.status == solver::OptStatus::kInfeasible;
+    if (refInfeasible != truthInfeasible) {
+      report.violations.push_back(
+          {ViolationKind::kOptimality,
+           std::string("feasibility disagrees: pipeline ") +
+               solver::toString(ref.status) + ", brute force " +
+               solver::toString(truth.status)});
+      return;
+    }
+    if (!refInfeasible && !mode.satOnly &&
+        truth.objective != ref.objective) {
+      report.violations.push_back(
+          {ViolationKind::kOptimality,
+           "objective " + std::to_string(ref.objective) +
+               " != brute-force optimum " +
+               std::to_string(truth.objective)});
+    }
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        {ViolationKind::kCrash,
+         std::string("brute-force re-encode threw: ") + e.what()});
+  }
+}
+
+void checkStatusAgreement(const FuzzCase& fc, const ModeConfig& mode,
+                          const OracleOptions& options,
+                          const core::PlaceOutcome& ref,
+                          OracleReport& report) {
+  if (mode.satOnly) return;
+  if (ref.status != solver::OptStatus::kOptimal &&
+      ref.status != solver::OptStatus::kInfeasible) {
+    return;
+  }
+  ModeConfig satMode = mode;
+  satMode.satOnly = true;
+  core::PlaceOutcome satOut;
+  try {
+    satOut = core::place(
+        fc.problem(),
+        optionsFor(satMode, options, options.jobsSweep.front()));
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        {ViolationKind::kCrash,
+         std::string("sat-only cross-solve threw: ") + e.what()});
+    return;
+  }
+  if (options.hooks.afterPlace) {
+    options.hooks.afterPlace(satOut, satMode, options.jobsSweep.front());
+  }
+  ++report.counters.solves;
+  if (satOut.status != solver::OptStatus::kOptimal &&
+      satOut.status != solver::OptStatus::kInfeasible) {
+    return;  // undecided under budget
+  }
+  ++report.counters.statusCrossChecks;
+  const bool ilpFeasible = ref.status == solver::OptStatus::kOptimal;
+  const bool satFeasible = satOut.status == solver::OptStatus::kOptimal;
+  if (ilpFeasible != satFeasible) {
+    report.violations.push_back(
+        {ViolationKind::kStatus,
+         std::string("ILP says ") + solver::toString(ref.status) +
+             " but SAT mode says " + solver::toString(satOut.status)});
+  }
+}
+
+void checkIncremental(const FuzzCase& fc, const ModeConfig& mode,
+                      const OracleOptions& options, OracleReport& report) {
+  const int n = static_cast<int>(fc.policies.size());
+  const int m = mode.basePolicies;
+  if (m <= 0 || m >= n) return;
+  ++report.counters.incrementalChecks;
+
+  FuzzCase base;
+  base.graph = fc.graph;
+  base.routing.assign(fc.routing.begin(), fc.routing.begin() + m);
+  base.policies.assign(fc.policies.begin(), fc.policies.begin() + m);
+  std::vector<topo::IngressPaths> newRouting(fc.routing.begin() + m,
+                                             fc.routing.end());
+  std::vector<acl::Policy> newPolicies(fc.policies.begin() + m,
+                                       fc.policies.end());
+
+  std::optional<core::PlaceOutcome> refInc;
+  int refJobs = 0;
+  for (int jobs : options.jobsSweep) {
+    core::PlaceOutcome incOut;
+    try {
+      core::PlaceOptions opts = optionsFor(mode, options, jobs);
+      core::PlaceOutcome baseOut = core::place(base.problem(), opts);
+      if (options.hooks.afterPlace) {
+        options.hooks.afterPlace(baseOut, mode, jobs);
+      }
+      ++report.counters.solves;
+      if (!baseOut.hasSolution()) return;  // tight base: nothing to install on
+      incOut = core::installPolicies(base.problem(), baseOut.placement,
+                                     newRouting, newPolicies, opts);
+      if (options.hooks.afterPlace) {
+        options.hooks.afterPlace(incOut, mode, jobs);
+      }
+      ++report.counters.solves;
+    } catch (const std::exception& e) {
+      report.violations.push_back(
+          {ViolationKind::kCrash,
+           std::string("incremental pipeline threw with jobs=") +
+               std::to_string(jobs) + ": " + e.what()});
+      return;
+    }
+    if (!refInc.has_value()) {
+      refInc = std::move(incOut);
+      refJobs = jobs;
+      // The combined deployment must drop exactly what the combined
+      // policies drop — infeasibility of the restricted subproblem is
+      // acceptable (§IV-E), wrong semantics never.
+      if (refInc->hasSolution()) {
+        ++report.counters.semanticChecks;
+        core::VerifyResult v =
+            core::verifyPlacement(refInc->solvedProblem, refInc->placement,
+                                  /*respectTraffic=*/mode.slice);
+        if (!v.ok) {
+          report.violations.push_back(
+              {ViolationKind::kIncremental, v.summary()});
+        }
+      }
+      continue;
+    }
+    ++report.counters.determinismComparisons;
+    if (incOut.status != refInc->status) {
+      report.violations.push_back(
+          {ViolationKind::kDeterminism,
+           "incremental status jobs=" + std::to_string(refJobs) + " -> " +
+               describeOutcome(*refInc) + ", jobs=" + std::to_string(jobs) +
+               " -> " + describeOutcome(incOut)});
+      continue;
+    }
+    std::string why;
+    if (incOut.hasSolution() &&
+        !placementsEqual(refInc->placement, incOut.placement, &why)) {
+      report.violations.push_back(
+          {ViolationKind::kDeterminism,
+           "incremental placement jobs=" + std::to_string(refJobs) +
+               " vs jobs=" + std::to_string(jobs) + ": " + why});
+    }
+  }
+}
+
+}  // namespace
+
+OracleReport checkCase(const FuzzCase& fc, const ModeConfig& mode,
+                       const OracleOptions& options) {
+  OracleReport report;
+  if (options.jobsSweep.empty()) {
+    report.violations.push_back(
+        {ViolationKind::kCrash, "empty jobs sweep"});
+    return report;
+  }
+
+  if (mode.incremental()) {
+    checkIncremental(fc, mode, options, report);
+    return report;
+  }
+
+  std::optional<core::PlaceOutcome> ref =
+      sweepAndCompare(fc, mode, options, report);
+  if (!ref.has_value()) return report;
+
+  checkSemantics(*ref, mode, ViolationKind::kSemantics, report);
+  checkBruteForce(fc, mode, options, *ref, report);
+  checkStatusAgreement(fc, mode, options, *ref, report);
+  return report;
+}
+
+}  // namespace ruleplace::fuzz

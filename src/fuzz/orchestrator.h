@@ -1,0 +1,72 @@
+#pragma once
+// Fuzz orchestrator: the loop that ties generator, mutator, oracle,
+// minimizer and reproducer I/O together.
+//
+// Every iteration i derives its own RNG as Rng(seed).stream(i), so a run
+// is reproducible from (seed, iteration) alone and parallel workers give
+// identical per-iteration results regardless of scheduling.  With
+// --iterations the whole run is deterministic; with --seconds the set of
+// iterations completed depends on machine speed (the results per iteration
+// still don't).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/oracle.h"
+
+namespace ruleplace::fuzz {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  int iterations = 50;   ///< used when seconds <= 0
+  double seconds = 0.0;  ///< wall-clock bound; 0 = iteration-bound
+  int workers = 1;       ///< parallel fuzz workers (each drives full solves)
+  /// Modes checked per case: the reference mode plus up to this many
+  /// further samples from the case's mode matrix.
+  int extraModesPerCase = 3;
+  /// Probability that a case is additionally mutated before checking.
+  double mutateProbability = 0.3;
+  bool minimize = true;
+  int minimizeEvaluations = 600;
+  std::string outDir;  ///< reproducers land here; empty = don't write
+  OracleOptions oracle;
+  std::ostream* log = nullptr;  ///< per-iteration progress (verbose)
+};
+
+struct FailureRecord {
+  std::uint64_t iteration = 0;
+  std::uint64_t caseSeed = 0;
+  ModeConfig mode;
+  std::string message;          ///< violation summary
+  std::string reproducerPath;   ///< empty when outDir unset / write failed
+  MinimizeStats minimizeStats;  ///< valid when minimization ran
+  FuzzCase minimized;           ///< the shrunken failing case
+};
+
+struct FuzzSummary {
+  std::int64_t iterations = 0;
+  std::int64_t casesChecked = 0;  ///< generated + mutated variants
+  std::int64_t modesChecked = 0;
+  OracleCounters counters;
+  std::vector<FailureRecord> failures;
+
+  bool ok() const noexcept { return failures.empty(); }
+  std::string toString() const;
+};
+
+/// Run the fuzz loop.  Failures are minimized (when configured) and
+/// written to config.outDir as reproducer files.
+FuzzSummary runFuzz(const FuzzConfig& config);
+
+/// Check every applicable mode of one case (used by --replay and by the
+/// corpus test).  `modes` empty = full matrix.
+OracleReport checkAllModes(const FuzzCase& fc,
+                           const std::vector<ModeConfig>& modes,
+                           const OracleOptions& options,
+                           OracleCounters* counters = nullptr);
+
+}  // namespace ruleplace::fuzz

@@ -1,0 +1,83 @@
+#include "fuzz/reproducer.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/scenario.h"
+
+namespace ruleplace::fuzz {
+
+std::string formatReproducer(const FuzzCase& fc, const ModeConfig& mode,
+                             std::uint64_t seed, const std::string& note) {
+  std::ostringstream os;
+  os << "# ruleplace-fuzz reproducer\n";
+  os << "# seed " << seed << '\n';
+  os << "# mode " << mode.toString() << '\n';
+  if (!note.empty()) {
+    // Notes may span lines; each becomes its own comment.
+    std::istringstream lines(note);
+    std::string line;
+    while (std::getline(lines, line)) os << "# violation " << line << '\n';
+  }
+  os << io::formatScenario(fc.problem());
+  return os.str();
+}
+
+void writeReproducer(const std::string& path, const FuzzCase& fc,
+                     const ModeConfig& mode, std::uint64_t seed,
+                     const std::string& note) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write reproducer file: " + path);
+  }
+  out << formatReproducer(fc, mode, seed, note);
+}
+
+FuzzCase caseFromScenarioText(std::string_view text) {
+  io::Scenario scenario;
+  io::parseScenario(text, scenario);
+  FuzzCase fc;
+  fc.graph = std::make_shared<topo::Graph>(scenario.graph);
+  fc.routing = std::move(scenario.routing);
+  fc.policies = std::move(scenario.policies);
+  return fc;
+}
+
+Reproducer parseReproducer(std::string_view text) {
+  Reproducer repro;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.rfind("# seed ", 0) == 0) {
+      try {
+        repro.seed = std::stoull(line.substr(7));
+      } catch (...) {
+        throw std::runtime_error("reproducer: malformed seed line: " + line);
+      }
+    } else if (line.rfind("# mode ", 0) == 0) {
+      auto mode = ModeConfig::parse(line.substr(7));
+      if (!mode.has_value()) {
+        throw std::runtime_error("reproducer: malformed mode line: " + line);
+      }
+      repro.mode = *mode;
+    } else if (line.rfind("# violation ", 0) == 0) {
+      if (!repro.note.empty()) repro.note += '\n';
+      repro.note += line.substr(12);
+    }
+  }
+  repro.fuzzCase = caseFromScenarioText(text);
+  return repro;
+}
+
+Reproducer loadReproducer(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open reproducer file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseReproducer(buffer.str());
+}
+
+}  // namespace ruleplace::fuzz

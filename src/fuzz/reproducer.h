@@ -1,0 +1,55 @@
+#pragma once
+// Reproducer files: a failing fuzz case as one self-contained scenario.
+//
+// A reproducer is a plain io::scenario file with a machine-readable comment
+// header carrying everything needed to replay the failure:
+//
+//     # ruleplace-fuzz reproducer
+//     # seed 1234
+//     # mode merge=1 slice=0 sat-only=0 redundancy=0 objective=total-rules base=0
+//     # violation determinism: placement jobs=1 vs jobs=2: ...
+//     switch s0 capacity 2
+//     ...
+//
+// Comment lines are ignored by the scenario parser, so a reproducer can be
+// fed straight to ruleplace_cli, replayed by `ruleplace_fuzz --replay`, or
+// checked into tests/corpus/ where test_fuzz_corpus re-runs it through
+// every placement mode on each CI run.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+namespace ruleplace::fuzz {
+
+struct Reproducer {
+  FuzzCase fuzzCase;
+  ModeConfig mode;          ///< mode the failure was observed in
+  std::uint64_t seed = 0;   ///< orchestrator case seed (0 when unknown)
+  std::string note;         ///< violation summary (free text)
+};
+
+/// Render a reproducer document (header + scenario body).
+std::string formatReproducer(const FuzzCase& fc, const ModeConfig& mode,
+                             std::uint64_t seed, const std::string& note);
+
+/// Write to `path`; throws std::runtime_error when the file can't open.
+void writeReproducer(const std::string& path, const FuzzCase& fc,
+                     const ModeConfig& mode, std::uint64_t seed,
+                     const std::string& note);
+
+/// Parse a reproducer document.  A plain scenario file (no fuzz header)
+/// loads too: mode defaults, seed 0.  Throws on malformed scenarios.
+Reproducer parseReproducer(std::string_view text);
+
+/// Load from a file path (wraps parseReproducer).
+Reproducer loadReproducer(const std::string& path);
+
+/// Build a case from scenario text (the graph is copied onto the shared
+/// handle FuzzCase owns).
+FuzzCase caseFromScenarioText(std::string_view text);
+
+}  // namespace ruleplace::fuzz

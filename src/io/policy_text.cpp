@@ -60,7 +60,12 @@ match::IpPrefix parsePrefix(std::string_view s, int line) {
     pos = dot + 1;
   }
   if (octets != 4) throw ParseError(line, "invalid IPv4 address");
-  if (len < 32) addr &= ~((1u << (32 - len)) - 1u);
+  // Mask host bits; /0 must not shift by 32 (undefined behavior).
+  if (len == 0) {
+    addr = 0;
+  } else if (len < 32) {
+    addr &= ~((1u << (32 - len)) - 1u);
+  }
   return {addr, len};
 }
 

@@ -66,8 +66,35 @@ class Rng {
     }
   }
 
-  /// Derive an independent child stream (for per-instance seeding).
-  Rng fork() noexcept { return Rng(next() ^ 0xa0761d6478bd642fULL); }
+  /// Derive an independent child stream, advancing this generator by one
+  /// draw.  Successive split() calls yield mutually independent children:
+  /// the child seed is a SplitMix64 output of the parent, re-keyed so the
+  /// child's sequence never collides with the parent's own outputs.
+  /// Deterministic: Rng(s).split() is a pure function of s.
+  Rng split() noexcept { return Rng(next() ^ 0xa0761d6478bd642fULL); }
+
+  /// Derive the `streamId`-th indexed child stream *without* mutating this
+  /// generator.  stream(i) is a pure function of (current state, i), and
+  /// distinct ids give statistically independent streams — the API parallel
+  /// fuzz workers and the thread-pool placer use to draw per-worker
+  /// deterministic randomness regardless of scheduling order:
+  ///
+  ///     util::Rng root(seed);
+  ///     util::Rng worker = root.stream(workerIndex);  // any order, any time
+  ///
+  /// Unlike split(), calling stream(i) twice with the same id returns the
+  /// same child, so work items can re-derive their stream idempotently.
+  Rng stream(std::uint64_t streamId) const noexcept {
+    // Feed (state, id) through two rounds of the SplitMix64 finalizer so
+    // adjacent ids land far apart in the child seed space.
+    std::uint64_t z = state_ + 0x9e3779b97f4a7c15ULL * (streamId + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
 
  private:
   std::uint64_t state_;

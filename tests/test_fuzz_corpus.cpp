@@ -1,0 +1,78 @@
+// Corpus replay: every minimized reproducer in tests/corpus/ must pass the
+// differential oracle in every applicable placement mode.  A fixed bug
+// stays fixed — new reproducers land here after their defect is repaired.
+//
+// RP_CORPUS_DIR is injected by the build (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.h"
+#include "fuzz/orchestrator.h"
+#include "fuzz/reproducer.h"
+
+#ifndef RP_CORPUS_DIR
+#error "RP_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace ruleplace::fuzz {
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RP_CORPUS_DIR)) {
+    if (entry.path().extension() == ".scenario") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpus, HasEntries) {
+  EXPECT_GE(corpusFiles().size(), 5u) << "corpus directory went missing?";
+}
+
+TEST(FuzzCorpus, EveryEntryParsesAsReproducer) {
+  for (const std::string& path : corpusFiles()) {
+    SCOPED_TRACE(path);
+    Reproducer repro;
+    ASSERT_NO_THROW(repro = loadReproducer(path));
+    EXPECT_FALSE(repro.fuzzCase.policies.empty());
+    EXPECT_NO_THROW(repro.fuzzCase.problem().validate());
+  }
+}
+
+// The replay itself: recorded mode first, then the full mode matrix.
+TEST(FuzzCorpus, ReplaysCleanThroughAllModes) {
+  OracleOptions opts;
+  opts.conflictBudget = 300000;
+  opts.jobsSweep = {1, 2, 4};
+  for (const std::string& path : corpusFiles()) {
+    SCOPED_TRACE(path);
+    const Reproducer repro = loadReproducer(path);
+    OracleReport recorded =
+        checkAllModes(repro.fuzzCase, {repro.mode}, opts);
+    EXPECT_TRUE(recorded.ok()) << recorded.summary();
+    OracleReport matrix = checkAllModes(repro.fuzzCase, {}, opts);
+    EXPECT_TRUE(matrix.ok()) << matrix.summary();
+    EXPECT_GT(matrix.counters.solves, 0);
+  }
+}
+
+TEST(FuzzCorpus, HeaderedEntryCarriesItsMetadata) {
+  const std::filesystem::path path =
+      std::filesystem::path(RP_CORPUS_DIR) / "minimized_drop.scenario";
+  const Reproducer repro = loadReproducer(path.string());
+  EXPECT_EQ(repro.seed, 4242u);
+  EXPECT_FALSE(repro.note.empty());
+  EXPECT_EQ(repro.mode.toString(), ModeConfig{}.toString());
+}
+
+}  // namespace
+}  // namespace ruleplace::fuzz

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare Google Benchmark JSON results against checked-in baselines.
+
+Usage:
+    tools/check_bench.py --current DIR [--baseline DIR] [--threshold PCT]
+
+Both directories hold BENCH_<name>.json files as emitted by the bench
+binaries when RULEPLACE_BENCH_JSON_DIR is set (see bench/bench_common.h).
+Each benchmark entry is matched by its "name"; a regression is a current
+real_time more than --threshold percent (default 15) above the baseline.
+
+Exit status: 1 when any regression is found, 0 otherwise.  A missing
+baseline directory or file is reported and skipped, never fatal — new
+benchmarks must not break CI before a baseline lands.  CI runs this as a
+non-blocking step: shared runners are noisy, so the report is advisory;
+the numbers that matter are trends across runs.
+
+Only stdlib is used; python3 is the only requirement.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_entries(path):
+    """Map benchmark name -> real_time in ns from one benchmark JSON file.
+
+    real_time is reported in each entry's time_unit; normalize so baselines
+    survive a unit change in the benchmark source.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) when repetitions ran.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        if name is not None and "real_time" in b:
+            scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+            entries[name] = float(b["real_time"]) * scale
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True,
+                    help="directory with freshly produced BENCH_*.json")
+    ap.add_argument("--baseline", default="bench/baselines",
+                    help="directory with reference BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="regression threshold in percent (default: 15)")
+    args = ap.parse_args()
+
+    if not os.path.isdir(args.current):
+        print(f"check_bench: current dir {args.current!r} does not exist")
+        return 1
+
+    current_files = sorted(
+        f for f in os.listdir(args.current)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not current_files:
+        print(f"check_bench: no BENCH_*.json in {args.current!r}")
+        return 1
+
+    have_baselines = os.path.isdir(args.baseline)
+    if not have_baselines:
+        print(f"check_bench: baseline dir {args.baseline!r} missing; "
+              "nothing to compare against (ok)")
+
+    regressions = []
+    improvements = []
+    for fname in current_files:
+        current = load_entries(os.path.join(args.current, fname))
+        base_path = os.path.join(args.baseline, fname)
+        if not have_baselines or not os.path.isfile(base_path):
+            print(f"{fname}: no baseline, skipped "
+                  f"({len(current)} benchmark(s) recorded)")
+            continue
+        baseline = load_entries(base_path)
+        for name, cur in sorted(current.items()):
+            base = baseline.get(name)
+            if base is None:
+                print(f"{fname}: {name}: new benchmark (no baseline entry)")
+                continue
+            if base <= 0:
+                continue
+            delta = (cur - base) / base * 100.0
+            line = f"{fname}: {name}: {base:.0f} -> {cur:.0f} ns ({delta:+.1f}%)"
+            if delta > args.threshold:
+                regressions.append(line)
+            elif delta < -args.threshold:
+                improvements.append(line)
+            print(line)
+
+    for line in improvements:
+        print(f"improvement: {line}")
+    if regressions:
+        print(f"\ncheck_bench: {len(regressions)} regression(s) over "
+              f"{args.threshold:.0f}%:")
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        return 1
+    print("check_bench: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,13 +2,17 @@
 # Local CI: the gate a change must pass before review.
 #
 #   tools/ci.sh            default build + full ctest suite
+#   tools/ci.sh --quick    default build + unit-labeled tests only
+#                          (seconds, not minutes — the inner-loop gate)
 #   tools/ci.sh --san      additionally build the asan-ubsan and tsan
-#                          presets and run the solver + parallel-engine
-#                          tests under each (the suites that exercise raw
-#                          pointer juggling and the thread pool)
+#                          presets and run the solver + parallel-engine +
+#                          fuzz tests under each (the suites that exercise
+#                          raw pointer juggling and the thread pool)
 #
 # Presets live in CMakePresets.json; sanitizer builds keep assert() live
-# (Debug + -O1), unlike the default RelWithDebInfo build.
+# (Debug + -O1), unlike the default RelWithDebInfo build.  Test labels
+# (unit / integration / slow) and per-test timeouts are assigned in
+# tests/CMakeLists.txt and tools/CMakeLists.txt.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,8 +22,9 @@ run_sanitized() {
   echo "=== ${preset} ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j \
-    --target test_solver --target test_solver_pb --target test_parallel
-  for t in test_solver test_solver_pb test_parallel; do
+    --target test_solver --target test_solver_pb --target test_parallel \
+    --target test_fuzz
+  for t in test_solver test_solver_pb test_parallel test_fuzz; do
     "./${builddir}/tests/${t}"
   done
 }
@@ -27,7 +32,18 @@ run_sanitized() {
 echo "=== default ==="
 cmake --preset default
 cmake --build --preset default -j
-ctest --preset default -j
+
+# Note: ctest's bare -j greedily consumes the next token, so always give
+# it an explicit value when more flags follow.
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" == "--quick" ]]; then
+  ctest --preset default -j "${jobs}" -L unit
+  echo "ci: quick gate green (unit label only)"
+  exit 0
+fi
+
+ctest --preset default -j "${jobs}"
 
 if [[ "${1:-}" == "--san" ]]; then
   run_sanitized asan-ubsan build-asan

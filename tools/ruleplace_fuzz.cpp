@@ -1,0 +1,251 @@
+// ruleplace_fuzz — randomized differential fuzzer for the placement
+// pipeline.
+//
+// Generates seeded random scenarios (see src/fuzz/generator.h), drives each
+// through every applicable placement mode, and cross-checks the results
+// three ways: exact semantic verification, brute-force optimality on small
+// instances, and bit-identical determinism across thread counts and the
+// incremental pipeline.  Failures are delta-debugged to a minimal case and
+// written as self-contained reproducer files.
+//
+//   ruleplace_fuzz [options]
+//     --iterations N     fuzz N iterations (default: 50)
+//     --seconds S        fuzz for S wall-clock seconds instead
+//     --seed S           base seed (default: 1)
+//     --seed-from-run-id derive the seed from $GITHUB_RUN_ID (CI: a fresh
+//                        seed per pipeline run, printed for replay; falls
+//                        back to time(2) outside CI)
+//     --workers N        parallel fuzz workers (default: 1)
+//     --jobs-sweep A,B,… thread counts for the determinism sweep
+//                        (default: 1,2,4)
+//     --max-modes N      extra modes sampled per case beyond the reference
+//                        ILP mode (default: 3)
+//     --brute-max-vars N brute-force models up to N variables (default: 18)
+//     --out DIR          write reproducers here (default: fuzz-out)
+//     --no-minimize      keep failing cases unshrunk
+//     --replay FILE      re-check one reproducer file and exit
+//     --self-check       verify the oracle catches injected placer bugs,
+//                        then exit (mutation testing for the fuzzer)
+//     --verbose          per-iteration progress on stderr
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/mutator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/orchestrator.h"
+#include "fuzz/reproducer.h"
+
+using namespace ruleplace;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iterations N] [--seconds S] [--seed S]\n"
+               "          [--seed-from-run-id] [--workers N]\n"
+               "          [--jobs-sweep A,B,...] [--max-modes N]\n"
+               "          [--brute-max-vars N] [--out DIR] [--no-minimize]\n"
+               "          [--replay FILE] [--self-check] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+std::vector<int> parseIntList(const std::string& text) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    out.push_back(std::stoi(text.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t seedFromRunId() {
+  const char* runId = std::getenv("GITHUB_RUN_ID");
+  if (runId != nullptr && *runId != '\0') {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(runId, &end, 10);
+    if (end != runId) return v;
+  }
+  return static_cast<std::uint64_t>(std::time(nullptr));
+}
+
+int replay(const std::string& path, const fuzz::OracleOptions& oracle) {
+  fuzz::Reproducer repro = fuzz::loadReproducer(path);
+  std::printf("replaying %s (seed %" PRIu64 ")\n", path.c_str(), repro.seed);
+  if (!repro.note.empty()) {
+    std::printf("recorded violation: %s\n", repro.note.c_str());
+  }
+  // Check the recorded mode first, then the whole matrix: a fixed bug must
+  // stay fixed in every mode, not just the one it was found in.
+  fuzz::OracleReport report =
+      fuzz::checkAllModes(repro.fuzzCase, {repro.mode}, oracle);
+  fuzz::OracleReport matrix =
+      fuzz::checkAllModes(repro.fuzzCase, {}, oracle);
+  for (auto& v : matrix.violations) report.violations.push_back(std::move(v));
+  report.counters.add(matrix.counters);
+  if (report.ok()) {
+    std::printf("PASS: no violations in recorded mode or full matrix\n");
+    return 0;
+  }
+  std::printf("FAIL:\n%s\n", report.summary().c_str());
+  return 1;
+}
+
+/// Mutation testing for the oracle: inject each placer-defect model into
+/// real solves via the afterPlace hook and require the oracle to notice,
+/// then minimize one semantic failure to a handful of rules.
+int selfCheck(std::uint64_t seed, const fuzz::OracleOptions& baseOracle) {
+  const fuzz::BugKind kinds[] = {
+      fuzz::BugKind::kDropInstalledRule, fuzz::BugKind::kFlipAction,
+      fuzz::BugKind::kStripTag, fuzz::BugKind::kInflateObjective};
+  int failures = 0;
+  for (fuzz::BugKind kind : kinds) {
+    bool caught = false;
+    bool applied = false;
+    // Scan seeds until the bug applies to some (case, mode) solve; e.g.
+    // kStripTag needs a merged entry to exist.
+    for (std::uint64_t offset = 0; offset < 40 && !caught; ++offset) {
+      fuzz::FuzzCase fc =
+          fuzz::generateCase(util::Rng(seed).stream(offset).next());
+      for (const fuzz::ModeConfig& mode : fuzz::modeMatrix(fc)) {
+        fuzz::OracleOptions oracle = baseOracle;
+        oracle.hooks.afterPlace = [&](core::PlaceOutcome& outcome,
+                                      const fuzz::ModeConfig&, int) {
+          applied |= fuzz::injectBug(outcome, kind);
+        };
+        if (!fuzz::checkCase(fc, mode, oracle).ok()) {
+          caught = true;
+          if (kind == fuzz::BugKind::kDropInstalledRule) {
+            // Prove the minimizer shrinks the triggering case.
+            fuzz::MinimizeStats stats;
+            fuzz::FuzzCase tiny = fuzz::minimizeCase(
+                fc,
+                [&](const fuzz::FuzzCase& c) {
+                  return !fuzz::checkCase(c, mode, oracle).ok();
+                },
+                &stats, 400);
+            std::printf("  minimized: %s\n", stats.toString().c_str());
+            (void)tiny;
+          }
+          break;
+        }
+      }
+    }
+    if (caught) {
+      std::printf("ok: injected %s caught\n", fuzz::toString(kind));
+    } else {
+      std::printf("FAIL: injected %s was %s but never caught\n",
+                  fuzz::toString(kind), applied ? "applied" : "never applied");
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("self-check PASS: all injected bug kinds detected\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzConfig config;
+  config.outDir = "fuzz-out";
+  std::string replayPath;
+  bool doSelfCheck = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--iterations") {
+        config.iterations = std::stoi(value());
+      } else if (arg == "--seconds") {
+        config.seconds = std::stod(value());
+      } else if (arg == "--seed") {
+        config.seed = std::stoull(value());
+      } else if (arg == "--seed-from-run-id") {
+        config.seed = seedFromRunId();
+      } else if (arg == "--workers") {
+        config.workers = std::stoi(value());
+      } else if (arg == "--jobs-sweep") {
+        config.oracle.jobsSweep = parseIntList(value());
+        if (config.oracle.jobsSweep.empty()) return usage(argv[0]);
+      } else if (arg == "--max-modes") {
+        config.extraModesPerCase = std::stoi(value());
+      } else if (arg == "--brute-max-vars") {
+        config.oracle.bruteMaxVars = std::stoi(value());
+      } else if (arg == "--out") {
+        config.outDir = value();
+      } else if (arg == "--no-minimize") {
+        config.minimize = false;
+      } else if (arg == "--replay") {
+        replayPath = value();
+      } else if (arg == "--self-check") {
+        doSelfCheck = true;
+      } else if (arg == "--verbose") {
+        verbose = true;
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value for %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!replayPath.empty()) return replay(replayPath, config.oracle);
+    if (doSelfCheck) return selfCheck(config.seed, config.oracle);
+
+    if (verbose) config.log = &std::cerr;
+    std::printf("fuzzing with seed %" PRIu64 " (%s)\n", config.seed,
+                config.seconds > 0.0
+                    ? (std::to_string(config.seconds) + " seconds").c_str()
+                    : (std::to_string(config.iterations) + " iterations")
+                          .c_str());
+    fuzz::FuzzSummary summary = fuzz::runFuzz(config);
+    std::printf("%s\n", summary.toString().c_str());
+    for (const fuzz::FailureRecord& f : summary.failures) {
+      std::printf("violation at iteration %" PRIu64 " (case seed %" PRIu64
+                  ") mode [%s]:\n  %s\n",
+                  f.iteration, f.caseSeed, f.mode.toString().c_str(),
+                  f.message.c_str());
+      if (!f.reproducerPath.empty()) {
+        std::printf("  reproducer: %s\n", f.reproducerPath.c_str());
+        std::printf("  minimized: %s\n", f.minimizeStats.toString().c_str());
+      }
+    }
+    if (!summary.ok()) {
+      std::printf("FAIL: %zu violation(s); replay with --replay <file> or "
+                  "--seed %" PRIu64 "\n",
+                  summary.failures.size(), config.seed);
+      return 1;
+    }
+    std::printf("PASS: no violations\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
+}
