@@ -12,11 +12,13 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/placer.h"
+#include "obs/obs.h"
 
 namespace ruleplace::bench {
 
@@ -37,14 +39,29 @@ inline const char* statusLabel(solver::OptStatus s) {
   return solver::toString(s);
 }
 
+/// Cumulative per-span totals (ms) from the global registry; used to
+/// attribute a benchmark iteration to pipeline stages by delta.
+inline std::map<std::string, double> spanTotalsMs() {
+  std::map<std::string, double> totals;
+  for (const auto& s : obs::Registry::global().spanStats()) {
+    totals[s.name] = s.totalSeconds * 1e3;
+  }
+  return totals;
+}
+
 /// Run one placement and record the standard counters on the benchmark
 /// state: runtime is the measured solve (manual timing), counters carry
-/// feasibility, objective and model size.
+/// feasibility, objective and model size.  With observability compiled in,
+/// each point additionally emits per-stage `stage/<span>` counters (ms per
+/// iteration) into the JSON output, which tools/check_bench.py uses to
+/// attribute regressions to a pipeline stage.
 inline void runPlacementPoint(benchmark::State& state,
                               const core::InstanceConfig& cfg,
                               core::PlaceOptions opts) {
   opts.budget = pointBudget();
+  opts.observability = true;
   for (auto _ : state) {
+    const std::map<std::string, double> before = spanTotalsMs();
     core::Instance inst(cfg);
     core::PlaceOutcome out = core::place(inst.problem(), opts);
     state.SetIterationTime(out.encodeSeconds + out.solveSeconds);
@@ -60,6 +77,11 @@ inline void runPlacementPoint(benchmark::State& state,
     state.counters["model_cons"] = static_cast<double>(out.modelConstraints);
     state.counters["conflicts"] =
         static_cast<double>(out.solverStats.conflicts);
+    for (const auto& [name, totalMs] : spanTotalsMs()) {
+      auto it = before.find(name);
+      const double delta = totalMs - (it == before.end() ? 0.0 : it->second);
+      state.counters["stage/" + name] = delta;
+    }
   }
 }
 

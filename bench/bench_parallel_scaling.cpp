@@ -28,10 +28,17 @@ void BM_ParallelScaling(benchmark::State& state) {
   core::PlaceOptions opts;
   opts.threads = threads;
   opts.budget = pointBudget();
+  opts.observability = true;  // per-stage counters incl. worker threads
   for (auto _ : state) {
+    const std::map<std::string, double> before = spanTotalsMs();
     core::Instance inst(cfg);
     core::PlaceOutcome out = core::place(inst.problem(), opts);
     state.SetIterationTime(out.encodeSeconds + out.solveSeconds);
+    for (const auto& [name, totalMs] : spanTotalsMs()) {
+      auto it = before.find(name);
+      const double delta = totalMs - (it == before.end() ? 0.0 : it->second);
+      state.counters["stage/" + name] = delta;
+    }
     double cpu = 0;
     for (const auto& c : out.componentStats) {
       cpu += c.encodeSeconds + c.solveSeconds;

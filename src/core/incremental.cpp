@@ -1,9 +1,40 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace ruleplace::core {
+
+namespace {
+
+// Restricted-subproblem metrics: how big is the incremental instance and
+// how much headroom did the base placement leave it (spare-capacity
+// utilization is the ratio consumed by the incremental solution).
+void flushIncrementalMetrics(const PlacementProblem& sub,
+                             const std::vector<int>& spare,
+                             const PlaceOutcome& outcome) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.counter("incremental.sub_policies").add(sub.policyCount());
+  reg.counter("incremental.sub_rules").add(sub.totalPolicyRules());
+  const std::int64_t total =
+      std::accumulate(spare.begin(), spare.end(), std::int64_t{0});
+  reg.counter("incremental.spare_capacity_total").add(total);
+  if (outcome.hasSolution()) {
+    std::int64_t used = 0;
+    for (topo::SwitchId sw = 0;
+         sw < outcome.solvedProblem.graph->switchCount(); ++sw) {
+      used += outcome.placement.usedCapacity(sw);
+    }
+    reg.counter("incremental.spare_capacity_used").add(used);
+  }
+  reg.histogram("incremental.sub_rules_dist").record(sub.totalPolicyRules());
+}
+
+}  // namespace
 
 std::vector<int> spareCapacities(const PlacementProblem& problem,
                                  const Placement& base) {
@@ -29,13 +60,18 @@ PlaceOutcome installPolicies(const PlacementProblem& problem,
     throw std::invalid_argument(
         "installPolicies: one routing entry per policy required");
   }
+  obs::Span span("incremental.install");
   PlacementProblem sub;
   sub.graph = problem.graph;
   sub.routing = std::move(newRouting);
   sub.policies = std::move(newPolicies);
-  sub.capacityOverride = spareCapacities(problem, base);
+  const std::vector<int> spare = spareCapacities(problem, base);
+  sub.capacityOverride = spare;
+  span.arg("sub_policies", sub.policyCount());
+  span.arg("sub_rules", sub.totalPolicyRules());
 
   PlaceOutcome outcome = place(std::move(sub), options);
+  flushIncrementalMetrics(outcome.solvedProblem, spare, outcome);
   if (!outcome.hasSolution()) return outcome;
 
   // Combine: base tags stay, new policies get ids after the existing ones.
@@ -77,15 +113,20 @@ PlaceOutcome reroutePolicies(const PlacementProblem& problem,
   Placement stripped = base;
   for (int id : policyIds) stripped.erasePolicy(id);
 
+  obs::Span span("incremental.reroute");
   PlacementProblem sub;
   sub.graph = problem.graph;
   sub.routing = std::move(newRouting);
   for (int id : policyIds) {
     sub.policies.push_back(problem.policies.at(static_cast<std::size_t>(id)));
   }
-  sub.capacityOverride = spareCapacities(problem, stripped);
+  const std::vector<int> spare = spareCapacities(problem, stripped);
+  sub.capacityOverride = spare;
+  span.arg("sub_policies", sub.policyCount());
+  span.arg("sub_rules", sub.totalPolicyRules());
 
   PlaceOutcome outcome = place(std::move(sub), options);
+  flushIncrementalMetrics(outcome.solvedProblem, spare, outcome);
   if (!outcome.hasSolution()) return outcome;
 
   std::vector<int> tagMap(policyIds.size());

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "acl/redundancy.h"
 #include "depgraph/merging.h"
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace ruleplace::core {
@@ -29,28 +31,44 @@ PlaceOutcome placeComponent(PlacementProblem problem,
   auto t0 = std::chrono::steady_clock::now();
 
   if (options.encoder.enableMerging) {
+    obs::Span span("place.merge_analysis");
     outcome.mergeInfo = depgraph::analyzeMergeable(problem.policies);
   }
 
-  Encoder encoder(problem, options.encoder,
-                  options.encoder.enableMerging ? &outcome.mergeInfo
-                                                : nullptr);
-  outcome.encodeSeconds = secondsSince(t0);
-  outcome.encodingStats = encoder.stats();
-  outcome.modelVars = encoder.model().varCount();
-  outcome.modelConstraints =
-      static_cast<std::int64_t>(encoder.model().constraintCount());
-  outcome.modelNonzeros = encoder.model().nonzeroCount();
+  // optional<> so the Encoder can be constructed inside the encode span's
+  // scope yet stay alive for the solve/extract phases below.
+  std::optional<Encoder> encoderOpt;
+  {
+    obs::Span span("place.encode");
+    span.arg("policies", problem.policyCount());
+    span.arg("rules", problem.totalPolicyRules());
+    encoderOpt.emplace(problem, options.encoder,
+                       options.encoder.enableMerging ? &outcome.mergeInfo
+                                                     : nullptr);
+    outcome.encodeSeconds = secondsSince(t0);
+    outcome.encodingStats = encoderOpt->stats();
+    outcome.modelVars = encoderOpt->model().varCount();
+    outcome.modelConstraints =
+        static_cast<std::int64_t>(encoderOpt->model().constraintCount());
+    outcome.modelNonzeros = encoderOpt->model().nonzeroCount();
+    span.arg("model_vars", outcome.modelVars);
+    span.arg("model_constraints", outcome.modelConstraints);
+  }
+  Encoder& encoder = *encoderOpt;
 
   t0 = std::chrono::steady_clock::now();
   solver::OptResult result;
-  if (options.satisfiabilityOnly) {
-    result = solver::Optimizer::solveSat(encoder.model(), options.budget);
-  } else if (options.useIngressHint) {
-    result = solver::Optimizer::solveWithHint(
-        encoder.model(), encoder.ingressHint(), options.budget);
-  } else {
-    result = solver::Optimizer::solve(encoder.model(), options.budget);
+  {
+    obs::Span solveSpan("place.solve");
+    solveSpan.arg("model_vars", outcome.modelVars);
+    if (options.satisfiabilityOnly) {
+      result = solver::Optimizer::solveSat(encoder.model(), options.budget);
+    } else if (options.useIngressHint) {
+      result = solver::Optimizer::solveWithHint(
+          encoder.model(), encoder.ingressHint(), options.budget);
+    } else {
+      result = solver::Optimizer::solve(encoder.model(), options.budget);
+    }
   }
   outcome.solveSeconds = secondsSince(t0);
   outcome.status = result.status;
@@ -58,6 +76,7 @@ PlaceOutcome placeComponent(PlacementProblem problem,
   outcome.solverStats = result.stats;
 
   if (result.hasSolution()) {
+    obs::Span extractSpan("place.extract");
     outcome.placement = extractPlacement(
         problem, encoder, result.assignment,
         options.encoder.enableMerging ? &outcome.mergeInfo : nullptr);
@@ -85,6 +104,10 @@ void accumulate(solver::SolverStats& into, const solver::SolverStats& s) {
   into.restarts += s.restarts;
   into.learntLiterals += s.learntLiterals;
   into.deletedClauses += s.deletedClauses;
+  for (int i = 0; i < solver::SolverStats::kLbdBuckets; ++i) {
+    into.lbdHistogram[static_cast<std::size_t>(i)] +=
+        s.lbdHistogram[static_cast<std::size_t>(i)];
+  }
 }
 
 void accumulate(EncodingStats& into, const EncodingStats& s) {
@@ -216,13 +239,26 @@ std::vector<std::vector<int>> couplingComponents(
 }
 
 PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
+  if (options.observability) {
+    obs::Registry::global().setEnabled(true);
+    obs::Registry::global().setThreadLabel("main");
+  }
+  obs::Span placeSpan("place");
+  placeSpan.arg("policies", problem.policyCount());
+  placeSpan.arg("rules", problem.totalPolicyRules());
+
   auto wallStart = std::chrono::steady_clock::now();
   if (options.removeRedundancy) {
+    obs::Span span("place.redundancy");
     for (auto& q : problem.policies) acl::removeRedundant(q);
   }
 
-  std::vector<std::vector<int>> components =
-      couplingComponents(problem, options.encoder);
+  std::vector<std::vector<int>> components;
+  {
+    obs::Span span("place.partition");
+    components = couplingComponents(problem, options.encoder);
+    span.arg("components", static_cast<std::int64_t>(components.size()));
+  }
 
   PlaceOptions subOptions = options;
   subOptions.removeRedundancy = false;  // already done above
@@ -263,6 +299,8 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
   const int workers = std::min(requested, k);
   auto solveStart = std::chrono::steady_clock::now();
   auto solveOne = [&](int c) {
+    obs::Span span("place.component");
+    span.arg("component", c);
     subOutcomes[static_cast<std::size_t>(c)] = placeComponent(
         std::move(subProblems[static_cast<std::size_t>(c)]), subOptions);
   };
@@ -271,12 +309,20 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
   } else {
     util::ThreadPool pool(workers);
     for (int c = 0; c < k; ++c) {
-      pool.submit([&solveOne, c] { solveOne(c); });
+      pool.submit([&solveOne, c] {
+        // Label pool threads so the trace attributes component work to the
+        // worker that ran it (the label map is keyed per thread).
+        if (obs::enabled()) {
+          obs::Registry::global().setThreadLabel("place-worker");
+        }
+        solveOne(c);
+      });
     }
     pool.wait();
   }
 
   // ---- deterministic merge, in fixed component order ----------------------
+  obs::Span mergeSpan("place.merge");
   PlaceOutcome outcome;
   outcome.threadsUsed = workers;
   outcome.encodeSeconds = partitionSeconds;

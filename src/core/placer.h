@@ -39,6 +39,13 @@ struct PlaceOptions {
   /// never the result: placements, objectives and statuses are
   /// bit-identical for every value.
   int threads = 0;
+  /// Enable the global observability registry (obs::Registry) for this
+  /// run: stage spans, solver counters and the LBD distribution become
+  /// available for export (--trace-json / --metrics).  Purely additive —
+  /// results are bit-identical with it on or off (see docs/observability.md).
+  /// When false the registry's prior state is left untouched, so callers
+  /// that enabled it directly keep recording.
+  bool observability = false;
 };
 
 /// Solve detail for one coupling component (tentpole observability: lets

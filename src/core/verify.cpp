@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace ruleplace::core {
 
 std::string VerifyResult::summary() const {
@@ -56,6 +58,8 @@ match::CubeSet deployedDropSet(const Placement& placement,
 
 VerifyResult verifyPlacement(const PlacementProblem& problem,
                              const Placement& placement, bool respectTraffic) {
+  obs::Span span("place.verify");
+  span.arg("policies", problem.policyCount());
   VerifyResult result;
   auto fail = [&](std::string msg) {
     result.ok = false;

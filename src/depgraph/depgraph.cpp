@@ -2,39 +2,54 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace ruleplace::depgraph {
 
 DependencyGraph::DependencyGraph(const acl::Policy& policy) {
+  obs::Span span("depgraph.build");
   const auto& rules = policy.rules();
-  for (const auto& r : rules) maxRuleId_ = std::max(maxRuleId_, r.id);
-  shields_.assign(static_cast<std::size_t>(maxRuleId_ + 1), {});
+  span.arg("rules", static_cast<std::int64_t>(rules.size()));
 
   // rules are in decreasing priority order: rules[u] shields rules[w] when
   // u < w (higher priority), u is PERMIT, w is DROP, and the fields overlap.
   for (std::size_t w = 0; w < rules.size(); ++w) {
     if (rules[w].action != acl::Action::kDrop) continue;
     dropRules_.push_back(rules[w].id);
+    slotOfId_.emplace(rules[w].id, shields_.size());
+    shields_.emplace_back();
+    auto& s = shields_.back();
     for (std::size_t u = 0; u < w; ++u) {
       if (rules[u].action != acl::Action::kPermit) continue;
       if (rules[u].matchField.overlaps(rules[w].matchField)) {
-        shields_[static_cast<std::size_t>(rules[w].id)].push_back(rules[u].id);
+        s.push_back(rules[u].id);
       }
     }
-    auto& s = shields_[static_cast<std::size_t>(rules[w].id)];
     std::sort(s.begin(), s.end());
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("depgraph.rules")
+        .add(static_cast<std::int64_t>(rules.size()));
+    reg.counter("depgraph.drop_rules")
+        .add(static_cast<std::int64_t>(dropRules_.size()));
+    reg.counter("depgraph.edges")
+        .add(static_cast<std::int64_t>(edgeCount()));
   }
 }
 
 const std::vector<int>& DependencyGraph::shieldsOf(int dropRuleId) const {
-  if (dropRuleId < 0 || dropRuleId > maxRuleId_) return empty_;
-  return shields_[static_cast<std::size_t>(dropRuleId)];
+  auto it = slotOfId_.find(dropRuleId);
+  if (it == slotOfId_.end()) return empty_;
+  return shields_[it->second];
 }
 
 std::vector<std::pair<int, int>> DependencyGraph::edges() const {
   std::vector<std::pair<int, int>> out;
-  for (int w : dropRules_) {
-    for (int u : shields_[static_cast<std::size_t>(w)]) {
-      out.push_back({u, w});
+  for (std::size_t slot = 0; slot < dropRules_.size(); ++slot) {
+    for (int u : shields_[slot]) {
+      out.push_back({u, dropRules_[slot]});
     }
   }
   return out;
@@ -42,9 +57,7 @@ std::vector<std::pair<int, int>> DependencyGraph::edges() const {
 
 std::size_t DependencyGraph::edgeCount() const noexcept {
   std::size_t n = 0;
-  for (int w : dropRules_) {
-    n += shields_[static_cast<std::size_t>(w)].size();
-  }
+  for (const auto& s : shields_) n += s.size();
   return n;
 }
 

@@ -7,13 +7,14 @@
 // (Eq. 1).  DROP rules only depend on PERMIT rules; PERMIT-PERMIT and
 // DROP-DROP pairs never constrain each other (§IV-A1's case analysis).
 
+#include <unordered_map>
 #include <vector>
 
 #include "acl/policy.h"
 
 namespace ruleplace::depgraph {
 
-/// Dependency edges for one policy, indexed by rule id.
+/// Dependency edges for one policy, keyed by rule id.
 class DependencyGraph {
  public:
   /// Analyze a policy: O(n^2) pairwise overlap checks.
@@ -33,11 +34,19 @@ class DependencyGraph {
   /// count reported in §V).
   std::size_t edgeCount() const noexcept;
 
+  /// Number of shield-list slots actually allocated.  Proportional to the
+  /// number of DROP rules — never to the numeric range of rule ids (ids
+  /// grow without bound under add/remove churn, see Policy::addRule).
+  /// Exposed so tests can pin the sparse-id memory regression.
+  std::size_t shieldSlotCount() const noexcept { return shields_.size(); }
+
  private:
-  std::vector<std::vector<int>> shields_;  // by drop rule id
+  // Shield lists are stored densely and addressed through an id -> slot
+  // map, so storage is O(#drop rules), independent of max rule id.
+  std::vector<std::vector<int>> shields_;
+  std::unordered_map<int, std::size_t> slotOfId_;
   std::vector<int> dropRules_;
   std::vector<int> empty_;
-  int maxRuleId_ = -1;
 };
 
 }  // namespace ruleplace::depgraph

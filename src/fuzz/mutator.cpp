@@ -59,6 +59,25 @@ bool tweakCapacity(FuzzCase& fc, util::Rng& rng) {
   return true;
 }
 
+// Remove-and-re-add random rules at their original priority: semantics are
+// unchanged, but every re-add burns a fresh id (Policy::nextId_ only grows),
+// so rule ids end up sparse and far above the policy size.  Exercises the
+// id-keyed paths (DependencyGraph, Encoder) against non-dense ids.
+bool churnRuleIds(FuzzCase& fc, util::Rng& rng) {
+  std::size_t p = static_cast<std::size_t>(rng.below(fc.policies.size()));
+  acl::Policy& q = fc.policies[p];
+  if (q.empty()) return false;
+  const int cycles = static_cast<int>(rng.range(4, 32));
+  for (int c = 0; c < cycles; ++c) {
+    const auto& rules = q.rules();
+    const acl::Rule r =
+        rules[static_cast<std::size_t>(rng.below(rules.size()))];
+    q.removeRule(r.id);
+    q.addRuleWithPriority(r.matchField, r.action, r.priority, r.dummy);
+  }
+  return true;
+}
+
 bool widenRuleBit(FuzzCase& fc, util::Rng& rng) {
   std::size_t p = static_cast<std::size_t>(rng.below(fc.policies.size()));
   acl::Policy& q = fc.policies[p];
@@ -83,11 +102,12 @@ FuzzCase mutateCase(const FuzzCase& original, util::Rng& rng) {
   const int wanted = static_cast<int>(rng.range(1, 3));
   for (int attempt = 0; attempt < 16 && applied < wanted; ++attempt) {
     bool ok = false;
-    switch (rng.below(5)) {
+    switch (rng.below(6)) {
       case 0: ok = dropRule(fc, rng); break;
       case 1: ok = cloneRuleAcross(fc, rng); break;
       case 2: ok = dropPath(fc, rng); break;
       case 3: ok = tweakCapacity(fc, rng); break;
+      case 4: ok = churnRuleIds(fc, rng); break;
       default: ok = widenRuleBit(fc, rng); break;
     }
     if (ok) ++applied;

@@ -21,6 +21,18 @@ const char* objectiveName(core::ObjectiveKind k) {
   return "?";
 }
 
+std::string describeOutcome(const core::PlaceOutcome& out) {
+  std::ostringstream os;
+  os << solver::toString(out.status);
+  if (out.hasSolution()) {
+    os << " obj=" << out.objective
+       << " installed=" << out.placement.totalInstalledRules();
+  }
+  return os.str();
+}
+
+}  // namespace
+
 core::PlaceOptions optionsFor(const ModeConfig& mode,
                               const OracleOptions& oracle, int jobs) {
   core::PlaceOptions o;
@@ -33,18 +45,6 @@ core::PlaceOptions optionsFor(const ModeConfig& mode,
   o.threads = jobs;
   return o;
 }
-
-std::string describeOutcome(const core::PlaceOutcome& out) {
-  std::ostringstream os;
-  os << solver::toString(out.status);
-  if (out.hasSolution()) {
-    os << " obj=" << out.objective
-       << " installed=" << out.placement.totalInstalledRules();
-  }
-  return os.str();
-}
-
-}  // namespace
 
 std::string ModeConfig::toString() const {
   std::ostringstream os;

@@ -105,6 +105,12 @@ struct OracleReport {
   std::string summary() const;
 };
 
+/// The exact PlaceOptions the oracle drives a (mode, jobs) run with —
+/// exposed so reproducer stage stats come from the same configuration the
+/// failure was observed under.
+core::PlaceOptions optionsFor(const ModeConfig& mode,
+                              const OracleOptions& oracle, int jobs);
+
 /// Drive `fc` through `mode` and return every violation found.
 OracleReport checkCase(const FuzzCase& fc, const ModeConfig& mode,
                        const OracleOptions& options = {});

@@ -67,8 +67,12 @@ void handleFailure(const FuzzConfig& config, std::uint64_t iteration,
     std::filesystem::path path =
         std::filesystem::path(config.outDir) / name.str();
     try {
+      // Stage stats from one deterministic jobs=1 re-solve of the
+      // minimized case: triage data without replaying the failure.
+      const std::string stages =
+          stageStatsFor(record.minimized, mode, config.oracle);
       writeReproducer(path.string(), record.minimized, mode, caseSeed,
-                      record.message);
+                      record.message, stages);
       record.reproducerPath = path.string();
     } catch (const std::exception&) {
       // Leave reproducerPath empty; the record still carries the case.

@@ -1,5 +1,6 @@
 #include "fuzz/reproducer.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -8,8 +9,36 @@
 
 namespace ruleplace::fuzz {
 
+std::string stageStatsFor(const FuzzCase& fc, const ModeConfig& mode,
+                          const OracleOptions& oracle) {
+  // jobs=1: the re-solve is deterministic and does not race the global
+  // observability registry when fuzz workers run concurrently.
+  core::PlaceOutcome out;
+  try {
+    out = core::place(fc.problem(), optionsFor(mode, oracle, 1));
+  } catch (const std::exception&) {
+    return "crash=1";  // the violation header already carries the details
+  }
+  std::ostringstream os;
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f", out.encodeSeconds * 1e3);
+  os << "encode_ms=" << ms;
+  std::snprintf(ms, sizeof(ms), "%.3f", out.solveSeconds * 1e3);
+  os << " solve_ms=" << ms;
+  os << " status=" << solver::toString(out.status)
+     << " components=" << out.componentStats.size()
+     << " model_vars=" << out.modelVars
+     << " model_cons=" << out.modelConstraints
+     << " conflicts=" << out.solverStats.conflicts
+     << " decisions=" << out.solverStats.decisions
+     << " propagations=" << out.solverStats.propagations
+     << " restarts=" << out.solverStats.restarts;
+  return os.str();
+}
+
 std::string formatReproducer(const FuzzCase& fc, const ModeConfig& mode,
-                             std::uint64_t seed, const std::string& note) {
+                             std::uint64_t seed, const std::string& note,
+                             const std::string& stages) {
   std::ostringstream os;
   os << "# ruleplace-fuzz reproducer\n";
   os << "# seed " << seed << '\n';
@@ -20,18 +49,19 @@ std::string formatReproducer(const FuzzCase& fc, const ModeConfig& mode,
     std::string line;
     while (std::getline(lines, line)) os << "# violation " << line << '\n';
   }
+  if (!stages.empty()) os << "# stages " << stages << '\n';
   os << io::formatScenario(fc.problem());
   return os.str();
 }
 
 void writeReproducer(const std::string& path, const FuzzCase& fc,
                      const ModeConfig& mode, std::uint64_t seed,
-                     const std::string& note) {
+                     const std::string& note, const std::string& stages) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("cannot write reproducer file: " + path);
   }
-  out << formatReproducer(fc, mode, seed, note);
+  out << formatReproducer(fc, mode, seed, note, stages);
 }
 
 FuzzCase caseFromScenarioText(std::string_view text) {
@@ -64,6 +94,8 @@ Reproducer parseReproducer(std::string_view text) {
     } else if (line.rfind("# violation ", 0) == 0) {
       if (!repro.note.empty()) repro.note += '\n';
       repro.note += line.substr(12);
+    } else if (line.rfind("# stages ", 0) == 0) {
+      repro.stages = line.substr(9);
     }
   }
   repro.fuzzCase = caseFromScenarioText(text);

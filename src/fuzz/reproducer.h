@@ -8,8 +8,13 @@
 //     # seed 1234
 //     # mode merge=1 slice=0 sat-only=0 redundancy=0 objective=total-rules base=0
 //     # violation determinism: placement jobs=1 vs jobs=2: ...
+//     # stages encode_ms=1.2 solve_ms=3.4 conflicts=17 propagations=240 ...
 //     switch s0 capacity 2
 //     ...
+//
+// The `# stages` line (optional) is a deterministic single-threaded
+// re-solve of the minimized case in the failing mode: per-stage timings
+// and solver work, so a failure can be triaged without replaying it.
 //
 // Comment lines are ignored by the scenario parser, so a reproducer can be
 // fed straight to ruleplace_cli, replayed by `ruleplace_fuzz --replay`, or
@@ -30,16 +35,26 @@ struct Reproducer {
   ModeConfig mode;          ///< mode the failure was observed in
   std::uint64_t seed = 0;   ///< orchestrator case seed (0 when unknown)
   std::string note;         ///< violation summary (free text)
+  std::string stages;       ///< per-stage stats line (empty when absent)
 };
 
-/// Render a reproducer document (header + scenario body).
+/// Render the `# stages` header value for one case: deterministic
+/// single-threaded (jobs=1) re-solve under the oracle's conflict budget,
+/// formatted as space-separated key=value pairs.
+std::string stageStatsFor(const FuzzCase& fc, const ModeConfig& mode,
+                          const OracleOptions& oracle);
+
+/// Render a reproducer document (header + scenario body).  `stages` (the
+/// stageStatsFor value) is embedded as a `# stages` line when non-empty.
 std::string formatReproducer(const FuzzCase& fc, const ModeConfig& mode,
-                             std::uint64_t seed, const std::string& note);
+                             std::uint64_t seed, const std::string& note,
+                             const std::string& stages = {});
 
 /// Write to `path`; throws std::runtime_error when the file can't open.
 void writeReproducer(const std::string& path, const FuzzCase& fc,
                      const ModeConfig& mode, std::uint64_t seed,
-                     const std::string& note);
+                     const std::string& note,
+                     const std::string& stages = {});
 
 /// Parse a reproducer document.  A plain scenario file (no fuzz header)
 /// loads too: mode defaults, seed 0.  Throws on malformed scenarios.

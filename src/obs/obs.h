@@ -1,0 +1,303 @@
+#pragma once
+// Structured observability: named monotonic counters, value histograms,
+// RAII timing spans with parent/child nesting, and JSON export — a flat
+// metrics table plus Chrome-trace-viewer-compatible traceEvents (load the
+// file at chrome://tracing or https://ui.perfetto.dev).
+//
+// Design rules (normative for every instrumentation site in this repo):
+//   * Zero feedback.  Nothing recorded here may influence placement or
+//     solving; enabling observability never changes results — placements
+//     stay bit-identical across --jobs values with tracing on or off.
+//   * Low overhead.  Recording is gated on Registry::enabled() (one
+//     relaxed atomic load when off).  Hot solver loops keep their own
+//     plain counters (solver::SolverStats, including the LBD histogram)
+//     and flush to the registry at stage boundaries only.
+//   * Compiled-out mode.  Building with -DRULEPLACE_NO_OBS (CMake option
+//     RULEPLACE_NO_OBS=ON) replaces every type below with an empty inline
+//     stub, so instrumented call sites compile to nothing.
+//
+// Usage:
+//   obs::Registry& reg = obs::Registry::global();
+//   reg.setEnabled(true);
+//   {
+//     obs::Span span("place.encode");
+//     span.arg("component", c);          // attached to the trace event
+//     ...timed while alive...
+//   }
+//   reg.counter("solver.conflicts").add(n);
+//   reg.histogram("solver.lbd").record(lbd);
+//   writeFile(path, reg.chromeTraceJson());
+//   std::fputs(reg.metricsTable().c_str(), stdout);
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef RULEPLACE_NO_OBS
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#endif
+
+namespace ruleplace::obs {
+
+/// One row of the aggregated span table (name -> call count + durations).
+struct SpanStat {
+  std::string name;
+  std::int64_t count = 0;
+  double totalSeconds = 0.0;
+  double maxSeconds = 0.0;
+};
+
+/// True when the library is compiled in (i.e. RULEPLACE_NO_OBS is unset).
+#ifndef RULEPLACE_NO_OBS
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+#ifndef RULEPLACE_NO_OBS
+
+/// Monotonic named counter.  add() is lock-free; pointers returned by
+/// Registry::counter() stay valid for the registry's lifetime (reset()
+/// zeroes values, it never invalidates references).
+class Counter {
+ public:
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram over non-negative integer values (bucket i
+/// counts values with bit_width i; values <= 0 land in bucket 0).  Records
+/// are lock-free; count/sum/max are exact, the distribution is bucketed.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t v) noexcept;
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::int64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Process-global metrics registry.  Thread-safe; all mutation of the name
+/// maps and the trace-event list happens under one mutex (stage-boundary
+/// frequency), while Counter/Histogram updates are lock-free.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Master switch for span/trace recording.  Counters and histograms
+  /// accept updates regardless (their writers already gate on hot paths);
+  /// spans become no-ops while disabled.
+  void setEnabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Find-or-create; the returned reference is stable until destruction.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Dense per-thread ordinal (assigned on first use, stable per thread);
+  /// the trace exporter uses it as the Chrome tid.
+  static int currentThreadId();
+
+  /// Name the calling thread in the trace ("main", "place-worker", ...).
+  /// Last label wins; exported as Chrome thread_name metadata.
+  void setThreadLabel(std::string_view label);
+
+  /// Record one completed span (called by ~Span; public so tests and
+  /// non-RAII call sites can inject events).
+  void recordSpan(std::string_view name,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end, int depth,
+                  const std::vector<std::pair<const char*, std::int64_t>>&
+                      args);
+
+  /// Aggregated per-name span statistics, sorted by name.
+  std::vector<SpanStat> spanStats() const;
+
+  /// Zero every counter/histogram, drop trace events and span aggregates.
+  /// References handed out earlier stay valid.
+  void reset();
+
+  /// Flat human-readable table: counters, span aggregates, histograms.
+  std::string metricsTable() const;
+  /// Same data as JSON: {"counters":{},"spans":{},"histograms":{}}.
+  std::string metricsJson() const;
+  /// Chrome trace viewer document ({"traceEvents":[...]}).
+  std::string chromeTraceJson() const;
+
+  /// Trace events recorded (post-cap); dropped events are counted in the
+  /// "obs.dropped_events" counter.
+  std::size_t eventCount() const;
+
+ private:
+  struct TraceEvent {
+    std::string name;
+    double tsMicros = 0.0;   // relative to the registry epoch
+    double durMicros = 0.0;
+    int tid = 0;
+    int depth = 0;
+    std::vector<std::pair<const char*, std::int64_t>> args;
+  };
+  struct SpanAgg {
+    std::int64_t count = 0;
+    double totalSeconds = 0.0;
+    double maxSeconds = 0.0;
+  };
+
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  Registry();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, SpanAgg> spanAggs_;
+  std::vector<TraceEvent> events_;
+  std::map<int, std::string> threadLabels_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII timing span.  Construction samples the clock only when the global
+/// registry is enabled; destruction records a Chrome "X" (complete) event
+/// plus the per-name aggregate.  Nesting is tracked per thread — child
+/// spans opened while a parent is alive render nested in the trace viewer
+/// (same tid, contained time range) and carry their depth.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(name), active_(Registry::global().enabled()) {
+    if (active_) {
+      depth_ = ++threadDepth();
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~Span() {
+    if (active_) {
+      const auto end = std::chrono::steady_clock::now();
+      --threadDepth();
+      Registry::global().recordSpan(name_, start_, end, depth_, args_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a small integer annotation (shown under "args" in the viewer).
+  void arg(const char* key, std::int64_t value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+
+ private:
+  static int& threadDepth() noexcept {
+    thread_local int depth = 0;
+    return depth;
+  }
+
+  const char* name_;
+  bool active_;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<const char*, std::int64_t>> args_;
+};
+
+/// Convenience: is recording currently on?  Guards instrumentation that
+/// must do extra work (build labels, snapshot stats) before recording.
+inline bool enabled() noexcept { return Registry::global().enabled(); }
+
+#else  // RULEPLACE_NO_OBS — empty inline stubs; call sites compile away.
+
+class Counter {
+ public:
+  void add(std::int64_t) noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  void record(std::int64_t) noexcept {}
+  std::int64_t count() const noexcept { return 0; }
+  std::int64_t sum() const noexcept { return 0; }
+  std::int64_t max() const noexcept { return 0; }
+  std::int64_t bucket(int) const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  static Registry& global() noexcept {
+    static Registry r;
+    return r;
+  }
+  void setEnabled(bool) noexcept {}
+  bool enabled() const noexcept { return false; }
+  Counter& counter(std::string_view) noexcept { return counter_; }
+  Histogram& histogram(std::string_view) noexcept { return histogram_; }
+  static int currentThreadId() noexcept { return 0; }
+  void setThreadLabel(std::string_view) noexcept {}
+  std::vector<SpanStat> spanStats() const { return {}; }
+  void reset() noexcept {}
+  std::string metricsTable() const {
+    return "observability compiled out (RULEPLACE_NO_OBS)\n";
+  }
+  std::string metricsJson() const {
+    return "{\"counters\":{},\"spans\":{},\"histograms\":{}}";
+  }
+  std::string chromeTraceJson() const { return "{\"traceEvents\":[]}"; }
+  std::size_t eventCount() const noexcept { return 0; }
+
+ private:
+  Counter counter_;
+  Histogram histogram_;
+};
+
+class Span {
+ public:
+  explicit Span(const char*) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void arg(const char*, std::int64_t) noexcept {}
+};
+
+inline bool enabled() noexcept { return false; }
+
+#endif  // RULEPLACE_NO_OBS
+
+}  // namespace ruleplace::obs

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "obs/obs.h"
 
 namespace ruleplace::solver {
 
@@ -189,6 +192,32 @@ class Polisher {
   std::unordered_map<ModelVar, std::int64_t> objCoeff_;
 };
 
+// Flush the delta between two SolverStats snapshots into the global
+// metrics registry.  Called at stage boundaries only (after each
+// solver.solve), never from the solver's inner loop.
+void flushStatsDelta(const SolverStats& now, const SolverStats& prev) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.counter("solver.conflicts").add(now.conflicts - prev.conflicts);
+  reg.counter("solver.decisions").add(now.decisions - prev.decisions);
+  reg.counter("solver.propagations").add(now.propagations -
+                                         prev.propagations);
+  reg.counter("solver.restarts").add(now.restarts - prev.restarts);
+  reg.counter("solver.learnt_literals")
+      .add(now.learntLiterals - prev.learntLiterals);
+  reg.counter("solver.deleted_clauses")
+      .add(now.deletedClauses - prev.deletedClauses);
+  for (int i = 0; i < SolverStats::kLbdBuckets; ++i) {
+    const std::int64_t d = now.lbdHistogram[static_cast<std::size_t>(i)] -
+                           prev.lbdHistogram[static_cast<std::size_t>(i)];
+    if (d == 0) continue;
+    char name[32];
+    std::snprintf(name, sizeof(name), "solver.lbd.%02d%s", i,
+                  i == SolverStats::kLbdBuckets - 1 ? "+" : "");
+    reg.counter(name).add(d);
+  }
+}
+
 }  // namespace
 
 bool lowerConstraint(Solver& solver, const Constraint& c,
@@ -238,20 +267,36 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
   // budget is already spent (see Budget in types.h).
   const Budget budget = budgetIn.normalized();
   const auto startTime = std::chrono::steady_clock::now();
+
+  obs::Span runSpan("solver.optimize");
+
+  Solver solver;
+  // The budget bounds the WHOLE optimization, not each strengthening
+  // iteration: both resources are threaded through the loop.  Elapsed
+  // wall time and consumed conflicts (solver.stats().conflicts counts
+  // cumulatively across solve() calls on the same Solver) are subtracted
+  // from the original limits, clamped at zero — a negative remainder
+  // would silently read as "unlimited".
   auto remaining = [&]() -> Budget {
     Budget b = budget;
     if (!budget.unlimitedTime()) {
       double elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - startTime)
                            .count();
-      // Clamp at zero: a negative value would read as "unlimited".
       b.maxSeconds = std::max(0.0, budget.maxSeconds - elapsed);
+    }
+    if (!budget.unlimitedConflicts()) {
+      b.maxConflicts =
+          std::max<std::int64_t>(0, budget.maxConflicts -
+                                        solver.stats().conflicts);
     }
     return b;
   };
+  // Only a spent *time* budget aborts the loop up front.  A spent
+  // conflict budget still enters solve() with maxConflicts == 0, which
+  // stops at the first conflict — instances decided without search
+  // ("for free") keep succeeding, matching the Budget contract.
   auto exhausted = [&](const Budget& b) { return b.timeExhausted(); };
-
-  Solver solver;
   std::vector<Var> varMap;
   varMap.reserve(static_cast<std::size_t>(model.varCount()));
   for (int i = 0; i < model.varCount(); ++i) varMap.push_back(solver.newVar());
@@ -287,6 +332,7 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
   if (optimizing) polisher.emplace(model);
 
   bool haveIncumbent = false;
+  SolverStats flushed;  // last snapshot pushed to the metrics registry
   while (true) {
     Budget b = remaining();
     if (exhausted(b)) {
@@ -295,8 +341,15 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
       result.stats = solver.stats();
       return result;
     }
-    SolveStatus st = solver.solve(b);
+    SolveStatus st;
+    {
+      obs::Span stepSpan("solver.solve_step");
+      stepSpan.arg("step", result.improvementSteps);
+      st = solver.solve(b);
+    }
     result.stats = solver.stats();
+    flushStatsDelta(result.stats, flushed);
+    flushed = result.stats;
     if (st == SolveStatus::kUnknown) {
       result.status =
           haveIncumbent ? OptStatus::kFeasible : OptStatus::kUnknown;
@@ -317,11 +370,17 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
       throw std::logic_error(
           "optimizer postcondition violated: solver model infeasible");
     }
-    if (polisher.has_value()) polisher->polish(assignment);
+    if (polisher.has_value()) {
+      obs::Span polishSpan("solver.polish");
+      polisher->polish(assignment);
+    }
     result.assignment = std::move(assignment);
     result.objective = model.objective().evaluate(result.assignment);
     haveIncumbent = true;
     ++result.improvementSteps;
+    if (obs::enabled()) {
+      obs::Registry::global().counter("solver.improvement_steps").add(1);
+    }
 
     if (!optimizing) {
       result.status = OptStatus::kOptimal;  // nothing to optimize

@@ -767,6 +767,7 @@ SolveStatus Solver::solve(const Budget& budget) {
           lbd = static_cast<int>(
               std::unique(levels.begin(), levels.end()) - levels.begin());
         }
+        stats_.recordLbd(lbd);
         clauses_.push_back(Clause{learnt, claInc_, lbd, true, false});
         ++learntCount_;
         stats_.learntLiterals += static_cast<std::int64_t>(learnt.size());

@@ -1,7 +1,10 @@
 #pragma once
 // Basic literal/value types for the CDCL pseudo-Boolean solver.
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace ruleplace::solver {
@@ -79,6 +82,14 @@ struct Budget {
   bool timeExhausted() const noexcept {
     return !unlimitedTime() && maxSeconds <= 0.0;
   }
+  /// True when a finite conflict budget is fully spent.
+  bool conflictsExhausted() const noexcept {
+    return !unlimitedConflicts() && maxConflicts <= 0;
+  }
+  /// True when any finite resource is fully spent.
+  bool exhausted() const noexcept {
+    return timeExhausted() || conflictsExhausted();
+  }
 
   /// Canonical form: every negative (unlimited) limit becomes exactly -1.
   Budget normalized() const noexcept {
@@ -93,23 +104,48 @@ struct Budget {
   /// by integer division). The result depends only on `parts` — never on
   /// scheduling or completion order — which keeps budgeted parallel runs
   /// deterministic.
+  ///
+  /// Floor: a finite *positive* limit never slices to zero, because zero
+  /// means exhausted (see above) and a fair share of a non-empty budget
+  /// must let each sub-solve do at least some work. Conflicts clamp to
+  /// >= 1; seconds clamp to the smallest positive double. An already
+  /// exhausted limit (== 0) stays exhausted.
   Budget sliced(int parts) const noexcept {
     Budget b = normalized();
     if (parts <= 1) return b;
-    if (!b.unlimitedConflicts()) b.maxConflicts /= parts;
-    if (!b.unlimitedTime()) b.maxSeconds /= parts;
+    if (!b.unlimitedConflicts() && b.maxConflicts > 0) {
+      b.maxConflicts = std::max<std::int64_t>(1, b.maxConflicts / parts);
+    }
+    if (!b.unlimitedTime() && b.maxSeconds > 0.0) {
+      b.maxSeconds /= parts;
+      if (b.maxSeconds <= 0.0) {
+        b.maxSeconds = std::numeric_limits<double>::min();
+      }
+    }
     return b;
   }
 };
 
 /// Aggregate search statistics (exposed for the benchmark harness).
 struct SolverStats {
+  /// Buckets of the learnt-clause LBD distribution: index i counts learnt
+  /// clauses with LBD == i for i < 15; the last bucket counts LBD >= 15.
+  /// Kept as a plain array (no atomics) so the solver's hot loop pays one
+  /// increment; the observability layer flushes it at stage boundaries.
+  static constexpr int kLbdBuckets = 16;
+
   std::int64_t conflicts = 0;
   std::int64_t decisions = 0;
   std::int64_t propagations = 0;
   std::int64_t restarts = 0;
   std::int64_t learntLiterals = 0;
   std::int64_t deletedClauses = 0;
+  std::array<std::int64_t, kLbdBuckets> lbdHistogram{};
+
+  void recordLbd(int lbd) noexcept {
+    ++lbdHistogram[static_cast<std::size_t>(
+        std::min(lbd, kLbdBuckets - 1))];
+  }
 };
 
 }  // namespace ruleplace::solver

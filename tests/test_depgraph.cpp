@@ -67,6 +67,35 @@ TEST(DependencyGraph, MultipleShieldsCollected) {
   EXPECT_EQ(edges.size(), 2u);
 }
 
+TEST(DependencyGraph, SparseRuleIdsUseDenseStorage) {
+  // Regression: shield storage used to be sized maxRuleId + 1, so a policy
+  // whose ids grew sparse through add/remove churn allocated slots for
+  // every id ever assigned.  Storage must scale with the number of drop
+  // rules, not the id range.
+  Policy q;
+  int p1 = q.addRule(T("11*"), Action::kPermit);
+  int p2 = q.addRule(T("*11"), Action::kPermit);
+  int drop = q.addRule(T("***"), Action::kDrop);
+  const int dropPriority = q.rules().back().priority;
+
+  // Churn the drop rule: every cycle burns a fresh id (Policy ids only
+  // grow), leaving maxRuleId >> rule count.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(q.removeRule(drop));
+    drop = q.addRuleWithPriority(T("***"), Action::kDrop, dropPriority);
+  }
+  ASSERT_GT(drop, 5000);
+  ASSERT_EQ(q.size(), 3u);
+
+  DependencyGraph dg(q);
+  // One shield slot per drop rule, regardless of how large ids grew.
+  EXPECT_EQ(dg.shieldSlotCount(), 1u);
+  // Lookups by the churned (sparse) id still resolve correctly.
+  EXPECT_EQ(dg.shieldsOf(drop), (std::vector<int>{p1, p2}));
+  EXPECT_TRUE(dg.shieldsOf(drop - 1).empty());  // stale id: no edges
+  EXPECT_EQ(dg.edgeCount(), 2u);
+}
+
 TEST(OrderSensitive, OppositeActionsAndOverlapOnly) {
   acl::Rule permit{T("1*"), Action::kPermit, 2, 0, false};
   acl::Rule drop{T("11"), Action::kDrop, 1, 1, false};

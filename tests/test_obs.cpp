@@ -1,0 +1,215 @@
+// Unit tests for the observability layer (src/obs): counters, histograms,
+// span aggregation and nesting, the JSON exporters, and reset semantics.
+//
+// The registry under test is the process-global singleton, so every test
+// begins with reset() + setEnabled(true) and disables recording on exit;
+// tests in this binary must not assume a pristine registry beyond that.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace ruleplace::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    Registry::global().setEnabled(true);
+  }
+  void TearDown() override {
+    Registry::global().setEnabled(false);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(ObsTest, StubsReportDisabled) {
+  // In the default build the layer is compiled in; under RULEPLACE_NO_OBS
+  // the stubs must consistently report "off" so call sites skip work.
+  if (!kCompiledIn) {
+    Registry::global().setEnabled(true);
+    EXPECT_FALSE(enabled());
+    EXPECT_FALSE(Registry::global().enabled());
+    EXPECT_EQ(Registry::global().chromeTraceJson(), "{\"traceEvents\":[]}");
+  } else {
+    Registry::global().setEnabled(true);
+    EXPECT_TRUE(enabled());
+  }
+}
+
+TEST_F(ObsTest, CounterFindOrCreateAndAccumulate) {
+  Counter& c = Registry::global().counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.add(3);
+  c.add(4);
+  // Same name -> same counter instance.
+  EXPECT_EQ(&Registry::global().counter("test.counter"), &c);
+  if (kCompiledIn) {
+    EXPECT_EQ(c.value(), 7);
+    EXPECT_EQ(Registry::global().counter("test.counter").value(), 7);
+  }
+}
+
+TEST_F(ObsTest, HistogramTracksCountSumMaxAndBuckets) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  Histogram& h = Registry::global().histogram("test.hist");
+  h.record(1);   // bit_width 1 -> bucket 1
+  h.record(5);   // bit_width 3 -> bucket 3
+  h.record(7);   // bit_width 3 -> bucket 3
+  h.record(0);   // <= 0 -> bucket 0
+  h.record(-9);  // <= 0 -> bucket 0; still counted and summed
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 1 + 5 + 7 + 0 - 9);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(3), 2);
+}
+
+TEST_F(ObsTest, SpanAggregatesPerName) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  for (int i = 0; i < 3; ++i) {
+    Span s("test.span");
+    s.arg("i", i);
+  }
+  bool found = false;
+  for (const SpanStat& st : Registry::global().spanStats()) {
+    if (st.name == "test.span") {
+      found = true;
+      EXPECT_EQ(st.count, 3);
+      EXPECT_GE(st.totalSeconds, 0.0);
+      EXPECT_GE(st.maxSeconds, 0.0);
+      EXPECT_LE(st.maxSeconds, st.totalSeconds + 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(Registry::global().eventCount(), 3u);
+}
+
+TEST_F(ObsTest, SpansDoNotRecordWhileDisabled) {
+  Registry::global().setEnabled(false);
+  { Span s("test.disabled"); }
+  EXPECT_EQ(Registry::global().eventCount(), 0u);
+  EXPECT_TRUE(Registry::global().spanStats().empty());
+}
+
+TEST_F(ObsTest, NestedSpansCarryDepth) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  {
+    Span outer("test.outer");
+    { Span inner("test.inner"); }
+  }
+  // Depth is exported as an arg on each trace event; the inner span must
+  // be one level deeper than the outer one.
+  const std::string trace = Registry::global().chromeTraceJson();
+  EXPECT_NE(trace.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(trace.find("\"test.inner\""), std::string::npos);
+  const std::size_t inner = trace.find("\"test.inner\"");
+  EXPECT_NE(trace.find("\"depth\":2", inner), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceShapeAndEscaping) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  Registry::global().setThreadLabel("test\"thread");
+  {
+    Span s("span\\with\"specials");
+    s.arg("policies", 42);
+  }
+  const std::string trace = Registry::global().chromeTraceJson();
+  // Document shape.
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  // Thread-name metadata event plus the complete event.
+  EXPECT_NE(trace.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"policies\":42"), std::string::npos);
+  // Quotes/backslashes in names must be escaped, never emitted raw.
+  EXPECT_NE(trace.find("span\\\\with\\\"specials"), std::string::npos);
+  EXPECT_NE(trace.find("test\\\"thread"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonContainsAllThreeSections) {
+  Registry::global().counter("test.metric").add(5);
+  if (kCompiledIn) {
+    Registry::global().histogram("test.hist").record(3);
+    { Span s("test.span"); }
+  }
+  const std::string json = Registry::global().metricsJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  if (kCompiledIn) {
+    EXPECT_NE(json.find("\"test.metric\":5"), std::string::npos);
+  }
+}
+
+TEST_F(ObsTest, ResetZeroesValuesButKeepsReferences) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  Counter& c = Registry::global().counter("test.reset");
+  Histogram& h = Registry::global().histogram("test.reset.hist");
+  c.add(10);
+  h.record(9);
+  { Span s("test.reset.span"); }
+  Registry::global().reset();
+  // Same objects, zeroed values; the event list is empty again.
+  EXPECT_EQ(&Registry::global().counter("test.reset"), &c);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(Registry::global().eventCount(), 0u);
+  EXPECT_TRUE(Registry::global().spanStats().empty());
+}
+
+TEST_F(ObsTest, ThreadsGetDistinctIdsAndLabels) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const int mainId = Registry::currentThreadId();
+  int otherId = -1;
+  std::thread t([&] {
+    otherId = Registry::currentThreadId();
+    Registry::global().setThreadLabel("worker");
+    Span s("test.threaded");
+  });
+  t.join();
+  EXPECT_NE(mainId, otherId);
+  const std::string trace = Registry::global().chromeTraceJson();
+  EXPECT_NE(trace.find("\"worker\""), std::string::npos);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  Counter& c = Registry::global().counter("test.mt");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < kAdds; ++j) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kAdds);
+}
+
+#ifndef RULEPLACE_NO_OBS
+TEST_F(ObsTest, RecordSpanInjectsEventsDirectly) {
+  // recordSpan is public so non-RAII call sites (and tests) can inject
+  // events with known durations.
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::milliseconds(12);
+  Registry::global().recordSpan("test.injected", start, end, 1, {});
+  const auto stats = Registry::global().spanStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "test.injected");
+  EXPECT_EQ(stats[0].count, 1);
+  EXPECT_NEAR(stats[0].totalSeconds, 0.012, 1e-6);
+  EXPECT_NEAR(stats[0].maxSeconds, 0.012, 1e-6);
+}
+#endif
+
+}  // namespace
+}  // namespace ruleplace::obs

@@ -9,6 +9,13 @@ binaries when RULEPLACE_BENCH_JSON_DIR is set (see bench/bench_common.h).
 Each benchmark entry is matched by its "name"; a regression is a current
 real_time more than --threshold percent (default 15) above the baseline.
 
+Benchmarks built with the observability layer additionally carry per-stage
+counters named "stage/<span>" (ms spent in that pipeline stage per
+iteration, see docs/observability.md).  When a regression is found and both
+sides carry stage counters, the report attributes the slowdown to the
+stages whose time moved the most.  Baselines recorded before the stage
+counters existed are tolerated — attribution is simply omitted.
+
 Exit status: 1 when any regression is found, 0 otherwise.  A missing
 baseline directory or file is reported and skipped, never fatal — new
 benchmarks must not break CI before a baseline lands.  CI runs this as a
@@ -26,12 +33,16 @@ import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+_STAGE_PREFIX = "stage/"
+
 
 def load_entries(path):
-    """Map benchmark name -> real_time in ns from one benchmark JSON file.
+    """Map benchmark name -> (real_time ns, {stage name -> ms}) from one
+    benchmark JSON file.
 
     real_time is reported in each entry's time_unit; normalize so baselines
-    survive a unit change in the benchmark source.
+    survive a unit change in the benchmark source.  Stage counters (keys
+    prefixed "stage/") are optional — older files simply yield {}.
     """
     with open(path) as f:
         doc = json.load(f)
@@ -43,8 +54,34 @@ def load_entries(path):
         name = b.get("name")
         if name is not None and "real_time" in b:
             scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
-            entries[name] = float(b["real_time"]) * scale
+            stages = {
+                k[len(_STAGE_PREFIX):]: float(v)
+                for k, v in b.items()
+                if k.startswith(_STAGE_PREFIX)
+                and isinstance(v, (int, float))
+            }
+            entries[name] = (float(b["real_time"]) * scale, stages)
     return entries
+
+
+def attribute_stages(cur_stages, base_stages):
+    """Lines attributing a time delta to pipeline stages, biggest mover
+    first.  Empty when either side lacks stage counters."""
+    if not cur_stages or not base_stages:
+        return []
+    movers = []
+    for stage in sorted(set(cur_stages) | set(base_stages)):
+        cur = cur_stages.get(stage, 0.0)
+        base = base_stages.get(stage, 0.0)
+        delta = cur - base
+        if abs(delta) < 1e-9:
+            continue
+        movers.append((abs(delta), stage, base, cur, delta))
+    movers.sort(reverse=True)
+    return [
+        f"    stage {stage}: {base:.3f} -> {cur:.3f} ms ({delta:+.3f} ms)"
+        for _, stage, base, cur, delta in movers[:5]
+    ]
 
 
 def main():
@@ -83,17 +120,19 @@ def main():
                   f"({len(current)} benchmark(s) recorded)")
             continue
         baseline = load_entries(base_path)
-        for name, cur in sorted(current.items()):
-            base = baseline.get(name)
-            if base is None:
+        for name, (cur, cur_stages) in sorted(current.items()):
+            base_entry = baseline.get(name)
+            if base_entry is None:
                 print(f"{fname}: {name}: new benchmark (no baseline entry)")
                 continue
+            base, base_stages = base_entry
             if base <= 0:
                 continue
             delta = (cur - base) / base * 100.0
             line = f"{fname}: {name}: {base:.0f} -> {cur:.0f} ns ({delta:+.1f}%)"
             if delta > args.threshold:
-                regressions.append(line)
+                regressions.append(
+                    (line, attribute_stages(cur_stages, base_stages)))
             elif delta < -args.threshold:
                 improvements.append(line)
             print(line)
@@ -103,8 +142,13 @@ def main():
     if regressions:
         print(f"\ncheck_bench: {len(regressions)} regression(s) over "
               f"{args.threshold:.0f}%:")
-        for line in regressions:
+        for line, stage_lines in regressions:
             print(f"  REGRESSION {line}")
+            for sl in stage_lines:
+                print(sl)
+            if not stage_lines:
+                print("    (no per-stage counters on both sides; "
+                      "attribution unavailable)")
         return 1
     print("check_bench: no regressions")
     return 0

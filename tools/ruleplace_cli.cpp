@@ -19,6 +19,10 @@
 //     --emit-smt2 FILE   export the encoding as SMT-LIB 2 (OMT minimize)
 //     --emit-lp FILE     export the encoding in CPLEX LP format
 //     --json             print the solved placement + report as JSON
+//     --trace-json FILE  write a Chrome-trace-viewer trace of the run
+//                        (load at chrome://tracing or ui.perfetto.dev)
+//     --metrics          print the flat metrics table (counters, span
+//                        aggregates, histograms) after the run
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +37,7 @@
 #include "io/json.h"
 #include "io/report.h"
 #include "io/scenario.h"
+#include "obs/obs.h"
 
 using namespace ruleplace;
 
@@ -43,10 +48,35 @@ int usage(const char* argv0) {
                "usage: %s <scenario-file> [--merge] [--slice] [--sat-only]\n"
                "          [--objective total-rules|upstream-traffic]\n"
                "          [--remove-redundant] [--budget <seconds>]\n"
-               "          [--jobs <threads>] [--no-verify] [--quiet]\n",
+               "          [--jobs <threads>] [--no-verify] [--quiet]\n"
+               "          [--trace-json <file>] [--metrics]\n",
                argv0);
   return 2;
 }
+
+// Emits observability output on every exit path once main's setup is done
+// (the destructor runs whatever return is taken, so the trace includes the
+// verification stage).
+struct ObsEmitter {
+  std::string tracePath;
+  bool metrics = false;
+
+  ~ObsEmitter() {
+    if (!obs::Registry::global().enabled()) return;
+    if (!tracePath.empty()) {
+      std::ofstream out(tracePath);
+      if (out) {
+        out << obs::Registry::global().chromeTraceJson();
+        std::fprintf(stderr, "trace written to %s\n", tracePath.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", tracePath.c_str());
+      }
+    }
+    if (metrics) {
+      std::printf("\n%s", obs::Registry::global().metricsTable().c_str());
+    }
+  }
+};
 
 }  // namespace
 
@@ -59,6 +89,7 @@ int main(int argc, char** argv) {
   std::string emitSmt2;
   std::string emitLp;
   bool json = false;
+  ObsEmitter obsEmit;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -94,6 +125,12 @@ int main(int argc, char** argv) {
       emitLp = argv[++i];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      obsEmit.tracePath = argv[++i];
+      options.observability = true;
+    } else if (arg == "--metrics") {
+      obsEmit.metrics = true;
+      options.observability = true;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);

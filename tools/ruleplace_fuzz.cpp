@@ -26,6 +26,8 @@
 //     --replay FILE      re-check one reproducer file and exit
 //     --self-check       verify the oracle catches injected placer bugs,
 //                        then exit (mutation testing for the fuzzer)
+//     --trace-json FILE  record a Chrome-trace-viewer trace of the whole
+//                        fuzz run (stage spans across all workers)
 //     --verbose          per-iteration progress on stderr
 
 #include <cinttypes>
@@ -33,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -43,6 +46,7 @@
 #include "fuzz/oracle.h"
 #include "fuzz/orchestrator.h"
 #include "fuzz/reproducer.h"
+#include "obs/obs.h"
 
 using namespace ruleplace;
 
@@ -54,7 +58,8 @@ int usage(const char* argv0) {
                "          [--seed-from-run-id] [--workers N]\n"
                "          [--jobs-sweep A,B,...] [--max-modes N]\n"
                "          [--brute-max-vars N] [--out DIR] [--no-minimize]\n"
-               "          [--replay FILE] [--self-check] [--verbose]\n",
+               "          [--replay FILE] [--self-check]\n"
+               "          [--trace-json FILE] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -164,6 +169,7 @@ int main(int argc, char** argv) {
   fuzz::FuzzConfig config;
   config.outDir = "fuzz-out";
   std::string replayPath;
+  std::string tracePath;
   bool doSelfCheck = false;
   bool verbose = false;
 
@@ -202,6 +208,8 @@ int main(int argc, char** argv) {
         replayPath = value();
       } else if (arg == "--self-check") {
         doSelfCheck = true;
+      } else if (arg == "--trace-json") {
+        tracePath = value();
       } else if (arg == "--verbose") {
         verbose = true;
       } else {
@@ -214,8 +222,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!tracePath.empty()) {
+    obs::Registry::global().setEnabled(true);
+    obs::Registry::global().setThreadLabel("fuzz-main");
+  }
+  auto writeTrace = [&] {
+    if (tracePath.empty() || !obs::Registry::global().enabled()) return;
+    std::ofstream out(tracePath);
+    if (out) {
+      out << obs::Registry::global().chromeTraceJson();
+      std::fprintf(stderr, "trace written to %s\n", tracePath.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", tracePath.c_str());
+    }
+  };
+
   try {
-    if (!replayPath.empty()) return replay(replayPath, config.oracle);
+    if (!replayPath.empty()) {
+      const int rc = replay(replayPath, config.oracle);
+      writeTrace();
+      return rc;
+    }
     if (doSelfCheck) return selfCheck(config.seed, config.oracle);
 
     if (verbose) config.log = &std::cerr;
@@ -236,6 +263,7 @@ int main(int argc, char** argv) {
         std::printf("  minimized: %s\n", f.minimizeStats.toString().c_str());
       }
     }
+    writeTrace();
     if (!summary.ok()) {
       std::printf("FAIL: %zu violation(s); replay with --replay <file> or "
                   "--seed %" PRIu64 "\n",
@@ -246,6 +274,7 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fatal: %s\n", e.what());
+    writeTrace();
     return 1;
   }
 }
