@@ -1,8 +1,12 @@
 #include "core/compress.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/verify.h"
@@ -65,70 +69,268 @@ void renumber(std::vector<InstalledRule>& table) {
   for (auto& e : table) e.priority = prio--;
 }
 
+// ---- restart reference engine (original algorithm, kept verbatim) ---------
+
+void compressTableRestart(std::vector<InstalledRule>& table,
+                          CompressionStats& stats) {
+  const int width = table.front().matchField.width();
+  std::set<int> tags = tableTags(table);
+
+  // Phase 1: redundancy elimination, iterated to a fixed point.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      std::vector<InstalledRule> trial = table;
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+      if (sameSemantics(table, trial, tags, width)) {
+        table = std::move(trial);
+        ++stats.redundantRemoved;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Phase 2: greedy cube pairing (which may expose more redundancy, so
+  // alternate until neither phase fires).
+  bool fusedAny = true;
+  while (fusedAny) {
+    fusedAny = false;
+    for (std::size_t i = 0; i < table.size() && !fusedAny; ++i) {
+      for (std::size_t j = i + 1; j < table.size() && !fusedAny; ++j) {
+        if (table[i].action != table[j].action) continue;
+        if (table[i].tags != table[j].tags) continue;
+        auto fused = fuseCubes(table[i].matchField, table[j].matchField);
+        if (!fused) continue;
+        std::vector<InstalledRule> trial = table;
+        trial[i].matchField = *fused;
+        trial[i].merged = trial[i].merged || table[j].merged;
+        trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(j));
+        if (!sameSemantics(table, trial, tags, width)) continue;
+        table = std::move(trial);
+        ++stats.pairsFused;
+        fusedAny = true;
+      }
+    }
+    // A fuse can make another entry redundant.
+    if (fusedAny) {
+      bool more = true;
+      while (more) {
+        more = false;
+        for (std::size_t i = 0; i < table.size(); ++i) {
+          std::vector<InstalledRule> trial = table;
+          trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+          if (sameSemantics(table, trial, tags, width)) {
+            table = std::move(trial);
+            ++stats.redundantRemoved;
+            more = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- worklist engine ------------------------------------------------------
+//
+// Same transformations, same application order, bit-identical tables — but
+// without the restart engine's from-scratch rescans:
+//
+//   * Every applied transformation preserves the per-tag drop sets, so the
+//     reference sets are computed once per table and reused for every
+//     check (the restart engine rebuilds them per trial — the dominant
+//     O(n³)-ish term).
+//   * A rejected fuse of the pair at positions (i, j) stays rejected while
+//     the entries at positions <= j are untouched: packets outside cube j
+//     behave identically in table and trial, and packets inside it first-
+//     match at position <= j in both.  Rejections are cached by stable
+//     entry identity, and an applied change at position c only evicts the
+//     cached pairs whose second element now sits at position >= c; a scan
+//     consults the cache before paying for a semantics check.
+//
+// Removal verdicts get no such pruning: removing an entry re-routes its
+// packets to *later* entries, so any applied change can flip any cached
+// removal verdict (in both directions) and the removal pass must rescan to
+// keep the applied sequence identical to the reference engine.
+
+class TableCompressor {
+ public:
+  TableCompressor(std::vector<InstalledRule>& table, CompressionStats& stats)
+      : table_(table),
+        stats_(stats),
+        width_(table.front().matchField.width()),
+        tags_(tableTags(table)) {
+    for (int tag : tags_) {
+      refDrop_.emplace(tag, switchDropSet(viewOf(table_, tag), width_));
+    }
+    ids_.resize(table_.size());
+    for (std::size_t k = 0; k < ids_.size(); ++k) {
+      ids_[k] = static_cast<int>(k);
+    }
+  }
+
+  void run() {
+    purgeRejectedFrom(removeToFixedPoint());
+    while (true) {
+      const auto hit = firstFusablePair();
+      if (!hit) break;
+      const std::size_t fusedAt = hit->first;
+      applyFusion(hit->first, hit->second);
+      // Entry i changed and entry j vanished; only pairs whose second
+      // element still sits below i keep their verdict.
+      purgeRejectedFrom(fusedAt);
+      purgeRejectedFrom(removeToFixedPoint());
+    }
+  }
+
+ private:
+  // Trial semantics check against the cached reference drop sets.  Every
+  // applied transformation preserves them, so they are computed once in
+  // the constructor.  The trial is a pointer view: checks allocate no
+  // tables.
+  bool preservesSemantics(const std::vector<const InstalledRule*>& trial) {
+    for (int tag : tags_) {
+      std::vector<const InstalledRule*> view;
+      for (const InstalledRule* e : trial) {
+        if (e->visibleTo(tag)) view.push_back(e);
+      }
+      if (!switchDropSet(view, width_).equals(refDrop_.at(tag))) return false;
+    }
+    return true;
+  }
+
+  bool removalSafe(std::size_t victim) {
+    std::vector<const InstalledRule*> trial;
+    trial.reserve(table_.size() - 1);
+    for (std::size_t k = 0; k < table_.size(); ++k) {
+      if (k != victim) trial.push_back(&table_[k]);
+    }
+    return preservesSemantics(trial);
+  }
+
+  // Remove the first redundant entry until none is — the reference
+  // engine's phase-1 loop.  Returns the smallest removal position (the
+  // earliest table change), or table size when nothing was removed.
+  std::size_t removeToFixedPoint() {
+    std::size_t earliest = table_.size();
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < table_.size(); ++i) {
+        if (!removalSafe(i)) continue;
+        table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(i));
+        ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_.redundantRemoved;
+        earliest = std::min(earliest, i);
+        changed = true;
+        break;
+      }
+    }
+    return earliest;
+  }
+
+  static std::uint64_t pairKey(int idA, int idB) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(idA))
+            << 32) |
+           static_cast<std::uint32_t>(idB);
+  }
+
+  // Evict cached rejections whose second element sits at position >=
+  // `changedAt`: entries below the change are untouched, so those pairs'
+  // verdicts — which depend only on the two cubes and the entries at
+  // positions <= j — still hold.
+  void purgeRejectedFrom(std::size_t changedAt) {
+    if (rejected_.empty()) return;
+    if (changedAt >= table_.size() && !anyErased_) return;
+    std::unordered_map<int, std::size_t> posOf;
+    posOf.reserve(ids_.size());
+    for (std::size_t k = 0; k < ids_.size(); ++k) {
+      posOf.emplace(ids_[k], k);
+    }
+    for (auto it = rejected_.begin(); it != rejected_.end();) {
+      const int idB = static_cast<int>(*it & 0xffffffffu);
+      const int idA = static_cast<int>(*it >> 32);
+      const auto posB = posOf.find(idB);
+      if (posB == posOf.end() || posB->second >= changedAt ||
+          posOf.find(idA) == posOf.end()) {
+        it = rejected_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    anyErased_ = false;
+  }
+
+  // First fusable pair in lexicographic (i, j) order.  Cached rejections
+  // are skipped without a check; they cannot be fusable, so the first hit
+  // matches the reference engine's full restart scan.
+  std::optional<std::pair<std::size_t, std::size_t>> firstFusablePair() {
+    for (std::size_t i = 0; i + 1 < table_.size(); ++i) {
+      for (std::size_t j = i + 1; j < table_.size(); ++j) {
+        if (table_[i].action != table_[j].action) continue;
+        if (table_[i].tags != table_[j].tags) continue;
+        auto fused = fuseCubes(table_[i].matchField, table_[j].matchField);
+        if (!fused) continue;
+        const std::uint64_t key = pairKey(ids_[i], ids_[j]);
+        if (rejected_.count(key) != 0) continue;
+        InstalledRule candidate = table_[i];
+        candidate.matchField = *fused;
+        candidate.merged = candidate.merged || table_[j].merged;
+        std::vector<const InstalledRule*> trial;
+        trial.reserve(table_.size() - 1);
+        for (std::size_t k = 0; k < table_.size(); ++k) {
+          if (k == j) continue;
+          trial.push_back(k == i ? &candidate : &table_[k]);
+        }
+        if (!preservesSemantics(trial)) {
+          rejected_.insert(key);
+          continue;
+        }
+        pendingFused_ = std::move(candidate);
+        return std::make_pair(i, j);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void applyFusion(std::size_t i, std::size_t j) {
+    table_[i] = std::move(*pendingFused_);
+    pendingFused_.reset();
+    // The fused entry is a new object for caching purposes: its cube
+    // changed, so verdicts involving the old entry i must not transfer.
+    ids_[i] = nextId_++;
+    table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(j));
+    ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(j));
+    anyErased_ = true;
+    ++stats_.pairsFused;
+  }
+
+  std::vector<InstalledRule>& table_;
+  CompressionStats& stats_;
+  const int width_;
+  const std::set<int> tags_;
+  std::map<int, match::CubeSet> refDrop_;
+  std::vector<int> ids_;
+  int nextId_ = 1 << 30;
+  std::unordered_set<std::uint64_t> rejected_;
+  bool anyErased_ = false;
+  std::optional<InstalledRule> pendingFused_;
+};
+
 }  // namespace
 
-CompressionStats compressTables(Placement& placement) {
+CompressionStats compressTables(Placement& placement,
+                                const CompressOptions& options) {
   CompressionStats stats;
   for (int sw = 0; sw < placement.switchCount(); ++sw) {
     auto& table = placement.mutableTable(sw);
     if (table.empty()) continue;
-    const int width = table.front().matchField.width();
-    std::set<int> tags = tableTags(table);
-
-    // Phase 1: redundancy elimination, iterated to a fixed point.
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (std::size_t i = 0; i < table.size(); ++i) {
-        std::vector<InstalledRule> trial = table;
-        trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
-        if (sameSemantics(table, trial, tags, width)) {
-          table = std::move(trial);
-          ++stats.redundantRemoved;
-          changed = true;
-          break;
-        }
-      }
-    }
-
-    // Phase 2: greedy cube pairing (which may expose more redundancy, so
-    // alternate until neither phase fires).
-    bool fusedAny = true;
-    while (fusedAny) {
-      fusedAny = false;
-      for (std::size_t i = 0; i < table.size() && !fusedAny; ++i) {
-        for (std::size_t j = i + 1; j < table.size() && !fusedAny; ++j) {
-          if (table[i].action != table[j].action) continue;
-          if (table[i].tags != table[j].tags) continue;
-          auto fused = fuseCubes(table[i].matchField, table[j].matchField);
-          if (!fused) continue;
-          std::vector<InstalledRule> trial = table;
-          trial[i].matchField = *fused;
-          trial[i].merged = trial[i].merged || table[j].merged;
-          trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(j));
-          if (!sameSemantics(table, trial, tags, width)) continue;
-          table = std::move(trial);
-          ++stats.pairsFused;
-          fusedAny = true;
-        }
-      }
-      // A fuse can make another entry redundant.
-      if (fusedAny) {
-        bool more = true;
-        while (more) {
-          more = false;
-          for (std::size_t i = 0; i < table.size(); ++i) {
-            std::vector<InstalledRule> trial = table;
-            trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
-            if (sameSemantics(table, trial, tags, width)) {
-              table = std::move(trial);
-              ++stats.redundantRemoved;
-              more = true;
-              break;
-            }
-          }
-        }
-      }
+    if (options.restartReference) {
+      compressTableRestart(table, stats);
+    } else {
+      TableCompressor(table, stats).run();
     }
     renumber(table);
   }

@@ -34,9 +34,18 @@ struct CompressionStats {
   }
 };
 
+struct CompressOptions {
+  /// Run the original restart engine (rescan everything after every applied
+  /// transformation) instead of the worklist engine.  Both produce
+  /// bit-identical tables; the restart path survives as the differential
+  /// oracle for the worklist's re-test pruning.
+  bool restartReference = false;
+};
+
 /// Compress every switch table in place.  Returns what was saved.
 /// Postcondition: for every (switch, tag), the first-match DROP set is
 /// exactly what it was before the call — verified internally.
-CompressionStats compressTables(Placement& placement);
+CompressionStats compressTables(Placement& placement,
+                                const CompressOptions& options = {});
 
 }  // namespace ruleplace::core

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "depgraph/cache.h"
+
 namespace ruleplace::core {
 
 void PlacementProblem::validate() const {
@@ -45,11 +47,19 @@ Encoder::Encoder(const PlacementProblem& problem, const EncoderOptions& options,
     throw std::invalid_argument(
         "encoder: merging is only supported with the total-rules objective");
   }
+  // packKey gives policies and switches 16-bit fields; rule ids keep the
+  // full 32 bits because they are the only unbounded dimension.
+  if (problem.policyCount() >= (1 << 16) ||
+      problem.graph->switchCount() >= (1 << 16)) {
+    throw std::invalid_argument(
+        "encoder: more than 2^16 policies or switches");
+  }
   switchLoad_.resize(static_cast<std::size_t>(problem.graph->switchCount()));
 
   for (int i = 0; i < problem.policyCount(); ++i) {
-    depgraph::DependencyGraph dg(problem.policies[static_cast<std::size_t>(i)]);
-    encodePolicy(i, dg);
+    auto dg = depgraph::acquireGraph(
+        problem.policies[static_cast<std::size_t>(i)], options_.depgraph);
+    encodePolicy(i, *dg);
   }
   if (!options_.monitors.empty()) applyMonitorConstraints();
   if (options_.enableMerging) encodeMerging();
@@ -117,19 +127,28 @@ void Encoder::encodePolicy(int policyId, const depgraph::DependencyGraph& dg) {
     return vw;
   };
 
+  // Non-dummy drops, for the sliced-away accounting below.
+  std::int64_t activeDrops = 0;
+  for (int dropId : dg.dropRules()) {
+    if (!policy.findRule(dropId)->dummy) ++activeDrops;
+  }
+
   std::set<int> requiredDrops;
   for (std::size_t pathIdx = 0; pathIdx < routing.paths.size(); ++pathIdx) {
     const auto& path = routing.paths[pathIdx];
     std::set<int> pathShields;
     int pathDrops = 0;
-    for (int dropId : dg.dropRules()) {
+    // Path slicing (§IV-C) is a subset projection of the policy's (cached)
+    // dependency graph: drop rules whose field cannot intersect the path's
+    // traffic carry no duty on this path.
+    const bool sliced =
+        options_.enablePathSlicing && path.traffic.has_value();
+    const std::vector<int> slicedIds =
+        sliced ? dg.slicedDrops(*path.traffic) : std::vector<int>{};
+    const std::vector<int>& pathDropIds = sliced ? slicedIds : dg.dropRules();
+    for (int dropId : pathDropIds) {
       const acl::Rule* rule = policy.findRule(dropId);
       if (rule->dummy) continue;  // dummies are redundant: no path duty
-      if (options_.enablePathSlicing && path.traffic.has_value() &&
-          !rule->matchField.overlaps(*path.traffic)) {
-        ++stats_.slicedAwayRules;
-        continue;  // this path's traffic can never match the rule (§IV-C)
-      }
       requiredDrops.insert(dropId);
       ++pathDrops;
       for (int permitId : dg.shieldsOf(dropId)) pathShields.insert(permitId);
@@ -142,6 +161,7 @@ void Encoder::encodePolicy(int policyId, const depgraph::DependencyGraph& dg) {
                                std::to_string(dropId));
       ++stats_.pathDependencyConstraints;
     }
+    if (sliced) stats_.slicedAwayRules += activeDrops - pathDrops;
     // Presolve cut: every relevant drop needs a slot on this path, and
     // every distinct shielding permit needs at least one more.  If even
     // the path's *entire* capacity cannot hold them, the instance is
@@ -328,8 +348,11 @@ void Encoder::computeObjectiveBound() {
   // Group each rule's variables for a min-coefficient scan.
   std::unordered_map<std::uint64_t, std::int64_t> minCoeff;
   auto ruleKey = [](int policyId, int ruleId) {
+    // Full 32-bit fields: rule ids grow unboundedly under churn, and a
+    // narrow shift would alias distinct rules (same bug class as the old
+    // 21-bit packKey).
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(policyId))
-            << 21) |
+            << 32) |
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(ruleId));
   };
   for (const auto& key : keys_) {

@@ -88,11 +88,15 @@ class Encoder {
   std::vector<std::pair<solver::ModelVar, bool>> ingressHint() const;
 
  private:
+  /// Layout: policy 16 | rule 32 | switch 16.  Rule ids get a full 32-bit
+  /// field because they grow without bound under add/remove churn (the old
+  /// 21-bit field silently collided at ids >= 2^21); the 16-bit policy and
+  /// switch ranges are validated in the constructor.
   static std::uint64_t packKey(int policyId, int ruleId, topo::SwitchId sw) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(policyId))
-            << 42) |
+            << 48) |
            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ruleId))
-            << 21) |
+            << 16) |
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(sw));
   }
 

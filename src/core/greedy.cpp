@@ -3,18 +3,34 @@
 #include <sstream>
 #include <unordered_set>
 
-#include "depgraph/depgraph.h"
+#include "depgraph/cache.h"
 
 namespace ruleplace::core {
 
 namespace {
-std::uint64_t pack(int policyId, int ruleId, topo::SwitchId sw) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(policyId))
-          << 42) |
-         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ruleId))
-          << 21) |
-         static_cast<std::uint64_t>(static_cast<std::uint32_t>(sw));
-}
+
+// Placement-set key.  A full struct with exact equality — never a packed
+// word: rule ids grow without bound under add/remove churn, and the old
+// bit-packed key (21 bits per field) silently collided for ids >= 2^21,
+// making the greedy skip rules it had never placed.
+struct PlacedKey {
+  int policy;
+  int rule;
+  topo::SwitchId sw;
+  bool operator==(const PlacedKey&) const = default;
+};
+
+struct PlacedKeyHash {
+  std::size_t operator()(const PlacedKey& k) const noexcept {
+    std::uint64_t h = static_cast<std::uint32_t>(k.policy);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::uint32_t>(k.rule);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::uint32_t>(k.sw);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+using PlacedSet = std::unordered_set<PlacedKey, PlacedKeyHash>;
+
 }  // namespace
 
 GreedyOutcome greedyPlace(const PlacementProblem& problem,
@@ -26,14 +42,14 @@ GreedyOutcome greedyPlace(const PlacementProblem& problem,
   for (topo::SwitchId sw = 0; sw < problem.graph->switchCount(); ++sw) {
     remaining[static_cast<std::size_t>(sw)] = problem.capacityOf(sw);
   }
-  std::unordered_set<std::uint64_t> placed;
+  PlacedSet placed;
   std::vector<PlacedRule> placedList;
 
   auto isPlaced = [&](int p, int r, topo::SwitchId sw) {
-    return placed.count(pack(p, r, sw)) != 0;
+    return placed.count({p, r, sw}) != 0;
   };
   auto doPlace = [&](int p, int r, topo::SwitchId sw) {
-    if (placed.insert(pack(p, r, sw)).second) {
+    if (placed.insert({p, r, sw}).second) {
       --remaining[static_cast<std::size_t>(sw)];
       placedList.push_back({p, r, sw});
     }
@@ -41,15 +57,14 @@ GreedyOutcome greedyPlace(const PlacementProblem& problem,
 
   for (int i = 0; i < problem.policyCount(); ++i) {
     const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
-    depgraph::DependencyGraph dg(policy);
+    auto dg = depgraph::acquireGraph(policy);
     for (const auto& path : problem.routing[static_cast<std::size_t>(i)].paths) {
-      for (int dropId : dg.dropRules()) {
+      const bool sliced = usePathSlicing && path.traffic.has_value();
+      const std::vector<int> slicedIds =
+          sliced ? dg->slicedDrops(*path.traffic) : std::vector<int>{};
+      for (int dropId : sliced ? slicedIds : dg->dropRules()) {
         const acl::Rule* rule = policy.findRule(dropId);
         if (rule->dummy) continue;
-        if (usePathSlicing && path.traffic.has_value() &&
-            !rule->matchField.overlaps(*path.traffic)) {
-          continue;
-        }
         // Already covered on this path?
         bool covered = false;
         for (topo::SwitchId sw : path.switches) {
@@ -64,12 +79,12 @@ GreedyOutcome greedyPlace(const PlacementProblem& problem,
         bool done = false;
         for (topo::SwitchId sw : path.switches) {
           int needed = 1;
-          for (int permitId : dg.shieldsOf(dropId)) {
+          for (int permitId : dg->shieldsOf(dropId)) {
             if (!isPlaced(i, permitId, sw)) ++needed;
           }
           if (remaining[static_cast<std::size_t>(sw)] < needed) continue;
           doPlace(i, dropId, sw);
-          for (int permitId : dg.shieldsOf(dropId)) {
+          for (int permitId : dg->shieldsOf(dropId)) {
             doPlace(i, permitId, sw);
           }
           done = true;
@@ -105,37 +120,36 @@ GreedyOutcome pathwisePlace(const PlacementProblem& problem,
 
   for (int i = 0; i < problem.policyCount(); ++i) {
     const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
-    depgraph::DependencyGraph dg(policy);
+    auto dg = depgraph::acquireGraph(policy);
     for (const auto& path :
          problem.routing[static_cast<std::size_t>(i)].paths) {
       // Each path is an independent unit: entries placed for other paths
       // are invisible (duplicated even on shared switches).
-      std::unordered_set<std::uint64_t> pathLocal;
+      PlacedSet pathLocal;
       auto placedHere = [&](int ruleId, topo::SwitchId sw) {
-        return pathLocal.count(pack(i, ruleId, sw)) != 0;
+        return pathLocal.count({i, ruleId, sw}) != 0;
       };
       auto placeHere = [&](int ruleId, topo::SwitchId sw) {
-        if (pathLocal.insert(pack(i, ruleId, sw)).second) {
+        if (pathLocal.insert({i, ruleId, sw}).second) {
           --remaining[static_cast<std::size_t>(sw)];
           placedList.push_back({i, ruleId, sw});
         }
       };
-      for (int dropId : dg.dropRules()) {
+      const bool sliced = usePathSlicing && path.traffic.has_value();
+      const std::vector<int> slicedIds =
+          sliced ? dg->slicedDrops(*path.traffic) : std::vector<int>{};
+      for (int dropId : sliced ? slicedIds : dg->dropRules()) {
         const acl::Rule* rule = policy.findRule(dropId);
         if (rule->dummy) continue;
-        if (usePathSlicing && path.traffic.has_value() &&
-            !rule->matchField.overlaps(*path.traffic)) {
-          continue;
-        }
         bool done = false;
         for (topo::SwitchId sw : path.switches) {
           int needed = 1;
-          for (int permitId : dg.shieldsOf(dropId)) {
+          for (int permitId : dg->shieldsOf(dropId)) {
             if (!placedHere(permitId, sw)) ++needed;
           }
           if (remaining[static_cast<std::size_t>(sw)] < needed) continue;
           placeHere(dropId, sw);
-          for (int permitId : dg.shieldsOf(dropId)) placeHere(permitId, sw);
+          for (int permitId : dg->shieldsOf(dropId)) placeHere(permitId, sw);
           done = true;
           break;
         }

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "depgraph/cache.h"
 #include "obs/obs.h"
 
 namespace ruleplace::core {
@@ -15,11 +16,21 @@ namespace {
 // utilization is the ratio consumed by the incremental solution).
 void flushIncrementalMetrics(const PlacementProblem& sub,
                              const std::vector<int>& spare,
-                             const PlaceOutcome& outcome) {
+                             const PlaceOutcome& outcome,
+                             const depgraph::CacheStats& cacheBefore) {
   if (!obs::enabled()) return;
   auto& reg = obs::Registry::global();
   reg.counter("incremental.sub_policies").add(sub.policyCount());
   reg.counter("incremental.sub_rules").add(sub.totalPolicyRules());
+  // Depgraph-cache traffic attributable to this re-solve.  Content-keyed
+  // caching makes invalidation automatic: only policies whose rules were
+  // touched miss and rebuild, everything untouched is a hit.
+  const depgraph::CacheStats cacheAfter =
+      depgraph::DepGraphCache::global().stats();
+  reg.counter("incremental.depgraph_cache_hits")
+      .add(static_cast<std::int64_t>(cacheAfter.hits - cacheBefore.hits));
+  reg.counter("incremental.depgraph_cache_misses")
+      .add(static_cast<std::int64_t>(cacheAfter.misses - cacheBefore.misses));
   const std::int64_t total =
       std::accumulate(spare.begin(), spare.end(), std::int64_t{0});
   reg.counter("incremental.spare_capacity_total").add(total);
@@ -70,8 +81,10 @@ PlaceOutcome installPolicies(const PlacementProblem& problem,
   span.arg("sub_policies", sub.policyCount());
   span.arg("sub_rules", sub.totalPolicyRules());
 
+  const depgraph::CacheStats cacheBefore =
+      depgraph::DepGraphCache::global().stats();
   PlaceOutcome outcome = place(std::move(sub), options);
-  flushIncrementalMetrics(outcome.solvedProblem, spare, outcome);
+  flushIncrementalMetrics(outcome.solvedProblem, spare, outcome, cacheBefore);
   if (!outcome.hasSolution()) return outcome;
 
   // Combine: base tags stay, new policies get ids after the existing ones.
@@ -125,8 +138,10 @@ PlaceOutcome reroutePolicies(const PlacementProblem& problem,
   span.arg("sub_policies", sub.policyCount());
   span.arg("sub_rules", sub.totalPolicyRules());
 
+  const depgraph::CacheStats cacheBefore =
+      depgraph::DepGraphCache::global().stats();
   PlaceOutcome outcome = place(std::move(sub), options);
-  flushIncrementalMetrics(outcome.solvedProblem, spare, outcome);
+  flushIncrementalMetrics(outcome.solvedProblem, spare, outcome, cacheBefore);
   if (!outcome.hasSolution()) return outcome;
 
   std::vector<int> tagMap(policyIds.size());

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "acl/policy.h"
+#include "depgraph/depgraph.h"
 #include "topo/graph.h"
 #include "topo/routing.h"
 
@@ -43,6 +44,10 @@ struct EncoderOptions {
   /// Monitoring points to protect (may cause infeasibility when a drop has
   /// no room downstream of a monitor).
   std::vector<MonitorPoint> monitors;
+  /// How dependency graphs are built/reused (builder kind, worker threads,
+  /// cache bypass).  Never affects results — graphs are bit-identical for
+  /// every setting (see docs/depgraph.md).
+  depgraph::BuildOptions depgraph;
 };
 
 /// One placement problem: policies[i] is attached to routing[i].ingress.

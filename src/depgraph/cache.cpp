@@ -1,0 +1,110 @@
+#include "depgraph/cache.h"
+
+#include "obs/obs.h"
+
+namespace ruleplace::depgraph {
+
+std::vector<std::uint64_t> policyContentKey(const acl::Policy& policy) {
+  const auto& rules = policy.rules();
+  std::vector<std::uint64_t> key;
+  key.reserve(2 + rules.size() * 6);
+  key.push_back(static_cast<std::uint64_t>(policy.width()));
+  key.push_back(rules.size());
+  for (const auto& r : rules) {
+    // id and priority packed together; action/dummy in a flag word.  The
+    // encoding is injective over everything the graph depends on (and the
+    // rule ids it reports), so equal keys imply equal graphs.
+    key.push_back((static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.id))
+                   << 32) |
+                  static_cast<std::uint32_t>(r.priority));
+    key.push_back((r.action == acl::Action::kDrop ? 1u : 0u) |
+                  (r.dummy ? 2u : 0u));
+    key.push_back(r.matchField.careWord(0));
+    key.push_back(r.matchField.careWord(1));
+    key.push_back(r.matchField.valueWord(0));
+    key.push_back(r.matchField.valueWord(1));
+  }
+  return key;
+}
+
+std::size_t DepGraphCache::KeyHash::operator()(const Key& k) const noexcept {
+  // FNV-1a over the words; only buckets the map — equality is verified on
+  // the full encoding.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : k) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+DepGraphCache::DepGraphCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+DepGraphCache& DepGraphCache::global() {
+  static DepGraphCache cache;
+  return cache;
+}
+
+std::shared_ptr<const DependencyGraph> DepGraphCache::acquire(
+    const acl::Policy& policy, const BuildOptions& opts) {
+  if (!opts.cache) {
+    return std::make_shared<const DependencyGraph>(policy, opts);
+  }
+  Key key = policyContentKey(policy);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      if (obs::enabled()) {
+        obs::Registry::global().counter("depgraph.cache_hit").add(1);
+      }
+      return it->second->graph;
+    }
+  }
+  // Miss: build outside the lock so concurrent misses on different
+  // policies proceed in parallel.  A racing build of the same policy just
+  // produces the same graph; the loser's insert is dropped.
+  auto graph = std::make_shared<const DependencyGraph>(policy, opts);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    if (obs::enabled()) {
+      obs::Registry::global().counter("depgraph.cache_miss").add(1);
+    }
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      lru_.push_front({key, graph});
+      map_.emplace(std::move(key), lru_.begin());
+      while (lru_.size() > capacity_) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+  return graph;
+}
+
+void DepGraphCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  map_.clear();
+  stats_ = CacheStats{};
+}
+
+CacheStats DepGraphCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+std::shared_ptr<const DependencyGraph> acquireGraph(const acl::Policy& policy,
+                                                    const BuildOptions& opts) {
+  return DepGraphCache::global().acquire(policy, opts);
+}
+
+}  // namespace ruleplace::depgraph

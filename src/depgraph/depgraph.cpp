@@ -1,31 +1,124 @@
 #include "depgraph/depgraph.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "depgraph/overlap_index.h"
 #include "obs/obs.h"
+#include "util/thread_pool.h"
 
 namespace ruleplace::depgraph {
 
-DependencyGraph::DependencyGraph(const acl::Policy& policy) {
+namespace {
+
+// Below this many PERMIT rules the naive scan wins: building the per-field
+// index costs more than it saves.  Auto-selection keys on policy content
+// only, so it cannot perturb determinism.
+constexpr std::size_t kAutoIndexThreshold = 32;
+
+}  // namespace
+
+DependencyGraph::DependencyGraph(const acl::Policy& policy,
+                                 const BuildOptions& opts) {
   obs::Span span("depgraph.build");
   const auto& rules = policy.rules();
   span.arg("rules", static_cast<std::int64_t>(rules.size()));
 
-  // rules are in decreasing priority order: rules[u] shields rules[w] when
-  // u < w (higher priority), u is PERMIT, w is DROP, and the fields overlap.
-  for (std::size_t w = 0; w < rules.size(); ++w) {
-    if (rules[w].action != acl::Action::kDrop) continue;
-    dropRules_.push_back(rules[w].id);
-    slotOfId_.emplace(rules[w].id, shields_.size());
-    shields_.emplace_back();
-    auto& s = shields_.back();
-    for (std::size_t u = 0; u < w; ++u) {
-      if (rules[u].action != acl::Action::kPermit) continue;
-      if (rules[u].matchField.overlaps(rules[w].matchField)) {
-        s.push_back(rules[u].id);
+  // Split the priority-ordered rule list once: rules[u] shields rules[w]
+  // when u < w (higher priority), u is PERMIT, w is DROP and the fields
+  // overlap — so each DROP only ever tests the PERMITs preceding it.
+  struct DropItem {
+    int id = -1;
+    std::uint32_t permitsBefore = 0;
+    const match::Ternary* cube = nullptr;
+  };
+  std::vector<int> permitIds;
+  std::vector<const match::Ternary*> permitCubes;
+  std::vector<DropItem> drops;
+  for (const auto& r : rules) {
+    if (r.action == acl::Action::kPermit) {
+      permitIds.push_back(r.id);
+      permitCubes.push_back(&r.matchField);
+    } else {
+      drops.push_back(
+          {r.id, static_cast<std::uint32_t>(permitIds.size()), &r.matchField});
+    }
+  }
+
+  dropRules_.reserve(drops.size());
+  dropCubes_.reserve(drops.size());
+  shields_.resize(drops.size());
+  for (std::size_t slot = 0; slot < drops.size(); ++slot) {
+    dropRules_.push_back(drops[slot].id);
+    dropCubes_.push_back(*drops[slot].cube);
+    slotOfId_.emplace(drops[slot].id, slot);
+  }
+
+  BuilderKind kind = opts.builder;
+  if (kind == BuilderKind::kAuto) {
+    kind = permitIds.size() >= kAutoIndexThreshold ? BuilderKind::kIndexed
+                                                   : BuilderKind::kNaive;
+  }
+
+  OverlapIndex index(policy.width());
+  if (kind == BuilderKind::kIndexed) {
+    index.reserve(permitIds.size());
+    for (const match::Ternary* c : permitCubes) index.add(*c);
+    index.seal();
+  }
+
+  // One work item per DROP rule writing its own pre-sized slot.  Slots are
+  // disjoint and each shield list depends only on the policy, never on
+  // execution order — so every builder/thread/pool combination produces a
+  // bit-identical graph (the deterministic-merge contract the fuzz oracle
+  // checks).
+  auto buildSlot = [&](std::size_t slot, std::vector<std::uint32_t>& hits,
+                       std::vector<std::uint32_t>& scratch) {
+    const DropItem& d = drops[slot];
+    auto& s = shields_[slot];
+    if (kind == BuilderKind::kNaive) {
+      for (std::uint32_t u = 0; u < d.permitsBefore; ++u) {
+        if (permitCubes[u]->overlaps(*d.cube)) s.push_back(permitIds[u]);
       }
+    } else {
+      hits.clear();
+      index.collectOverlaps(*d.cube, d.permitsBefore, hits, scratch);
+      s.reserve(hits.size());
+      for (std::uint32_t u : hits) s.push_back(permitIds[u]);
     }
     std::sort(s.begin(), s.end());
+  };
+
+  util::ThreadPool* pool = opts.pool;
+  std::unique_ptr<util::ThreadPool> owned;
+  if (pool == nullptr && drops.size() > 1) {
+    const int threads =
+        opts.threads == 0 ? util::ThreadPool::hardwareThreads() : opts.threads;
+    if (threads > 1) {
+      owned = std::make_unique<util::ThreadPool>(threads);
+      pool = owned.get();
+    }
+  }
+  if (pool != nullptr && drops.size() > 1) {
+    // Chunked fan-out: contiguous drop runs amortize task overhead while
+    // leaving enough items for stealing to balance skewed shield sizes.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, drops.size() / (static_cast<std::size_t>(pool->threadCount()) * 4));
+    for (std::size_t begin = 0; begin < drops.size(); begin += chunk) {
+      const std::size_t end = std::min(drops.size(), begin + chunk);
+      pool->submit([this, &buildSlot, begin, end] {
+        std::vector<std::uint32_t> hits, scratch;
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          buildSlot(slot, hits, scratch);
+        }
+      });
+    }
+    pool->wait();
+  } else {
+    std::vector<std::uint32_t> hits, scratch;
+    for (std::size_t slot = 0; slot < drops.size(); ++slot) {
+      buildSlot(slot, hits, scratch);
+    }
   }
 
   if (obs::enabled()) {
@@ -43,6 +136,16 @@ const std::vector<int>& DependencyGraph::shieldsOf(int dropRuleId) const {
   auto it = slotOfId_.find(dropRuleId);
   if (it == slotOfId_.end()) return empty_;
   return shields_[it->second];
+}
+
+std::vector<int> DependencyGraph::slicedDrops(
+    const match::Ternary& traffic) const {
+  std::vector<int> out;
+  out.reserve(dropRules_.size());
+  for (std::size_t slot = 0; slot < dropRules_.size(); ++slot) {
+    if (dropCubes_[slot].overlaps(traffic)) out.push_back(dropRules_[slot]);
+  }
+  return out;
 }
 
 std::vector<std::pair<int, int>> DependencyGraph::edges() const {

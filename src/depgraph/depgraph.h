@@ -6,19 +6,61 @@
 // overlapping match field, so wherever w is placed, u must be placed too
 // (Eq. 1).  DROP rules only depend on PERMIT rules; PERMIT-PERMIT and
 // DROP-DROP pairs never constrain each other (§IV-A1's case analysis).
+//
+// Three interchangeable builders produce the graph (BuildOptions):
+//   * kNaive   — the original O(n²) all-pairs Ternary::overlaps scan, kept
+//                as the reference implementation;
+//   * kIndexed — field-decomposed candidate pre-filtering through
+//                OverlapIndex, exact-checked by the bit-parallel SoA kernel;
+//   * kAuto    — picks per policy size (the default).
+// Construction optionally fans out per-DROP-rule work items over a
+// util::ThreadPool.  Every combination of builder, thread count and pool is
+// guaranteed to produce bit-identical graphs — shield lists, drop order,
+// edge counts — a property the fuzz oracle differential-tests continuously
+// (src/fuzz/oracle.cpp, tests/test_depgraph_index.cpp).  See
+// docs/depgraph.md.
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "acl/policy.h"
 
+namespace ruleplace::util {
+class ThreadPool;
+}
+
 namespace ruleplace::depgraph {
+
+/// Which overlap-scan implementation builds the graph.
+enum class BuilderKind : std::uint8_t {
+  kAuto,     ///< indexed for non-trivial policies, naive for tiny ones
+  kNaive,    ///< reference O(n²) pairwise scan
+  kIndexed,  ///< OverlapIndex pre-filter + exact SoA kernel
+};
+
+/// Construction knobs.  None of them changes the resulting graph — only
+/// how fast it is built (and, for `cache`, whether DepGraphCache::acquire
+/// may reuse/retain it).
+struct BuildOptions {
+  BuilderKind builder = BuilderKind::kAuto;
+  /// Worker threads for per-DROP-rule fan-out when no pool is given:
+  /// <= 1 builds sequentially, 0 means hardware concurrency.
+  int threads = 1;
+  /// Optional external pool to run work items on (takes precedence over
+  /// `threads`; the pool must outlive the constructor call).
+  util::ThreadPool* pool = nullptr;
+  /// Honored by DepGraphCache::acquire: false bypasses the cache entirely.
+  bool cache = true;
+};
 
 /// Dependency edges for one policy, keyed by rule id.
 class DependencyGraph {
  public:
-  /// Analyze a policy: O(n^2) pairwise overlap checks.
-  explicit DependencyGraph(const acl::Policy& policy);
+  /// Analyze a policy.  The default options match the historical
+  /// single-threaded behaviour; results never depend on `opts`.
+  explicit DependencyGraph(const acl::Policy& policy,
+                           const BuildOptions& opts = {});
 
   /// PERMIT rule ids that must accompany DROP rule `dropRuleId` on any
   /// switch hosting it (sorted ascending).
@@ -26,6 +68,13 @@ class DependencyGraph {
 
   /// All DROP rule ids in the policy, in decreasing priority order.
   const std::vector<int>& dropRules() const noexcept { return dropRules_; }
+
+  /// Subset projection for path slicing (§IV-C): the DROP rule ids whose
+  /// match field overlaps `traffic`, in decreasing priority order.  Slice
+  /// graphs are *derived* from the parent graph (shield lists are
+  /// traffic-independent), so a cached graph serves every path slice
+  /// without a rebuild.
+  std::vector<int> slicedDrops(const match::Ternary& traffic) const;
 
   /// All edges as (permitId, dropId) pairs, for inspection.
   std::vector<std::pair<int, int>> edges() const;
@@ -46,6 +95,9 @@ class DependencyGraph {
   std::vector<std::vector<int>> shields_;
   std::unordered_map<int, std::size_t> slotOfId_;
   std::vector<int> dropRules_;
+  // Match cubes aligned with dropRules_, retained for slicedDrops() so
+  // projections never have to re-consult the policy.
+  std::vector<match::Ternary> dropCubes_;
   std::vector<int> empty_;
 };
 

@@ -1,0 +1,248 @@
+#include "depgraph/overlap_index.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "match/tuple5.h"
+
+namespace ruleplace::depgraph {
+
+namespace {
+
+/// Bits [offset, offset+nbits) of the 128-bit word pair, LSB-aligned.
+std::uint64_t extractBits(std::uint64_t w0, std::uint64_t w1, int offset,
+                          int nbits) {
+  std::uint64_t lo;
+  if (offset >= 64) {
+    lo = w1 >> (offset - 64);
+  } else {
+    lo = w0 >> offset;
+    if (offset != 0 && offset + nbits > 64) lo |= w1 << (64 - offset);
+  }
+  const std::uint64_t mask =
+      nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+  return lo & mask;
+}
+
+}  // namespace
+
+OverlapIndex::OverlapIndex(int width) : width_(width) {
+  if (width == match::Tuple5Layout::kWidth) {
+    fields_ = {{match::Tuple5Layout::kProtoOffset,
+                match::Tuple5Layout::kProtoBits},
+               {match::Tuple5Layout::kDstPortOffset,
+                match::Tuple5Layout::kPortBits},
+               {match::Tuple5Layout::kSrcPortOffset,
+                match::Tuple5Layout::kPortBits},
+               {match::Tuple5Layout::kDstIpOffset,
+                match::Tuple5Layout::kIpBits},
+               {match::Tuple5Layout::kSrcIpOffset,
+                match::Tuple5Layout::kIpBits}};
+  } else {
+    for (int off = 0; off < width; off += 32) {
+      fields_.push_back({off, std::min(32, width - off)});
+    }
+  }
+  index_.resize(fields_.size());
+}
+
+void OverlapIndex::reserve(std::size_t n) { packed_.reserve(n); }
+
+void OverlapIndex::decompose(const match::Ternary& q, const Field& f,
+                             std::uint64_t* value, int* prefixLen) const {
+  const std::uint64_t care =
+      extractBits(q.careWord(0), q.careWord(1), f.offset, f.nbits);
+  *value = extractBits(q.valueWord(0), q.valueWord(1), f.offset, f.nbits);
+  const int k = std::popcount(care);
+  const std::uint64_t prefixMask =
+      k == 0 ? 0 : (((std::uint64_t{1} << k) - 1) << (f.nbits - k));
+  *prefixLen = care == prefixMask ? k : -1;
+}
+
+void OverlapIndex::add(const match::Ternary& cube) {
+  const auto slot = static_cast<std::uint32_t>(packed_.size());
+  packed_.append(cube);
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    std::uint64_t value = 0;
+    int prefixLen = -1;
+    decompose(cube, fields_[i], &value, &prefixLen);
+    FieldIndex& fi = index_[i];
+    if (prefixLen < 0) {
+      fi.fallback.push_back(slot);
+      continue;
+    }
+    // Normalize the don't-care suffix bits to zero so sorting by key
+    // groups subtrees; the trie itself is built in seal().
+    const int host = fields_[i].nbits - prefixLen;
+    const std::uint64_t key =
+        prefixLen == 0 ? 0 : (value >> host) << host;
+    fi.pending.push_back({key, slot, prefixLen});
+  }
+  sealed_ = false;
+}
+
+void OverlapIndex::seal() {
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    FieldIndex& fi = index_[i];
+    const int nbits = fields_[i].nbits;
+    fi.nodes.clear();
+    fi.slots.clear();
+    if (fi.pending.empty()) continue;
+    // Sorting by (key, len) puts each subtree into a contiguous range
+    // with the node's own postings (len == depth, minimal key and len)
+    // leading it, so one pre-order pass builds the whole trie with
+    // sequential node/slot appends — no per-insert root walks.
+    std::sort(fi.pending.begin(), fi.pending.end());
+    fi.slots.reserve(fi.pending.size());
+    auto build = [&](auto&& self, std::size_t lo, std::size_t hi,
+                     int depth) -> std::int32_t {
+      const auto idx = static_cast<std::int32_t>(fi.nodes.size());
+      fi.nodes.emplace_back();
+      std::size_t p = lo;
+      while (p < hi && fi.pending[p].len == depth) {
+        fi.slots.push_back(fi.pending[p].slot);
+        ++p;
+      }
+      if (p == lo && hi - lo == 1) {
+        // Single-entry subtree: park the posting here instead of growing a
+        // one-node-per-level tail chain.  The pre-filter is conservative
+        // (every candidate is verified exactly), so promoting an entry to
+        // a shallower depth only widens the candidate set by one.
+        fi.slots.push_back(fi.pending[lo].slot);
+        p = hi;
+      }
+      fi.nodes[static_cast<std::size_t>(idx)].countHere =
+          static_cast<std::uint32_t>(p - lo);
+      fi.nodes[static_cast<std::size_t>(idx)].begin =
+          static_cast<std::uint32_t>(fi.slots.size() - (p - lo));
+      if (p < hi) {
+        // Remaining entries all have len > depth; key bit `depth` splits
+        // them into the two (contiguous) child subtrees.
+        const std::size_t mid =
+            static_cast<std::size_t>(
+                std::partition_point(
+                    fi.pending.begin() + static_cast<std::ptrdiff_t>(p),
+                    fi.pending.begin() + static_cast<std::ptrdiff_t>(hi),
+                    [&](const Pending& e) {
+                      return ((e.key >> (nbits - 1 - depth)) & 1) == 0;
+                    }) -
+                fi.pending.begin());
+        if (p < mid) {
+          const std::int32_t c = self(self, p, mid, depth + 1);
+          fi.nodes[static_cast<std::size_t>(idx)].child[0] = c;
+        }
+        if (mid < hi) {
+          const std::int32_t c = self(self, mid, hi, depth + 1);
+          fi.nodes[static_cast<std::size_t>(idx)].child[1] = c;
+        }
+      }
+      fi.nodes[static_cast<std::size_t>(idx)].end =
+          static_cast<std::uint32_t>(fi.slots.size());
+      return idx;
+    };
+    build(build, 0, fi.pending.size(), 0);
+    fi.pending.clear();
+    fi.pending.shrink_to_fit();
+  }
+  sealed_ = true;
+}
+
+std::size_t OverlapIndex::estimate(const FieldIndex& fi, const Field& f,
+                                   std::uint64_t value, int prefixLen) const {
+  std::size_t n = fi.fallback.size();
+  if (fi.nodes.empty()) return n;
+  std::int32_t cur = 0;
+  for (int depth = 0;; ++depth) {
+    const TrieNode& nd = fi.nodes[static_cast<std::size_t>(cur)];
+    if (depth == prefixLen) {
+      // Descendants (and the node itself): everything under the query.
+      n += nd.end - nd.begin;
+      break;
+    }
+    n += nd.countHere;  // an ancestor prefix containing the query
+    const int bit =
+        static_cast<int>((value >> (f.nbits - 1 - depth)) & 1);
+    cur = nd.child[bit];
+    if (cur < 0) break;
+  }
+  return n;
+}
+
+void OverlapIndex::gather(const FieldIndex& fi, const Field& f,
+                          std::uint64_t value, int prefixLen,
+                          std::uint32_t limit,
+                          std::vector<std::uint32_t>& scratch) const {
+  for (std::uint32_t slot : fi.fallback) {
+    if (slot < limit) scratch.push_back(slot);
+  }
+  if (fi.nodes.empty()) return;
+  auto take = [&](std::uint32_t begin, std::uint32_t end) {
+    for (std::uint32_t i = begin; i < end; ++i) {
+      if (fi.slots[i] < limit) scratch.push_back(fi.slots[i]);
+    }
+  };
+  std::int32_t cur = 0;
+  for (int depth = 0;; ++depth) {
+    const TrieNode& nd = fi.nodes[static_cast<std::size_t>(cur)];
+    if (depth == prefixLen) {
+      take(nd.begin, nd.end);
+      break;
+    }
+    take(nd.begin, nd.begin + nd.countHere);
+    const int bit =
+        static_cast<int>((value >> (f.nbits - 1 - depth)) & 1);
+    cur = nd.child[bit];
+    if (cur < 0) break;
+  }
+}
+
+void OverlapIndex::collectOverlaps(const match::Ternary& q,
+                                   std::uint32_t limit,
+                                   std::vector<std::uint32_t>& out,
+                                   std::vector<std::uint32_t>& scratch) const {
+  if (limit > packed_.size()) {
+    limit = static_cast<std::uint32_t>(packed_.size());
+  }
+  if (limit == 0) return;
+
+  // Pick the most selective usable field (smallest candidate estimate).
+  std::size_t best = static_cast<std::size_t>(-1);
+  std::size_t bestField = fields_.size();
+  std::uint64_t bestValue = 0;
+  int bestPrefixLen = -1;
+  if (sealed_) {
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::uint64_t value = 0;
+      int prefixLen = -1;
+      decompose(q, fields_[i], &value, &prefixLen);
+      if (prefixLen < 0) continue;  // field unusable for this query
+      const std::size_t est =
+          estimate(index_[i], fields_[i], value, prefixLen);
+      if (est < best) {
+        best = est;
+        bestField = i;
+        bestValue = value;
+        bestPrefixLen = prefixLen;
+      }
+    }
+  }
+
+  // Candidate gathering touches memory randomly and needs a sort; only
+  // pay for it when it beats the streaming kernel over [0, limit) by a
+  // clear margin.  Either path returns the exact overlap set.
+  if (bestField >= fields_.size() || 2 * best + 64 >= limit) {
+    packed_.collectOverlaps(q, 0, limit, out);
+    return;
+  }
+
+  scratch.clear();
+  gather(index_[bestField], fields_[bestField], bestValue, bestPrefixLen,
+         limit, scratch);
+  const std::size_t base = out.size();
+  for (std::uint32_t slot : scratch) {
+    if (packed_.overlaps(slot, q)) out.push_back(slot);
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+}
+
+}  // namespace ruleplace::depgraph

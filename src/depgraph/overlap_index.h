@@ -1,0 +1,136 @@
+#pragma once
+// Field-decomposed overlap index (the depgraph front-end accelerator).
+//
+// Dependency-graph construction must answer, for every DROP rule, "which
+// higher-priority PERMIT rules overlap it?".  The naive answer tests every
+// pair (O(n²) Ternary::overlaps calls).  This index exploits classifier
+// structure instead, in the spirit of field-wise rule-set analyses (FDRC,
+// arXiv:1803.04270; "Rules in Play", arXiv:1510.07880):
+//
+//   * Cube overlap decomposes over any bit partition: two cubes overlap
+//     iff they overlap in *every* field.  So candidates that can overlap a
+//     query in one field form a superset of the true overlap set, and the
+//     most selective field alone can discard most of the rule set.
+//   * Real firewall fields are prefixes (IP prefixes, prefix-aligned port
+//     ranges, exact-or-any protocol), and two prefixes overlap iff one is
+//     an ancestor of the other.  Per field the stored prefixes live in a
+//     binary trie whose slot lists are laid out in Euler (DFS) order, so a
+//     query resolves to one root-to-depth walk: ancestors are the nodes on
+//     the walk, descendants are a single contiguous slot range at the
+//     query's depth.  No binary searches, no per-prefix-length loops —
+//     the walk is O(prefix length) regardless of how many distinct prefix
+//     lengths the rule set uses.  Rules whose care mask in the field is
+//     not prefix-shaped go to a per-field fallback list (always
+//     candidates).
+//
+// A query estimates the candidate count of each field (one trie walk
+// each), picks the most selective field, gathers its candidates, and
+// verifies each with the exact bit-parallel kernel (match::PackedCubes).
+// When no field is selective enough — or no field is prefix-shaped — it
+// falls back to the blocked SoA kernel over the whole prefix range, which
+// is still far cheaper than per-object Ternary::overlaps calls.
+//
+// The pre-filter is *conservative* and every candidate is re-checked
+// exactly, so collectOverlaps returns bit-for-bit the same slot set as the
+// naive scan — the property the fuzz oracle and tests/test_depgraph_index
+// enforce.  All methods after seal() are const and thread-safe.
+
+#include <cstdint>
+#include <vector>
+
+#include "match/packed.h"
+#include "match/ternary.h"
+
+namespace ruleplace::depgraph {
+
+class OverlapIndex {
+ public:
+  /// Chooses the field decomposition from the header width: the classic
+  /// 5-tuple layout when the width matches it, otherwise 32-bit chunks.
+  explicit OverlapIndex(int width);
+
+  void reserve(std::size_t n);
+
+  /// Append one cube; its slot is the append order (0, 1, ...).
+  void add(const match::Ternary& cube);
+
+  /// Finish construction (computes the Euler slot layout of each field
+  /// trie).  Must be called once, after the last add() and before any
+  /// collectOverlaps().
+  void seal();
+
+  std::size_t size() const noexcept { return packed_.size(); }
+
+  /// Append to `out`, in ascending order, every slot in [0, limit) whose
+  /// cube overlaps `q`.  Exact — identical to testing q against each cube.
+  /// `scratch` is caller-provided working memory (cleared here) so
+  /// concurrent queries need no shared mutable state.
+  void collectOverlaps(const match::Ternary& q, std::uint32_t limit,
+                       std::vector<std::uint32_t>& out,
+                       std::vector<std::uint32_t>& scratch) const;
+
+  /// Direct SoA-kernel access (used by the naive reference comparison in
+  /// benches; also the internal fallback path).
+  const match::PackedCubes& packed() const noexcept { return packed_; }
+
+ private:
+  struct Field {
+    int offset = 0;
+    int nbits = 0;
+  };
+  /// Binary trie over the prefix-shaped care masks of one field.  A
+  /// stored prefix of length k ends at the depth-k node reached by its
+  /// top k value bits — except single-entry subtrees, whose posting is
+  /// parked at the subtree's top node instead of growing a tail chain
+  /// (sound because the pre-filter is conservative).  After seal(),
+  /// `slots` holds every stored slot in Euler order: a node's own
+  /// postings are [begin, begin + countHere) and its whole subtree is
+  /// [begin, end) — so overlap resolution is a root-to-depth walk plus
+  /// one contiguous range.
+  struct TrieNode {
+    std::int32_t child[2] = {-1, -1};
+    std::uint32_t countHere = 0;  ///< postings ending exactly here
+    std::uint32_t begin = 0;      ///< Euler range start (own postings first)
+    std::uint32_t end = 0;        ///< Euler range end (subtree exclusive)
+  };
+  /// One insertion, buffered until seal(): the prefix-padded field value,
+  /// its prefix length, and the cube's slot.
+  struct Pending {
+    std::uint64_t key = 0;
+    std::uint32_t slot = 0;
+    std::int32_t len = 0;
+    bool operator<(const Pending& o) const noexcept {
+      if (key != o.key) return key < o.key;
+      if (len != o.len) return len < o.len;
+      return slot < o.slot;
+    }
+  };
+  struct FieldIndex {
+    std::vector<TrieNode> nodes;        ///< nodes[0] is the root (if any)
+    std::vector<std::uint32_t> slots;   ///< Euler-ordered postings
+    std::vector<std::uint32_t> fallback;  ///< non-prefix care in field
+    std::vector<Pending> pending;       ///< consumed by seal()
+  };
+
+  /// Field bits of `q` as (care, value), LSB-aligned; prefix length in
+  /// *prefixLen (or -1 when the care mask is not prefix-shaped).
+  void decompose(const match::Ternary& q, const Field& f,
+                 std::uint64_t* value, int* prefixLen) const;
+
+  /// Candidate count for `q` in field `fi` (trie ancestors + descendants
+  /// plus the fallback list).  One root-to-depth walk.
+  std::size_t estimate(const FieldIndex& fi, const Field& f,
+                       std::uint64_t value, int prefixLen) const;
+
+  void gather(const FieldIndex& fi, const Field& f, std::uint64_t value,
+              int prefixLen, std::uint32_t limit,
+              std::vector<std::uint32_t>& scratch) const;
+
+  int width_;
+  std::vector<Field> fields_;
+  std::vector<FieldIndex> index_;
+  match::PackedCubes packed_;
+  bool sealed_ = false;
+};
+
+}  // namespace ruleplace::depgraph

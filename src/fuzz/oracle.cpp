@@ -5,6 +5,7 @@
 #include "acl/redundancy.h"
 #include "core/incremental.h"
 #include "core/verify.h"
+#include "depgraph/depgraph.h"
 #include "depgraph/merging.h"
 #include "solver/bruteforce.h"
 
@@ -154,6 +155,7 @@ const char* toString(ViolationKind k) {
     case ViolationKind::kDeterminism: return "determinism";
     case ViolationKind::kStatus: return "status";
     case ViolationKind::kIncremental: return "incremental";
+    case ViolationKind::kDepgraph: return "depgraph";
     case ViolationKind::kCrash: return "crash";
   }
   return "?";
@@ -166,6 +168,7 @@ void OracleCounters::add(const OracleCounters& o) {
   determinismComparisons += o.determinismComparisons;
   statusCrossChecks += o.statusCrossChecks;
   incrementalChecks += o.incrementalChecks;
+  depgraphChecks += o.depgraphChecks;
 }
 
 std::string OracleReport::summary() const {
@@ -450,6 +453,49 @@ void checkIncremental(const FuzzCase& fc, const ModeConfig& mode,
   }
 }
 
+/// Every dependency-graph builder — naive reference, indexed, and indexed
+/// over two worker threads — must produce bit-identical drop lists and
+/// shield sets for every policy (the tentpole determinism contract; see
+/// docs/depgraph.md).  Graphs are built directly, bypassing the cache, so
+/// the check cannot be masked by a cached result.
+void checkDepGraphEquivalence(const FuzzCase& fc, OracleReport& report) {
+  for (std::size_t p = 0; p < fc.policies.size(); ++p) {
+    const acl::Policy& policy = fc.policies[p];
+    depgraph::BuildOptions naive;
+    naive.builder = depgraph::BuilderKind::kNaive;
+    naive.cache = false;
+    depgraph::BuildOptions indexed = naive;
+    indexed.builder = depgraph::BuilderKind::kIndexed;
+    depgraph::BuildOptions parallel = indexed;
+    parallel.threads = 2;
+
+    const depgraph::DependencyGraph ref(policy, naive);
+    ++report.counters.depgraphChecks;
+    const auto compare = [&](const depgraph::DependencyGraph& got,
+                             const char* name) {
+      if (got.dropRules() != ref.dropRules()) {
+        report.violations.push_back(
+            {ViolationKind::kDepgraph,
+             std::string(name) + " builder: drop list differs on policy " +
+                 std::to_string(p)});
+        return;
+      }
+      for (int dropId : ref.dropRules()) {
+        if (got.shieldsOf(dropId) != ref.shieldsOf(dropId)) {
+          report.violations.push_back(
+              {ViolationKind::kDepgraph,
+               std::string(name) + " builder: shields of drop rule " +
+                   std::to_string(dropId) + " differ on policy " +
+                   std::to_string(p)});
+          return;
+        }
+      }
+    };
+    compare(depgraph::DependencyGraph(policy, indexed), "indexed");
+    compare(depgraph::DependencyGraph(policy, parallel), "parallel");
+  }
+}
+
 }  // namespace
 
 OracleReport checkCase(const FuzzCase& fc, const ModeConfig& mode,
@@ -460,6 +506,8 @@ OracleReport checkCase(const FuzzCase& fc, const ModeConfig& mode,
         {ViolationKind::kCrash, "empty jobs sweep"});
     return report;
   }
+
+  checkDepGraphEquivalence(fc, report);
 
   if (mode.incremental()) {
     checkIncremental(fc, mode, options, report);

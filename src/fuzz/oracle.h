@@ -60,6 +60,7 @@ enum class ViolationKind : std::uint8_t {
   kDeterminism,  ///< result changed with the thread count
   kStatus,       ///< ILP and SAT modes disagree on feasibility
   kIncremental,  ///< incremental deployment broke semantics
+  kDepgraph,     ///< dependency-graph builders disagree
   kCrash,        ///< pipeline threw
 };
 
@@ -77,6 +78,7 @@ struct OracleCounters {
   std::int64_t determinismComparisons = 0;
   std::int64_t statusCrossChecks = 0;
   std::int64_t incrementalChecks = 0;
+  std::int64_t depgraphChecks = 0;
 
   void add(const OracleCounters& o);
 };

@@ -1,0 +1,62 @@
+#include "match/packed.h"
+
+#include <bit>
+
+namespace ruleplace::match {
+
+void PackedCubes::reserve(std::size_t n) {
+  care0_.reserve(n);
+  value0_.reserve(n);
+  care1_.reserve(n);
+  value1_.reserve(n);
+}
+
+void PackedCubes::append(const Ternary& t) {
+  care0_.push_back(t.careWord(0));
+  value0_.push_back(t.valueWord(0));
+  care1_.push_back(t.careWord(1));
+  value1_.push_back(t.valueWord(1));
+}
+
+void PackedCubes::collectOverlaps(const Ternary& q, std::size_t begin,
+                                  std::size_t end,
+                                  std::vector<std::uint32_t>& out) const {
+  const std::uint64_t qc0 = q.careWord(0);
+  const std::uint64_t qv0 = q.valueWord(0);
+  const std::uint64_t qc1 = q.careWord(1);
+  const std::uint64_t qv1 = q.valueWord(1);
+  std::size_t i = begin;
+  while (i < end) {
+    const std::size_t block = end - i < 64 ? end - i : 64;
+    std::uint64_t mask = 0;
+    for (std::size_t j = 0; j < block; ++j) {
+      const std::size_t s = i + j;
+      const std::uint64_t bad0 = care0_[s] & qc0 & (value0_[s] ^ qv0);
+      const std::uint64_t bad1 = care1_[s] & qc1 & (value1_[s] ^ qv1);
+      mask |= static_cast<std::uint64_t>((bad0 | bad1) == 0) << j;
+    }
+    while (mask != 0) {
+      const int j = std::countr_zero(mask);
+      out.push_back(static_cast<std::uint32_t>(i + static_cast<std::size_t>(j)));
+      mask &= mask - 1;
+    }
+    i += block;
+  }
+}
+
+std::size_t PackedCubes::countOverlaps(const Ternary& q, std::size_t begin,
+                                       std::size_t end) const noexcept {
+  const std::uint64_t qc0 = q.careWord(0);
+  const std::uint64_t qv0 = q.valueWord(0);
+  const std::uint64_t qc1 = q.careWord(1);
+  const std::uint64_t qv1 = q.valueWord(1);
+  std::size_t n = 0;
+  for (std::size_t s = begin; s < end; ++s) {
+    const std::uint64_t bad0 = care0_[s] & qc0 & (value0_[s] ^ qv0);
+    const std::uint64_t bad1 = care1_[s] & qc1 & (value1_[s] ^ qv1);
+    n += static_cast<std::size_t>((bad0 | bad1) == 0);
+  }
+  return n;
+}
+
+}  // namespace ruleplace::match

@@ -1,0 +1,64 @@
+#pragma once
+// Structure-of-arrays cube storage and a bit-parallel batch overlap kernel.
+//
+// Ternary stores one cube as two (care, value) word pairs behind accessor
+// methods — fine for single checks, but the dependency-graph front-end
+// tests one query cube against thousands of stored cubes, and the
+// per-object layout defeats vectorization.  PackedCubes transposes a cube
+// block into four flat u64 arrays (care0/value0/care1/value1) so the
+// overlap predicate
+//
+//     disjoint(q, c)  <=>  (q.care & c.care & (q.value ^ c.value)) != 0
+//
+// becomes a branch-free streaming loop over contiguous words.  The blocked
+// kernel evaluates 64 cubes into one survivor bitmask before touching the
+// output vector, so the inner loop is pure ALU work the compiler can
+// unroll/vectorize.
+//
+// The kernel implements *exactly* Ternary::overlaps — the dependency-graph
+// builders rely on bit-identical agreement between the two (fuzz-checked
+// in tests/test_depgraph_index.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "match/ternary.h"
+
+namespace ruleplace::match {
+
+class PackedCubes {
+ public:
+  PackedCubes() = default;
+
+  void reserve(std::size_t n);
+  /// Append one cube; slot order is append order.
+  void append(const Ternary& t);
+
+  std::size_t size() const noexcept { return care0_.size(); }
+  bool empty() const noexcept { return care0_.empty(); }
+
+  /// Does the cube in `slot` overlap `q`?  Identical to
+  /// storedCube.overlaps(q) for the cube appended at that slot.
+  bool overlaps(std::size_t slot, const Ternary& q) const noexcept {
+    const std::uint64_t bad0 =
+        care0_[slot] & q.careWord(0) & (value0_[slot] ^ q.valueWord(0));
+    const std::uint64_t bad1 =
+        care1_[slot] & q.careWord(1) & (value1_[slot] ^ q.valueWord(1));
+    return (bad0 | bad1) == 0;
+  }
+
+  /// Append to `out` every slot in [begin, end) whose cube overlaps `q`,
+  /// in ascending slot order.  Blocked: survivors are collected 64 slots
+  /// at a time into a bitmask, then emitted by trailing-zero scan.
+  void collectOverlaps(const Ternary& q, std::size_t begin, std::size_t end,
+                       std::vector<std::uint32_t>& out) const;
+
+  /// Number of slots in [begin, end) overlapping `q` (no materialization).
+  std::size_t countOverlaps(const Ternary& q, std::size_t begin,
+                            std::size_t end) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> care0_, value0_, care1_, value1_;
+};
+
+}  // namespace ruleplace::match

@@ -85,6 +85,16 @@ class Ternary {
   /// Render as a ternary string, MSB first (inverse of fromString).
   std::string toString() const;
 
+  /// Raw (care, value) words, LSB-first: word 0 covers bits [0, 64), word 1
+  /// bits [64, 128).  Exposed for SoA packing (match::PackedCubes) — the
+  /// batch overlap kernel needs the masks without per-bit accessors.
+  std::uint64_t careWord(int w) const noexcept {
+    return care_[static_cast<std::size_t>(w)];
+  }
+  std::uint64_t valueWord(int w) const noexcept {
+    return value_[static_cast<std::size_t>(w)];
+  }
+
   bool operator==(const Ternary& other) const noexcept {
     return width_ == other.width_ && care_ == other.care_ &&
            value_ == other.value_;

@@ -135,6 +135,83 @@ TEST(Compress, ChainFusionCollapsesQuadrant) {
   EXPECT_TRUE(v.ok) << v.summary();
 }
 
+TEST(Compress, GoldenPinnedTables) {
+  // Pinned end state of a table exercising both phases in sequence: the
+  // duplicate drops out, then the two adjacent drops fuse.  Any change to
+  // the engines' application order shows up here first.
+  acl::Policy q;
+  int d1 = q.addRule(T("100*"), Action::kDrop);
+  int d2 = q.addRule(T("101*"), Action::kDrop);
+  int d3 = q.addRule(T("1000"), Action::kDrop);  // subsumed by d1
+  int p1 = q.addRule(T("01**"), Action::kPermit);  // shields nothing: inert
+  OneSwitch net(q);
+  for (bool restart : {false, true}) {
+    Placement pl = buildPlacement(net.problem,
+                                  {{0, d1, net.s0},
+                                   {0, d2, net.s0},
+                                   {0, d3, net.s0},
+                                   {0, p1, net.s0}});
+    CompressOptions copts;
+    copts.restartReference = restart;
+    CompressionStats stats = compressTables(pl, copts);
+    EXPECT_EQ(stats.redundantRemoved, 2) << "restart=" << restart;
+    EXPECT_EQ(stats.pairsFused, 1) << "restart=" << restart;
+    ASSERT_EQ(pl.usedCapacity(net.s0), 1) << "restart=" << restart;
+    EXPECT_EQ(pl.table(net.s0)[0].matchField.toString(), "10**");
+    EXPECT_EQ(pl.table(net.s0)[0].action, Action::kDrop);
+  }
+}
+
+// The worklist engine skips re-checks the restart engine repeats; the two
+// must stay operation-for-operation identical.  Tables come from solved
+// placements over heavily-overlapping policies (maximal compression
+// traffic), compared entry-by-entry after both engines run.
+class CompressDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CompressDifferential, WorklistMatchesRestartBitForBit) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.capacity = 30;
+  cfg.ingressCount = 3;
+  cfg.totalPaths = 8;
+  cfg.rulesPerPolicy = 10;
+  cfg.gen.nestProbability = 0.85;
+  cfg.seed = GetParam() * 131;
+  Instance inst(cfg);
+  PlaceOptions opts;
+  opts.budget = solver::Budget::seconds(20);
+  PlaceOutcome out = place(inst.problem(), opts);
+  ASSERT_TRUE(out.hasSolution());
+
+  Placement worklist = out.placement;
+  Placement restart = out.placement;
+  CompressionStats wl = compressTables(worklist);
+  CompressOptions refOpts;
+  refOpts.restartReference = true;
+  CompressionStats rs = compressTables(restart, refOpts);
+
+  EXPECT_EQ(wl.redundantRemoved, rs.redundantRemoved);
+  EXPECT_EQ(wl.pairsFused, rs.pairsFused);
+  ASSERT_EQ(worklist.switchCount(), restart.switchCount());
+  for (int sw = 0; sw < worklist.switchCount(); ++sw) {
+    const auto& a = worklist.table(sw);
+    const auto& b = restart.table(sw);
+    ASSERT_EQ(a.size(), b.size()) << "switch " << sw;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i].matchField == b[i].matchField)
+          << "switch " << sw << " entry " << i;
+      EXPECT_EQ(a[i].action, b[i].action) << "switch " << sw;
+      EXPECT_EQ(a[i].tags, b[i].tags) << "switch " << sw;
+      EXPECT_EQ(a[i].priority, b[i].priority) << "switch " << sw;
+      EXPECT_EQ(a[i].merged, b[i].merged) << "switch " << sw;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressDifferential,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
 // Property: compression never changes semantics on solver-produced
 // deployments (checked both symbolically and by packet fuzz).
 class CompressionProperty : public ::testing::TestWithParam<std::uint64_t> {};

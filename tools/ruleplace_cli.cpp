@@ -14,6 +14,11 @@
 //     --jobs N           worker threads for independent coupling
 //                        components (0 = hardware concurrency; results
 //                        are identical for every value)
+//     --naive-depgraph   build dependency graphs with the reference O(n²)
+//                        scan instead of the overlap index (bit-identical
+//                        results, for timing/debugging)
+//     --no-depgraph-cache  rebuild every policy's dependency graph instead
+//                        of reusing content-identical cached graphs
 //     --no-verify        skip the semantic verification pass
 //     --quiet            report only (no per-switch tables)
 //     --emit-smt2 FILE   export the encoding as SMT-LIB 2 (OMT minimize)
@@ -49,6 +54,7 @@ int usage(const char* argv0) {
                "          [--objective total-rules|upstream-traffic]\n"
                "          [--remove-redundant] [--budget <seconds>]\n"
                "          [--jobs <threads>] [--no-verify] [--quiet]\n"
+               "          [--naive-depgraph] [--no-depgraph-cache]\n"
                "          [--trace-json <file>] [--metrics]\n",
                argv0);
   return 2;
@@ -119,6 +125,10 @@ int main(int argc, char** argv) {
       options.budget = solver::Budget::seconds(std::atof(argv[++i]));
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.threads = std::atoi(argv[++i]);
+    } else if (arg == "--naive-depgraph") {
+      options.encoder.depgraph.builder = depgraph::BuilderKind::kNaive;
+    } else if (arg == "--no-depgraph-cache") {
+      options.encoder.depgraph.cache = false;
     } else if (arg == "--emit-smt2" && i + 1 < argc) {
       emitSmt2 = argv[++i];
     } else if (arg == "--emit-lp" && i + 1 < argc) {
