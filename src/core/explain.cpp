@@ -1,0 +1,163 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "depgraph/merging.h"
+#include "obs/obs.h"
+#include "solver/optimize.h"
+
+namespace ruleplace::core {
+
+std::string InfeasibilityExplanation::summary(
+    const PlacementProblem& problem) const {
+  std::ostringstream os;
+  if (!confirmedInfeasible) {
+    os << "instance not proved infeasible (budget exhausted or feasible)";
+    return os.str();
+  }
+  if (!capacityDriven) {
+    os << "infeasible, but not capacity-driven: relaxing every switch "
+          "capacity still leaves the instance unsatisfiable "
+          "(structural cause, e.g. monitors or empty paths)";
+    return os.str();
+  }
+  os << (minimal ? "minimal " : "") << "infeasible switch set ("
+     << switches.size() << " switch" << (switches.size() == 1 ? "" : "es")
+     << "): ";
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    if (i > 0) os << ", ";
+    const topo::SwitchId sw = switches[i];
+    os << problem.graph->sw(sw).name << " (capacity "
+       << problem.capacityOf(sw) << ")";
+  }
+  os << " — raising " << (switches.size() == 1 ? "this" : "any one of these")
+     << " would " << (minimal ? "" : "likely ")
+     << "make the instance placeable";
+  return os.str();
+}
+
+namespace {
+
+// One satisfiability probe of `problem` with the given capacities.
+solver::SolveStatus probe(const PlacementProblem& problem,
+                          const EncoderOptions& options,
+                          const depgraph::MergeAnalysis* mergeInfo,
+                          const solver::Budget& budget) {
+  Encoder encoder(problem, options, mergeInfo);
+  const solver::OptResult r =
+      solver::Optimizer::solveSat(encoder.model(), budget);
+  switch (r.status) {
+    case solver::OptStatus::kOptimal:
+    case solver::OptStatus::kFeasible: return solver::SolveStatus::kSat;
+    case solver::OptStatus::kInfeasible: return solver::SolveStatus::kUnsat;
+    case solver::OptStatus::kUnknown: break;
+  }
+  return solver::SolveStatus::kUnknown;
+}
+
+}  // namespace
+
+InfeasibilityExplanation explainInfeasible(const PlacementProblem& problem,
+                                           const EncoderOptions& options,
+                                           const solver::Budget& budget) {
+  obs::Span span("place.explain_infeasible");
+  InfeasibilityExplanation out;
+
+  // Work on a private copy: merge analysis appends dummy rules, and the
+  // shrink walk rewrites capacityOverride per probe.
+  PlacementProblem work;
+  work.graph = problem.graph;
+  work.routing = problem.routing;
+  work.policies = problem.policies;
+  work.capacityOverride = problem.capacityOverride;
+
+  depgraph::MergeAnalysis mergeInfo;
+  if (options.enableMerging) {
+    mergeInfo = depgraph::analyzeMergeable(work.policies, budget.deadline);
+  }
+  const depgraph::MergeAnalysis* mergePtr =
+      options.enableMerging ? &mergeInfo : nullptr;
+
+  const int switchCount = problem.graph->switchCount();
+  std::vector<int> original(static_cast<std::size_t>(switchCount));
+  for (topo::SwitchId sw = 0; sw < switchCount; ++sw) {
+    original[static_cast<std::size_t>(sw)] = work.capacityOf(sw);
+  }
+  // "Relaxed" = enough room for every rule of every policy on one switch,
+  // plus headroom for cycle-breaking dummies.
+  const int relaxed = static_cast<int>(std::min<std::int64_t>(
+      std::numeric_limits<int>::max() / 2,
+      work.totalPolicyRules() * 2 + 16));
+
+  // Only switches some policy can reach carry a bindable capacity
+  // constraint; everything else is irrelevant to feasibility.
+  std::vector<bool> reachable(static_cast<std::size_t>(switchCount), false);
+  for (const auto& ip : work.routing) {
+    for (topo::SwitchId sw : ip.reachableSwitches()) {
+      reachable[static_cast<std::size_t>(sw)] = true;
+    }
+  }
+
+  // Step 1: confirm the unmodified instance is UNSAT.
+  work.capacityOverride = original;
+  ++out.solves;
+  if (probe(work, options, mergePtr, budget) !=
+      solver::SolveStatus::kUnsat) {
+    return out;  // feasible, or undecided within budget — nothing to shrink
+  }
+  out.confirmedInfeasible = true;
+
+  // Step 2: confirm capacities are the cause at all.
+  std::vector<int> caps = original;
+  for (topo::SwitchId sw = 0; sw < switchCount; ++sw) {
+    if (reachable[static_cast<std::size_t>(sw)]) {
+      caps[static_cast<std::size_t>(sw)] = relaxed;
+    }
+  }
+  work.capacityOverride = caps;
+  ++out.solves;
+  if (probe(work, options, mergePtr, budget) != solver::SolveStatus::kSat) {
+    return out;  // structurally infeasible (or undecided): no switch set
+  }
+  out.capacityDriven = true;
+
+  // Step 3: deletion walk in ascending switch id.  Invariant: with the
+  // switches in `kept` at original capacity and everything else relaxed,
+  // the instance is UNSAT.  Relaxing a superset of capacities can only
+  // keep an instance SAT, so every switch kept because its test came back
+  // SAT stays necessary against the *final* relaxation too: 1-minimality.
+  std::vector<topo::SwitchId> kept;
+  for (topo::SwitchId sw = 0; sw < switchCount; ++sw) {
+    if (reachable[static_cast<std::size_t>(sw)]) kept.push_back(sw);
+  }
+  caps = original;  // start from the all-kept (confirmed UNSAT) state
+  for (topo::SwitchId candidate : std::vector<topo::SwitchId>(kept)) {
+    caps[static_cast<std::size_t>(candidate)] = relaxed;
+    work.capacityOverride = caps;
+    ++out.solves;
+    const solver::SolveStatus st = probe(work, options, mergePtr, budget);
+    if (st == solver::SolveStatus::kUnsat) {
+      // Still infeasible without it: drop the candidate for good.
+      kept.erase(std::find(kept.begin(), kept.end(), candidate));
+    } else {
+      // SAT: the candidate is load-bearing.  kUnknown: keep it too —
+      // conservative (the set stays infeasible) but no longer minimal.
+      caps[static_cast<std::size_t>(candidate)] =
+          original[static_cast<std::size_t>(candidate)];
+      if (st == solver::SolveStatus::kUnknown) out.minimal = false;
+    }
+  }
+  out.switches = std::move(kept);
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter("explain.infeasible_core_solves")
+        .add(out.solves);
+  }
+  return out;
+}
+
+}  // namespace ruleplace::core

@@ -1,0 +1,59 @@
+#pragma once
+// Infeasibility diagnostics: *why* does an instance have no placement?
+//
+// For capacity-driven UNSAT instances the useful answer is a small set of
+// switches whose TCAM budgets are jointly too tight — the operator's fix
+// list.  We compute it with a deletion-based core shrink over the
+// switch-capacity constraints (Eq. 3): confirm the instance is UNSAT,
+// confirm it becomes SAT when every capacity is relaxed (otherwise the
+// infeasibility is structural, not capacity-driven), then walk the
+// reachable switches in ascending id, relaxing one at a time — a switch
+// whose relaxation leaves the instance UNSAT is unnecessary and stays
+// relaxed; one whose relaxation makes it SAT is part of the core and is
+// restored.  Relaxing a *superset* of capacities can only keep an
+// instance SAT, so the kept set is 1-minimal: removing any single member
+// makes the instance satisfiable.
+//
+// Surfaced through `ruleplace_cli --explain-infeasible`; validated against
+// brute force in tests/test_resilience.cpp.
+
+#include <string>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/problem.h"
+#include "solver/types.h"
+
+namespace ruleplace::core {
+
+struct InfeasibilityExplanation {
+  /// The unmodified instance was proved UNSAT (not just budget-exhausted).
+  bool confirmedInfeasible = false;
+  /// Relaxing every switch capacity makes the instance SAT — i.e. the
+  /// infeasibility is attributable to TCAM budgets at all.  When false,
+  /// `switches` is empty and the instance is structurally unplaceable.
+  bool capacityDriven = false;
+  /// True when every shrink step was decided; a budget- or
+  /// deadline-exhausted step keeps its switch conservatively, so the set
+  /// is still infeasible but may not be minimal.
+  bool minimal = true;
+  /// The minimal infeasible switch set, ascending.  Restoring only these
+  /// switches' capacities (all others relaxed) keeps the instance UNSAT;
+  /// relaxing any single one of them (when `minimal`) makes it SAT.
+  std::vector<topo::SwitchId> switches;
+  /// Satisfiability solves spent (2 confirmations + one per candidate).
+  int solves = 0;
+
+  std::string summary(const PlacementProblem& problem) const;
+};
+
+/// Shrink the capacity core of `problem`.  Each internal solve is
+/// satisfiability-only and runs under `budget` (per solve; the budget's
+/// absolute deadline, when set, bounds the whole walk).  Deterministic for
+/// conflict-only budgets: the relaxation order is fixed (ascending switch
+/// id) and so is every verdict.
+InfeasibilityExplanation explainInfeasible(
+    const PlacementProblem& problem, const EncoderOptions& options = {},
+    const solver::Budget& budget = solver::Budget::unlimited());
+
+}  // namespace ruleplace::core

@@ -34,7 +34,8 @@ using PlacedSet = std::unordered_set<PlacedKey, PlacedKeyHash>;
 }  // namespace
 
 GreedyOutcome greedyPlace(const PlacementProblem& problem,
-                          bool usePathSlicing) {
+                          bool usePathSlicing,
+                          const util::Deadline& deadline) {
   problem.validate();
   GreedyOutcome outcome;
   std::vector<int> remaining(
@@ -56,6 +57,11 @@ GreedyOutcome greedyPlace(const PlacementProblem& problem,
   };
 
   for (int i = 0; i < problem.policyCount(); ++i) {
+    if (deadline.expired()) {
+      outcome.deadlineExpired = true;
+      outcome.failureReason = "greedy: deadline expired";
+      return outcome;
+    }
     const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
     auto dg = depgraph::acquireGraph(policy);
     for (const auto& path : problem.routing[static_cast<std::size_t>(i)].paths) {
@@ -108,7 +114,8 @@ GreedyOutcome greedyPlace(const PlacementProblem& problem,
 }
 
 GreedyOutcome pathwisePlace(const PlacementProblem& problem,
-                            bool usePathSlicing) {
+                            bool usePathSlicing,
+                            const util::Deadline& deadline) {
   problem.validate();
   GreedyOutcome outcome;
   std::vector<int> remaining(
@@ -119,6 +126,11 @@ GreedyOutcome pathwisePlace(const PlacementProblem& problem,
   std::vector<PlacedRule> placedList;
 
   for (int i = 0; i < problem.policyCount(); ++i) {
+    if (deadline.expired()) {
+      outcome.deadlineExpired = true;
+      outcome.failureReason = "path-wise: deadline expired";
+      return outcome;
+    }
     const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
     auto dg = depgraph::acquireGraph(policy);
     for (const auto& path :

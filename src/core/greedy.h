@@ -14,6 +14,7 @@
 
 #include "core/placement.h"
 #include "core/problem.h"
+#include "util/deadline.h"
 
 namespace ruleplace::core {
 
@@ -22,12 +23,18 @@ struct GreedyOutcome {
   Placement placement;  ///< valid when feasible
   std::int64_t totalRules = 0;
   std::string failureReason;
+  bool deadlineExpired = false;  ///< gave up early; failureReason says so
 };
 
 /// Ingress-first greedy heuristic.  Honors path slicing when
-/// `usePathSlicing` and a path carries a traffic descriptor.
+/// `usePathSlicing` and a path carries a traffic descriptor.  Polls
+/// `deadline` per policy and reports infeasible with deadlineExpired set
+/// on expiry.  Note that core::place's degradation ladder deliberately
+/// calls this *without* a deadline: greedy is the polynomial floor of the
+/// ladder and must be allowed to finish (docs/robustness.md).
 GreedyOutcome greedyPlace(const PlacementProblem& problem,
-                          bool usePathSlicing = false);
+                          bool usePathSlicing = false,
+                          const util::Deadline& deadline = {});
 
 /// Rules a replicate-everything strategy would install: Σ_i |Q_i| * |P_i|.
 std::int64_t replicateAllCount(const PlacementProblem& problem);
@@ -40,6 +47,7 @@ std::int64_t replicateAllCount(const PlacementProblem& problem);
 /// quantifies the value of the paper's global cross-path optimization
 /// (§VI's first claimed advantage).
 GreedyOutcome pathwisePlace(const PlacementProblem& problem,
-                            bool usePathSlicing = false);
+                            bool usePathSlicing = false,
+                            const util::Deadline& deadline = {});
 
 }  // namespace ruleplace::core

@@ -72,6 +72,14 @@ PlaceOutcome installPolicies(const PlacementProblem& problem,
         "installPolicies: one routing entry per policy required");
   }
   obs::Span span("incremental.install");
+  // Escalation needs the pristine inputs again after the restricted
+  // attempt consumed them — copy only when opted in.
+  std::vector<topo::IngressPaths> routingCopy;
+  std::vector<acl::Policy> policiesCopy;
+  if (options.resilience.fullResolveOnInfeasible) {
+    routingCopy = newRouting;
+    policiesCopy = newPolicies;
+  }
   PlacementProblem sub;
   sub.graph = problem.graph;
   sub.routing = std::move(newRouting);
@@ -85,7 +93,31 @@ PlaceOutcome installPolicies(const PlacementProblem& problem,
       depgraph::DepGraphCache::global().stats();
   PlaceOutcome outcome = place(std::move(sub), options);
   flushIncrementalMetrics(outcome.solvedProblem, spare, outcome, cacheBefore);
-  if (!outcome.hasSolution()) return outcome;
+  if (!outcome.hasSolution()) {
+    // The restriction itself (fixed base placement, spare capacity only)
+    // can make a solvable instance infeasible — the paper accepts that as
+    // the price of speed (§IV-E).  With escalation enabled we pay for the
+    // full re-solve instead: everything placed from scratch, full
+    // capacities, combined policy set.
+    if (outcome.status == solver::OptStatus::kInfeasible &&
+        options.resilience.fullResolveOnInfeasible) {
+      if (obs::enabled()) {
+        obs::Registry::global().counter("incremental.full_resolve").add(1);
+      }
+      obs::Span fullSpan("incremental.full_resolve");
+      PlacementProblem full;
+      full.graph = problem.graph;
+      full.routing = problem.routing;
+      full.policies = problem.policies;
+      full.capacityOverride = problem.capacityOverride;
+      for (auto& r : routingCopy) full.routing.push_back(std::move(r));
+      for (auto& q : policiesCopy) full.policies.push_back(std::move(q));
+      PlaceOutcome fullOutcome = place(std::move(full), options);
+      fullOutcome.escalatedFullResolve = true;
+      return fullOutcome;
+    }
+    return outcome;
+  }
 
   // Combine: base tags stay, new policies get ids after the existing ones.
   const int offset = problem.policyCount();
@@ -127,6 +159,8 @@ PlaceOutcome reroutePolicies(const PlacementProblem& problem,
   for (int id : policyIds) stripped.erasePolicy(id);
 
   obs::Span span("incremental.reroute");
+  std::vector<topo::IngressPaths> routingCopy;
+  if (options.resilience.fullResolveOnInfeasible) routingCopy = newRouting;
   PlacementProblem sub;
   sub.graph = problem.graph;
   sub.routing = std::move(newRouting);
@@ -142,7 +176,31 @@ PlaceOutcome reroutePolicies(const PlacementProblem& problem,
       depgraph::DepGraphCache::global().stats();
   PlaceOutcome outcome = place(std::move(sub), options);
   flushIncrementalMetrics(outcome.solvedProblem, spare, outcome, cacheBefore);
-  if (!outcome.hasSolution()) return outcome;
+  if (!outcome.hasSolution()) {
+    // Same escalation as installPolicies: the restricted subproblem being
+    // UNSAT against spare capacity does not mean the rerouted network is —
+    // redo the whole deployment with full capacities.
+    if (outcome.status == solver::OptStatus::kInfeasible &&
+        options.resilience.fullResolveOnInfeasible) {
+      if (obs::enabled()) {
+        obs::Registry::global().counter("incremental.full_resolve").add(1);
+      }
+      obs::Span fullSpan("incremental.full_resolve");
+      PlacementProblem full;
+      full.graph = problem.graph;
+      full.routing = problem.routing;
+      full.policies = problem.policies;
+      full.capacityOverride = problem.capacityOverride;
+      for (std::size_t i = 0; i < policyIds.size(); ++i) {
+        full.routing[static_cast<std::size_t>(policyIds[i])] =
+            routingCopy[i];
+      }
+      PlaceOutcome fullOutcome = place(std::move(full), options);
+      fullOutcome.escalatedFullResolve = true;
+      return fullOutcome;
+    }
+    return outcome;
+  }
 
   std::vector<int> tagMap(policyIds.size());
   for (std::size_t i = 0; i < policyIds.size(); ++i) tagMap[i] = policyIds[i];

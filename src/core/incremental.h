@@ -8,6 +8,12 @@
 // in milliseconds.  The restriction can make a solvable instance
 // infeasible (the fixed base placement is never revisited), which the
 // paper accepts as the price of speed.
+//
+// With ResilienceOptions::fullResolveOnInfeasible set, a restricted
+// re-solve that comes back kInfeasible escalates automatically to a full
+// re-solve of the whole deployment (full capacities, every policy placed
+// from scratch); the returned outcome then has escalatedFullResolve set
+// and its placement replaces — rather than extends — the base.
 
 #include <vector>
 

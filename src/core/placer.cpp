@@ -9,11 +9,32 @@
 #include <utility>
 
 #include "acl/redundancy.h"
+#include "core/greedy.h"
 #include "depgraph/merging.h"
 #include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace ruleplace::core {
+
+const char* toString(SolveStage stage) noexcept {
+  switch (stage) {
+    case SolveStage::kMergeAnalysis: return "merge-analysis";
+    case SolveStage::kEncode: return "encode";
+    case SolveStage::kSolve: return "solve";
+    case SolveStage::kExtract: return "extract";
+    case SolveStage::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+const char* toString(PlaceRung rung) noexcept {
+  switch (rung) {
+    case PlaceRung::kOptimal: return "optimal";
+    case PlaceRung::kSatOnly: return "sat-only";
+    case PlaceRung::kGreedy: return "greedy";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -22,64 +43,207 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-// The monolithic Fig. 4 pipeline on one (sub)problem.  Redundancy removal
-// has already run in place(); everything else happens here, so a
-// single-component instance takes exactly this path.
+void accumulate(solver::SolverStats& into, const solver::SolverStats& s) {
+  into.conflicts += s.conflicts;
+  into.decisions += s.decisions;
+  into.propagations += s.propagations;
+  into.restarts += s.restarts;
+  into.learntLiterals += s.learntLiterals;
+  into.deletedClauses += s.deletedClauses;
+  for (int i = 0; i < solver::SolverStats::kLbdBuckets; ++i) {
+    into.lbdHistogram[static_cast<std::size_t>(i)] +=
+        s.lbdHistogram[static_cast<std::size_t>(i)];
+  }
+}
+
+void countRung(PlaceRung rung) {
+  if (!obs::enabled()) return;
+  const char* name = nullptr;
+  switch (rung) {
+    case PlaceRung::kOptimal: name = "place.rung.optimal"; break;
+    case PlaceRung::kSatOnly: name = "place.rung.sat_only"; break;
+    case PlaceRung::kGreedy: name = "place.rung.greedy"; break;
+  }
+  if (name != nullptr) obs::Registry::global().counter(name).add(1);
+}
+
+// The monolithic Fig. 4 pipeline on one (sub)problem, wrapped in the
+// resilience layer.  Redundancy removal has already run in place();
+// everything else happens here, so a single-component instance takes
+// exactly this path.
+//
+// Resilience contract: the exact pipeline (merge analysis -> encode ->
+// solve -> extract) runs first.  A deadline trip, exhausted budget, or —
+// with isolateFailures — any exception becomes a FailureInfo instead of
+// escaping; the degradation ladder (when enabled) then retries the same
+// model satisfiability-only and finally falls back to the greedy
+// heuristic.  UNSAT is a definitive verdict, never laddered over.
 PlaceOutcome placeComponent(PlacementProblem problem,
                             const PlaceOptions& options) {
+  const util::Deadline& deadline = options.budget.deadline;
+  const PlaceRung firstRung = options.satisfiabilityOnly
+                                  ? PlaceRung::kSatOnly
+                                  : PlaceRung::kOptimal;
   PlaceOutcome outcome;
-  auto t0 = std::chrono::steady_clock::now();
-
-  if (options.encoder.enableMerging) {
-    obs::Span span("place.merge_analysis");
-    outcome.mergeInfo = depgraph::analyzeMergeable(problem.policies);
-  }
+  outcome.rung = firstRung;
+  const auto compStart = std::chrono::steady_clock::now();
+  auto t0 = compStart;
 
   // optional<> so the Encoder can be constructed inside the encode span's
-  // scope yet stay alive for the solve/extract phases below.
+  // scope yet stay alive for the solve/extract/ladder phases below.
   std::optional<Encoder> encoderOpt;
-  {
-    obs::Span span("place.encode");
-    span.arg("policies", problem.policyCount());
-    span.arg("rules", problem.totalPolicyRules());
-    encoderOpt.emplace(problem, options.encoder,
-                       options.encoder.enableMerging ? &outcome.mergeInfo
-                                                     : nullptr);
-    outcome.encodeSeconds = secondsSince(t0);
-    outcome.encodingStats = encoderOpt->stats();
-    outcome.modelVars = encoderOpt->model().varCount();
-    outcome.modelConstraints =
-        static_cast<std::int64_t>(encoderOpt->model().constraintCount());
-    outcome.modelNonzeros = encoderOpt->model().nonzeroCount();
-    span.arg("model_vars", outcome.modelVars);
-    span.arg("model_constraints", outcome.modelConstraints);
-  }
-  Encoder& encoder = *encoderOpt;
+  SolveStage stage = SolveStage::kMergeAnalysis;
+  bool pipelineDone = false;
+  try {
+    // Cooperative cancellation: a component that starts after the shared
+    // deadline passed (a still-queued sibling of a slow wave) skips the
+    // whole exact pipeline.
+    deadline.check("component skipped: deadline expired before start");
 
-  t0 = std::chrono::steady_clock::now();
-  solver::OptResult result;
-  {
-    obs::Span solveSpan("place.solve");
-    solveSpan.arg("model_vars", outcome.modelVars);
-    if (options.satisfiabilityOnly) {
-      result = solver::Optimizer::solveSat(encoder.model(), options.budget);
-    } else if (options.useIngressHint) {
-      result = solver::Optimizer::solveWithHint(
-          encoder.model(), encoder.ingressHint(), options.budget);
-    } else {
-      result = solver::Optimizer::solve(encoder.model(), options.budget);
+    if (options.encoder.enableMerging) {
+      obs::Span span("place.merge_analysis");
+      outcome.mergeInfo =
+          depgraph::analyzeMergeable(problem.policies, deadline);
+    }
+
+    stage = SolveStage::kEncode;
+    {
+      obs::Span span("place.encode");
+      span.arg("policies", problem.policyCount());
+      span.arg("rules", problem.totalPolicyRules());
+      encoderOpt.emplace(problem, options.encoder,
+                         options.encoder.enableMerging ? &outcome.mergeInfo
+                                                       : nullptr);
+      outcome.encodeSeconds = secondsSince(t0);
+      outcome.encodingStats = encoderOpt->stats();
+      outcome.modelVars = encoderOpt->model().varCount();
+      outcome.modelConstraints =
+          static_cast<std::int64_t>(encoderOpt->model().constraintCount());
+      outcome.modelNonzeros = encoderOpt->model().nonzeroCount();
+      span.arg("model_vars", outcome.modelVars);
+      span.arg("model_constraints", outcome.modelConstraints);
+    }
+    Encoder& encoder = *encoderOpt;
+
+    stage = SolveStage::kSolve;
+    t0 = std::chrono::steady_clock::now();
+    solver::OptResult result;
+    {
+      obs::Span solveSpan("place.solve");
+      solveSpan.arg("model_vars", outcome.modelVars);
+      if (options.satisfiabilityOnly) {
+        result = solver::Optimizer::solveSat(encoder.model(), options.budget);
+      } else if (options.useIngressHint) {
+        result = solver::Optimizer::solveWithHint(
+            encoder.model(), encoder.ingressHint(), options.budget);
+      } else {
+        result = solver::Optimizer::solve(encoder.model(), options.budget);
+      }
+    }
+    outcome.solveSeconds = secondsSince(t0);
+    outcome.status = result.status;
+    outcome.objective = result.objective;
+    outcome.solverStats = result.stats;
+
+    if (result.hasSolution()) {
+      stage = SolveStage::kExtract;
+      obs::Span extractSpan("place.extract");
+      outcome.placement = extractPlacement(
+          problem, encoder, result.assignment,
+          options.encoder.enableMerging ? &outcome.mergeInfo : nullptr);
+    }
+    pipelineDone = true;
+  } catch (const util::DeadlineExceeded& e) {
+    if (!options.resilience.isolateFailures && !options.resilience.ladder) {
+      throw;
+    }
+    outcome.status = solver::OptStatus::kUnknown;
+    outcome.failure = FailureInfo{solver::OptStatus::kUnknown, stage,
+                                  secondsSince(compStart), e.what()};
+  } catch (const std::logic_error&) {
+    // Configuration and usage errors (invalid monitor, objective/merging
+    // mismatch, ...) are caller bugs, not component failures: isolating
+    // them would convert a programming error into a quiet kUnknown.
+    throw;
+  } catch (const std::exception& e) {
+    if (!options.resilience.isolateFailures) throw;
+    outcome.status = solver::OptStatus::kUnknown;
+    outcome.failure = FailureInfo{solver::OptStatus::kUnknown, stage,
+                                  secondsSince(compStart), e.what()};
+  }
+
+  if (pipelineDone && !outcome.hasSolution()) {
+    // Exact pipeline ran to completion but the solver had no answer:
+    // record why before (maybe) degrading.
+    outcome.failure = FailureInfo{
+        outcome.status, SolveStage::kSolve, secondsSince(compStart),
+        outcome.status == solver::OptStatus::kInfeasible
+            ? "component infeasible"
+            : "budget or deadline exhausted"};
+  }
+
+  // ---- degradation ladder -------------------------------------------------
+  // Only for failures, never for the definitive kInfeasible verdict.
+  if (options.resilience.ladder && !outcome.hasSolution() &&
+      outcome.status != solver::OptStatus::kInfeasible) {
+    // Rung 2: satisfiability-only on the model we already built.  Skipped
+    // when the encoder never finished or the wall deadline is gone — a
+    // fresh CDCL run would only burn time the greedy floor still needs.
+    if (encoderOpt.has_value() && !options.satisfiabilityOnly &&
+        !deadline.expired()) {
+      try {
+        obs::Span span("place.ladder.sat_only");
+        solver::OptResult sat =
+            solver::Optimizer::solveSat(encoderOpt->model(), options.budget);
+        if (sat.hasSolution()) {
+          outcome.placement = extractPlacement(
+              problem, *encoderOpt, sat.assignment,
+              options.encoder.enableMerging ? &outcome.mergeInfo : nullptr);
+          outcome.status = solver::OptStatus::kFeasible;
+          outcome.objective = sat.objective;
+          outcome.rung = PlaceRung::kSatOnly;
+        }
+        accumulate(outcome.solverStats, sat.stats);
+      } catch (const std::exception&) {
+        // fall through to greedy
+      }
+    }
+    // Rung 3: greedy.  Deliberately deadline-free — it is the polynomial
+    // floor of the ladder and must be allowed to finish so place() always
+    // has *something* verified to return (docs/robustness.md).
+    if (!outcome.hasSolution()) {
+      try {
+        obs::Span span("place.ladder.greedy");
+        GreedyOutcome g =
+            greedyPlace(problem, options.encoder.enablePathSlicing);
+        if (g.feasible) {
+          outcome.placement = std::move(g.placement);
+          outcome.status = solver::OptStatus::kFeasible;
+          outcome.objective = g.totalRules;
+          outcome.rung = PlaceRung::kGreedy;
+        }
+      } catch (const std::logic_error&) {
+        throw;  // caller bug — same policy as the exact pipeline above
+      } catch (const std::exception& e) {
+        if (!options.resilience.isolateFailures) throw;
+        if (!outcome.failure) {
+          outcome.failure =
+              FailureInfo{solver::OptStatus::kUnknown, SolveStage::kGreedy,
+                          secondsSince(compStart), e.what()};
+        }
+      }
     }
   }
-  outcome.solveSeconds = secondsSince(t0);
-  outcome.status = result.status;
-  outcome.objective = result.objective;
-  outcome.solverStats = result.stats;
 
-  if (result.hasSolution()) {
-    obs::Span extractSpan("place.extract");
-    outcome.placement = extractPlacement(
-        problem, encoder, result.assignment,
-        options.encoder.enableMerging ? &outcome.mergeInfo : nullptr);
+  outcome.degraded = outcome.rung != firstRung;
+  if (obs::enabled()) {
+    if (outcome.hasSolution()) countRung(outcome.rung);
+    if (outcome.degraded) {
+      obs::Registry::global().counter("place.degraded_components").add(1);
+    }
+    if (!outcome.hasSolution()) {
+      obs::Registry::global().counter("place.component_failures").add(1);
+    }
   }
   outcome.solvedProblem = std::move(problem);
   return outcome;
@@ -94,20 +258,12 @@ ComponentSolveStats componentStatsOf(const PlaceOutcome& out) {
   cs.encodeSeconds = out.encodeSeconds;
   cs.solveSeconds = out.solveSeconds;
   cs.solverStats = out.solverStats;
+  cs.policyIds.resize(
+      static_cast<std::size_t>(out.solvedProblem.policyCount()));
+  std::iota(cs.policyIds.begin(), cs.policyIds.end(), 0);
+  cs.rung = out.rung;
+  cs.failure = out.failure;
   return cs;
-}
-
-void accumulate(solver::SolverStats& into, const solver::SolverStats& s) {
-  into.conflicts += s.conflicts;
-  into.decisions += s.decisions;
-  into.propagations += s.propagations;
-  into.restarts += s.restarts;
-  into.learntLiterals += s.learntLiterals;
-  into.deletedClauses += s.deletedClauses;
-  for (int i = 0; i < solver::SolverStats::kLbdBuckets; ++i) {
-    into.lbdHistogram[static_cast<std::size_t>(i)] +=
-        s.lbdHistogram[static_cast<std::size_t>(i)];
-  }
 }
 
 void accumulate(EncodingStats& into, const EncodingStats& s) {
@@ -248,6 +404,30 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
   placeSpan.arg("rules", problem.totalPolicyRules());
 
   auto wallStart = std::chrono::steady_clock::now();
+
+  // Materialize one *absolute* deadline for the whole call.  The relative
+  // maxSeconds cap keeps its per-solve slicing semantics, but the absolute
+  // deadline is what actually bounds end-to-end wall time: it is shared
+  // unsliced by every component (queued ones included), the merge
+  // analysis, and the solver's inner loop.  An external cancel token is
+  // fused into the same deadline.
+  PlaceOptions effective = options;
+  {
+    util::Deadline deadline = options.budget.deadline;
+    if (!deadline.hasWallDeadline() && !options.budget.unlimitedTime() &&
+        options.budget.maxSeconds > 0.0) {
+      deadline = util::Deadline::at(
+          wallStart +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options.budget.maxSeconds)));
+    }
+    if (options.cancel.valid()) {
+      deadline = deadline.withToken(options.cancel);
+    }
+    effective.budget.deadline = deadline;
+  }
+  const PlaceOptions& opts = effective;
+
   if (options.removeRedundancy) {
     obs::Span span("place.redundancy");
     for (auto& q : problem.policies) acl::removeRedundant(q);
@@ -260,21 +440,23 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
     span.arg("components", static_cast<std::int64_t>(components.size()));
   }
 
-  PlaceOptions subOptions = options;
+  PlaceOptions subOptions = opts;
   subOptions.removeRedundancy = false;  // already done above
 
   if (components.size() <= 1) {
     PlaceOutcome outcome = placeComponent(std::move(problem), subOptions);
     outcome.componentStats = {componentStatsOf(outcome)};
     outcome.threadsUsed = 1;
+    if (!outcome.hasSolution()) outcome.failedComponents = 1;
     return outcome;
   }
 
   const int k = static_cast<int>(components.size());
   // Slice the global budget fairly over components (by component count,
   // not thread count, so the slices — and hence the results — do not
-  // depend on the parallelism level).
-  subOptions.budget = options.budget.sliced(k);
+  // depend on the parallelism level).  sliced() divides the *relative*
+  // limits only; the absolute deadline passes through shared.
+  subOptions.budget = opts.budget.sliced(k);
   subOptions.threads = 1;
 
   std::vector<PlacementProblem> subProblems(static_cast<std::size_t>(k));
@@ -345,6 +527,19 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
     outcome.modelConstraints += sub.modelConstraints;
     outcome.modelNonzeros += sub.modelNonzeros;
     outcome.componentStats.push_back(componentStatsOf(sub));
+    // Remap the component-local policy ids to global ones.
+    outcome.componentStats.back().policyIds.assign(
+        components[static_cast<std::size_t>(c)].begin(),
+        components[static_cast<std::size_t>(c)].end());
+
+    // Resilience rollup: worst rung wins; first failure (by component
+    // order, hence deterministic) becomes the run's headline failure.
+    if (sub.rung > outcome.rung) outcome.rung = sub.rung;
+    if (sub.degraded) outcome.degraded = true;
+    if (!sub.hasSolution()) {
+      ++outcome.failedComponents;
+      if (!outcome.failure) outcome.failure = sub.failure;
+    }
 
     // Merge analysis: remap member policies to global ids, renumber
     // groups densely across components.
@@ -379,15 +574,25 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
                    : anyUnknown  ? solver::OptStatus::kUnknown
                    : allOptimal  ? solver::OptStatus::kOptimal
                                  : solver::OptStatus::kFeasible;
-  if (outcome.hasSolution()) {
+  // Full merge when every component succeeded; partial merge (successful
+  // components only, failed ones contribute nothing) when requested.  The
+  // overall status still reflects the failures either way.
+  const bool mergeAll = outcome.hasSolution();
+  const bool mergePartial = !mergeAll && opts.resilience.partialResults &&
+                            outcome.failedComponents < k;
+  if (mergeAll || mergePartial) {
     outcome.placement = Placement(problem.graph->switchCount());
     for (int c = 0; c < k; ++c) {
+      const PlaceOutcome& sub = subOutcomes[static_cast<std::size_t>(c)];
+      if (!sub.hasSolution()) continue;
       const auto& comp = components[static_cast<std::size_t>(c)];
       std::vector<int> tagMap(comp.begin(), comp.end());
-      outcome.placement.appendMapped(
-          subOutcomes[static_cast<std::size_t>(c)].placement, tagMap);
-      outcome.objective +=
-          subOutcomes[static_cast<std::size_t>(c)].objective;
+      outcome.placement.appendMapped(sub.placement, tagMap);
+      outcome.objective += sub.objective;
+    }
+    outcome.partial = mergePartial;
+    if (mergePartial && obs::enabled()) {
+      obs::Registry::global().counter("place.partial_results").add(1);
     }
   }
   outcome.solvedProblem = std::move(problem);

@@ -13,14 +13,67 @@
 // the outcome is deterministic and bit-identical across thread counts.
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/encoder.h"
 #include "core/placement.h"
 #include "core/problem.h"
 #include "solver/optimize.h"
+#include "util/deadline.h"
 
 namespace ruleplace::core {
+
+/// Pipeline stage a component failure is attributed to.
+enum class SolveStage : std::uint8_t {
+  kMergeAnalysis,
+  kEncode,
+  kSolve,
+  kExtract,
+  kGreedy,
+};
+const char* toString(SolveStage stage) noexcept;
+
+/// Rung of the graceful-degradation ladder that produced a component's
+/// placement (§IV-D's optimize-vs-feasibility trade, extended one step
+/// further down to the polynomial greedy heuristic).
+enum class PlaceRung : std::uint8_t {
+  kOptimal,  ///< full objective optimization (or as far as the budget got)
+  kSatOnly,  ///< satisfiability-only re-solve of the same model
+  kGreedy,   ///< ingress-first greedy heuristic
+};
+const char* toString(PlaceRung rung) noexcept;
+
+/// Why a component (or the whole run) has no exact result: the solver's
+/// verdict, the stage that failed, and — for exceptions — the message.
+struct FailureInfo {
+  solver::OptStatus status = solver::OptStatus::kUnknown;
+  SolveStage stage = SolveStage::kSolve;
+  double elapsedSeconds = 0.0;  ///< component wall time when recorded
+  std::string message;
+};
+
+/// Knobs for the resilience layer (docs/robustness.md).
+struct ResilienceOptions {
+  /// Degradation ladder: when the exact solve fails (budget/deadline
+  /// exhausted or a stage threw), retry satisfiability-only, then greedy.
+  /// Every degraded placement still passes verifyPlacement.  A genuinely
+  /// infeasible component is never "rescued" — UNSAT is a definitive
+  /// answer, not a failure the ladder can paper over.
+  bool ladder = false;
+  /// When some components fail and others succeed, return the verified
+  /// placement of the successful ones (PlaceOutcome::partial) instead of
+  /// nothing.  The failed components' policies have no entries.
+  bool partialResults = false;
+  /// Convert per-component exceptions into FailureInfo instead of letting
+  /// them propagate out of place().  On by default: one poisoned
+  /// component should not take down the run.
+  bool isolateFailures = true;
+  /// Incremental placer only: when the restricted re-solve is infeasible
+  /// against spare capacity, escalate to a full re-solve automatically.
+  bool fullResolveOnInfeasible = false;
+};
 
 struct PlaceOptions {
   EncoderOptions encoder;
@@ -46,6 +99,13 @@ struct PlaceOptions {
   /// When false the registry's prior state is left untouched, so callers
   /// that enabled it directly keep recording.
   bool observability = false;
+  /// Resilience layer: degradation ladder, partial results, failure
+  /// isolation (see ResilienceOptions).
+  ResilienceOptions resilience;
+  /// External cancellation: request through the token and every component
+  /// (queued or mid-solve) winds down cooperatively at its next deadline
+  /// check.  Fused with the budget's deadline inside place().
+  util::CancelToken cancel;
 };
 
 /// Solve detail for one coupling component (tentpole observability: lets
@@ -58,6 +118,17 @@ struct ComponentSolveStats {
   double encodeSeconds = 0.0;
   double solveSeconds = 0.0;
   solver::SolverStats solverStats;
+  /// Global policy ids of the component's members (lets callers map a
+  /// failed component back to the policies whose entries are absent from
+  /// a partial placement).
+  std::vector<int> policyIds;
+  /// Ladder rung that produced this component's placement (kOptimal when
+  /// the exact pipeline succeeded; meaningless when `failure` is set and
+  /// the component has no solution).
+  PlaceRung rung = PlaceRung::kOptimal;
+  /// Set when the exact pipeline did not produce a solution — even when a
+  /// lower rung later rescued the component (attribution survives).
+  std::optional<FailureInfo> failure;
 };
 
 struct PlaceOutcome {
@@ -87,10 +158,30 @@ struct PlaceOutcome {
   /// against this, not the original input.
   PlacementProblem solvedProblem;
 
+  /// True when `placement` covers only the components that succeeded
+  /// (ResilienceOptions::partialResults).  The overall `status` still
+  /// reflects the failures; verify partial placements against the
+  /// successful components' policy ids (verifyPlacement's subset filter).
+  bool partial = false;
+  /// Components that ended with no solution at all (after the ladder).
+  int failedComponents = 0;
+  /// True when at least one component was produced by a rung below the
+  /// requested one.
+  bool degraded = false;
+  /// Incremental placer: restricted re-solve was infeasible and the full
+  /// re-solve ran instead (ResilienceOptions::fullResolveOnInfeasible).
+  bool escalatedFullResolve = false;
+  /// Worst (lowest) rung across components.
+  PlaceRung rung = PlaceRung::kOptimal;
+  /// First failure by component order, when any component failed.
+  std::optional<FailureInfo> failure;
+
   bool hasSolution() const noexcept {
     return status == solver::OptStatus::kOptimal ||
            status == solver::OptStatus::kFeasible;
   }
+  /// A full or partial placement worth reading.
+  bool hasAnyPlacement() const noexcept { return hasSolution() || partial; }
 };
 
 /// Solve one placement problem.  The problem is taken by value because the

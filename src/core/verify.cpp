@@ -1,5 +1,6 @@
 #include "core/verify.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/obs.h"
@@ -57,7 +58,8 @@ match::CubeSet deployedDropSet(const Placement& placement,
 }
 
 VerifyResult verifyPlacement(const PlacementProblem& problem,
-                             const Placement& placement, bool respectTraffic) {
+                             const Placement& placement, bool respectTraffic,
+                             const std::vector<int>* onlyPolicies) {
   obs::Span span("place.verify");
   span.arg("policies", problem.policyCount());
   VerifyResult result;
@@ -77,6 +79,11 @@ VerifyResult verifyPlacement(const PlacementProblem& problem,
   }
 
   for (int i = 0; i < problem.policyCount(); ++i) {
+    if (onlyPolicies != nullptr &&
+        std::find(onlyPolicies->begin(), onlyPolicies->end(), i) ==
+            onlyPolicies->end()) {
+      continue;
+    }
     const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
     match::CubeSet fullDrop = policy.dropSet();
     for (std::size_t j = 0;

@@ -38,8 +38,14 @@ match::CubeSet switchDropSet(const std::vector<const InstalledRule*>& table,
 /// capacity limits.  When `respectTraffic` is true and a path carries a
 /// traffic descriptor, semantics are checked within that traffic only
 /// (required when the placement was produced with path slicing).
+///
+/// `onlyPolicies` (when non-null) restricts the semantic check to those
+/// policy ids — the verification mode for *partial* placements
+/// (PlaceOutcome::partial), whose failed components legitimately have no
+/// entries.  Capacity limits are always checked in full.
 VerifyResult verifyPlacement(const PlacementProblem& problem,
                              const Placement& placement,
-                             bool respectTraffic = true);
+                             bool respectTraffic = true,
+                             const std::vector<int>* onlyPolicies = nullptr);
 
 }  // namespace ruleplace::core

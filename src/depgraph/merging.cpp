@@ -163,7 +163,8 @@ std::optional<std::vector<std::size_t>> findCycle(
 
 }  // namespace
 
-MergeAnalysis analyzeMergeable(std::vector<acl::Policy>& policies) {
+MergeAnalysis analyzeMergeable(std::vector<acl::Policy>& policies,
+                               const util::Deadline& deadline) {
   MergeAnalysis result;
   // Iterate: build groups, look for an order cycle, break it, repeat.
   // Termination: each break either removes a dummy member permanently or
@@ -175,6 +176,7 @@ MergeAnalysis analyzeMergeable(std::vector<acl::Policy>& policies) {
     if (iteration > 10000) {
       throw std::logic_error("merge cycle breaking failed to terminate");
     }
+    deadline.check("merge analysis");
     std::vector<MergeGroup> groups = buildGroups(policies, banned);
     std::erase_if(groups,
                   [](const MergeGroup& g) { return g.members.size() < 2; });

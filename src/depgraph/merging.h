@@ -17,6 +17,7 @@
 
 #include "acl/policy.h"
 #include "match/ternary.h"
+#include "util/deadline.h"
 
 namespace ruleplace::depgraph {
 
@@ -53,7 +54,11 @@ struct MergeAnalysis {
 /// Find merge groups across `policies` and break circular dependencies.
 /// May mutate the policies by appending dummy rules (recorded in the
 /// result).  Policies are identified by their index in the vector.
-MergeAnalysis analyzeMergeable(std::vector<acl::Policy>& policies);
+/// Polls `deadline` at each cycle-breaking iteration and throws
+/// util::DeadlineExceeded on expiry — there is no useful partial result,
+/// so the caller (core::place) degrades the component instead.
+MergeAnalysis analyzeMergeable(std::vector<acl::Policy>& policies,
+                               const util::Deadline& deadline = {});
 
 /// Do two rules constrain each other's relative order in one table?
 /// (opposite actions + overlapping match fields; §IV-A1 case analysis).

@@ -10,6 +10,8 @@ const char* toString(BugKind k) {
     case BugKind::kFlipAction: return "flip-action";
     case BugKind::kStripTag: return "strip-tag";
     case BugKind::kInflateObjective: return "inflate-objective";
+    case BugKind::kComponentTimeout: return "component-timeout";
+    case BugKind::kComponentThrow: return "component-throw";
   }
   return "?";
 }
@@ -94,6 +96,50 @@ bool widenRuleBit(FuzzCase& fc, util::Rng& rng) {
   return true;
 }
 
+bool tagged(const core::InstalledRule& entry, const std::vector<int>& ids) {
+  for (int tag : entry.tags) {
+    if (std::find(ids.begin(), ids.end(), tag) != ids.end()) return true;
+  }
+  return false;
+}
+
+bool hasEntryOf(const core::Placement& placement,
+                const std::vector<int>& ids) {
+  for (int sw = 0; sw < placement.switchCount(); ++sw) {
+    for (const auto& entry : placement.table(sw)) {
+      if (tagged(entry, ids)) return true;
+    }
+  }
+  return false;
+}
+
+void erasePolicies(core::Placement& placement, const std::vector<int>& ids) {
+  for (int sw = 0; sw < placement.switchCount(); ++sw) {
+    auto& table = placement.mutableTable(sw);
+    table.erase(std::remove_if(table.begin(), table.end(),
+                               [&](const core::InstalledRule& e) {
+                                 return tagged(e, ids);
+                               }),
+                table.end());
+  }
+}
+
+void markComponentFailed(core::PlaceOutcome& outcome,
+                         core::ComponentSolveStats& comp,
+                         const char* message) {
+  core::FailureInfo f;
+  f.status = solver::OptStatus::kUnknown;
+  f.stage = core::SolveStage::kSolve;
+  f.elapsedSeconds = 0.0;
+  f.message = message;
+  comp.status = solver::OptStatus::kUnknown;
+  comp.failure = f;
+  outcome.status = solver::OptStatus::kUnknown;
+  outcome.partial = true;
+  outcome.failedComponents += 1;
+  outcome.failure = std::move(f);
+}
+
 }  // namespace
 
 FuzzCase mutateCase(const FuzzCase& original, util::Rng& rng) {
@@ -156,6 +202,29 @@ bool injectBug(core::PlaceOutcome& outcome, BugKind kind) {
     case BugKind::kInflateObjective:
       outcome.objective += 1;
       return true;
+    case BugKind::kComponentTimeout: {
+      // Claim the first component timed out but leave its entries in
+      // place: a partial result that leaks a failed component's rules.
+      if (outcome.componentStats.empty()) return false;
+      core::ComponentSolveStats& comp = outcome.componentStats.front();
+      if (!hasEntryOf(placement, comp.policyIds)) return false;
+      markComponentFailed(outcome, comp, "injected: component timeout");
+      return true;
+    }
+    case BugKind::kComponentThrow: {
+      // Claim the first component threw (its entries are honestly dropped)
+      // while also losing the last component's entries — whose stats still
+      // claim success, so the partial subset no longer verifies.
+      if (outcome.componentStats.size() < 2) return false;
+      core::ComponentSolveStats& comp = outcome.componentStats.front();
+      const core::ComponentSolveStats& victim = outcome.componentStats.back();
+      if (!hasEntryOf(placement, victim.policyIds)) return false;
+      erasePolicies(placement, comp.policyIds);
+      erasePolicies(placement, victim.policyIds);
+      markComponentFailed(outcome, comp,
+                          "injected: component throw: std::runtime_error");
+      return true;
+    }
   }
   return false;
 }

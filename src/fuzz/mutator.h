@@ -29,6 +29,12 @@ enum class BugKind : std::uint8_t {
   kFlipAction,         ///< flip an installed entry's action
   kStripTag,           ///< remove one policy tag from a merged entry
   kInflateObjective,   ///< report a worse objective than the placement
+  /// Pretend the first component timed out but leak its entries into the
+  /// "partial" placement — the degraded-invariant oracle must notice.
+  kComponentTimeout,
+  /// Pretend the first component threw while silently losing the last
+  /// component's entries, though its stats still claim success.
+  kComponentThrow,
 };
 
 const char* toString(BugKind k);

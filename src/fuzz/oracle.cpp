@@ -1,5 +1,6 @@
 #include "fuzz/oracle.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "acl/redundancy.h"
@@ -29,6 +30,11 @@ std::string describeOutcome(const core::PlaceOutcome& out) {
     os << " obj=" << out.objective
        << " installed=" << out.placement.totalInstalledRules();
   }
+  if (out.degraded) os << " rung=" << core::toString(out.rung);
+  if (out.partial) {
+    os << " partial=" << out.failedComponents << "/"
+       << out.componentStats.size();
+  }
   return os.str();
 }
 
@@ -42,7 +48,10 @@ core::PlaceOptions optionsFor(const ModeConfig& mode,
   o.encoder.objective = mode.objective;
   o.satisfiabilityOnly = mode.satOnly;
   o.removeRedundancy = mode.removeRedundancy;
-  o.budget = solver::Budget::conflicts(oracle.conflictBudget);
+  o.budget = solver::Budget::conflicts(
+      mode.conflictBudget >= 0 ? mode.conflictBudget : oracle.conflictBudget);
+  o.resilience.ladder = mode.ladder;
+  o.resilience.partialResults = mode.partial;
   o.threads = jobs;
   return o;
 }
@@ -53,6 +62,9 @@ std::string ModeConfig::toString() const {
      << " sat-only=" << (satOnly ? 1 : 0)
      << " redundancy=" << (removeRedundancy ? 1 : 0)
      << " objective=" << objectiveName(objective) << " base=" << basePolicies;
+  if (ladder) os << " ladder=1";
+  if (partial) os << " partial=1";
+  if (conflictBudget >= 0) os << " conflicts=" << conflictBudget;
   return os.str();
 }
 
@@ -84,6 +96,16 @@ std::optional<ModeConfig> ModeConfig::parse(std::string_view text) {
     } else if (key == "base") {
       try {
         mode.basePolicies = std::stoi(value);
+      } catch (...) {
+        return std::nullopt;
+      }
+    } else if (key == "ladder") {
+      mode.ladder = value == "1";
+    } else if (key == "partial") {
+      mode.partial = value == "1";
+    } else if (key == "conflicts") {
+      try {
+        mode.conflictBudget = std::stoll(value);
       } catch (...) {
         return std::nullopt;
       }
@@ -138,6 +160,24 @@ std::vector<ModeConfig> modeMatrix(const FuzzCase& fc) {
     m.satOnly = true;
     add(m);
   }
+  {
+    // Ladder floor: a zero conflict budget fails every exact solve
+    // deterministically, so the pipeline must degrade all the way to
+    // greedy — and the greedy placement must still verify exactly.
+    ModeConfig m;
+    m.ladder = true;
+    m.partial = true;
+    m.conflictBudget = 0;
+    add(m);
+  }
+  {
+    // Ladder as a no-op: with the full budget the exact solve usually
+    // succeeds and the ladder must not perturb the optimal outcome.
+    ModeConfig m;
+    m.ladder = true;
+    m.merge = true;
+    add(m);
+  }
   if (n >= 2) {
     ModeConfig m;
     m.basePolicies = n / 2 > 0 ? n / 2 : 1;
@@ -156,6 +196,7 @@ const char* toString(ViolationKind k) {
     case ViolationKind::kStatus: return "status";
     case ViolationKind::kIncremental: return "incremental";
     case ViolationKind::kDepgraph: return "depgraph";
+    case ViolationKind::kDegraded: return "degraded";
     case ViolationKind::kCrash: return "crash";
   }
   return "?";
@@ -169,6 +210,7 @@ void OracleCounters::add(const OracleCounters& o) {
   statusCrossChecks += o.statusCrossChecks;
   incrementalChecks += o.incrementalChecks;
   depgraphChecks += o.depgraphChecks;
+  degradedChecks += o.degradedChecks;
 }
 
 std::string OracleReport::summary() const {
@@ -240,13 +282,33 @@ std::optional<core::PlaceOutcome> sweepAndCompare(
       continue;
     }
     ++report.counters.determinismComparisons;
-    if (out.status != ref->status) {
+    if (out.status != ref->status || out.partial != ref->partial ||
+        out.degraded != ref->degraded || out.rung != ref->rung ||
+        out.failedComponents != ref->failedComponents) {
       report.violations.push_back(
           {ViolationKind::kDeterminism,
            "status jobs=" + std::to_string(refJobs) + " -> " +
                describeOutcome(*ref) + ", jobs=" + std::to_string(jobs) +
                " -> " + describeOutcome(out)});
       continue;
+    }
+    // Per-component rung and failure attribution is part of the
+    // determinism contract too: a degraded run must degrade the *same*
+    // components for every thread count.
+    if (out.componentStats.size() == ref->componentStats.size()) {
+      for (std::size_t c = 0; c < out.componentStats.size(); ++c) {
+        const auto& a = ref->componentStats[c];
+        const auto& b = out.componentStats[c];
+        if (a.rung != b.rung || a.status != b.status ||
+            a.failure.has_value() != b.failure.has_value()) {
+          report.violations.push_back(
+              {ViolationKind::kDeterminism,
+               "component " + std::to_string(c) + " rung/failure jobs=" +
+                   std::to_string(refJobs) + " vs jobs=" +
+                   std::to_string(jobs)});
+          break;
+        }
+      }
     }
     if (!mode.satOnly && out.hasSolution() &&
         out.objective != ref->objective) {
@@ -258,7 +320,7 @@ std::optional<core::PlaceOutcome> sweepAndCompare(
       continue;
     }
     std::string why;
-    if (out.hasSolution() &&
+    if (out.hasAnyPlacement() && ref->hasAnyPlacement() &&
         !placementsEqual(ref->placement, out.placement, &why)) {
       report.violations.push_back(
           {ViolationKind::kDeterminism,
@@ -277,6 +339,63 @@ void checkSemantics(const core::PlaceOutcome& out, const ModeConfig& mode,
       out.solvedProblem, out.placement, /*respectTraffic=*/mode.slice);
   if (!v.ok) {
     report.violations.push_back({kind, v.summary()});
+  }
+}
+
+/// Degradation contract (check 4 in the header): a ladder placement must
+/// verify exactly, a partial placement must carry nothing from failed
+/// components, and the successful components' subset must verify.
+void checkDegradedInvariants(const core::PlaceOutcome& out,
+                             const ModeConfig& mode, OracleReport& report) {
+  if (!out.degraded && !out.partial) return;
+  ++report.counters.degradedChecks;
+
+  if (out.degraded && out.hasSolution()) {
+    core::VerifyResult v = core::verifyPlacement(
+        out.solvedProblem, out.placement, /*respectTraffic=*/mode.slice);
+    if (!v.ok) {
+      report.violations.push_back(
+          {ViolationKind::kDegraded,
+           std::string("ladder placement (rung ") +
+               core::toString(out.rung) +
+               ") fails exact verification: " + v.summary()});
+    }
+  }
+  if (!out.partial) return;
+
+  std::vector<int> failedPolicies;
+  std::vector<int> okPolicies;
+  for (const auto& c : out.componentStats) {
+    const bool solved = c.status == solver::OptStatus::kOptimal ||
+                        c.status == solver::OptStatus::kFeasible;
+    auto& dst = solved ? okPolicies : failedPolicies;
+    dst.insert(dst.end(), c.policyIds.begin(), c.policyIds.end());
+  }
+  for (int sw = 0; sw < out.placement.switchCount(); ++sw) {
+    for (const auto& entry : out.placement.table(sw)) {
+      for (int tag : entry.tags) {
+        if (std::find(failedPolicies.begin(), failedPolicies.end(), tag) !=
+            failedPolicies.end()) {
+          report.violations.push_back(
+              {ViolationKind::kDegraded,
+               "partial placement still carries an entry of failed "
+               "component policy " +
+                   std::to_string(tag) + " on switch " +
+                   std::to_string(sw)});
+          return;
+        }
+      }
+    }
+  }
+  core::VerifyResult v =
+      core::verifyPlacement(out.solvedProblem, out.placement,
+                            /*respectTraffic=*/mode.slice, &okPolicies);
+  if (!v.ok) {
+    report.violations.push_back(
+        {ViolationKind::kDegraded,
+         "partial placement fails verification over its successful "
+         "components: " +
+             v.summary()});
   }
 }
 
@@ -519,6 +638,7 @@ OracleReport checkCase(const FuzzCase& fc, const ModeConfig& mode,
   if (!ref.has_value()) return report;
 
   checkSemantics(*ref, mode, ViolationKind::kSemantics, report);
+  checkDegradedInvariants(*ref, mode, report);
   checkBruteForce(fc, mode, options, *ref, report);
   checkStatusAgreement(fc, mode, options, *ref, report);
   return report;

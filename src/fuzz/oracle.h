@@ -13,6 +13,10 @@
 //      bit-identical across --jobs 1/2/4, and the incremental pipeline
 //      (place a base, install the rest on spare capacity) must itself be
 //      deterministic and semantics-preserving.
+//   4. *Degradation* — a ladder-produced (sat-only / greedy) placement must
+//      still pass exact verification, and a partial result must never keep
+//      entries belonging to a failed component while every successful
+//      component's subset verifies (see docs/robustness.md).
 //
 // All solves run under a conflict budget (never wall-clock) so results are
 // reproducible across machines and thread counts.
@@ -39,11 +43,19 @@ struct ModeConfig {
   /// > 0: incremental pipeline — place policies [0, basePolicies) as the
   /// running deployment, then install the rest on its spare capacity.
   int basePolicies = 0;
+  bool ladder = false;   ///< graceful-degradation ladder (docs/robustness.md)
+  bool partial = false;  ///< return verified partial results on failure
+  /// >= 0: override OracleOptions::conflictBudget for this mode.  0 makes
+  /// every exact solve fail immediately, forcing the ladder to its floor —
+  /// the deterministic way to fuzz degraded placements.
+  std::int64_t conflictBudget = -1;
 
   bool incremental() const noexcept { return basePolicies > 0; }
 
   /// "merge=0 slice=1 sat-only=0 redundancy=0 objective=total-rules base=0"
-  /// — the format reproducer headers embed.
+  /// — the format reproducer headers embed.  The resilience fields (ladder,
+  /// partial, conflicts) are appended only when non-default, so older
+  /// reproducers keep parsing and keep their recorded headers byte-stable.
   std::string toString() const;
   static std::optional<ModeConfig> parse(std::string_view text);
 };
@@ -61,6 +73,7 @@ enum class ViolationKind : std::uint8_t {
   kStatus,       ///< ILP and SAT modes disagree on feasibility
   kIncremental,  ///< incremental deployment broke semantics
   kDepgraph,     ///< dependency-graph builders disagree
+  kDegraded,     ///< ladder/partial outcome broke the degradation contract
   kCrash,        ///< pipeline threw
 };
 
@@ -79,6 +92,7 @@ struct OracleCounters {
   std::int64_t statusCrossChecks = 0;
   std::int64_t incrementalChecks = 0;
   std::int64_t depgraphChecks = 0;
+  std::int64_t degradedChecks = 0;
 
   void add(const OracleCounters& o);
 };

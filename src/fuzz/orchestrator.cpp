@@ -145,7 +145,8 @@ std::string FuzzSummary::toString() const {
      << counters.bruteChecks << " brute-force checks, "
      << counters.determinismComparisons << " determinism comparisons, "
      << counters.statusCrossChecks << " status cross-checks, "
-     << counters.incrementalChecks << " incremental checks; "
+     << counters.incrementalChecks << " incremental checks, "
+     << counters.degradedChecks << " degraded checks; "
      << failures.size() << " violation(s)";
   return os.str();
 }

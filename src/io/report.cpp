@@ -39,13 +39,15 @@ PlacementReport analyzePlacement(const core::PlaceOutcome& outcome) {
   for (const auto& c : outcome.componentStats) {
     report.solveCpuSeconds += c.encodeSeconds + c.solveSeconds;
   }
-  if (!outcome.hasSolution()) return report;
+  if (!outcome.hasAnyPlacement()) return report;
   const core::Placement& placement = outcome.placement;
   const core::PlacementProblem& problem = outcome.solvedProblem;
 
   report.totalInstalled = placement.totalInstalledRules();
   report.requiredRules = outcome.encodingStats.requiredRules;
-  if (report.requiredRules > 0) {
+  // Duplication overhead is meaningless for a partial placement: the
+  // required-rules baseline still counts the failed components.
+  if (report.requiredRules > 0 && !outcome.partial) {
     report.duplicationOverheadPct =
         100.0 *
         static_cast<double>(report.totalInstalled - report.requiredRules) /
@@ -74,14 +76,16 @@ PlacementReport analyzePlacement(const core::PlaceOutcome& outcome) {
 std::string componentTable(const core::PlaceOutcome& outcome) {
   std::ostringstream os;
   os << std::setw(4) << "#" << std::setw(10) << "policies" << std::setw(7)
-     << "rules" << std::setw(12) << "status" << std::setw(11) << "objective"
-     << std::setw(11) << "conflicts" << std::setw(10) << "time(s)" << '\n';
+     << "rules" << std::setw(12) << "status" << std::setw(10) << "rung"
+     << std::setw(11) << "objective" << std::setw(11) << "conflicts"
+     << std::setw(10) << "time(s)" << '\n';
   for (std::size_t i = 0; i < outcome.componentStats.size(); ++i) {
     const core::ComponentSolveStats& c = outcome.componentStats[i];
     const bool solved = c.status == solver::OptStatus::kOptimal ||
                         c.status == solver::OptStatus::kFeasible;
     os << std::setw(4) << i << std::setw(10) << c.policyCount << std::setw(7)
        << c.ruleCount << std::setw(12) << solver::toString(c.status)
+       << std::setw(10) << (solved ? core::toString(c.rung) : "-")
        << std::setw(11);
     if (solved) {
       os << c.objective;
@@ -93,6 +97,15 @@ std::string componentTable(const core::PlaceOutcome& outcome) {
        << (c.encodeSeconds + c.solveSeconds) << '\n';
     os.unsetf(std::ios::fixed);
     os << std::setprecision(6);
+    if (c.failure) {
+      os << "     ! " << (solved ? "degraded: " : "failed: ") << "stage="
+         << core::toString(c.failure->stage) << " status="
+         << solver::toString(c.failure->status) << std::fixed
+         << std::setprecision(3) << " after " << c.failure->elapsedSeconds
+         << "s: " << c.failure->message << '\n';
+      os.unsetf(std::ios::fixed);
+      os << std::setprecision(6);
+    }
   }
   return os.str();
 }

@@ -4,7 +4,8 @@
 
 namespace ruleplace::solver {
 
-OptResult bruteForceSolve(const Model& model, int maxVars) {
+OptResult bruteForceSolve(const Model& model, int maxVars,
+                          const util::Deadline& deadline) {
   const int n = model.varCount();
   if (n > maxVars) {
     throw std::invalid_argument("bruteForceSolve: too many variables");
@@ -14,6 +15,12 @@ OptResult bruteForceSolve(const Model& model, int maxVars) {
   bool haveBest = false;
   std::vector<bool> assignment(static_cast<std::size_t>(n));
   for (std::uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+    if ((bits & 0x1fff) == 0 && deadline.expired()) {
+      // Enumeration incomplete: the incumbent (if any) is feasible but
+      // unproven, and "infeasible" would be a lie.
+      result.status = haveBest ? OptStatus::kFeasible : OptStatus::kUnknown;
+      return result;
+    }
     for (int i = 0; i < n; ++i) {
       assignment[static_cast<std::size_t>(i)] = ((bits >> i) & 1) != 0;
     }

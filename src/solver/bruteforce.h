@@ -7,11 +7,16 @@
 
 #include "solver/model.h"
 #include "solver/optimize.h"
+#include "util/deadline.h"
 
 namespace ruleplace::solver {
 
 /// Enumerate all 2^n assignments.  Throws if the model has more than
 /// `maxVars` variables (guard against accidental blowup in tests).
-OptResult bruteForceSolve(const Model& model, int maxVars = 24);
+/// Polls `deadline` every ~8k assignments and returns kUnknown (or the
+/// best incumbent found so far, as kFeasible) when it expires, so even a
+/// reference solve respects `--time-limit`.
+OptResult bruteForceSolve(const Model& model, int maxVars = 24,
+                          const util::Deadline& deadline = {});
 
 }  // namespace ruleplace::solver

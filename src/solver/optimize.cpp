@@ -268,6 +268,14 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
   const Budget budget = budgetIn.normalized();
   const auto startTime = std::chrono::steady_clock::now();
 
+  // A deadline that tripped before we even started: skip the (linear but
+  // not free) constraint lowering and report kUnknown right away.
+  if (budget.deadline.expired()) {
+    OptResult expired;
+    expired.status = OptStatus::kUnknown;
+    return expired;
+  }
+
   obs::Span runSpan("solver.optimize");
 
   Solver solver;
@@ -292,11 +300,14 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
     }
     return b;
   };
-  // Only a spent *time* budget aborts the loop up front.  A spent
-  // conflict budget still enters solve() with maxConflicts == 0, which
-  // stops at the first conflict — instances decided without search
-  // ("for free") keep succeeding, matching the Budget contract.
-  auto exhausted = [&](const Budget& b) { return b.timeExhausted(); };
+  // Only a spent *time* budget (or a tripped deadline/cancellation)
+  // aborts the loop up front.  A spent conflict budget still enters
+  // solve() with maxConflicts == 0, which stops at the first conflict —
+  // instances decided without search ("for free") keep succeeding,
+  // matching the Budget contract.
+  auto exhausted = [&](const Budget& b) {
+    return b.timeExhausted() || b.deadline.expired();
+  };
   std::vector<Var> varMap;
   varMap.reserve(static_cast<std::size_t>(model.varCount()));
   for (int i = 0; i < model.varCount(); ++i) varMap.push_back(solver.newVar());

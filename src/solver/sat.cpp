@@ -722,6 +722,7 @@ SolveStatus Solver::solve(const Budget& budget) {
   if (!ok_) return SolveStatus::kUnsat;
   const auto startTime = std::chrono::steady_clock::now();
   auto timedOut = [&] {
+    if (budget.deadline.expired()) return true;
     if (budget.unlimitedTime()) return false;
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - startTime)
@@ -731,6 +732,12 @@ SolveStatus Solver::solve(const Budget& budget) {
   const std::int64_t conflictBudget =
       budget.unlimitedConflicts() ? -1
                                   : stats_.conflicts + budget.maxConflicts;
+  // Coarse propagation tick: PB-heavy instances can propagate for a long
+  // time without producing conflicts or decisions, so those two check
+  // points alone would let them overrun a deadline.  Checked outside the
+  // propagation hot loop, ~every 128k propagations.
+  constexpr std::int64_t kPropCheckInterval = std::int64_t{1} << 17;
+  std::int64_t nextPropCheck = stats_.propagations + kPropCheckInterval;
 
   cancelUntil(0);
   std::vector<Lit> conflict;
@@ -789,12 +796,20 @@ SolveStatus Solver::solve(const Budget& budget) {
     }
 
     // No conflict.
+    if (stats_.propagations >= nextPropCheck) {
+      nextPropCheck = stats_.propagations + kPropCheckInterval;
+      if (timedOut()) {
+        cancelUntil(0);
+        return SolveStatus::kUnknown;
+      }
+    }
     if (conflictsThisRestart >= restartLimit) {
       ++stats_.restarts;
       ++restartCycle;
       conflictsThisRestart = 0;
       restartLimit = kRestartBase * luby(restartCycle);
       cancelUntil(0);
+      if (timedOut()) return SolveStatus::kUnknown;
       continue;
     }
     if (learntCount_ >= reduceLimit) {

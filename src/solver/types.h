@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace ruleplace::solver {
 
 using Var = std::int32_t;
@@ -72,9 +74,17 @@ struct Budget {
   std::int64_t maxConflicts = -1;  ///< < 0 = unlimited, 0 = exhausted
   double maxSeconds = -1.0;        ///< < 0 = unlimited, 0 = exhausted
 
+  /// Absolute wall-clock deadline + cancellation, shared by every consumer
+  /// of this budget.  Unlike maxSeconds (a *relative* per-solve allowance
+  /// that slicing divides), the deadline is a fixed point in time and is
+  /// passed through normalized()/sliced() unchanged — parallel slicing can
+  /// therefore never stretch the overall wall-clock bound.  Consumers honor
+  /// whichever cap trips first.
+  util::Deadline deadline;
+
   static Budget unlimited() { return {}; }
-  static Budget conflicts(std::int64_t n) { return {n, -1.0}; }
-  static Budget seconds(double s) { return {-1, s}; }
+  static Budget conflicts(std::int64_t n) { return {n, -1.0, {}}; }
+  static Budget seconds(double s) { return {-1, s, {}}; }
 
   bool unlimitedConflicts() const noexcept { return maxConflicts < 0; }
   bool unlimitedTime() const noexcept { return maxSeconds < 0; }
@@ -86,9 +96,25 @@ struct Budget {
   bool conflictsExhausted() const noexcept {
     return !unlimitedConflicts() && maxConflicts <= 0;
   }
-  /// True when any finite resource is fully spent.
+  /// True when any finite resource is fully spent or the shared deadline
+  /// (wall clock or cancellation) has tripped.
   bool exhausted() const noexcept {
-    return timeExhausted() || conflictsExhausted();
+    return timeExhausted() || conflictsExhausted() || deadline.expired();
+  }
+
+  /// Remaining budget after spending `conflicts` conflicts and `seconds`
+  /// seconds, clamped at zero (never negative — a negative remainder would
+  /// silently read as "unlimited").  Unlimited limits stay unlimited; the
+  /// deadline passes through unchanged (it is absolute, nothing to spend).
+  Budget minus(std::int64_t conflicts, double seconds) const noexcept {
+    Budget b = normalized();
+    if (!b.unlimitedConflicts()) {
+      b.maxConflicts = std::max<std::int64_t>(0, b.maxConflicts - conflicts);
+    }
+    if (!b.unlimitedTime()) {
+      b.maxSeconds = std::max(0.0, b.maxSeconds - seconds);
+    }
+    return b;
   }
 
   /// Canonical form: every negative (unlimited) limit becomes exactly -1.

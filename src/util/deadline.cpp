@@ -1,0 +1,16 @@
+#include "util/deadline.h"
+
+#include <limits>
+
+namespace ruleplace::util {
+
+double Deadline::remainingSeconds() const noexcept {
+  if (token_.cancelled()) return 0.0;
+  if (!hasTime_) return std::numeric_limits<double>::infinity();
+  const double left =
+      std::chrono::duration<double>(at_ - std::chrono::steady_clock::now())
+          .count();
+  return left > 0.0 ? left : 0.0;
+}
+
+}  // namespace ruleplace::util

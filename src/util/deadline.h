@@ -1,0 +1,126 @@
+#pragma once
+// Wall-clock deadlines and cooperative cancellation.
+//
+// A `Deadline` is an *absolute* point in time (steady clock), optionally
+// fused with a shared `CancelToken`.  Both are cheap value types meant to
+// be threaded through a whole pipeline — core::place copies one Deadline
+// into every per-component solve, the solver checks it at conflict /
+// restart boundaries plus a coarse propagation tick, and the auxiliary
+// passes (merge analysis, brute force, greedy) poll it at their own loop
+// boundaries.  Because the deadline is absolute and shared, budget slicing
+// across components never stretches the overall wall-clock bound, and a
+// component that starts after the deadline has passed can skip its heavy
+// path entirely (cooperative cancellation of queued siblings).
+//
+// Contrast with solver::Budget::maxSeconds, which is a *relative*
+// per-solve allowance: the Budget carries a Deadline alongside it (see
+// solver/types.h) and consumers honor whichever cap trips first.
+//
+// Guarantees are cooperative, not preemptive: expiry is noticed at the
+// next check point, so a caller should allow the documented slack (see
+// docs/robustness.md, "Deadline granularity").
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace ruleplace::util {
+
+/// Thrown by deadline-aware passes that have no partial result to hand
+/// back (e.g. merge analysis).  core::place catches it per component and
+/// degrades instead of failing the whole run.
+struct DeadlineExceeded : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Shared cancellation flag.  Default-constructed tokens are *null*: never
+/// cancelled, never allocate — passing one around costs nothing.  Real
+/// tokens come from create(); copies share the flag.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken create() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Request cancellation (no-op on a null token).  Safe from any thread.
+  void requestCancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  bool valid() const noexcept { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Deadline {
+ public:
+  /// Never expires (and carries no token) — the default everywhere.
+  Deadline() = default;
+
+  static Deadline never() { return {}; }
+
+  /// Expires `seconds` from now; a negative value means never.
+  static Deadline in(double seconds) {
+    Deadline d;
+    if (seconds >= 0.0) {
+      d.hasTime_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  static Deadline at(std::chrono::steady_clock::time_point tp) {
+    Deadline d;
+    d.hasTime_ = true;
+    d.at_ = tp;
+    return d;
+  }
+
+  /// Attach a cancellation token; expired() then also reports true once
+  /// the token is cancelled.
+  Deadline withToken(CancelToken token) const {
+    Deadline d = *this;
+    d.token_ = std::move(token);
+    return d;
+  }
+
+  bool hasWallDeadline() const noexcept { return hasTime_; }
+  const CancelToken& token() const noexcept { return token_; }
+
+  /// True once the wall deadline has passed or the token was cancelled.
+  /// Costs one relaxed atomic load when only a token is set, one clock
+  /// read when a wall deadline is set, and nothing when neither is.
+  bool expired() const noexcept {
+    if (token_.cancelled()) return true;
+    return hasTime_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Seconds left before expiry; +infinity without a wall deadline, 0 when
+  /// already expired (including by cancellation).
+  double remainingSeconds() const noexcept;
+
+  /// Throw DeadlineExceeded(what) if expired — the one-liner for passes
+  /// that abort rather than degrade.
+  void check(const char* what) const {
+    if (expired()) throw DeadlineExceeded(what);
+  }
+
+ private:
+  bool hasTime_ = false;
+  std::chrono::steady_clock::time_point at_{};
+  CancelToken token_;
+};
+
+}  // namespace ruleplace::util

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  wait();
+  drain();  // never throws — a pending exception dies with the pool
   {
     std::lock_guard<std::mutex> lock(sleepMutex_);
     stopping_ = true;
@@ -30,23 +30,37 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   std::size_t target;
+  std::size_t ordinal;
   {
     std::lock_guard<std::mutex> lock(sleepMutex_);
     target = nextQueue_;
     nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    ordinal = submitSeq_++;
     ++queued_;
     ++pending_;
   }
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
+    queues_[target]->tasks.push_back(Task{ordinal, std::move(task)});
   }
   sleepCv_.notify_one();
 }
 
-void ThreadPool::wait() {
+void ThreadPool::drain() {
   std::unique_lock<std::mutex> lock(sleepMutex_);
   doneCv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    error = std::exchange(firstError_, nullptr);
+    firstErrorSeq_ = 0;
+    submitSeq_ = 0;  // next wave starts counting ordinals from zero
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 int ThreadPool::hardwareThreads() {
@@ -54,7 +68,7 @@ int ThreadPool::hardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-bool ThreadPool::tryPopOwn(std::size_t id, std::function<void()>& task) {
+bool ThreadPool::tryPopOwn(std::size_t id, Task& task) {
   WorkerQueue& q = *queues_[id];
   std::lock_guard<std::mutex> lock(q.mutex);
   if (q.tasks.empty()) return false;
@@ -63,7 +77,7 @@ bool ThreadPool::tryPopOwn(std::size_t id, std::function<void()>& task) {
   return true;
 }
 
-bool ThreadPool::trySteal(std::size_t id, std::function<void()>& task) {
+bool ThreadPool::trySteal(std::size_t id, Task& task) {
   const std::size_t n = queues_.size();
   for (std::size_t k = 1; k < n; ++k) {
     WorkerQueue& q = *queues_[(id + k) % n];
@@ -77,18 +91,29 @@ bool ThreadPool::trySteal(std::size_t id, std::function<void()>& task) {
 }
 
 void ThreadPool::workerLoop(std::size_t id) {
-  std::function<void()> task;
+  Task task;
   while (true) {
     if (tryPopOwn(id, task) || trySteal(id, task)) {
       {
         std::lock_guard<std::mutex> lock(sleepMutex_);
         --queued_;
       }
-      task();
-      task = nullptr;
+      std::exception_ptr error;
+      try {
+        task.fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      task.fn = nullptr;
       bool allDone;
       {
         std::lock_guard<std::mutex> lock(sleepMutex_);
+        // Keep only the exception with the lowest submission ordinal so
+        // the rethrow at wait() is deterministic regardless of scheduling.
+        if (error && (!firstError_ || task.ordinal < firstErrorSeq_)) {
+          firstError_ = error;
+          firstErrorSeq_ = task.ordinal;
+        }
         allDone = (--pending_ == 0);
       }
       if (allDone) doneCv_.notify_all();

@@ -12,10 +12,19 @@
 // results must make the *merge* of task results order-independent (see
 // core::place, which writes each sub-result into a pre-sized slot and
 // combines them in a fixed order after wait()).
+//
+// Exceptions: tasks may throw.  Each *wave* (the tasks submitted between
+// two wait() calls) captures the exception of the throwing task with the
+// lowest submission ordinal — a deterministic choice, independent of which
+// worker ran it or in what order tasks finished — and wait() rethrows it
+// at the merge barrier after the wave has fully drained.  Later exceptions
+// in the same wave are dropped.  Workers never die: the pool stays fully
+// usable after a throwing wave.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -38,10 +47,13 @@ class ThreadPool {
     return static_cast<int>(workers_.size());
   }
 
-  /// Enqueue one task.  Tasks must not throw; they may call submit().
+  /// Enqueue one task.  Tasks may throw (see the exception contract in the
+  /// file comment) and may call submit().
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished running.
+  /// Block until every submitted task has finished running, then rethrow
+  /// the wave's first exception by submission order (if any) and start a
+  /// new wave.
   void wait();
 
   /// std::thread::hardware_concurrency() with a floor of 1 (the standard
@@ -49,14 +61,20 @@ class ThreadPool {
   static int hardwareThreads();
 
  private:
+  struct Task {
+    std::size_t ordinal;  // submission index within the current wave
+    std::function<void()> fn;
+  };
   struct WorkerQueue {
     std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
   };
 
   void workerLoop(std::size_t id);
-  bool tryPopOwn(std::size_t id, std::function<void()>& task);
-  bool trySteal(std::size_t id, std::function<void()>& task);
+  /// Drain without rethrowing (destructor path).
+  void drain();
+  bool tryPopOwn(std::size_t id, Task& task);
+  bool trySteal(std::size_t id, Task& task);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -67,6 +85,9 @@ class ThreadPool {
   std::size_t queued_ = 0;            // submitted, not yet started
   std::size_t pending_ = 0;           // submitted, not yet finished
   std::size_t nextQueue_ = 0;         // round-robin submit cursor
+  std::size_t submitSeq_ = 0;         // next ordinal in the current wave
+  std::size_t firstErrorSeq_ = 0;     // ordinal of firstError_ (if set)
+  std::exception_ptr firstError_;     // lowest-ordinal exception this wave
   bool stopping_ = false;
 };
 

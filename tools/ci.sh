@@ -2,8 +2,11 @@
 # Local CI: the gate a change must pass before review.
 #
 #   tools/ci.sh            default build + full ctest suite
-#   tools/ci.sh --quick    default build + unit-labeled tests only
-#                          (seconds, not minutes — the inner-loop gate)
+#   tools/ci.sh --quick    default build + unit- and robustness-labeled
+#                          tests only (seconds, not minutes — the
+#                          inner-loop gate; robustness rides along because
+#                          its failure-path tests are fast and guard the
+#                          deadline/ladder contracts, see docs/robustness.md)
 #   tools/ci.sh --san      additionally build the asan-ubsan and tsan
 #                          presets and run the solver + parallel-engine +
 #                          fuzz tests under each (the suites that exercise
@@ -38,8 +41,8 @@ cmake --build --preset default -j
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 if [[ "${1:-}" == "--quick" ]]; then
-  ctest --preset default -j "${jobs}" -L unit
-  echo "ci: quick gate green (unit label only)"
+  ctest --preset default -j "${jobs}" -L 'unit|robustness'
+  echo "ci: quick gate green (unit + robustness labels only)"
   exit 0
 fi
 

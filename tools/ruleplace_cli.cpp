@@ -11,6 +11,17 @@
 //     --objective O      total-rules | upstream-traffic
 //     --remove-redundant run complete redundancy removal first
 //     --budget S         time budget in seconds (default: unlimited)
+//     --time-limit S     same as --budget; the wall-clock cap covers the
+//                        WHOLE run (merge analysis, encoding, every
+//                        component's solve), not just CDCL search
+//     --ladder           graceful degradation: when the exact solve fails,
+//                        retry satisfiability-only, then greedy (§IV-D
+//                        extended; see docs/robustness.md)
+//     --partial          when some coupling components fail, still return
+//                        the verified placement of the ones that succeeded
+//     --explain-infeasible  do not place; instead shrink a minimal set of
+//                        switches whose capacities make the instance
+//                        unplaceable (deletion-based core over Eq. 3)
 //     --jobs N           worker threads for independent coupling
 //                        components (0 = hardware concurrency; results
 //                        are identical for every value)
@@ -36,6 +47,7 @@
 #include <fstream>
 
 #include "acl/redundancy.h"
+#include "core/explain.h"
 #include "core/placer.h"
 #include "core/verify.h"
 #include "io/export_model.h"
@@ -53,6 +65,8 @@ int usage(const char* argv0) {
                "usage: %s <scenario-file> [--merge] [--slice] [--sat-only]\n"
                "          [--objective total-rules|upstream-traffic]\n"
                "          [--remove-redundant] [--budget <seconds>]\n"
+               "          [--time-limit <seconds>] [--ladder] [--partial]\n"
+               "          [--explain-infeasible]\n"
                "          [--jobs <threads>] [--no-verify] [--quiet]\n"
                "          [--naive-depgraph] [--no-depgraph-cache]\n"
                "          [--trace-json <file>] [--metrics]\n",
@@ -95,6 +109,7 @@ int main(int argc, char** argv) {
   std::string emitSmt2;
   std::string emitLp;
   bool json = false;
+  bool explainInfeasible = false;
   ObsEmitter obsEmit;
 
   for (int i = 1; i < argc; ++i) {
@@ -121,8 +136,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown objective '%s'\n", obj.c_str());
         return usage(argv[0]);
       }
-    } else if (arg == "--budget" && i + 1 < argc) {
+    } else if ((arg == "--budget" || arg == "--time-limit") && i + 1 < argc) {
       options.budget = solver::Budget::seconds(std::atof(argv[++i]));
+    } else if (arg == "--ladder") {
+      options.resilience.ladder = true;
+    } else if (arg == "--partial") {
+      options.resilience.partialResults = true;
+    } else if (arg == "--explain-infeasible") {
+      explainInfeasible = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
       options.threads = std::atoi(argv[++i]);
     } else if (arg == "--naive-depgraph") {
@@ -200,20 +221,62 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (explainInfeasible) {
+    if (options.observability) obs::Registry::global().setEnabled(true);
+    core::PlacementProblem explainProblem = problem;
+    if (options.removeRedundancy) {
+      for (auto& q : explainProblem.policies) acl::removeRedundant(q);
+    }
+    core::InfeasibilityExplanation ex = core::explainInfeasible(
+        explainProblem, options.encoder, options.budget);
+    std::printf("explain-infeasible (%d solves): %s\n", ex.solves,
+                ex.summary(explainProblem).c_str());
+    return ex.confirmedInfeasible ? 0 : 1;
+  }
+
   core::PlaceOutcome out = core::place(problem, options);
   if (!json) {
     std::printf("status  : %s", solver::toString(out.status));
     if (out.hasSolution()) {
       std::printf(", objective %lld", static_cast<long long>(out.objective));
     }
+    if (out.partial) {
+      std::printf(", partial (%d/%d components failed)",
+                  out.failedComponents,
+                  static_cast<int>(out.componentStats.size()));
+    }
+    if (out.degraded) {
+      std::printf(", degraded to %s", core::toString(out.rung));
+    }
     std::printf(
         "  (encode %.1f ms, solve %.1f ms, %d vars, %lld constraints)\n",
         out.encodeSeconds * 1e3, out.solveSeconds * 1e3, out.modelVars,
         static_cast<long long>(out.modelConstraints));
-  } else if (!out.hasSolution()) {
+    if (out.failure) {
+      std::printf("failure : stage=%s status=%s after %.3fs: %s\n",
+                  core::toString(out.failure->stage),
+                  solver::toString(out.failure->status),
+                  out.failure->elapsedSeconds, out.failure->message.c_str());
+    }
+  } else if (!out.hasAnyPlacement()) {
     std::printf("{\"status\":\"%s\"}\n", solver::toString(out.status));
   }
-  if (!out.hasSolution()) return 1;
+  if (!out.hasAnyPlacement()) return 1;
+
+  // For a partial placement only the successful components' policies have
+  // (and must pass) semantics; capacity limits are always checked in full.
+  std::vector<int> verifyPolicies;
+  if (out.partial) {
+    for (const auto& c : out.componentStats) {
+      const bool solved = c.status == solver::OptStatus::kOptimal ||
+                          c.status == solver::OptStatus::kFeasible;
+      if (!solved) continue;
+      verifyPolicies.insert(verifyPolicies.end(), c.policyIds.begin(),
+                            c.policyIds.end());
+    }
+  }
+  const std::vector<int>* verifySubset = out.partial ? &verifyPolicies
+                                                     : nullptr;
 
   if (json) {
     std::printf("{\"placement\":%s,\"report\":%s}\n",
@@ -221,7 +284,8 @@ int main(int argc, char** argv) {
                 io::reportToJson(io::analyzePlacement(out)).c_str());
     if (verify) {
       return core::verifyPlacement(out.solvedProblem, out.placement,
-                                   options.encoder.enablePathSlicing)
+                                   options.encoder.enablePathSlicing,
+                                   verifySubset)
                      .ok
                  ? 0
                  : 1;
@@ -238,16 +302,19 @@ int main(int argc, char** argv) {
                     .c_str());
   }
   std::printf("\n%s", io::analyzePlacement(out).toString().c_str());
-  if (!quiet && out.componentStats.size() > 1) {
+  if (!quiet &&
+      (out.componentStats.size() > 1 || out.degraded || out.failure)) {
     std::printf("\ncoupling components:\n%s",
                 io::componentTable(out).c_str());
   }
 
   if (verify) {
-    core::VerifyResult check =
-        core::verifyPlacement(out.solvedProblem, out.placement,
-                              options.encoder.enablePathSlicing);
-    std::printf("\nsemantic verification: %s\n", check.summary().c_str());
+    core::VerifyResult check = core::verifyPlacement(
+        out.solvedProblem, out.placement, options.encoder.enablePathSlicing,
+        verifySubset);
+    std::printf("\nsemantic verification: %s%s\n",
+                out.partial ? "(partial, successful components only) " : "",
+                check.summary().c_str());
     if (!check.ok) return 1;
   }
   return 0;

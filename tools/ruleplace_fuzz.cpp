@@ -113,8 +113,9 @@ int replay(const std::string& path, const fuzz::OracleOptions& oracle) {
 /// then minimize one semantic failure to a handful of rules.
 int selfCheck(std::uint64_t seed, const fuzz::OracleOptions& baseOracle) {
   const fuzz::BugKind kinds[] = {
-      fuzz::BugKind::kDropInstalledRule, fuzz::BugKind::kFlipAction,
-      fuzz::BugKind::kStripTag, fuzz::BugKind::kInflateObjective};
+      fuzz::BugKind::kDropInstalledRule,  fuzz::BugKind::kFlipAction,
+      fuzz::BugKind::kStripTag,           fuzz::BugKind::kInflateObjective,
+      fuzz::BugKind::kComponentTimeout,   fuzz::BugKind::kComponentThrow};
   int failures = 0;
   for (fuzz::BugKind kind : kinds) {
     bool caught = false;
