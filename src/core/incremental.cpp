@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "depgraph/cache.h"
 #include "obs/obs.h"
@@ -223,6 +225,482 @@ PlaceOutcome reroutePolicies(const PlacementProblem& problem,
   }
   outcome.solvedProblem = std::move(combinedProblem);
   return outcome;
+}
+
+// ---- IncrementalSession -----------------------------------------------------
+
+namespace {
+
+solver::SolverStats statsDelta(const solver::SolverStats& now,
+                               const solver::SolverStats& before) {
+  solver::SolverStats d;
+  d.conflicts = now.conflicts - before.conflicts;
+  d.decisions = now.decisions - before.decisions;
+  d.propagations = now.propagations - before.propagations;
+  d.restarts = now.restarts - before.restarts;
+  d.learntLiterals = now.learntLiterals - before.learntLiterals;
+  d.deletedClauses = now.deletedClauses - before.deletedClauses;
+  for (int i = 0; i < solver::SolverStats::kLbdBuckets; ++i) {
+    d.lbdHistogram[static_cast<std::size_t>(i)] =
+        now.lbdHistogram[static_cast<std::size_t>(i)] -
+        before.lbdHistogram[static_cast<std::size_t>(i)];
+  }
+  return d;
+}
+
+bool isCapacityRow(const solver::Constraint& c) {
+  return c.name.rfind("cap_s", 0) == 0;
+}
+
+}  // namespace
+
+IncrementalSession::IncrementalSession(PlacementProblem base,
+                                       Placement basePlacement,
+                                       PlaceOptions options)
+    : options_(std::move(options)),
+      combined_(std::move(base)),
+      basePlacement_(std::move(basePlacement)),
+      placement_(basePlacement_) {
+  combined_.validate();
+  if (basePlacement_.switchCount() == 0) {
+    // An empty base deployment: start from per-switch empty tables.
+    basePlacement_ = Placement(combined_.graph->switchCount());
+    placement_ = basePlacement_;
+  }
+  spareCapacities(combined_, basePlacement_);  // throws on over-capacity
+  policies_.resize(static_cast<std::size_t>(combined_.policyCount()));
+}
+
+std::vector<int> IncrementalSession::baseSpare() const {
+  return spareCapacities(combined_, basePlacement_);
+}
+
+IncrementalSession::EventRun IncrementalSession::runEvent(
+    const PlacementProblem& delta, const std::vector<int>& targetIds) {
+  EventRun run;
+
+  // Delta encoding: merging is forced off — the session's capacity rows
+  // count every installed entry with coefficient 1, and cross-event merge
+  // groups are outside the session's scope (escalations still merge).
+  EncoderOptions encOpts = options_.encoder;
+  encOpts.enableMerging = false;
+  Encoder enc(delta, encOpts, nullptr);
+  run.encStats = enc.stats();
+  run.modelVars = enc.model().varCount();
+  run.modelConstraints =
+      static_cast<std::int64_t>(enc.model().constraintCount());
+  run.lb = enc.model().hasObjectiveLowerBound()
+               ? enc.model().objectiveLowerBound()
+               : 0;
+
+  // Allocate the delta model's variables in the persistent solver.  With
+  // merging off every model variable is a placement variable, created in
+  // placementKeys() order — delta ModelVar i maps to session ModelVar
+  // offset + i.
+  const int offset = opt_.varCount();
+  const auto& keys = enc.placementKeys();
+  if (static_cast<int>(keys.size()) != enc.model().varCount()) {
+    throw std::logic_error(
+        "IncrementalSession: delta model has non-placement variables");
+  }
+  opt_.ensureVars(offset + enc.model().varCount());
+  run.varsPerTarget.resize(targetIds.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const solver::ModelVar v = offset + static_cast<solver::ModelVar>(i);
+    varKeys_.push_back(
+        {targetIds[static_cast<std::size_t>(keys[i].policyId)], keys[i].ruleId,
+         keys[i].switchId});
+    run.varsPerTarget[static_cast<std::size_t>(keys[i].policyId)].push_back(v);
+  }
+  varValue_.resize(static_cast<std::size_t>(opt_.varCount()), 0);
+  varObjCoeff_.resize(static_cast<std::size_t>(opt_.varCount()), 0);
+  for (const auto& [coeff, v] : enc.model().objective().terms()) {
+    varObjCoeff_[static_cast<std::size_t>(offset + v)] = coeff;
+  }
+
+  // Structural constraints (dependency, path duty, monitor fixes, presolve
+  // cuts) become one retractable group per target policy, keyed by the
+  // policy its variables belong to; the encoder's own capacity rows are
+  // dropped — capacity is session-managed (versioned rows below).
+  std::vector<std::vector<solver::Constraint>> perPolicy(targetIds.size());
+  for (const auto& c : enc.model().constraints()) {
+    if (isCapacityRow(c)) continue;
+    solver::Constraint sc;
+    sc.cmp = c.cmp;
+    sc.rhs = c.rhs;
+    sc.name = c.name;
+    sc.expr.addConstant(c.expr.constant());
+    for (const auto& [coeff, v] : c.expr.terms()) {
+      sc.expr.add(coeff, offset + v);
+    }
+    // Var-free rows (presolve cuts) land on the event's first policy: if
+    // they fire the whole event fails and every group is rolled back, so
+    // the attribution never outlives its validity.
+    const int owner =
+        c.expr.terms().empty()
+            ? 0
+            : keys[static_cast<std::size_t>(c.expr.terms().front().second)]
+                  .policyId;
+    perPolicy[static_cast<std::size_t>(owner)].push_back(std::move(sc));
+  }
+  run.groups.reserve(targetIds.size());
+  for (const auto& group : perPolicy) {
+    run.groups.push_back(opt_.addGroup(group));
+  }
+
+  // Versioned capacity rows: one group covering every *active* session
+  // variable (existing session policies plus this event), bounded by the
+  // capacity the fixed base deployment leaves over.  The previous version
+  // is deactivated now and retired only on commit, so a failed event can
+  // reactivate it.
+  std::vector<std::vector<solver::ModelVar>> bySwitch(
+      static_cast<std::size_t>(combined_.graph->switchCount()));
+  auto addSwitchVars = [&](const std::vector<solver::ModelVar>& vars) {
+    for (solver::ModelVar v : vars) {
+      bySwitch[static_cast<std::size_t>(
+                   varKeys_[static_cast<std::size_t>(v)].switchId)]
+          .push_back(v);
+    }
+  };
+  for (const PolicyState& ps : policies_) {
+    if (ps.sessionManaged) addSwitchVars(ps.vars);
+  }
+  for (const auto& vars : run.varsPerTarget) addSwitchVars(vars);
+  std::vector<solver::Constraint> capRows;
+  for (topo::SwitchId sw = 0; sw < combined_.graph->switchCount(); ++sw) {
+    const auto& vars = bySwitch[static_cast<std::size_t>(sw)];
+    if (vars.empty()) continue;
+    solver::Constraint c;
+    c.cmp = solver::Cmp::kLe;
+    c.rhs = combined_.capacityOf(sw) - basePlacement_.usedCapacity(sw);
+    c.name = "session_cap_s" + std::to_string(sw);
+    for (solver::ModelVar v : vars) c.expr.add(1, v);
+    capRows.push_back(std::move(c));
+  }
+  run.prevEpoch = capacityEpoch_;
+  if (capacityEpoch_ >= 0) opt_.setActive(capacityEpoch_, false);
+  run.epoch = opt_.addGroup(capRows);
+  capacityEpoch_ = run.epoch;
+
+  // Pins: hold every previously session-placed policy at its current
+  // placement.  Phases: seed the event's variables from the ingress hint.
+  opt_.clearPins();
+  for (const PolicyState& ps : policies_) {
+    if (!ps.sessionManaged) continue;
+    for (solver::ModelVar v : ps.vars) {
+      opt_.pin(v, varValue_[static_cast<std::size_t>(v)] != 0);
+    }
+  }
+  if (options_.useIngressHint) {
+    for (const auto& [mv, value] : enc.ingressHint()) {
+      opt_.setPhase(offset + mv, value);
+    }
+  }
+
+  // Objective: the cost of every active session variable.  The assumption-
+  // level lower bound is the sum of the committed events' encoder bounds
+  // (valid while their groups are intact) plus this event's.
+  solver::LinearExpr objective;
+  auto addObjVars = [&](const std::vector<solver::ModelVar>& vars) {
+    for (solver::ModelVar v : vars) {
+      const std::int64_t coeff = varObjCoeff_[static_cast<std::size_t>(v)];
+      if (coeff != 0) objective.add(coeff, v);
+    }
+  };
+  for (const PolicyState& ps : policies_) {
+    if (ps.sessionManaged) addObjVars(ps.vars);
+  }
+  for (const auto& vars : run.varsPerTarget) addObjVars(vars);
+  std::int64_t lbTotal = run.lb;
+  for (const EventLb& e : eventLbs_) {
+    bool intact = true;
+    for (const auto& [id, group] : e.members) {
+      const PolicyState& ps = policies_[static_cast<std::size_t>(id)];
+      if (!ps.sessionManaged || ps.group != group) {
+        intact = false;
+        break;
+      }
+    }
+    if (intact) lbTotal += e.lb;
+  }
+
+  auto solveOnce = [&] {
+    return options_.satisfiabilityOnly
+               ? opt_.solveSat(options_.budget)
+               : opt_.optimize(objective, options_.budget, {}, lbTotal);
+  };
+  run.result = solveOnce();
+  if (run.result.status == solver::OptStatus::kInfeasible &&
+      opt_.pinCount() > 0) {
+    // Repack: the pinned placements were named (directly or not) by the
+    // conflict — drop them and let earlier session events move.  The base
+    // deployment stays fixed; only escalation revisits it.
+    if (obs::enabled()) {
+      obs::Registry::global().counter("incremental.session.repack").add(1);
+    }
+    obs::Span repackSpan("incremental.session.repack");
+    opt_.clearPins();
+    run.result = solveOnce();
+    if (run.result.hasSolution()) {
+      run.repacked = true;
+      ++repacks_;
+    }
+  }
+  return run;
+}
+
+void IncrementalSession::rollbackRun(const EventRun& run) {
+  for (auto g : run.groups) opt_.retire(g);
+  opt_.retire(run.epoch);
+  if (run.prevEpoch >= 0) opt_.setActive(run.prevEpoch, true);
+  capacityEpoch_ = run.prevEpoch;
+  opt_.clearPins();
+}
+
+void IncrementalSession::rebuildPlacement() {
+  std::vector<PlacedRule> placed;
+  for (const PolicyState& ps : policies_) {
+    if (!ps.sessionManaged) continue;
+    for (solver::ModelVar v : ps.vars) {
+      if (varValue_[static_cast<std::size_t>(v)] == 0) continue;
+      const VarKey& k = varKeys_[static_cast<std::size_t>(v)];
+      placed.push_back({k.policyId, k.ruleId, k.switchId});
+    }
+  }
+  placement_ = basePlacement_;
+  if (placed.empty()) return;
+  Placement session = buildPlacement(combined_, placed);
+  std::vector<int> identity(static_cast<std::size_t>(combined_.policyCount()));
+  std::iota(identity.begin(), identity.end(), 0);
+  placement_.appendMapped(session, identity);
+}
+
+PlaceOutcome IncrementalSession::successOutcome(
+    const EventRun& run, const solver::SolverStats& before) {
+  PlaceOutcome out;
+  out.status = run.result.status;
+  out.objective = run.result.objective;
+  out.placement = placement_;
+  out.solvedProblem = combined_;
+  out.solverStats = statsDelta(opt_.stats(), before);
+  out.encodingStats = run.encStats;
+  out.modelVars = run.modelVars;
+  out.modelConstraints = run.modelConstraints;
+  out.threadsUsed = 1;
+  return out;
+}
+
+PlaceOutcome IncrementalSession::failureOutcome(
+    const EventRun& run, const solver::SolverStats& before) {
+  PlaceOutcome out;
+  out.status = run.result.status == solver::OptStatus::kInfeasible
+                   ? solver::OptStatus::kInfeasible
+                   : solver::OptStatus::kUnknown;
+  out.solverStats = statsDelta(opt_.stats(), before);
+  out.encodingStats = run.encStats;
+  out.modelVars = run.modelVars;
+  out.modelConstraints = run.modelConstraints;
+  out.failure =
+      FailureInfo{out.status, SolveStage::kSolve, 0.0,
+                  out.status == solver::OptStatus::kInfeasible
+                      ? "session event infeasible against base deployment"
+                      : "session event budget exhausted"};
+  return out;
+}
+
+void IncrementalSession::adoptFull(const PlaceOutcome& out) {
+  ++escalations_;
+  if (obs::enabled()) {
+    obs::Registry::global().counter("incremental.session.escalations").add(1);
+  }
+  for (PolicyState& ps : policies_) {
+    if (ps.sessionManaged) opt_.retire(ps.group);
+    ps = PolicyState{};
+  }
+  if (capacityEpoch_ >= 0) {
+    opt_.retire(capacityEpoch_);
+    capacityEpoch_ = -1;
+  }
+  opt_.clearPins();
+  eventLbs_.clear();
+  combined_ = out.solvedProblem;
+  policies_.assign(static_cast<std::size_t>(combined_.policyCount()),
+                   PolicyState{});
+  basePlacement_ = out.placement;
+  placement_ = out.placement;
+}
+
+PlaceOutcome IncrementalSession::install(
+    std::vector<topo::IngressPaths> newRouting,
+    std::vector<acl::Policy> newPolicies) {
+  if (newRouting.size() != newPolicies.size()) {
+    throw std::invalid_argument(
+        "IncrementalSession::install: one routing entry per policy required");
+  }
+  obs::Span span("incremental.session.install");
+  span.arg("policies", static_cast<std::int64_t>(newPolicies.size()));
+  const solver::SolverStats before = opt_.stats();
+
+  const int offsetId = combined_.policyCount();
+  std::vector<int> targetIds(newPolicies.size());
+  std::iota(targetIds.begin(), targetIds.end(), offsetId);
+
+  PlacementProblem delta;
+  delta.graph = combined_.graph;
+  delta.routing = newRouting;  // keep the originals for commit/escalation
+  delta.policies = newPolicies;
+  delta.capacityOverride = baseSpare();
+
+  EventRun run = runEvent(delta, targetIds);
+  if (!run.result.hasSolution()) {
+    PlaceOutcome out = failureOutcome(run, before);
+    rollbackRun(run);
+    if (out.status == solver::OptStatus::kInfeasible &&
+        options_.resilience.fullResolveOnInfeasible) {
+      obs::Span fullSpan("incremental.session.escalate");
+      PlacementProblem full = combined_;
+      for (auto& r : newRouting) full.routing.push_back(std::move(r));
+      for (auto& q : newPolicies) full.policies.push_back(std::move(q));
+      PlaceOutcome fullOutcome = place(std::move(full), options_);
+      fullOutcome.escalatedFullResolve = true;
+      if (fullOutcome.hasSolution()) {
+        adoptFull(fullOutcome);
+        ++events_;
+      }
+      return fullOutcome;
+    }
+    return out;
+  }
+
+  // Commit: the combined problem grows, the event's policies become
+  // session-managed, and the superseded capacity epoch goes inert.
+  for (auto& r : newRouting) combined_.routing.push_back(std::move(r));
+  for (auto& q : newPolicies) combined_.policies.push_back(std::move(q));
+  policies_.resize(static_cast<std::size_t>(combined_.policyCount()));
+  EventLb lb;
+  lb.lb = run.lb;
+  for (std::size_t i = 0; i < targetIds.size(); ++i) {
+    PolicyState& ps = policies_[static_cast<std::size_t>(targetIds[i])];
+    ps.sessionManaged = true;
+    ps.group = run.groups[i];
+    ps.vars = run.varsPerTarget[i];
+    lb.members.push_back({targetIds[i], run.groups[i]});
+  }
+  eventLbs_.push_back(std::move(lb));
+  if (run.prevEpoch >= 0) opt_.retire(run.prevEpoch);
+  const auto& assignment = run.result.assignment;
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    varValue_[v] = assignment[v] ? 1 : 0;
+  }
+  rebuildPlacement();
+  ++events_;
+  return successOutcome(run, before);
+}
+
+PlaceOutcome IncrementalSession::reroute(
+    const std::vector<int>& policyIds,
+    std::vector<topo::IngressPaths> newRouting) {
+  if (policyIds.size() != newRouting.size()) {
+    throw std::invalid_argument(
+        "IncrementalSession::reroute: one routing entry per policy required");
+  }
+  for (int id : policyIds) {
+    if (id < 0 || id >= combined_.policyCount()) {
+      throw std::invalid_argument("IncrementalSession::reroute: unknown id");
+    }
+  }
+  obs::Span span("incremental.session.reroute");
+  span.arg("policies", static_cast<std::int64_t>(policyIds.size()));
+  const solver::SolverStats before = opt_.stats();
+
+  // Detach the moved policies: base-placed rules are stripped (their slots
+  // become spare), session-placed ones have their groups deactivated (old
+  // constraints drop out of the next solve but stay reactivatable).
+  Placement baseBefore = basePlacement_;
+  std::vector<topo::IngressPaths> oldRouting;
+  std::vector<PolicyState> oldStates;
+  oldRouting.reserve(policyIds.size());
+  oldStates.reserve(policyIds.size());
+  for (std::size_t i = 0; i < policyIds.size(); ++i) {
+    const int id = policyIds[i];
+    oldRouting.push_back(combined_.routing[static_cast<std::size_t>(id)]);
+    oldStates.push_back(policies_[static_cast<std::size_t>(id)]);
+    PolicyState& ps = policies_[static_cast<std::size_t>(id)];
+    if (ps.sessionManaged) {
+      opt_.setActive(ps.group, false);
+      ps = PolicyState{};
+    } else {
+      basePlacement_.erasePolicy(id);
+    }
+    combined_.routing[static_cast<std::size_t>(id)] = newRouting[i];
+  }
+
+  PlacementProblem delta;
+  delta.graph = combined_.graph;
+  delta.routing = std::move(newRouting);
+  for (int id : policyIds) {
+    delta.policies.push_back(
+        combined_.policies[static_cast<std::size_t>(id)]);
+  }
+  delta.capacityOverride = baseSpare();
+
+  EventRun run = runEvent(delta, policyIds);
+  if (!run.result.hasSolution()) {
+    PlaceOutcome out = failureOutcome(run, before);
+    // Roll the detachment back: old routing, old groups, old base rules.
+    rollbackRun(run);
+    basePlacement_ = std::move(baseBefore);
+    for (std::size_t i = 0; i < policyIds.size(); ++i) {
+      const int id = policyIds[i];
+      combined_.routing[static_cast<std::size_t>(id)] = oldRouting[i];
+      policies_[static_cast<std::size_t>(id)] = oldStates[i];
+      if (oldStates[i].sessionManaged) {
+        opt_.setActive(oldStates[i].group, true);
+      }
+    }
+    rebuildPlacement();
+    if (out.status == solver::OptStatus::kInfeasible &&
+        options_.resilience.fullResolveOnInfeasible) {
+      obs::Span fullSpan("incremental.session.escalate");
+      PlacementProblem full = combined_;
+      for (std::size_t i = 0; i < policyIds.size(); ++i) {
+        full.routing[static_cast<std::size_t>(policyIds[i])] =
+            delta.routing[i];
+      }
+      PlaceOutcome fullOutcome = place(std::move(full), options_);
+      fullOutcome.escalatedFullResolve = true;
+      if (fullOutcome.hasSolution()) {
+        adoptFull(fullOutcome);
+        ++events_;
+      }
+      return fullOutcome;
+    }
+    return out;
+  }
+
+  // Commit: retire the rerouted policies' old groups for good and bind
+  // their new ones.
+  for (const PolicyState& old : oldStates) {
+    if (old.sessionManaged) opt_.retire(old.group);
+  }
+  EventLb lb;
+  lb.lb = run.lb;
+  for (std::size_t i = 0; i < policyIds.size(); ++i) {
+    PolicyState& ps = policies_[static_cast<std::size_t>(policyIds[i])];
+    ps.sessionManaged = true;
+    ps.group = run.groups[i];
+    ps.vars = run.varsPerTarget[i];
+    lb.members.push_back({policyIds[i], run.groups[i]});
+  }
+  eventLbs_.push_back(std::move(lb));
+  if (run.prevEpoch >= 0) opt_.retire(run.prevEpoch);
+  const auto& assignment = run.result.assignment;
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    varValue_[v] = assignment[v] ? 1 : 0;
+  }
+  rebuildPlacement();
+  ++events_;
+  return successOutcome(run, before);
 }
 
 }  // namespace ruleplace::core

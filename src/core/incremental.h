@@ -15,11 +15,13 @@
 // from scratch); the returned outcome then has escalatedFullResolve set
 // and its placement replaces — rather than extends — the base.
 
+#include <cstdint>
 #include <vector>
 
 #include "core/placement.h"
 #include "core/placer.h"
 #include "core/problem.h"
+#include "solver/incremental.h"
 
 namespace ruleplace::core {
 
@@ -47,5 +49,140 @@ PlaceOutcome reroutePolicies(const PlacementProblem& problem,
                              const std::vector<int>& policyIds,
                              std::vector<topo::IngressPaths> newRouting,
                              const PlaceOptions& options = {});
+
+/// Persistent incremental deployment session (docs/solver.md, "Incremental
+/// sessions").
+///
+/// installPolicies()/reroutePolicies() above are *stateless*: each call
+/// builds a fresh restricted subproblem and a fresh CDCL solver, and all
+/// the clauses that solver learned die with the call.  An
+/// IncrementalSession keeps ONE solver::IncrementalOptimizer alive across
+/// an arbitrary churn sequence instead: every install()/reroute() lowers
+/// only the *delta* encoding (the affected policies, merging off), adds it
+/// as per-policy retractable constraint groups, and re-solves under
+/// assumptions — learned clauses, variable activities and saved phases of
+/// every earlier event carry over, which is what makes a re-solve after
+/// small churn start from everything the previous solves derived.
+///
+/// Switch-capacity coupling across events is handled by session-managed
+/// *versioned* capacity rows: each event deactivates the previous version
+/// and posts `Σ(active session vars at switch) <= capacity − base usage`
+/// behind a fresh group selector, so rules freed by a reroute become
+/// available to every later event.
+///
+/// Per event the session runs a three-step ladder:
+///   1. *pinned* re-solve — every previously session-placed policy is held
+///      at its current placement through the assumption prefix (the
+///      restricted semantics of installPolicies);
+///   2. *repack* — on infeasibility the pins are dropped, letting earlier
+///      session placements move (the base deployment stays fixed);
+///   3. *escalation* — still infeasible with
+///      ResilienceOptions::fullResolveOnInfeasible set: a full place() of
+///      the whole combined problem replaces the session state (the
+///      outcome's escalatedFullResolve is set), exactly like the stateless
+///      API.
+///
+/// A failed event (infeasible without escalation, or budget exhausted)
+/// rolls the session back: problem(), placement() and the solver's active
+/// groups are exactly as before the call.
+///
+/// Results match the stateless API's semantics: a committed outcome's
+/// placement is the *combined* deployment and solvedProblem the combined
+/// problem.  The sequence of placements is deterministic — it depends only
+/// on the event sequence, never on wall-clock or thread count (the session
+/// is single-threaded by design; race parallelism lives in core::place).
+class IncrementalSession {
+ public:
+  /// `base` is the deployed problem, `basePlacement` its current (verified)
+  /// deployment.  Throws std::invalid_argument when the base placement
+  /// exceeds a switch capacity.  `options` applies to every event: budget
+  /// (re-sliced per event), encoder options (merging is forced off for
+  /// delta encodings but honored by escalations), satisfiabilityOnly,
+  /// useIngressHint, and resilience.fullResolveOnInfeasible.
+  IncrementalSession(PlacementProblem base, Placement basePlacement,
+                     PlaceOptions options = {});
+
+  /// Install additional policies; ids in the combined problem start at
+  /// problem().policyCount().  On success the session state advances and
+  /// the outcome carries the combined placement/problem.
+  PlaceOutcome install(std::vector<topo::IngressPaths> newRouting,
+                       std::vector<acl::Policy> newPolicies);
+
+  /// Re-route existing policies (ids into problem()); `newRouting[i]`
+  /// replaces the routing of `policyIds[i]`.
+  PlaceOutcome reroute(const std::vector<int>& policyIds,
+                       std::vector<topo::IngressPaths> newRouting);
+
+  /// The combined problem / deployment after the last committed event.
+  const PlacementProblem& problem() const noexcept { return combined_; }
+  const Placement& placement() const noexcept { return placement_; }
+
+  int events() const noexcept { return events_; }       ///< committed events
+  int repacks() const noexcept { return repacks_; }     ///< pin-drop re-solves
+  int escalations() const noexcept { return escalations_; }
+  /// Cumulative statistics of the persistent solver (all events).
+  const solver::SolverStats& solverStats() const noexcept {
+    return opt_.stats();
+  }
+
+ private:
+  struct PolicyState {
+    bool sessionManaged = false;  ///< placed via session vars (group active)
+    solver::IncrementalOptimizer::GroupId group = -1;
+    std::vector<solver::ModelVar> vars;
+  };
+  struct VarKey {
+    int policyId;  ///< combined policy id
+    int ruleId;
+    topo::SwitchId switchId;
+  };
+  /// Objective lower bound contributed by one committed event; valid while
+  /// every member policy still carries the group it was installed with.
+  struct EventLb {
+    std::vector<std::pair<int, solver::IncrementalOptimizer::GroupId>> members;
+    std::int64_t lb = 0;
+  };
+  struct EventRun {
+    solver::OptResult result;
+    std::vector<solver::IncrementalOptimizer::GroupId> groups;  // per target
+    solver::IncrementalOptimizer::GroupId epoch = -1;
+    solver::IncrementalOptimizer::GroupId prevEpoch = -1;
+    std::vector<std::vector<solver::ModelVar>> varsPerTarget;
+    std::int64_t lb = 0;
+    EncodingStats encStats;
+    int modelVars = 0;
+    std::int64_t modelConstraints = 0;
+    bool repacked = false;
+  };
+
+  std::vector<int> baseSpare() const;
+  /// Delta-encode + solve one event (shared by install/reroute).  Leaves
+  /// the new groups active; commit/rollback is the caller's job.
+  EventRun runEvent(const PlacementProblem& delta,
+                    const std::vector<int>& targetIds);
+  void rollbackRun(const EventRun& run);
+  void rebuildPlacement();
+  PlaceOutcome successOutcome(const EventRun& run,
+                              const solver::SolverStats& before);
+  PlaceOutcome failureOutcome(const EventRun& run,
+                              const solver::SolverStats& before);
+  /// Replace the whole session state with a full re-solve's outcome.
+  void adoptFull(const PlaceOutcome& out);
+
+  PlaceOptions options_;
+  PlacementProblem combined_;
+  Placement basePlacement_;  ///< deployment NOT managed by session vars
+  Placement placement_;      ///< basePlacement_ + session-managed rules
+  solver::IncrementalOptimizer opt_;
+  std::vector<PolicyState> policies_;       // by combined policy id
+  std::vector<VarKey> varKeys_;             // by session ModelVar
+  std::vector<std::int64_t> varObjCoeff_;   // by session ModelVar
+  std::vector<char> varValue_;              // committed values, by ModelVar
+  solver::IncrementalOptimizer::GroupId capacityEpoch_ = -1;
+  std::vector<EventLb> eventLbs_;
+  int events_ = 0;
+  int repacks_ = 0;
+  int escalations_ = 0;
+};
 
 }  // namespace ruleplace::core

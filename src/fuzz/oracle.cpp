@@ -52,6 +52,7 @@ core::PlaceOptions optionsFor(const ModeConfig& mode,
       mode.conflictBudget >= 0 ? mode.conflictBudget : oracle.conflictBudget);
   o.resilience.ladder = mode.ladder;
   o.resilience.partialResults = mode.partial;
+  o.portfolio = mode.portfolio;
   o.threads = jobs;
   return o;
 }
@@ -65,6 +66,7 @@ std::string ModeConfig::toString() const {
   if (ladder) os << " ladder=1";
   if (partial) os << " partial=1";
   if (conflictBudget >= 0) os << " conflicts=" << conflictBudget;
+  if (portfolio) os << " portfolio=1";
   return os.str();
 }
 
@@ -109,6 +111,8 @@ std::optional<ModeConfig> ModeConfig::parse(std::string_view text) {
       } catch (...) {
         return std::nullopt;
       }
+    } else if (key == "portfolio") {
+      mode.portfolio = value == "1";
     } else {
       return std::nullopt;
     }
@@ -178,6 +182,15 @@ std::vector<ModeConfig> modeMatrix(const FuzzCase& fc) {
     m.merge = true;
     add(m);
   }
+  {
+    // Portfolio race: priority arbitration must keep the jobs sweep
+    // bit-identical even though racers run concurrently.
+    ModeConfig m;
+    m.portfolio = true;
+    add(m);
+    m.satOnly = true;
+    add(m);
+  }
   if (n >= 2) {
     ModeConfig m;
     m.basePolicies = n / 2 > 0 ? n / 2 : 1;
@@ -195,6 +208,7 @@ const char* toString(ViolationKind k) {
     case ViolationKind::kDeterminism: return "determinism";
     case ViolationKind::kStatus: return "status";
     case ViolationKind::kIncremental: return "incremental";
+    case ViolationKind::kIncrementalSolver: return "incremental-solver";
     case ViolationKind::kDepgraph: return "depgraph";
     case ViolationKind::kDegraded: return "degraded";
     case ViolationKind::kCrash: return "crash";
@@ -209,6 +223,7 @@ void OracleCounters::add(const OracleCounters& o) {
   determinismComparisons += o.determinismComparisons;
   statusCrossChecks += o.statusCrossChecks;
   incrementalChecks += o.incrementalChecks;
+  incrementalSolverChecks += o.incrementalSolverChecks;
   depgraphChecks += o.depgraphChecks;
   degradedChecks += o.degradedChecks;
 }
@@ -572,6 +587,141 @@ void checkIncremental(const FuzzCase& fc, const ModeConfig& mode,
   }
 }
 
+/// Persistent-session differential (ViolationKind::kIncrementalSolver).
+/// Three cross-checks over core::IncrementalSession:
+///   * *one-shot equality* — installing every policy in ONE event from an
+///     empty base is the unrestricted problem, so status must agree with a
+///     from-scratch place() (merging off, like session deltas) and, when
+///     both prove optimality, the objective must be identical;
+///   * *replay determinism* — the chunked install sequence run twice must
+///     produce bit-identical placements and statuses (clause reuse may
+///     change the search, never the result of a replay);
+///   * *semantics* — every committed session placement verifies exactly,
+///     and a chunked session can only be infeasible-or-worse than scratch
+///     (the pinned prefix is a restriction), never better.
+void checkIncrementalSession(const FuzzCase& fc, const ModeConfig& mode,
+                             const OracleOptions& options,
+                             OracleReport& report) {
+  const int n = static_cast<int>(fc.policies.size());
+  const int m = mode.basePolicies;
+  if (m <= 0 || m >= n) return;
+  ++report.counters.incrementalSolverChecks;
+
+  core::PlaceOptions opts = optionsFor(mode, options, /*jobs=*/1);
+  opts.encoder.enableMerging = false;  // session deltas never merge
+
+  struct SessionTrace {
+    std::vector<solver::OptStatus> statuses;
+    core::Placement placement;
+    std::int64_t objective = 0;
+    bool allSolved = true;
+  };
+  // `chunks` of (first, last) policy index ranges installed in order.
+  auto runSession =
+      [&](const std::vector<std::pair<int, int>>& chunks) -> SessionTrace {
+    core::PlacementProblem empty;
+    empty.graph = fc.graph.get();
+    core::IncrementalSession session(empty, core::Placement{}, opts);
+    SessionTrace trace;
+    for (auto [first, last] : chunks) {
+      std::vector<topo::IngressPaths> routing(fc.routing.begin() + first,
+                                              fc.routing.begin() + last);
+      std::vector<acl::Policy> policies(fc.policies.begin() + first,
+                                        fc.policies.begin() + last);
+      core::PlaceOutcome out = session.install(routing, policies);
+      ++report.counters.solves;
+      trace.statuses.push_back(out.status);
+      trace.allSolved &= out.hasSolution();
+      if (out.hasSolution()) {
+        trace.objective = out.objective;
+      } else {
+        break;  // session rolled back; later chunks would shift policy ids
+      }
+    }
+    trace.placement = session.placement();
+    if (trace.allSolved) {
+      ++report.counters.semanticChecks;
+      core::VerifyResult v = core::verifyPlacement(
+          session.problem(), session.placement(), /*respectTraffic=*/mode.slice);
+      if (!v.ok) {
+        report.violations.push_back(
+            {ViolationKind::kIncrementalSolver,
+             "session placement failed verification: " + v.summary()});
+      }
+    }
+    return trace;
+  };
+
+  core::PlaceOutcome scratch;
+  try {
+    core::PlaceOptions scratchOpts = opts;
+    scratch = core::place(fc.problem(), scratchOpts);
+    ++report.counters.solves;
+
+    const std::vector<std::pair<int, int>> chunked{{0, m}, {m, n}};
+    SessionTrace a = runSession(chunked);
+    SessionTrace b = runSession(chunked);
+    ++report.counters.determinismComparisons;
+    std::string why;
+    if (a.statuses != b.statuses ||
+        !placementsEqual(a.placement, b.placement, &why)) {
+      report.violations.push_back(
+          {ViolationKind::kIncrementalSolver,
+           "session replay diverged: " + (why.empty() ? "statuses" : why)});
+    }
+
+    SessionTrace oneShot = runSession({{0, n}});
+    const bool scratchDecided =
+        scratch.status == solver::OptStatus::kOptimal ||
+        scratch.status == solver::OptStatus::kInfeasible;
+    if (scratchDecided && oneShot.statuses.size() == 1) {
+      const solver::OptStatus ss = oneShot.statuses[0];
+      if ((ss == solver::OptStatus::kOptimal ||
+           ss == solver::OptStatus::kInfeasible) &&
+          ss != scratch.status) {
+        report.violations.push_back(
+            {ViolationKind::kIncrementalSolver,
+             std::string("one-shot session says ") + solver::toString(ss) +
+                 " but scratch place() says " +
+                 solver::toString(scratch.status)});
+      }
+      if (ss == solver::OptStatus::kOptimal &&
+          scratch.status == solver::OptStatus::kOptimal &&
+          oneShot.objective != scratch.objective) {
+        report.violations.push_back(
+            {ViolationKind::kIncrementalSolver,
+             "one-shot session objective " + std::to_string(oneShot.objective) +
+                 " != scratch optimum " + std::to_string(scratch.objective)});
+      }
+    }
+
+    // Restriction direction: a chunked session that proves optimality can
+    // never beat the scratch optimum, and its success implies scratch
+    // feasibility.
+    if (a.allSolved && a.statuses.back() == solver::OptStatus::kOptimal) {
+      if (scratch.status == solver::OptStatus::kInfeasible) {
+        report.violations.push_back(
+            {ViolationKind::kIncrementalSolver,
+             "chunked session solved an instance scratch proves infeasible"});
+      } else if (scratch.status == solver::OptStatus::kOptimal &&
+                 a.placement.totalInstalledRules() <
+                     scratch.placement.totalInstalledRules() &&
+                 mode.objective == core::ObjectiveKind::kTotalRules) {
+        report.violations.push_back(
+            {ViolationKind::kIncrementalSolver,
+             "chunked session installed fewer rules than the scratch "
+             "optimum: " +
+                 std::to_string(a.placement.totalInstalledRules()) + " < " +
+                 std::to_string(scratch.placement.totalInstalledRules())});
+      }
+    }
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        {ViolationKind::kCrash,
+         std::string("incremental session threw: ") + e.what()});
+  }
+}
+
 /// Every dependency-graph builder — naive reference, indexed, and indexed
 /// over two worker threads — must produce bit-identical drop lists and
 /// shield sets for every policy (the tentpole determinism contract; see
@@ -630,6 +780,7 @@ OracleReport checkCase(const FuzzCase& fc, const ModeConfig& mode,
 
   if (mode.incremental()) {
     checkIncremental(fc, mode, options, report);
+    checkIncrementalSession(fc, mode, options, report);
     return report;
   }
 

@@ -49,6 +49,10 @@ struct ModeConfig {
   /// every exact solve fail immediately, forcing the ladder to its floor —
   /// the deterministic way to fuzz degraded placements.
   std::int64_t conflictBudget = -1;
+  /// Race diversified solver configurations per component
+  /// (PlaceOptions::portfolio).  The jobs sweep must still be bit-identical
+  /// — the race's priority arbitration, not wall-clock, picks the winner.
+  bool portfolio = false;
 
   bool incremental() const noexcept { return basePolicies > 0; }
 
@@ -72,6 +76,7 @@ enum class ViolationKind : std::uint8_t {
   kDeterminism,  ///< result changed with the thread count
   kStatus,       ///< ILP and SAT modes disagree on feasibility
   kIncremental,  ///< incremental deployment broke semantics
+  kIncrementalSolver,  ///< persistent-session solving diverged from scratch
   kDepgraph,     ///< dependency-graph builders disagree
   kDegraded,     ///< ladder/partial outcome broke the degradation contract
   kCrash,        ///< pipeline threw
@@ -91,6 +96,7 @@ struct OracleCounters {
   std::int64_t determinismComparisons = 0;
   std::int64_t statusCrossChecks = 0;
   std::int64_t incrementalChecks = 0;
+  std::int64_t incrementalSolverChecks = 0;
   std::int64_t depgraphChecks = 0;
   std::int64_t degradedChecks = 0;
 

@@ -14,12 +14,18 @@ namespace ruleplace::solver {
 namespace {
 
 // Normalize `Σ coeff_i * x_i >= bound` (vars, possibly negative coeffs)
-// into positive-coefficient literal form and feed it to the solver.
+// into positive-coefficient literal form and feed it to the solver.  When
+// `gate` is a defined literal the constraint is only enforced while `gate`
+// is true: the positive-form bound B is added as a coefficient on ¬gate
+// (B·(¬gate) + Σ a_i·l_i ≥ B), so retracting the gate assumption makes the
+// row inert — the selector idiom behind retractable objective bounds and
+// per-policy constraint groups.
 bool addNormalizedGe(Solver& solver,
                      const std::vector<std::pair<std::int64_t, ModelVar>>& terms,
-                     std::int64_t bound, const std::vector<Var>& varMap) {
+                     std::int64_t bound, const std::vector<Var>& varMap,
+                     Lit gate = Lit::undef()) {
   std::vector<std::pair<std::int64_t, Lit>> out;
-  out.reserve(terms.size());
+  out.reserve(terms.size() + 1);
   for (const auto& [coeff, mv] : terms) {
     Var v = varMap[static_cast<std::size_t>(mv)];
     if (coeff > 0) {
@@ -27,8 +33,15 @@ bool addNormalizedGe(Solver& solver,
     } else if (coeff < 0) {
       // c*x == c + |c|*(1-x): substitute |c| * ¬x and raise the bound.
       out.push_back({-coeff, Lit(v, true)});
-      bound += -coeff;
+      if (__builtin_add_overflow(bound, -coeff, &bound)) {
+        throw std::overflow_error(
+            "addNormalizedGe: normalized bound overflows int64");
+      }
     }
+  }
+  if (!(gate == Lit::undef())) {
+    if (bound <= 0) return true;  // trivially satisfied, gated or not
+    out.push_back({bound, ~gate});
   }
   return solver.addPB(std::move(out), bound);
 }
@@ -259,9 +272,15 @@ OptResult Optimizer::solveWithHint(
   return run(model, model.hasObjective(), &hint, budget);
 }
 
+OptResult Optimizer::solveConfigured(
+    const Model& model, const Solver::Config& cfg, bool useObjective,
+    const std::vector<std::pair<ModelVar, bool>>* hint, const Budget& budget) {
+  return run(model, useObjective && model.hasObjective(), hint, budget, &cfg);
+}
+
 OptResult Optimizer::run(const Model& model, bool useObjective,
                          const std::vector<std::pair<ModelVar, bool>>* hint,
-                         const Budget& budgetIn) {
+                         const Budget& budgetIn, const Solver::Config* cfg) {
   // Canonicalize once at the API boundary: any negative limit means
   // unlimited (mapped to the -1 sentinel), maxSeconds == 0 means the
   // budget is already spent (see Budget in types.h).
@@ -279,6 +298,7 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
   obs::Span runSpan("solver.optimize");
 
   Solver solver;
+  if (cfg != nullptr) solver.setConfig(*cfg);
   // The budget bounds the WHOLE optimization, not each strengthening
   // iteration: both resources are threaded through the loop.  Elapsed
   // wall time and consumed conflicts (solver.stats().conflicts counts
@@ -344,6 +364,12 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
 
   bool haveIncumbent = false;
   SolverStats flushed;  // last snapshot pushed to the metrics registry
+  // Each strengthening bound `objective <= incumbent - 1` is gated behind a
+  // fresh selector variable and activated by assumption, so the bound is
+  // retractable and an UNSAT answer (the optimality proof) never poisons
+  // the persistent solver — the whole linear search runs on one solver
+  // that keeps its learned clauses, activities and saved phases.
+  std::vector<Lit> assumptions;
   while (true) {
     Budget b = remaining();
     if (exhausted(b)) {
@@ -356,7 +382,7 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
     {
       obs::Span stepSpan("solver.solve_step");
       stepSpan.arg("step", result.improvementSteps);
-      st = solver.solve(b);
+      st = solver.solve(assumptions, b);
     }
     result.stats = solver.stats();
     flushStatsDelta(result.stats, flushed);
@@ -387,6 +413,16 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
     }
     result.assignment = std::move(assignment);
     result.objective = model.objective().evaluate(result.assignment);
+    // Seed the next step's phases from the *polished* incumbent: the
+    // polisher typically strips many gratuitous placements, and without
+    // re-seeding the saved phases still reflect the unpolished model, so
+    // the next SAT step rediscovers them from a worse starting point.
+    if (optimizing) {
+      for (int i = 0; i < model.varCount(); ++i) {
+        solver.setPolarity(varMap[static_cast<std::size_t>(i)],
+                           result.assignment[static_cast<std::size_t>(i)]);
+      }
+    }
     haveIncumbent = true;
     ++result.improvementSteps;
     if (obs::enabled()) {
@@ -402,7 +438,10 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
       result.status = OptStatus::kOptimal;  // incumbent meets the bound
       return result;
     }
-    // Strengthen: objective <= incumbent - 1, i.e. -obj >= -(incumbent-1).
+    // Strengthen: objective <= incumbent - 1, i.e. -obj >= -(incumbent-1),
+    // gated behind a fresh selector.  The previous step's bound is implied
+    // by the tighter one, so its selector is retired with a unit clause —
+    // the old row goes inert instead of accumulating watch effort.
     std::int64_t rawIncumbent =
         result.objective - model.objective().constant();
     std::vector<std::pair<std::int64_t, ModelVar>> negated;
@@ -410,10 +449,14 @@ OptResult Optimizer::run(const Model& model, bool useObjective,
     for (const auto& [coeff, v] : model.objective().terms()) {
       negated.push_back({-coeff, v});
     }
-    if (!addNormalizedGe(solver, negated, -(rawIncumbent - 1), varMap)) {
+    for (Lit old : assumptions) solver.addClause({~old});
+    assumptions.clear();
+    Lit sel(solver.newVar(), false);
+    if (!addNormalizedGe(solver, negated, -(rawIncumbent - 1), varMap, sel)) {
       result.status = OptStatus::kOptimal;  // cannot improve further
       return result;
     }
+    assumptions.push_back(sel);
   }
 }
 

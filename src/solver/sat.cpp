@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace ruleplace::solver {
 
 namespace {
 constexpr double kActivityRescale = 1e100;
-constexpr std::int64_t kRestartBase = 128;
 }  // namespace
 
 std::int64_t luby(std::int64_t i) {
@@ -30,6 +32,16 @@ std::int64_t luby(std::int64_t i) {
 }
 
 Solver::Solver() = default;
+
+void Solver::setConfig(const Config& cfg) {
+  cfg_ = cfg;
+  // Splitmix-style scramble so nearby seeds give unrelated streams.
+  std::uint64_t z = cfg.seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  rngState_ = z ^ (z >> 31);
+  if (rngState_ == 0) rngState_ = 0x9e3779b97f4a7c15ull;
+}
 
 Var Solver::newVar() {
   Var v = static_cast<Var>(assigns_.size());
@@ -194,6 +206,43 @@ bool Solver::addPB(std::vector<std::pair<std::int64_t, Lit>> terms,
   if (terms.empty()) {
     ok_ = false;  // positive bound over an empty sum: UNSAT at the root
     return false;
+  }
+  // possibleSum accumulates the full coefficient sum, so a near-int64
+  // total would silently overflow the propagation counters.  Normalize by
+  // the coefficient gcd first (Σ a_i·l_i ≥ b  ⇔  Σ (a_i/g)·l_i ≥ ⌈b/g⌉ for
+  // 0/1 variables), and reject the constraint outright if the sum still
+  // cannot be represented with headroom.
+  constexpr std::int64_t kPossibleSumLimit =
+      std::numeric_limits<std::int64_t>::max() / 4;
+  auto coeffTotal = [](const std::vector<std::pair<std::int64_t, Lit>>& ts,
+                       std::int64_t& out) {
+    out = 0;
+    for (const auto& [coeff, lit] : ts) {
+      (void)lit;
+      if (__builtin_add_overflow(out, coeff, &out)) return false;
+    }
+    return true;
+  };
+  std::int64_t total = 0;
+  if (!coeffTotal(terms, total) || total > kPossibleSumLimit ||
+      bound > kPossibleSumLimit) {
+    std::int64_t g = 0;
+    for (const auto& [coeff, lit] : terms) {
+      (void)lit;
+      g = std::gcd(g, coeff);
+    }
+    if (g > 1) {
+      for (auto& [coeff, lit] : terms) {
+        (void)lit;
+        coeff /= g;
+      }
+      bound = bound / g + (bound % g != 0 ? 1 : 0);
+    }
+    if (!coeffTotal(terms, total) || total > kPossibleSumLimit ||
+        bound > kPossibleSumLimit) {
+      throw std::overflow_error(
+          "addPB: coefficient sum overflows the propagation counters");
+    }
   }
   // Coefficients larger than the bound act like the bound (saturation).
   for (auto& [coeff, lit] : terms) {
@@ -516,7 +565,11 @@ void Solver::analyze(const std::vector<Lit>& conflict, std::vector<Lit>& learnt,
     seen_[static_cast<std::size_t>(p.var())] = false;
     --pathC;
     if (pathC <= 0) break;
-    reasonLits(p, reasons_[static_cast<std::size_t>(p.var())], reasonBuf);
+    const Reason& pr = reasons_[static_cast<std::size_t>(p.var())];
+    if (pr.kind == Reason::Kind::kClause) {
+      claBump(clauses_[static_cast<std::size_t>(pr.idx)]);
+    }
+    reasonLits(p, pr, reasonBuf);
     current = reasonBuf;
   }
   learnt[0] = ~p;
@@ -541,6 +594,48 @@ void Solver::analyze(const std::vector<Lit>& conflict, std::vector<Lit>& learnt,
   }
 
   for (Var v : toClear) seen_[static_cast<std::size_t>(v)] = false;
+  seen_[static_cast<std::size_t>(p.var())] = false;
+}
+
+void Solver::claBump(Clause& c) {
+  c.activity += claInc_;
+  if (c.activity > 1e20) {
+    for (Clause& cl : clauses_) {
+      if (cl.learnt) cl.activity *= 1e-20;
+    }
+    claInc_ *= 1e-20;
+  }
+}
+
+void Solver::analyzeFinal(Lit p) {
+  unsatCore_.clear();
+  unsatCore_.push_back(p);
+  if (decisionLevel() == 0 ||
+      level_[static_cast<std::size_t>(p.var())] == 0) {
+    // Falsified at the root: {p} alone contradicts the database.
+    return;
+  }
+  seen_[static_cast<std::size_t>(p.var())] = true;
+  std::vector<Lit> reasonBuf;
+  for (std::int32_t i = static_cast<std::int32_t>(trail_.size()) - 1;
+       i >= trailLim_[0]; --i) {
+    Lit q = trail_[static_cast<std::size_t>(i)];
+    Var x = q.var();
+    if (!seen_[static_cast<std::size_t>(x)]) continue;
+    const Reason& r = reasons_[static_cast<std::size_t>(x)];
+    if (r.kind == Reason::Kind::kNone) {
+      // A pseudo-decision above level 0 is exactly an assumption literal.
+      unsatCore_.push_back(q);
+    } else {
+      reasonLits(q, r, reasonBuf);
+      for (Lit l : reasonBuf) {
+        if (level_[static_cast<std::size_t>(l.var())] > 0) {
+          seen_[static_cast<std::size_t>(l.var())] = true;
+        }
+      }
+    }
+    seen_[static_cast<std::size_t>(x)] = false;
+  }
   seen_[static_cast<std::size_t>(p.var())] = false;
 }
 
@@ -628,11 +723,17 @@ void Solver::heapInsert(Var v) {
 }
 
 Var Solver::heapPop() {
+  // Move the last element into the root *before* clearing the popped
+  // var's index: when the heap holds a single element the move is a
+  // self-assignment, and clearing first would be undone by the re-seat —
+  // leaving heapIndex_[top] claiming a slot in an empty heap.  Such a var
+  // is then skipped by cancelUntil()'s reinsertion check forever, so later
+  // solve() calls return "full" models with genuinely unassigned vars.
   Var top = heap_[0];
-  heapIndex_[static_cast<std::size_t>(top)] = -1;
   heap_[0] = heap_.back();
   heapIndex_[static_cast<std::size_t>(heap_[0])] = 0;
   heap_.pop_back();
+  heapIndex_[static_cast<std::size_t>(top)] = -1;
   if (!heap_.empty()) heapDown(0);
   return top;
 }
@@ -641,7 +742,13 @@ Lit Solver::pickBranchLit() {
   while (!heap_.empty()) {
     Var v = heapPop();
     if (value(v) == LBool::kUndef) {
-      return Lit(v, !polarity_[static_cast<std::size_t>(v)]);
+      bool phase = polarity_[static_cast<std::size_t>(v)];
+      if (cfg_.randomPolarityFreq > 0.0 &&
+          static_cast<double>(nextRand() >> 11) * 0x1.0p-53 <
+              cfg_.randomPolarityFreq) {
+        phase = (nextRand() & 1) != 0;
+      }
+      return Lit(v, !phase);
     }
   }
   return Lit::undef();
@@ -719,6 +826,13 @@ void Solver::compactClauseDB() {
 // ---- main search ---------------------------------------------------------------
 
 SolveStatus Solver::solve(const Budget& budget) {
+  static const std::vector<Lit> kNoAssumptions;
+  return solve(kNoAssumptions, budget);
+}
+
+SolveStatus Solver::solve(const std::vector<Lit>& assumptions,
+                          const Budget& budget) {
+  unsatCore_.clear();
   if (!ok_) return SolveStatus::kUnsat;
   const auto startTime = std::chrono::steady_clock::now();
   auto timedOut = [&] {
@@ -742,10 +856,16 @@ SolveStatus Solver::solve(const Budget& budget) {
   cancelUntil(0);
   std::vector<Lit> conflict;
   std::vector<Lit> learnt;
-  std::int64_t restartCycle = 0;
   std::int64_t conflictsThisRestart = 0;
-  std::int64_t restartLimit = kRestartBase * luby(restartCycle);
-  std::int64_t reduceLimit = 4000;
+  auto restartLimitFor = [&](std::int64_t cycle) {
+    if (!cfg_.geometricRestarts) return cfg_.restartBase * luby(cycle);
+    double limit = static_cast<double>(cfg_.restartBase) *
+                   std::pow(1.5, static_cast<double>(std::min<std::int64_t>(
+                                     cycle, 96)));
+    return static_cast<std::int64_t>(
+        std::min(limit, 1e15));  // clamp well inside int64
+  };
+  std::int64_t restartLimit = restartLimitFor(restartCycle_);
 
   while (true) {
     if (!propagate(conflict)) {
@@ -758,6 +878,7 @@ SolveStatus Solver::solve(const Budget& budget) {
       }
       int backtrackLevel = 0;
       analyze(conflict, learnt, backtrackLevel);
+      claDecay();
       cancelUntil(backtrackLevel);
       if (learnt.size() == 1) {
         enqueue(learnt[0], Reason{});
@@ -805,18 +926,37 @@ SolveStatus Solver::solve(const Budget& budget) {
     }
     if (conflictsThisRestart >= restartLimit) {
       ++stats_.restarts;
-      ++restartCycle;
+      ++restartCycle_;
       conflictsThisRestart = 0;
-      restartLimit = kRestartBase * luby(restartCycle);
+      restartLimit = restartLimitFor(restartCycle_);
       cancelUntil(0);
       if (timedOut()) return SolveStatus::kUnknown;
       continue;
     }
-    if (learntCount_ >= reduceLimit) {
+    if (learntCount_ >= reduceLimit_) {
       reduceDB();
-      reduceLimit += reduceLimit / 2;
+      reduceLimit_ += reduceLimit_ / 2;
     }
-    Lit next = pickBranchLit();
+    // Re-establish the assumption prefix: level i+1 carries assumptions[i]
+    // as a pseudo-decision.  An already-true assumption still gets its own
+    // (empty) level so the alignment survives backjumps and restarts; a
+    // false one means UNSAT under these assumptions — extract the final
+    // conflict core and return with the solver still usable.
+    Lit next = Lit::undef();
+    while (decisionLevel() < static_cast<int>(assumptions.size())) {
+      Lit p = assumptions[static_cast<std::size_t>(decisionLevel())];
+      if (value(p) == LBool::kTrue) {
+        newDecisionLevel();
+      } else if (value(p) == LBool::kFalse) {
+        analyzeFinal(p);
+        cancelUntil(0);
+        return SolveStatus::kUnsat;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (next == Lit::undef()) next = pickBranchLit();
     if (next == Lit::undef()) {
       // Full model.
       model_.assign(static_cast<std::size_t>(varCount()), false);

@@ -30,7 +30,22 @@ namespace ruleplace::solver {
 
 class Solver {
  public:
+  /// Search-heuristic knobs.  Defaults reproduce the historical behaviour;
+  /// the portfolio race instantiates diversified configurations (different
+  /// seeds, restart schedules, random-phase rates) over the same encoding.
+  struct Config {
+    std::uint64_t seed = 0;            ///< diversification seed (0 = none)
+    std::int64_t restartBase = 128;    ///< conflicts before the first restart
+    bool geometricRestarts = false;    ///< geometric (×1.5) instead of Luby
+    double randomPolarityFreq = 0.0;   ///< chance a decision ignores the
+                                       ///< saved phase ([0, 1])
+  };
+
   Solver();
+
+  /// Install heuristic knobs.  Call before the first solve(); the seed
+  /// re-seeds the diversification RNG immediately.
+  void setConfig(const Config& cfg);
 
   /// Create a fresh variable; returns its index (dense from 0).
   Var newVar();
@@ -51,6 +66,22 @@ class Solver {
 
   /// CDCL search. kSat leaves a full model readable via modelValue().
   SolveStatus solve(const Budget& budget = Budget::unlimited());
+
+  /// Incremental CDCL search under assumptions.  Each assumption literal is
+  /// enqueued as a pseudo-decision on its own level below the free search
+  /// (level i+1 holds assumptions[i]), so learned clauses, EVSIDS
+  /// activities and saved phases all survive into the next call.  When the
+  /// instance is UNSAT *under the assumptions* the solver stays usable
+  /// (okay() remains true) and unsatCore() names a subset of the
+  /// assumptions that cannot jointly hold; only a root-level conflict —
+  /// UNSAT regardless of assumptions — poisons the solver.
+  SolveStatus solve(const std::vector<Lit>& assumptions, const Budget& budget);
+
+  /// After solve(assumptions, ...) returns kUnsat with okay() still true:
+  /// a subset of the assumption literals whose conjunction with the
+  /// constraint database is unsatisfiable (the "final conflict" core).
+  /// Empty when the database itself is UNSAT.
+  const std::vector<Lit>& unsatCore() const noexcept { return unsatCore_; }
 
   /// Value of a variable in the last SAT model.
   bool modelValue(Var v) const { return model_.at(static_cast<std::size_t>(v)); }
@@ -131,6 +162,17 @@ class Solver {
   double claInc_ = 1.0;
   std::int64_t learntCount_ = 0;
 
+  // Persisted across solve() calls: restarting the Luby sequence and the
+  // reduceDB threshold from scratch on every re-entry would immediately
+  // dump roughly half of the retained learnt clauses and thrash restarts —
+  // exactly the clause reuse incremental solving is for.
+  std::int64_t restartCycle_ = 0;
+  std::int64_t reduceLimit_ = 4000;
+
+  Config cfg_;
+  std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
+  std::vector<Lit> unsatCore_;
+
   // ---- helpers ------------------------------------------------------------
   LBool value(Lit l) const noexcept {
     return assigns_[static_cast<std::size_t>(l.var())] ^ l.sign();
@@ -161,6 +203,10 @@ class Solver {
   void analyze(const std::vector<Lit>& conflict, std::vector<Lit>& learnt,
                int& backtrackLevel);
   void minimizeLearnt(std::vector<Lit>& learnt);
+  /// Final-conflict analysis: the assumption literal `p` is false under the
+  /// current (conflict-free) trail; fill unsatCore_ with the subset of
+  /// assumption literals responsible.
+  void analyzeFinal(Lit p);
 
   // VSIDS heap operations.
   void varBump(Var v);
@@ -178,6 +224,18 @@ class Solver {
   void reduceDB();
   void compactClauseDB();
   void rescaleActivity();
+
+  // Learnt-clause activity (bump on use as a conflict/reason clause, decay
+  // per conflict) — feeds the reduceDB ranking alongside LBD.
+  void claBump(Clause& c);
+  void claDecay() { claInc_ *= (1.0 / 0.999); }
+
+  std::uint64_t nextRand() noexcept {
+    rngState_ ^= rngState_ << 13;
+    rngState_ ^= rngState_ >> 7;
+    rngState_ ^= rngState_ << 17;
+    return rngState_;
+  }
 
   std::vector<bool> model_;
 };

@@ -16,6 +16,19 @@ sides carry stage counters, the report attributes the slowdown to the
 stages whose time moved the most.  Baselines recorded before the stage
 counters existed are tolerated — attribution is simply omitted.
 
+Besides the relative real_time comparison, the baseline directory may hold
+a FLOORS.json declaring *absolute* counter floors:
+
+    {"BENCH_incremental_solver.json": {
+        "churn_session/4096": {"speedup_vs_scratch": 3.0}}}
+
+Benchmark names in FLOORS.json match by prefix (so "churn_session/4096"
+covers ".../iterations:1/manual_time" variants).  A current run whose
+counter falls below its floor is a regression even when no baseline entry
+exists for relative comparison — floors encode acceptance criteria
+(ratios, feasibility counts), which are robust on noisy shared runners
+where raw times are not.
+
 Exit status: 1 when any regression is found, 0 otherwise.  A missing
 baseline directory or file is reported and skipped, never fatal — new
 benchmarks must not break CI before a baseline lands.  CI runs this as a
@@ -36,13 +49,22 @@ _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 _STAGE_PREFIX = "stage/"
 
 
+# google/benchmark JSON bookkeeping fields that are never user counters.
+_NON_COUNTER_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+}
+
+
 def load_entries(path):
-    """Map benchmark name -> (real_time ns, {stage name -> ms}) from one
-    benchmark JSON file.
+    """Map benchmark name -> (real_time ns, {stage name -> ms},
+    {counter -> value}) from one benchmark JSON file.
 
     real_time is reported in each entry's time_unit; normalize so baselines
     survive a unit change in the benchmark source.  Stage counters (keys
-    prefixed "stage/") are optional — older files simply yield {}.
+    prefixed "stage/") are optional — older files simply yield {}.  The
+    remaining numeric fields are user counters, kept for floor checks.
     """
     with open(path) as f:
         doc = json.load(f)
@@ -60,8 +82,55 @@ def load_entries(path):
                 if k.startswith(_STAGE_PREFIX)
                 and isinstance(v, (int, float))
             }
-            entries[name] = (float(b["real_time"]) * scale, stages)
+            counters = {
+                k: float(v)
+                for k, v in b.items()
+                if k not in _NON_COUNTER_KEYS
+                and not k.startswith(_STAGE_PREFIX)
+                and isinstance(v, (int, float))
+            }
+            entries[name] = (float(b["real_time"]) * scale, stages, counters)
     return entries
+
+
+def load_floors(baseline_dir):
+    """FLOORS.json from the baseline dir: file -> bench-name-prefix ->
+    counter -> minimum value.  Missing file means no floors."""
+    path = os.path.join(baseline_dir, "FLOORS.json")
+    if not os.path.isfile(path):
+        return {}
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_floors(fname, current, floors):
+    """Floor-violation report lines for one current BENCH file.  A floored
+    benchmark that did not run at all is also a violation — a silently
+    skipped acceptance check must not pass CI."""
+    file_floors = floors.get(fname, {})
+    lines = []
+    for prefix, wanted in sorted(file_floors.items()):
+        matches = [
+            (name, counters)
+            for name, (_, _, counters) in sorted(current.items())
+            if name == prefix or name.startswith(prefix + "/")
+        ]
+        if not matches:
+            lines.append(
+                f"{fname}: floored benchmark {prefix!r} missing from run")
+            continue
+        for counter, floor in sorted(wanted.items()):
+            for name, counters in matches:
+                value = counters.get(counter)
+                if value is None:
+                    lines.append(
+                        f"{fname}: {name}: counter {counter!r} missing "
+                        f"(floor {floor})")
+                elif value < float(floor):
+                    lines.append(
+                        f"{fname}: {name}: {counter} = {value:.3f} below "
+                        f"floor {floor}")
+    return lines
 
 
 def attribute_stages(cur_stages, base_stages):
@@ -110,22 +179,25 @@ def main():
         print(f"check_bench: baseline dir {args.baseline!r} missing; "
               "nothing to compare against (ok)")
 
+    floors = load_floors(args.baseline) if have_baselines else {}
     regressions = []
     improvements = []
+    floor_violations = []
     for fname in current_files:
         current = load_entries(os.path.join(args.current, fname))
+        floor_violations.extend(check_floors(fname, current, floors))
         base_path = os.path.join(args.baseline, fname)
         if not have_baselines or not os.path.isfile(base_path):
             print(f"{fname}: no baseline, skipped "
                   f"({len(current)} benchmark(s) recorded)")
             continue
         baseline = load_entries(base_path)
-        for name, (cur, cur_stages) in sorted(current.items()):
+        for name, (cur, cur_stages, _) in sorted(current.items()):
             base_entry = baseline.get(name)
             if base_entry is None:
                 print(f"{fname}: {name}: new benchmark (no baseline entry)")
                 continue
-            base, base_stages = base_entry
+            base, base_stages, _base_counters = base_entry
             if base <= 0:
                 continue
             delta = (cur - base) / base * 100.0
@@ -139,6 +211,11 @@ def main():
 
     for line in improvements:
         print(f"improvement: {line}")
+    if floor_violations:
+        print(f"\ncheck_bench: {len(floor_violations)} counter-floor "
+              "violation(s):")
+        for line in floor_violations:
+            print(f"  FLOOR {line}")
     if regressions:
         print(f"\ncheck_bench: {len(regressions)} regression(s) over "
               f"{args.threshold:.0f}%:")
@@ -149,6 +226,7 @@ def main():
             if not stage_lines:
                 print("    (no per-stage counters on both sides; "
                       "attribution unavailable)")
+    if regressions or floor_violations:
         return 1
     print("check_bench: no regressions")
     return 0
