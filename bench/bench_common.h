@@ -55,11 +55,9 @@ inline std::map<std::string, double> spanTotalsMs() {
 /// each point additionally emits per-stage `stage/<span>` counters (ms per
 /// iteration) into the JSON output, which tools/check_bench.py uses to
 /// attribute regressions to a pipeline stage.
-inline void runPlacementPoint(benchmark::State& state,
-                              const core::InstanceConfig& cfg,
-                              core::PlaceOptions opts) {
-  opts.budget = pointBudget();
-  opts.observability = true;
+inline void runPlacementPointWithOptions(benchmark::State& state,
+                                         const core::InstanceConfig& cfg,
+                                         core::PlaceOptions opts) {
   for (auto _ : state) {
     const std::map<std::string, double> before = spanTotalsMs();
     core::Instance inst(cfg);
@@ -83,6 +81,14 @@ inline void runPlacementPoint(benchmark::State& state,
       state.counters["stage/" + name] = delta;
     }
   }
+}
+
+inline void runPlacementPoint(benchmark::State& state,
+                              const core::InstanceConfig& cfg,
+                              core::PlaceOptions opts) {
+  opts.budget = pointBudget();
+  opts.observability = true;
+  runPlacementPointWithOptions(state, cfg, opts);
 }
 
 /// Entry point shared by the bench binaries: standard Google Benchmark

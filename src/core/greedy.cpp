@@ -1,5 +1,7 @@
 #include "core/greedy.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <unordered_set>
 
@@ -9,10 +11,11 @@ namespace ruleplace::core {
 
 namespace {
 
-// Placement-set key.  A full struct with exact equality — never a packed
-// word: rule ids grow without bound under add/remove churn, and the old
-// bit-packed key (21 bits per field) silently collided for ids >= 2^21,
-// making the greedy skip rules it had never placed.
+// Placement-set key (path-wise placement).  A full struct with exact
+// equality — never a packed word: rule ids grow without bound under
+// add/remove churn, and the old bit-packed key (21 bits per field)
+// silently collided for ids >= 2^21, making the greedy skip rules it had
+// never placed.
 struct PlacedKey {
   int policy;
   int rule;
@@ -31,6 +34,51 @@ struct PlacedKeyHash {
 
 using PlacedSet = std::unordered_set<PlacedKey, PlacedKeyHash>;
 
+// Dense (rule, switch) membership bitmap for one policy.  The shared
+// greedy only ever queries the policy it is currently placing, so the set
+// collapses to rule-position × switch bits — one word probe per lookup
+// instead of a hash + node chase on the hottest path (the per-switch
+// shield pre-count).  Keyed by the rule's *position* in the policy, not
+// its id, so id churn cannot grow or collide the table.
+class PlacedBitmap {
+ public:
+  PlacedBitmap(const acl::Policy& policy, std::size_t switchCount)
+      : switchCount_(switchCount) {
+    int maxId = -1;
+    for (const auto& r : policy.rules()) maxId = std::max(maxId, r.id);
+    idToPos_.assign(static_cast<std::size_t>(maxId + 1), 0);
+    std::uint32_t next = 0;
+    for (const auto& r : policy.rules()) {
+      idToPos_[static_cast<std::size_t>(r.id)] = next++;
+    }
+    bits_.assign((policy.size() * switchCount_ + 63) / 64, 0);
+  }
+
+  bool test(int ruleId, topo::SwitchId sw) const noexcept {
+    const std::size_t bit = bitIndex(ruleId, sw);
+    return (bits_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  /// Sets the bit; returns true if it was previously clear.
+  bool set(int ruleId, topo::SwitchId sw) noexcept {
+    const std::size_t bit = bitIndex(ruleId, sw);
+    const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+    const bool fresh = (bits_[bit >> 6] & mask) == 0;
+    bits_[bit >> 6] |= mask;
+    return fresh;
+  }
+
+ private:
+  std::size_t bitIndex(int ruleId, topo::SwitchId sw) const noexcept {
+    return idToPos_[static_cast<std::size_t>(ruleId)] * switchCount_ +
+           static_cast<std::size_t>(sw);
+  }
+
+  std::size_t switchCount_;
+  std::vector<std::uint32_t> idToPos_;  // rule id -> position in policy
+  std::vector<std::uint64_t> bits_;
+};
+
 }  // namespace
 
 GreedyOutcome greedyPlace(const PlacementProblem& problem,
@@ -43,18 +91,7 @@ GreedyOutcome greedyPlace(const PlacementProblem& problem,
   for (topo::SwitchId sw = 0; sw < problem.graph->switchCount(); ++sw) {
     remaining[static_cast<std::size_t>(sw)] = problem.capacityOf(sw);
   }
-  PlacedSet placed;
   std::vector<PlacedRule> placedList;
-
-  auto isPlaced = [&](int p, int r, topo::SwitchId sw) {
-    return placed.count({p, r, sw}) != 0;
-  };
-  auto doPlace = [&](int p, int r, topo::SwitchId sw) {
-    if (placed.insert({p, r, sw}).second) {
-      --remaining[static_cast<std::size_t>(sw)];
-      placedList.push_back({p, r, sw});
-    }
-  };
 
   for (int i = 0; i < problem.policyCount(); ++i) {
     if (deadline.expired()) {
@@ -64,6 +101,19 @@ GreedyOutcome greedyPlace(const PlacementProblem& problem,
     }
     const acl::Policy& policy = problem.policies[static_cast<std::size_t>(i)];
     auto dg = depgraph::acquireGraph(policy);
+    // Policies place independently (keys always carried the policy id), so
+    // the membership set resets per policy; only `remaining` is shared.
+    PlacedBitmap placed(
+        policy, static_cast<std::size_t>(problem.graph->switchCount()));
+    auto isPlaced = [&](int, int r, topo::SwitchId sw) {
+      return placed.test(r, sw);
+    };
+    auto doPlace = [&](int p, int r, topo::SwitchId sw) {
+      if (placed.set(r, sw)) {
+        --remaining[static_cast<std::size_t>(sw)];
+        placedList.push_back({p, r, sw});
+      }
+    };
     for (const auto& path : problem.routing[static_cast<std::size_t>(i)].paths) {
       const bool sliced = usePathSlicing && path.traffic.has_value();
       const std::vector<int> slicedIds =

@@ -33,6 +33,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "depgraph/depgraph.h"

@@ -47,11 +47,37 @@ DependencyGraph::DependencyGraph(const acl::Policy& policy,
 
   dropRules_.reserve(drops.size());
   dropCubes_.reserve(drops.size());
-  shields_.resize(drops.size());
   for (std::size_t slot = 0; slot < drops.size(); ++slot) {
     dropRules_.push_back(drops[slot].id);
     dropCubes_.push_back(*drops[slot].cube);
-    slotOfId_.emplace(drops[slot].id, slot);
+  }
+
+  // Flat id -> slot map: ids sorted once, binary-searched per lookup.
+  // Rule ids are unique within a policy, so the sorted array is a perfect
+  // substitute for the old hash map minus its per-node heap traffic.
+  // Priority order usually equals id order (churn-free policies), so the
+  // common case is a linear is_sorted check and an identity slot map.
+  if (std::is_sorted(dropRules_.begin(), dropRules_.end())) {
+    idsSorted_ = dropRules_;
+    slotForId_.resize(drops.size());
+    for (std::size_t slot = 0; slot < drops.size(); ++slot) {
+      slotForId_[slot] = static_cast<std::uint32_t>(slot);
+    }
+  } else {
+    std::vector<std::uint32_t> order(drops.size());
+    for (std::size_t slot = 0; slot < order.size(); ++slot) {
+      order[slot] = static_cast<std::uint32_t>(slot);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return drops[a].id < drops[b].id;
+              });
+    idsSorted_.reserve(order.size());
+    slotForId_.reserve(order.size());
+    for (std::uint32_t slot : order) {
+      idsSorted_.push_back(drops[slot].id);
+      slotForId_.push_back(slot);
+    }
   }
 
   BuilderKind kind = opts.builder;
@@ -67,26 +93,34 @@ DependencyGraph::DependencyGraph(const acl::Policy& policy,
     index.seal();
   }
 
-  // One work item per DROP rule writing its own pre-sized slot.  Slots are
-  // disjoint and each shield list depends only on the policy, never on
-  // execution order — so every builder/thread/pool combination produces a
-  // bit-identical graph (the deterministic-merge contract the fuzz oracle
-  // checks).
-  auto buildSlot = [&](std::size_t slot, std::vector<std::uint32_t>& hits,
+  // Workers accumulate shield ids into per-chunk flat buffers (one
+  // contiguous append stream each, no per-slot vectors); the sequential
+  // pack below concatenates them into the arena in slot order.  Each
+  // shield list depends only on the policy, never on execution order — so
+  // every builder/thread/pool combination produces a bit-identical graph
+  // (the deterministic-merge contract the fuzz oracle checks).
+  struct ChunkOut {
+    std::size_t begin = 0;              // first drop slot in this chunk
+    std::vector<int> flat;              // concatenated shield lists
+    std::vector<std::uint32_t> lens;    // one length per slot in the chunk
+  };
+  auto buildSlot = [&](std::size_t slot, ChunkOut& outChunk,
+                       std::vector<std::uint32_t>& hits,
                        std::vector<std::uint32_t>& scratch) {
     const DropItem& d = drops[slot];
-    auto& s = shields_[slot];
+    auto& flat = outChunk.flat;
+    const std::size_t base = flat.size();
     if (kind == BuilderKind::kNaive) {
       for (std::uint32_t u = 0; u < d.permitsBefore; ++u) {
-        if (permitCubes[u]->overlaps(*d.cube)) s.push_back(permitIds[u]);
+        if (permitCubes[u]->overlaps(*d.cube)) flat.push_back(permitIds[u]);
       }
     } else {
       hits.clear();
       index.collectOverlaps(*d.cube, d.permitsBefore, hits, scratch);
-      s.reserve(hits.size());
-      for (std::uint32_t u : hits) s.push_back(permitIds[u]);
+      for (std::uint32_t u : hits) flat.push_back(permitIds[u]);
     }
-    std::sort(s.begin(), s.end());
+    std::sort(flat.begin() + static_cast<std::ptrdiff_t>(base), flat.end());
+    outChunk.lens.push_back(static_cast<std::uint32_t>(flat.size() - base));
   };
 
   util::ThreadPool* pool = opts.pool;
@@ -99,27 +133,54 @@ DependencyGraph::DependencyGraph(const acl::Policy& policy,
       pool = owned.get();
     }
   }
+  std::vector<ChunkOut> chunkOuts;
   if (pool != nullptr && drops.size() > 1) {
     // Chunked fan-out: contiguous drop runs amortize task overhead while
     // leaving enough items for stealing to balance skewed shield sizes.
     const std::size_t chunk = std::max<std::size_t>(
         1, drops.size() / (static_cast<std::size_t>(pool->threadCount()) * 4));
-    for (std::size_t begin = 0; begin < drops.size(); begin += chunk) {
+    chunkOuts.resize((drops.size() + chunk - 1) / chunk);
+    for (std::size_t c = 0; c < chunkOuts.size(); ++c) {
+      const std::size_t begin = c * chunk;
       const std::size_t end = std::min(drops.size(), begin + chunk);
-      pool->submit([this, &buildSlot, begin, end] {
+      chunkOuts[c].begin = begin;
+      pool->submit([&, c, begin, end] {
         std::vector<std::uint32_t> hits, scratch;
         for (std::size_t slot = begin; slot < end; ++slot) {
-          buildSlot(slot, hits, scratch);
+          buildSlot(slot, chunkOuts[c], hits, scratch);
         }
       });
     }
     pool->wait();
   } else {
+    chunkOuts.resize(1);
     std::vector<std::uint32_t> hits, scratch;
     for (std::size_t slot = 0; slot < drops.size(); ++slot) {
-      buildSlot(slot, hits, scratch);
+      buildSlot(slot, chunkOuts[0], hits, scratch);
     }
   }
+
+  // Sequential pack: CSR offsets + one contiguous id array in the arena.
+  // chunkOuts is ordered by slot, so a single forward copy reassembles
+  // the global slot order regardless of which worker ran which chunk.
+  std::size_t totalEdges = 0;
+  for (const ChunkOut& c : chunkOuts) totalEdges += c.flat.size();
+  auto* begins = arena_.allocArray<std::uint32_t>(drops.size() + 1);
+  auto* data = arena_.allocArray<int>(totalEdges);
+  std::size_t slot = 0;
+  std::size_t at = 0;
+  begins[0] = 0;
+  for (const ChunkOut& c : chunkOuts) {
+    std::size_t off = 0;
+    for (std::uint32_t len : c.lens) {
+      std::copy_n(c.flat.data() + off, len, data + at);
+      off += len;
+      at += len;
+      begins[++slot] = static_cast<std::uint32_t>(at);
+    }
+  }
+  shieldBegin_ = begins;
+  shieldData_ = data;
 
   if (obs::enabled()) {
     auto& reg = obs::Registry::global();
@@ -132,10 +193,12 @@ DependencyGraph::DependencyGraph(const acl::Policy& policy,
   }
 }
 
-const std::vector<int>& DependencyGraph::shieldsOf(int dropRuleId) const {
-  auto it = slotOfId_.find(dropRuleId);
-  if (it == slotOfId_.end()) return empty_;
-  return shields_[it->second];
+std::span<const int> DependencyGraph::shieldsOf(int dropRuleId) const noexcept {
+  const auto it =
+      std::lower_bound(idsSorted_.begin(), idsSorted_.end(), dropRuleId);
+  if (it == idsSorted_.end() || *it != dropRuleId) return {};
+  return shieldsOfSlot(
+      slotForId_[static_cast<std::size_t>(it - idsSorted_.begin())]);
 }
 
 std::vector<int> DependencyGraph::slicedDrops(
@@ -150,8 +213,9 @@ std::vector<int> DependencyGraph::slicedDrops(
 
 std::vector<std::pair<int, int>> DependencyGraph::edges() const {
   std::vector<std::pair<int, int>> out;
+  out.reserve(edgeCount());
   for (std::size_t slot = 0; slot < dropRules_.size(); ++slot) {
-    for (int u : shields_[slot]) {
+    for (int u : shieldsOfSlot(slot)) {
       out.push_back({u, dropRules_[slot]});
     }
   }
@@ -159,9 +223,7 @@ std::vector<std::pair<int, int>> DependencyGraph::edges() const {
 }
 
 std::size_t DependencyGraph::edgeCount() const noexcept {
-  std::size_t n = 0;
-  for (const auto& s : shields_) n += s.size();
-  return n;
+  return dropRules_.empty() ? 0 : shieldBegin_[dropRules_.size()];
 }
 
 }  // namespace ruleplace::depgraph

@@ -21,10 +21,11 @@
 // docs/depgraph.md.
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "acl/policy.h"
+#include "util/arena.h"
 
 namespace ruleplace::util {
 class ThreadPool;
@@ -63,8 +64,17 @@ class DependencyGraph {
                            const BuildOptions& opts = {});
 
   /// PERMIT rule ids that must accompany DROP rule `dropRuleId` on any
-  /// switch hosting it (sorted ascending).
-  const std::vector<int>& shieldsOf(int dropRuleId) const;
+  /// switch hosting it (sorted ascending).  The span points into the
+  /// graph's arena and stays valid for the graph's lifetime.
+  std::span<const int> shieldsOf(int dropRuleId) const noexcept;
+
+  /// Shield list by dense drop slot (the position of the drop rule in
+  /// dropRules()).  Hot-path variant for callers that already iterate
+  /// slots — skips the id lookup entirely.
+  std::span<const int> shieldsOfSlot(std::size_t slot) const noexcept {
+    return {shieldData_ + shieldBegin_[slot],
+            shieldBegin_[slot + 1] - shieldBegin_[slot]};
+  }
 
   /// All DROP rule ids in the policy, in decreasing priority order.
   const std::vector<int>& dropRules() const noexcept { return dropRules_; }
@@ -87,18 +97,30 @@ class DependencyGraph {
   /// number of DROP rules — never to the numeric range of rule ids (ids
   /// grow without bound under add/remove churn, see Policy::addRule).
   /// Exposed so tests can pin the sparse-id memory regression.
-  std::size_t shieldSlotCount() const noexcept { return shields_.size(); }
+  std::size_t shieldSlotCount() const noexcept {
+    return dropRules_.size();
+  }
 
  private:
-  // Shield lists are stored densely and addressed through an id -> slot
-  // map, so storage is O(#drop rules), independent of max rule id.
-  std::vector<std::vector<int>> shields_;
-  std::unordered_map<int, std::size_t> slotOfId_;
+  // Shield lists live in CSR form inside the arena: one contiguous int
+  // array (shieldData_) sliced by shieldBegin_ (size #drops + 1), both
+  // arena-backed.  One allocation for the whole graph instead of one
+  // heap block per drop rule — the consumers (greedy placement, the SAT
+  // encoder, edges()) stream shield lists sequentially, so contiguity is
+  // the point, not just the allocation count.  Storage stays
+  // O(#drop rules + #edges), independent of max rule id.
+  util::Arena arena_;
+  const int* shieldData_ = nullptr;
+  const std::uint32_t* shieldBegin_ = nullptr;
+  // id -> slot as parallel arrays sorted by id (binary search in
+  // shieldsOf) — flat and cache-friendly where the old unordered_map
+  // chased one heap node per lookup.
+  std::vector<int> idsSorted_;
+  std::vector<std::uint32_t> slotForId_;
   std::vector<int> dropRules_;
   // Match cubes aligned with dropRules_, retained for slicedDrops() so
   // projections never have to re-consult the policy.
   std::vector<match::Ternary> dropCubes_;
-  std::vector<int> empty_;
 };
 
 }  // namespace ruleplace::depgraph

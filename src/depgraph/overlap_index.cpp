@@ -9,6 +9,43 @@ namespace ruleplace::depgraph {
 
 namespace {
 
+/// LSD radix sort (8-bit digits) for the packed (key, len, slot) words.
+/// std::sort's branchy comparisons dominate seal() at scale; counting
+/// passes are linear, and passes whose digit is constant across the whole
+/// array (common: high key bytes of narrow fields) are skipped outright.
+/// Stable + total order on the full word ⇒ exactly std::sort's result.
+void radixSortU64(std::vector<std::uint64_t>& v,
+                  std::vector<std::uint64_t>& tmp) {
+  const std::size_t n = v.size();
+  if (n < 128) {
+    std::sort(v.begin(), v.end());
+    return;
+  }
+  tmp.resize(n);
+  std::uint32_t hist[8][256] = {};
+  for (const std::uint64_t x : v) {
+    for (int p = 0; p < 8; ++p) ++hist[p][(x >> (8 * p)) & 0xff];
+  }
+  std::uint64_t* src = v.data();
+  std::uint64_t* dst = tmp.data();
+  for (int p = 0; p < 8; ++p) {
+    std::uint32_t* h = hist[p];
+    // A pass whose digit never varies permutes nothing — skip it.
+    if (h[src[0] >> (8 * p) & 0xff] == n) continue;
+    std::uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      const std::uint32_t c = h[b];
+      h[b] = sum;
+      sum += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[h[(src[i] >> (8 * p)) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != v.data()) std::copy_n(src, n, v.data());
+}
+
 /// Bits [offset, offset+nbits) of the 128-bit word pair, LSB-aligned.
 std::uint64_t extractBits(std::uint64_t w0, std::uint64_t w1, int offset,
                           int nbits) {
@@ -44,6 +81,14 @@ OverlapIndex::OverlapIndex(int width) : width_(width) {
     }
   }
   index_.resize(fields_.size());
+  // Probe order for queries: most selective fields first.  The 5-tuple
+  // layout lists proto/ports/IPs in ascending offset order, but real
+  // classifiers discriminate hardest on addresses — probe them first so
+  // the early-stop in collectOverlaps usually ends after one walk.
+  queryOrder_.resize(fields_.size());
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    queryOrder_[i] = fields_.size() - 1 - i;
+  }
 }
 
 void OverlapIndex::reserve(std::size_t n) { packed_.reserve(n); }
@@ -82,6 +127,7 @@ void OverlapIndex::add(const match::Ternary& cube) {
 }
 
 void OverlapIndex::seal() {
+  std::vector<std::uint64_t> sortScratch;
   for (std::size_t i = 0; i < index_.size(); ++i) {
     FieldIndex& fi = index_[i];
     const int nbits = fields_[i].nbits;
@@ -92,55 +138,99 @@ void OverlapIndex::seal() {
     // with the node's own postings (len == depth, minimal key and len)
     // leading it, so one pre-order pass builds the whole trie with
     // sequential node/slot appends — no per-insert root walks.
-    std::sort(fi.pending.begin(), fi.pending.end());
-    fi.slots.reserve(fi.pending.size());
-    auto build = [&](auto&& self, std::size_t lo, std::size_t hi,
-                     int depth) -> std::int32_t {
-      const auto idx = static_cast<std::int32_t>(fi.nodes.size());
-      fi.nodes.emplace_back();
-      std::size_t p = lo;
-      while (p < hi && fi.pending[p].len == depth) {
-        fi.slots.push_back(fi.pending[p].slot);
-        ++p;
-      }
-      if (p == lo && hi - lo == 1) {
-        // Single-entry subtree: park the posting here instead of growing a
-        // one-node-per-level tail chain.  The pre-filter is conservative
-        // (every candidate is verified exactly), so promoting an entry to
-        // a shallower depth only widens the candidate set by one.
-        fi.slots.push_back(fi.pending[lo].slot);
-        p = hi;
-      }
-      fi.nodes[static_cast<std::size_t>(idx)].countHere =
-          static_cast<std::uint32_t>(p - lo);
-      fi.nodes[static_cast<std::size_t>(idx)].begin =
-          static_cast<std::uint32_t>(fi.slots.size() - (p - lo));
-      if (p < hi) {
-        // Remaining entries all have len > depth; key bit `depth` splits
-        // them into the two (contiguous) child subtrees.
-        const std::size_t mid =
-            static_cast<std::size_t>(
-                std::partition_point(
-                    fi.pending.begin() + static_cast<std::ptrdiff_t>(p),
-                    fi.pending.begin() + static_cast<std::ptrdiff_t>(hi),
-                    [&](const Pending& e) {
-                      return ((e.key >> (nbits - 1 - depth)) & 1) == 0;
-                    }) -
-                fi.pending.begin());
-        if (p < mid) {
-          const std::int32_t c = self(self, p, mid, depth + 1);
-          fi.nodes[static_cast<std::size_t>(idx)].child[0] = c;
+    //
+    // The sort is the hot part of seal() at scale, so the common case
+    // packs (key, len, slot) into one u64 whose numeric order equals the
+    // struct's lexicographic order — sorting primitive u64s beats the
+    // three-branch struct comparator severalfold.  Fields are at most 32
+    // bits (constructor invariant), so key < 2^32 and len < 64 always
+    // hold; only a policy with >= 2^26 rules falls back to struct sort.
+    constexpr std::size_t kPackedSlotLimit = std::size_t{1} << 26;
+    const std::size_t count = fi.pending.size();
+    fi.slots.reserve(count);
+    fi.nodes.reserve(count + count / 2);
+    // One pre-order recursion shared by both sort paths, parameterized by
+    // entry accessors: len/slot of entry i and the key bit at `depth`.
+    auto runBuild = [&](auto lenAt, auto slotAt, auto bitAt) {
+      auto build = [&](auto&& self, std::size_t lo, std::size_t hi,
+                       int depth) -> std::int32_t {
+        const auto idx = static_cast<std::int32_t>(fi.nodes.size());
+        fi.nodes.emplace_back();
+        std::size_t p = lo;
+        while (p < hi && lenAt(p) == depth) {
+          fi.slots.push_back(slotAt(p));
+          ++p;
         }
-        if (mid < hi) {
-          const std::int32_t c = self(self, mid, hi, depth + 1);
-          fi.nodes[static_cast<std::size_t>(idx)].child[1] = c;
+        if (p == lo && hi - lo == 1) {
+          // Single-entry subtree: park the posting here instead of growing
+          // a one-node-per-level tail chain.  The pre-filter is
+          // conservative (every candidate is verified exactly), so
+          // promoting an entry to a shallower depth only widens the
+          // candidate set by one.
+          fi.slots.push_back(slotAt(lo));
+          p = hi;
         }
-      }
-      fi.nodes[static_cast<std::size_t>(idx)].end =
-          static_cast<std::uint32_t>(fi.slots.size());
-      return idx;
+        fi.nodes[static_cast<std::size_t>(idx)].countHere =
+            static_cast<std::uint32_t>(p - lo);
+        fi.nodes[static_cast<std::size_t>(idx)].begin =
+            static_cast<std::uint32_t>(fi.slots.size() - (p - lo));
+        if (p < hi) {
+          // Remaining entries all have len > depth; key bit `depth` splits
+          // them into the two (contiguous) child subtrees.
+          std::size_t mid = p;
+          std::size_t top = hi;
+          while (mid < top) {
+            const std::size_t half = mid + (top - mid) / 2;
+            if (bitAt(half, depth) == 0) {
+              mid = half + 1;
+            } else {
+              top = half;
+            }
+          }
+          if (p < mid) {
+            const std::int32_t c = self(self, p, mid, depth + 1);
+            fi.nodes[static_cast<std::size_t>(idx)].child[0] = c;
+          }
+          if (mid < hi) {
+            const std::int32_t c = self(self, mid, hi, depth + 1);
+            fi.nodes[static_cast<std::size_t>(idx)].child[1] = c;
+          }
+        }
+        fi.nodes[static_cast<std::size_t>(idx)].end =
+            static_cast<std::uint32_t>(fi.slots.size());
+        return idx;
+      };
+      build(build, 0, count, 0);
     };
-    build(build, 0, fi.pending.size(), 0);
+    if (count < kPackedSlotLimit) {
+      std::vector<std::uint64_t> packed;
+      packed.reserve(count);
+      for (const Pending& e : fi.pending) {
+        packed.push_back((e.key << 32) |
+                         (static_cast<std::uint64_t>(e.len) << 26) | e.slot);
+      }
+      radixSortU64(packed, sortScratch);
+      runBuild(
+          [&](std::size_t p) {
+            return static_cast<int>((packed[p] >> 26) & 0x3f);
+          },
+          [&](std::size_t p) {
+            return static_cast<std::uint32_t>(packed[p] & 0x3ffffffu);
+          },
+          [&](std::size_t p, int depth) {
+            return static_cast<int>(
+                (packed[p] >> (32 + nbits - 1 - depth)) & 1);
+          });
+    } else {
+      std::sort(fi.pending.begin(), fi.pending.end());
+      runBuild(
+          [&](std::size_t p) { return static_cast<int>(fi.pending[p].len); },
+          [&](std::size_t p) { return fi.pending[p].slot; },
+          [&](std::size_t p, int depth) {
+            return static_cast<int>(
+                (fi.pending[p].key >> (nbits - 1 - depth)) & 1);
+          });
+    }
     fi.pending.clear();
     fi.pending.shrink_to_fit();
   }
@@ -148,52 +238,34 @@ void OverlapIndex::seal() {
 }
 
 std::size_t OverlapIndex::estimate(const FieldIndex& fi, const Field& f,
-                                   std::uint64_t value, int prefixLen) const {
+                                   std::uint64_t value, int prefixLen,
+                                   GatherPlan& plan) const {
   std::size_t n = fi.fallback.size();
+  plan.count = 0;
   if (fi.nodes.empty()) return n;
   std::int32_t cur = 0;
   for (int depth = 0;; ++depth) {
     const TrieNode& nd = fi.nodes[static_cast<std::size_t>(cur)];
     if (depth == prefixLen) {
       // Descendants (and the node itself): everything under the query.
+      if (nd.end != nd.begin) {
+        plan.ranges[static_cast<std::size_t>(plan.count++)] = {nd.begin,
+                                                              nd.end};
+      }
       n += nd.end - nd.begin;
       break;
     }
-    n += nd.countHere;  // an ancestor prefix containing the query
+    if (nd.countHere != 0) {  // ancestor prefixes containing the query
+      plan.ranges[static_cast<std::size_t>(plan.count++)] = {
+          nd.begin, nd.begin + nd.countHere};
+      n += nd.countHere;
+    }
     const int bit =
         static_cast<int>((value >> (f.nbits - 1 - depth)) & 1);
     cur = nd.child[bit];
     if (cur < 0) break;
   }
   return n;
-}
-
-void OverlapIndex::gather(const FieldIndex& fi, const Field& f,
-                          std::uint64_t value, int prefixLen,
-                          std::uint32_t limit,
-                          std::vector<std::uint32_t>& scratch) const {
-  for (std::uint32_t slot : fi.fallback) {
-    if (slot < limit) scratch.push_back(slot);
-  }
-  if (fi.nodes.empty()) return;
-  auto take = [&](std::uint32_t begin, std::uint32_t end) {
-    for (std::uint32_t i = begin; i < end; ++i) {
-      if (fi.slots[i] < limit) scratch.push_back(fi.slots[i]);
-    }
-  };
-  std::int32_t cur = 0;
-  for (int depth = 0;; ++depth) {
-    const TrieNode& nd = fi.nodes[static_cast<std::size_t>(cur)];
-    if (depth == prefixLen) {
-      take(nd.begin, nd.end);
-      break;
-    }
-    take(nd.begin, nd.begin + nd.countHere);
-    const int bit =
-        static_cast<int>((value >> (f.nbits - 1 - depth)) & 1);
-    cur = nd.child[bit];
-    if (cur < 0) break;
-  }
 }
 
 void OverlapIndex::collectOverlaps(const match::Ternary& q,
@@ -205,24 +277,34 @@ void OverlapIndex::collectOverlaps(const match::Ternary& q,
   }
   if (limit == 0) return;
 
-  // Pick the most selective usable field (smallest candidate estimate).
+  // Pick a selective usable field.  Fields are probed most-selective-first
+  // (queryOrder_: IPs before ports before proto for the 5-tuple layout),
+  // and probing stops as soon as some field's candidate estimate is
+  // already tiny — walking the remaining tries could shave at most a
+  // handful of exact re-checks, which costs less than the walks.  The
+  // choice affects speed only, never results (every candidate is verified
+  // exactly), and depends on policy content alone, so it is deterministic
+  // across builders and thread counts.
+  constexpr std::size_t kGoodEnough = 8;
   std::size_t best = static_cast<std::size_t>(-1);
   std::size_t bestField = fields_.size();
-  std::uint64_t bestValue = 0;
-  int bestPrefixLen = -1;
+  GatherPlan plans[2];
+  int bestPlan = -1;
   if (sealed_) {
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
+    for (std::size_t oi = 0; oi < queryOrder_.size(); ++oi) {
+      const std::size_t i = queryOrder_[oi];
       std::uint64_t value = 0;
       int prefixLen = -1;
       decompose(q, fields_[i], &value, &prefixLen);
       if (prefixLen < 0) continue;  // field unusable for this query
+      GatherPlan& trial = plans[bestPlan == 0 ? 1 : 0];
       const std::size_t est =
-          estimate(index_[i], fields_[i], value, prefixLen);
+          estimate(index_[i], fields_[i], value, prefixLen, trial);
       if (est < best) {
         best = est;
         bestField = i;
-        bestValue = value;
-        bestPrefixLen = prefixLen;
+        bestPlan = bestPlan == 0 ? 1 : 0;
+        if (best <= kGoodEnough) break;
       }
     }
   }
@@ -235,12 +317,23 @@ void OverlapIndex::collectOverlaps(const match::Ternary& q,
     return;
   }
 
-  scratch.clear();
-  gather(index_[bestField], fields_[bestField], bestValue, bestPrefixLen,
-         limit, scratch);
+  // Verify the recorded ranges (plus the field's fallback list) against
+  // the exact kernel — no second trie walk, no intermediate candidate
+  // buffer.  `scratch` stays part of the signature for callers that
+  // pre-size it, but this path no longer needs it.
+  (void)scratch;
+  const GatherPlan& plan = plans[bestPlan];
+  const FieldIndex& fi = index_[bestField];
   const std::size_t base = out.size();
-  for (std::uint32_t slot : scratch) {
-    if (packed_.overlaps(slot, q)) out.push_back(slot);
+  for (std::uint32_t slot : fi.fallback) {
+    if (slot < limit && packed_.overlaps(slot, q)) out.push_back(slot);
+  }
+  for (int r = 0; r < plan.count; ++r) {
+    const auto [rb, re] = plan.ranges[static_cast<std::size_t>(r)];
+    for (std::uint32_t s = rb; s < re; ++s) {
+      const std::uint32_t slot = fi.slots[s];
+      if (slot < limit && packed_.overlaps(slot, q)) out.push_back(slot);
+    }
   }
   std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
 }

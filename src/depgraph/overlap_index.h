@@ -35,7 +35,9 @@
 // naive scan — the property the fuzz oracle and tests/test_depgraph_index
 // enforce.  All methods after seal() are const and thread-safe.
 
+#include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "match/packed.h"
@@ -117,17 +119,25 @@ class OverlapIndex {
   void decompose(const match::Ternary& q, const Field& f,
                  std::uint64_t* value, int* prefixLen) const;
 
-  /// Candidate count for `q` in field `fi` (trie ancestors + descendants
-  /// plus the fallback list).  One root-to-depth walk.
-  std::size_t estimate(const FieldIndex& fi, const Field& f,
-                       std::uint64_t value, int prefixLen) const;
+  /// The candidate slot ranges one trie walk produces: at most one
+  /// ancestor posting run per depth plus the terminal subtree range.
+  /// Recording them during estimate() lets the winning field gather
+  /// without re-walking the trie (walks, not verifies, dominate queries).
+  struct GatherPlan {
+    std::array<std::pair<std::uint32_t, std::uint32_t>, 33> ranges;
+    int count = 0;
+  };
 
-  void gather(const FieldIndex& fi, const Field& f, std::uint64_t value,
-              int prefixLen, std::uint32_t limit,
-              std::vector<std::uint32_t>& scratch) const;
+  /// Candidate count for `q` in field `fi` (trie ancestors + descendants
+  /// plus the fallback list).  One root-to-depth walk; fills `plan` with
+  /// the slot ranges it passed so gathering is range iteration only.
+  std::size_t estimate(const FieldIndex& fi, const Field& f,
+                       std::uint64_t value, int prefixLen,
+                       GatherPlan& plan) const;
 
   int width_;
   std::vector<Field> fields_;
+  std::vector<std::size_t> queryOrder_;  ///< fields, most selective first
   std::vector<FieldIndex> index_;
   match::PackedCubes packed_;
   bool sealed_ = false;

@@ -750,7 +750,8 @@ void checkDepGraphEquivalence(const FuzzCase& fc, OracleReport& report) {
         return;
       }
       for (int dropId : ref.dropRules()) {
-        if (got.shieldsOf(dropId) != ref.shieldsOf(dropId)) {
+        if (!std::ranges::equal(got.shieldsOf(dropId),
+                                ref.shieldsOf(dropId))) {
           report.violations.push_back(
               {ViolationKind::kDepgraph,
                std::string(name) + " builder: shields of drop rule " +

@@ -1,14 +1,171 @@
 #include "match/packed.h"
 
+#include <atomic>
 #include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RP_HAVE_AVX2_DISPATCH 1
+#include <immintrin.h>
+#else
+#define RP_HAVE_AVX2_DISPATCH 0
+#endif
 
 namespace ruleplace::match {
+
+namespace {
+
+// Survivor bitmask for up to 64 consecutive slots: bit j is set when slot
+// base+j overlaps the query.  Both implementations compute the identical
+// predicate, so the masks are bit-for-bit equal (the differential test's
+// whole premise).
+using BlockMaskFn = std::uint64_t (*)(const std::uint64_t* c0,
+                                      const std::uint64_t* v0,
+                                      const std::uint64_t* c1,
+                                      const std::uint64_t* v1, std::size_t n,
+                                      std::uint64_t qc0, std::uint64_t qv0,
+                                      std::uint64_t qc1, std::uint64_t qv1);
+
+std::uint64_t blockMaskScalar(const std::uint64_t* c0, const std::uint64_t* v0,
+                              const std::uint64_t* c1, const std::uint64_t* v1,
+                              std::size_t n, std::uint64_t qc0,
+                              std::uint64_t qv0, std::uint64_t qc1,
+                              std::uint64_t qv1) {
+  std::uint64_t mask = 0;
+  std::size_t j = 0;
+  // 4-wide unroll keeps four independent dependency chains in flight; the
+  // per-lane result is a 0/1 bit ORed into the block mask.
+  for (; j + 4 <= n; j += 4) {
+    const std::uint64_t b0 =
+        (c0[j] & qc0 & (v0[j] ^ qv0)) | (c1[j] & qc1 & (v1[j] ^ qv1));
+    const std::uint64_t b1 = (c0[j + 1] & qc0 & (v0[j + 1] ^ qv0)) |
+                             (c1[j + 1] & qc1 & (v1[j + 1] ^ qv1));
+    const std::uint64_t b2 = (c0[j + 2] & qc0 & (v0[j + 2] ^ qv0)) |
+                             (c1[j + 2] & qc1 & (v1[j + 2] ^ qv1));
+    const std::uint64_t b3 = (c0[j + 3] & qc0 & (v0[j + 3] ^ qv0)) |
+                             (c1[j + 3] & qc1 & (v1[j + 3] ^ qv1));
+    mask |= static_cast<std::uint64_t>(b0 == 0) << j;
+    mask |= static_cast<std::uint64_t>(b1 == 0) << (j + 1);
+    mask |= static_cast<std::uint64_t>(b2 == 0) << (j + 2);
+    mask |= static_cast<std::uint64_t>(b3 == 0) << (j + 3);
+  }
+  for (; j < n; ++j) {
+    const std::uint64_t bad =
+        (c0[j] & qc0 & (v0[j] ^ qv0)) | (c1[j] & qc1 & (v1[j] ^ qv1));
+    mask |= static_cast<std::uint64_t>(bad == 0) << j;
+  }
+  return mask;
+}
+
+#if RP_HAVE_AVX2_DISPATCH
+
+__attribute__((target("avx2"))) std::uint64_t blockMaskAvx2(
+    const std::uint64_t* c0, const std::uint64_t* v0, const std::uint64_t* c1,
+    const std::uint64_t* v1, std::size_t n, std::uint64_t qc0,
+    std::uint64_t qv0, std::uint64_t qc1, std::uint64_t qv1) {
+  const __m256i bqc0 = _mm256_set1_epi64x(static_cast<long long>(qc0));
+  const __m256i bqv0 = _mm256_set1_epi64x(static_cast<long long>(qv0));
+  const __m256i bqc1 = _mm256_set1_epi64x(static_cast<long long>(qc1));
+  const __m256i bqv1 = _mm256_set1_epi64x(static_cast<long long>(qv1));
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t mask = 0;
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i lc0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c0 + j));
+    const __m256i lv0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v0 + j));
+    const __m256i lc1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c1 + j));
+    const __m256i lv1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v1 + j));
+    const __m256i bad0 =
+        _mm256_and_si256(_mm256_and_si256(lc0, bqc0),
+                         _mm256_xor_si256(lv0, bqv0));
+    const __m256i bad1 =
+        _mm256_and_si256(_mm256_and_si256(lc1, bqc1),
+                         _mm256_xor_si256(lv1, bqv1));
+    const __m256i bad = _mm256_or_si256(bad0, bad1);
+    // One sign bit per 64-bit lane: lane == 0 -> overlap.
+    const __m256i isZero = _mm256_cmpeq_epi64(bad, zero);
+    const int lanes = _mm256_movemask_pd(_mm256_castsi256_pd(isZero));
+    mask |= static_cast<std::uint64_t>(lanes) << j;
+  }
+  // Unaligned block tail (n % 4 slots) goes through the scalar predicate —
+  // same formula, same bits.
+  for (; j < n; ++j) {
+    const std::uint64_t bad =
+        (c0[j] & qc0 & (v0[j] ^ qv0)) | (c1[j] & qc1 & (v1[j] ^ qv1));
+    mask |= static_cast<std::uint64_t>(bad == 0) << j;
+  }
+  return mask;
+}
+
+bool cpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool cpuHasAvx2() { return false; }
+
+#endif  // RP_HAVE_AVX2_DISPATCH
+
+struct Dispatch {
+  BlockMaskFn fn;
+  OverlapKernel kind;
+};
+
+Dispatch resolve(OverlapKernel requested) {
+  if (requested == OverlapKernel::kAuto) {
+    if (const char* env = std::getenv("RULEPLACE_KERNEL")) {
+      if (std::strcmp(env, "scalar") == 0) {
+        requested = OverlapKernel::kScalar;
+      } else if (std::strcmp(env, "avx2") == 0) {
+        requested = OverlapKernel::kAvx2;
+      }
+    }
+  }
+#if RP_HAVE_AVX2_DISPATCH
+  const bool wantAvx2 = requested != OverlapKernel::kScalar && cpuHasAvx2();
+  if (wantAvx2) return {&blockMaskAvx2, OverlapKernel::kAvx2};
+#else
+  (void)cpuHasAvx2;
+#endif
+  return {&blockMaskScalar, OverlapKernel::kScalar};
+}
+
+std::atomic<BlockMaskFn>& dispatchFn() {
+  static std::atomic<BlockMaskFn> fn{resolve(OverlapKernel::kAuto).fn};
+  return fn;
+}
+
+std::atomic<OverlapKernel>& dispatchKind() {
+  static std::atomic<OverlapKernel> kind{resolve(OverlapKernel::kAuto).kind};
+  return kind;
+}
+
+}  // namespace
+
+void setOverlapKernel(OverlapKernel k) {
+  const Dispatch d = resolve(k);
+  dispatchFn().store(d.fn, std::memory_order_relaxed);
+  dispatchKind().store(d.kind, std::memory_order_relaxed);
+}
+
+OverlapKernel activeOverlapKernel() noexcept {
+  return dispatchKind().load(std::memory_order_relaxed);
+}
+
+const char* overlapKernelName() noexcept {
+  return activeOverlapKernel() == OverlapKernel::kAvx2 ? "avx2" : "scalar";
+}
 
 void PackedCubes::reserve(std::size_t n) {
   care0_.reserve(n);
   value0_.reserve(n);
   care1_.reserve(n);
   value1_.reserve(n);
+  aos_.reserve(n);
 }
 
 void PackedCubes::append(const Ternary& t) {
@@ -16,6 +173,8 @@ void PackedCubes::append(const Ternary& t) {
   value0_.push_back(t.valueWord(0));
   care1_.push_back(t.careWord(1));
   value1_.push_back(t.valueWord(1));
+  aos_.push_back({t.careWord(0), t.valueWord(0), t.careWord(1),
+                  t.valueWord(1)});
 }
 
 void PackedCubes::collectOverlaps(const Ternary& q, std::size_t begin,
@@ -25,16 +184,16 @@ void PackedCubes::collectOverlaps(const Ternary& q, std::size_t begin,
   const std::uint64_t qv0 = q.valueWord(0);
   const std::uint64_t qc1 = q.careWord(1);
   const std::uint64_t qv1 = q.valueWord(1);
+  const BlockMaskFn fn = dispatchFn().load(std::memory_order_relaxed);
+  const std::uint64_t* c0 = care0_.data();
+  const std::uint64_t* v0 = value0_.data();
+  const std::uint64_t* c1 = care1_.data();
+  const std::uint64_t* v1 = value1_.data();
   std::size_t i = begin;
   while (i < end) {
     const std::size_t block = end - i < 64 ? end - i : 64;
-    std::uint64_t mask = 0;
-    for (std::size_t j = 0; j < block; ++j) {
-      const std::size_t s = i + j;
-      const std::uint64_t bad0 = care0_[s] & qc0 & (value0_[s] ^ qv0);
-      const std::uint64_t bad1 = care1_[s] & qc1 & (value1_[s] ^ qv1);
-      mask |= static_cast<std::uint64_t>((bad0 | bad1) == 0) << j;
-    }
+    std::uint64_t mask =
+        fn(c0 + i, v0 + i, c1 + i, v1 + i, block, qc0, qv0, qc1, qv1);
     while (mask != 0) {
       const int j = std::countr_zero(mask);
       out.push_back(static_cast<std::uint32_t>(i + static_cast<std::size_t>(j)));
@@ -50,11 +209,18 @@ std::size_t PackedCubes::countOverlaps(const Ternary& q, std::size_t begin,
   const std::uint64_t qv0 = q.valueWord(0);
   const std::uint64_t qc1 = q.careWord(1);
   const std::uint64_t qv1 = q.valueWord(1);
+  const BlockMaskFn fn = dispatchFn().load(std::memory_order_relaxed);
+  const std::uint64_t* c0 = care0_.data();
+  const std::uint64_t* v0 = value0_.data();
+  const std::uint64_t* c1 = care1_.data();
+  const std::uint64_t* v1 = value1_.data();
   std::size_t n = 0;
-  for (std::size_t s = begin; s < end; ++s) {
-    const std::uint64_t bad0 = care0_[s] & qc0 & (value0_[s] ^ qv0);
-    const std::uint64_t bad1 = care1_[s] & qc1 & (value1_[s] ^ qv1);
-    n += static_cast<std::size_t>((bad0 | bad1) == 0);
+  std::size_t i = begin;
+  while (i < end) {
+    const std::size_t block = end - i < 64 ? end - i : 64;
+    n += static_cast<std::size_t>(std::popcount(
+        fn(c0 + i, v0 + i, c1 + i, v1 + i, block, qc0, qv0, qc1, qv1)));
+    i += block;
   }
   return n;
 }

@@ -12,19 +12,52 @@
 //
 // becomes a branch-free streaming loop over contiguous words.  The blocked
 // kernel evaluates 64 cubes into one survivor bitmask before touching the
-// output vector, so the inner loop is pure ALU work the compiler can
-// unroll/vectorize.
+// output vector, so the inner loop is pure ALU work.
+//
+// The block-mask inner loop has two implementations behind runtime
+// dispatch (docs/performance.md):
+//   * kScalar — portable 64-bit-lane code, unrolled 4 wide;
+//   * kAvx2   — 256-bit lanes (4 cubes per step) via compiler
+//               multiversioning, selected at runtime when the CPU
+//               reports AVX2.
+// Both evaluate the exact same predicate, so every result — survivor
+// masks, counts, emitted slot order — is bit-identical across kernels;
+// tests/test_match_simd.cpp fuzzes that equivalence and the depgraph
+// oracle re-checks it end to end.  Dispatch is process-wide and can be
+// forced (setOverlapKernel, or RULEPLACE_KERNEL=scalar|avx2 in the
+// environment) for differential testing and benchmarking.
 //
 // The kernel implements *exactly* Ternary::overlaps — the dependency-graph
 // builders rely on bit-identical agreement between the two (fuzz-checked
 // in tests/test_depgraph_index.cpp).
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "match/ternary.h"
 
 namespace ruleplace::match {
+
+/// Which block-mask implementation the batch kernel uses.
+enum class OverlapKernel : std::uint8_t {
+  kAuto,    ///< probe the CPU (AVX2 when available, else scalar)
+  kScalar,  ///< portable 64-bit-lane unrolled loop
+  kAvx2,    ///< 256-bit lanes; requests fall back to scalar off-x86
+};
+
+/// Select the kernel process-wide.  kAuto re-probes the CPU and honors a
+/// RULEPLACE_KERNEL=scalar|avx2 environment override.  Requesting kAvx2
+/// on a machine without AVX2 silently resolves to scalar (results are
+/// identical either way).  Not meant to be raced against in-flight
+/// queries; call it at startup or between builds.
+void setOverlapKernel(OverlapKernel k);
+
+/// The kernel actually in use after dispatch: kScalar or kAvx2.
+OverlapKernel activeOverlapKernel() noexcept;
+
+/// Human-readable name of the active kernel ("scalar" / "avx2").
+const char* overlapKernelName() noexcept;
 
 class PackedCubes {
  public:
@@ -38,12 +71,14 @@ class PackedCubes {
   bool empty() const noexcept { return care0_.empty(); }
 
   /// Does the cube in `slot` overlap `q`?  Identical to
-  /// storedCube.overlaps(q) for the cube appended at that slot.
+  /// storedCube.overlaps(q) for the cube appended at that slot.  Reads the
+  /// interleaved mirror: a random-slot probe touches one cache line where
+  /// the four SoA streams would cost four (this is the candidate-verify
+  /// hot path of OverlapIndex).
   bool overlaps(std::size_t slot, const Ternary& q) const noexcept {
-    const std::uint64_t bad0 =
-        care0_[slot] & q.careWord(0) & (value0_[slot] ^ q.valueWord(0));
-    const std::uint64_t bad1 =
-        care1_[slot] & q.careWord(1) & (value1_[slot] ^ q.valueWord(1));
+    const std::array<std::uint64_t, 4>& c = aos_[slot];
+    const std::uint64_t bad0 = c[0] & q.careWord(0) & (c[1] ^ q.valueWord(0));
+    const std::uint64_t bad1 = c[2] & q.careWord(1) & (c[3] ^ q.valueWord(1));
     return (bad0 | bad1) == 0;
   }
 
@@ -58,7 +93,11 @@ class PackedCubes {
                             std::size_t end) const noexcept;
 
  private:
+  // Same cubes twice: four flat streams for the batch kernel (SIMD wants
+  // contiguous lanes) and one interleaved array for single-slot probes
+  // (verification wants one line per cube).  32 bytes/cube extra.
   std::vector<std::uint64_t> care0_, value0_, care1_, value1_;
+  std::vector<std::array<std::uint64_t, 4>> aos_;
 };
 
 }  // namespace ruleplace::match

@@ -89,9 +89,21 @@ bool Solver::addClause(std::vector<Lit> lits) {
     if (!enqueue(out[0], Reason{})) ok_ = false;
     return ok_;
   }
-  clauses_.push_back(Clause{std::move(out), 0.0, 0, false, false});
+  pushClause(out, 0.0, 0, false);
   attachClause(static_cast<std::int32_t>(clauses_.size() - 1));
   return true;
+}
+
+void Solver::pushClause(const std::vector<Lit>& lits, double activity, int lbd,
+                        bool learnt) {
+  Clause c;
+  c.lits = clauseArena_.allocArray<Lit>(lits.size());
+  std::copy(lits.begin(), lits.end(), c.lits);
+  c.size = static_cast<std::uint32_t>(lits.size());
+  c.activity = activity;
+  c.lbd = lbd;
+  c.learnt = learnt;
+  clauses_.push_back(c);
 }
 
 void Solver::attachClause(std::int32_t idx) {
@@ -450,7 +462,7 @@ bool Solver::propagateClauses(Lit p, std::vector<Lit>& conflictOut) {
       continue;
     }
     bool moved = false;
-    for (std::size_t k = 2; k < c.lits.size(); ++k) {
+    for (std::size_t k = 2; k < c.size; ++k) {
       if (value(c.lits[k]) != LBool::kFalse) {
         std::swap(c.lits[1], c.lits[k]);
         watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(
@@ -467,7 +479,7 @@ bool Solver::propagateClauses(Lit p, std::vector<Lit>& conflictOut) {
     ws[j++] = updated;
     ++i;
     if (value(first) == LBool::kFalse) {
-      conflictOut.assign(c.lits.begin(), c.lits.end());
+      conflictOut.assign(c.begin(), c.end());
       while (i < ws.size()) ws[j++] = ws[i++];
       ws.resize(j);
       qhead_ = trail_.size();
@@ -488,7 +500,7 @@ void Solver::reasonLits(Lit p, const Reason& r, std::vector<Lit>& out) const {
       return;
     case Reason::Kind::kClause: {
       const Clause& c = clauses_[static_cast<std::size_t>(r.idx)];
-      for (Lit l : c.lits) {
+      for (Lit l : c) {
         if (l != p) out.push_back(l);
       }
       return;
@@ -762,7 +774,7 @@ void Solver::reduceDB() {
   std::vector<std::int32_t> candidates;
   for (std::size_t i = 0; i < clauses_.size(); ++i) {
     const Clause& c = clauses_[i];
-    if (!c.learnt || c.deleted || c.lbd <= 2 || c.lits.size() <= 2) continue;
+    if (!c.learnt || c.deleted || c.lbd <= 2 || c.size <= 2) continue;
     // Locked: clause is the reason of its first literal's assignment.
     Var v = c.lits[0].var();
     const Reason& r = reasons_[static_cast<std::size_t>(v)];
@@ -799,10 +811,25 @@ void Solver::compactClauseDB() {
   for (std::size_t i = 0; i < clauses_.size(); ++i) {
     if (clauses_[i].deleted) continue;
     remap[i] = static_cast<std::int32_t>(alive);
-    if (alive != i) clauses_[alive] = std::move(clauses_[i]);
+    if (alive != i) clauses_[alive] = clauses_[i];
     ++alive;
   }
   clauses_.resize(alive);
+  // Migrate survivor literal arrays into a fresh arena generation and
+  // retire the old one — deleted clauses' literals go with it, and the
+  // survivors end up contiguous again (propagation locality degrades as
+  // the learnt DB fragments across generations).
+  {
+    util::Arena fresh(std::clamp(clauseArena_.bytesUsed() / 2,
+                                 util::Arena::kDefaultChunkBytes,
+                                 util::Arena::kMaxChunkBytes));
+    for (Clause& c : clauses_) {
+      Lit* nl = fresh.allocArray<Lit>(c.size);
+      std::copy(c.lits, c.lits + c.size, nl);
+      c.lits = nl;
+    }
+    clauseArena_ = std::move(fresh);
+  }
   // Rebuild the watcher lists from scratch.  The watched literals of a
   // clause are always lits[0] and lits[1] (propagateClauses maintains that
   // positional invariant), so re-attaching preserves the two-watched
@@ -896,7 +923,7 @@ SolveStatus Solver::solve(const std::vector<Lit>& assumptions,
               std::unique(levels.begin(), levels.end()) - levels.begin());
         }
         stats_.recordLbd(lbd);
-        clauses_.push_back(Clause{learnt, claInc_, lbd, true, false});
+        pushClause(learnt, claInc_, lbd, true);
         ++learntCount_;
         stats_.learntLiterals += static_cast<std::int64_t>(learnt.size());
         attachClause(static_cast<std::int32_t>(clauses_.size() - 1));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "solver/types.h"
+#include "util/arena.h"
 
 namespace ruleplace::solver {
 
@@ -98,12 +99,21 @@ class Solver {
 
  private:
   // ---- constraint storage -------------------------------------------------
+  // Clause literals live in clauseArena_ as bare arrays: a clause is a
+  // (pointer, length) view plus metadata, 32 bytes instead of a 24-byte
+  // vector header pointing at its own malloc block.  Clause literal counts
+  // never change after construction (propagation only swaps in place), and
+  // arena addresses are stable, so the pointers stay valid until
+  // compactClauseDB() migrates survivors into a fresh generation.
   struct Clause {
-    std::vector<Lit> lits;
+    Lit* lits = nullptr;
+    std::uint32_t size = 0;
     double activity = 0.0;
     int lbd = 0;
     bool learnt = false;
     bool deleted = false;
+    Lit* begin() const noexcept { return lits; }
+    Lit* end() const noexcept { return lits + size; }
   };
   struct Card {
     std::vector<Lit> lits;
@@ -130,6 +140,7 @@ class Solver {
   };
 
   // ---- state --------------------------------------------------------------
+  util::Arena clauseArena_;  ///< owns every Clause's literal array
   std::vector<Clause> clauses_;
   std::vector<Card> cards_;
   std::vector<PB> pbs_;
@@ -183,6 +194,10 @@ class Solver {
   int decisionLevel() const noexcept {
     return static_cast<int>(trailLim_.size());
   }
+
+  /// Copy `lits` into clauseArena_ and append a Clause viewing the copy.
+  void pushClause(const std::vector<Lit>& lits, double activity, int lbd,
+                  bool learnt);
 
   void attachClause(std::int32_t idx);
   bool enqueue(Lit p, Reason from);

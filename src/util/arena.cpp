@@ -1,0 +1,114 @@
+#include "util/arena.h"
+
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace ruleplace::util {
+
+Arena::Arena(std::size_t firstChunkBytes)
+    : nextChunkBytes_(firstChunkBytes < sizeof(void*) ? sizeof(void*)
+                                                      : firstChunkBytes) {}
+
+Arena::~Arena() { freeChunks(head_); }
+
+Arena::Arena(Arena&& other) noexcept
+    : head_(std::exchange(other.head_, nullptr)),
+      cursor_(std::exchange(other.cursor_, nullptr)),
+      end_(std::exchange(other.end_, nullptr)),
+      nextChunkBytes_(other.nextChunkBytes_),
+      used_(std::exchange(other.used_, 0)),
+      reserved_(std::exchange(other.reserved_, 0)) {}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this != &other) {
+    freeChunks(head_);
+    head_ = std::exchange(other.head_, nullptr);
+    cursor_ = std::exchange(other.cursor_, nullptr);
+    end_ = std::exchange(other.end_, nullptr);
+    nextChunkBytes_ = other.nextChunkBytes_;
+    used_ = std::exchange(other.used_, 0);
+    reserved_ = std::exchange(other.reserved_, 0);
+  }
+  return *this;
+}
+
+void Arena::freeChunks(Chunk* c) noexcept {
+  while (c != nullptr) {
+    Chunk* next = c->next;
+    std::free(c);
+    c = next;
+  }
+}
+
+void Arena::grow(std::size_t minBytes) {
+  std::size_t payload = nextChunkBytes_;
+  if (payload < minBytes) payload = minBytes;
+  // Chunk headers are max-aligned by malloc's contract, so the payload
+  // that follows the header starts max-aligned too.
+  static_assert(sizeof(Chunk) % alignof(std::max_align_t) == 0 ||
+                    sizeof(Chunk) <= alignof(std::max_align_t),
+                "payload alignment depends on the header size");
+  const std::size_t headerBytes =
+      (sizeof(Chunk) + alignof(std::max_align_t) - 1) /
+      alignof(std::max_align_t) * alignof(std::max_align_t);
+  void* raw = std::malloc(headerBytes + payload);
+  if (raw == nullptr) throw std::bad_alloc();
+  Chunk* c = new (raw) Chunk;
+  c->next = head_;
+  c->size = payload;
+  head_ = c;
+  cursor_ = static_cast<std::byte*>(raw) + headerBytes;
+  end_ = cursor_ + payload;
+  reserved_ += payload;
+  if (nextChunkBytes_ < kMaxChunkBytes) {
+    nextChunkBytes_ *= 2;
+    if (nextChunkBytes_ > kMaxChunkBytes) nextChunkBytes_ = kMaxChunkBytes;
+  }
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::size_t pad = (align - (addr & (align - 1))) & (align - 1);
+  if (cursor_ == nullptr ||
+      bytes + pad > static_cast<std::size_t>(end_ - cursor_)) {
+    grow(bytes + align);
+    addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::size_t pad2 = (align - (addr & (align - 1))) & (align - 1);
+    cursor_ += pad2;
+  } else {
+    cursor_ += pad;
+  }
+  std::byte* out = cursor_;
+  cursor_ += bytes;
+  used_ += bytes;
+  return out;
+}
+
+void Arena::reset() {
+  if (head_ == nullptr) {
+    used_ = 0;
+    return;
+  }
+  // Keep the newest (largest, by geometric growth) chunk for reuse; free
+  // the older generations.
+  freeChunks(std::exchange(head_->next, nullptr));
+  const std::size_t headerBytes =
+      (sizeof(Chunk) + alignof(std::max_align_t) - 1) /
+      alignof(std::max_align_t) * alignof(std::max_align_t);
+  cursor_ = reinterpret_cast<std::byte*>(head_) + headerBytes;
+  end_ = cursor_ + head_->size;
+  used_ = 0;
+  reserved_ = head_->size;
+}
+
+void Arena::swap(Arena& other) noexcept {
+  std::swap(head_, other.head_);
+  std::swap(cursor_, other.cursor_);
+  std::swap(end_, other.end_);
+  std::swap(nextChunkBytes_, other.nextChunkBytes_);
+  std::swap(used_, other.used_);
+  std::swap(reserved_, other.reserved_);
+}
+
+}  // namespace ruleplace::util

@@ -1,0 +1,90 @@
+#pragma once
+// Chunked bump allocator for hot, homogeneous object populations.
+//
+// The solver's clause database and the dependency graph's shield lists
+// allocate millions of small arrays whose lifetimes end together (the
+// whole solve / the whole graph).  malloc charges per-allocation headers,
+// scatters them across the heap, and frees them one by one; the arena
+// instead carves them out of geometrically-growing chunks with a pointer
+// bump, keeps them contiguous (the locality the SIMD overlap kernel and
+// clause propagation depend on), and releases everything at once.
+//
+// Contracts:
+//   * Addresses are stable for the arena's lifetime — chunks are never
+//     reallocated or moved, so raw pointers into the arena stay valid
+//     until reset()/destruction.  (This is what lets solver::Clause hold a
+//     bare Lit* instead of an offset.)
+//   * Only trivially-destructible payloads: deallocation never runs
+//     destructors, it just drops the chunks.
+//   * Not thread-safe.  Parallel producers build into private storage and
+//     pack into the arena on the (sequential) merge path — see
+//     depgraph::DependencyGraph.
+//   * reset() rewinds to empty but keeps the newest (largest) chunk, so
+//     steady-state reuse (the solver's clause-DB compaction) stops hitting
+//     malloc entirely once the high-water mark is reached.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace ruleplace::util {
+
+class Arena {
+ public:
+  /// `firstChunkBytes` sizes the initial chunk; later chunks double up to
+  /// kMaxChunkBytes.  Nothing is allocated until the first allocate().
+  explicit Arena(std::size_t firstChunkBytes = kDefaultChunkBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+
+  /// Raw storage, aligned to `align` (a power of two <= alignof(max_align_t)).
+  /// An oversized request gets a chunk of its own size; bytes == 0 is
+  /// allowed and returns a non-null pointer into the current chunk.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Uninitialized array of n trivially-destructible Ts.
+  template <typename T>
+  T* allocArray(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is dropped without running destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind to empty.  The newest chunk is kept for reuse, older chunks
+  /// are freed.  Every pointer previously handed out becomes invalid.
+  void reset();
+
+  /// Swap contents (used to retire an old generation after compaction).
+  void swap(Arena& other) noexcept;
+
+  /// Bytes handed out since construction/reset (payload, not padding).
+  std::size_t bytesUsed() const noexcept { return used_; }
+  /// Bytes owned by chunks (the allocator-level footprint).
+  std::size_t bytesReserved() const noexcept { return reserved_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 22;
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+    std::size_t size = 0;  // payload bytes following the header
+  };
+
+  /// Start a new chunk with at least `minBytes` of payload.
+  void grow(std::size_t minBytes);
+  void freeChunks(Chunk* c) noexcept;
+
+  Chunk* head_ = nullptr;       // most recent chunk (allocation target)
+  std::byte* cursor_ = nullptr; // next free byte in head_
+  std::byte* end_ = nullptr;    // one past head_'s payload
+  std::size_t nextChunkBytes_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace ruleplace::util

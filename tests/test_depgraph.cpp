@@ -1,6 +1,8 @@
 // Tests for dependency-graph construction and cross-policy merging,
 // including the paper's Fig. 5 circular-dependency scenario.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "acl/redundancy.h"
@@ -62,7 +64,8 @@ TEST(DependencyGraph, MultipleShieldsCollected) {
   int p2 = q.addRule(T("*11"), Action::kPermit);
   int drop = q.addRule(T("***"), Action::kDrop);
   DependencyGraph dg(q);
-  EXPECT_EQ(dg.shieldsOf(drop), (std::vector<int>{p1, p2}));
+  EXPECT_TRUE(std::ranges::equal(dg.shieldsOf(drop),
+                                 std::vector<int>{p1, p2}));
   auto edges = dg.edges();
   EXPECT_EQ(edges.size(), 2u);
 }
@@ -91,7 +94,8 @@ TEST(DependencyGraph, SparseRuleIdsUseDenseStorage) {
   // One shield slot per drop rule, regardless of how large ids grew.
   EXPECT_EQ(dg.shieldSlotCount(), 1u);
   // Lookups by the churned (sparse) id still resolve correctly.
-  EXPECT_EQ(dg.shieldsOf(drop), (std::vector<int>{p1, p2}));
+  EXPECT_TRUE(std::ranges::equal(dg.shieldsOf(drop),
+                                 std::vector<int>{p1, p2}));
   EXPECT_TRUE(dg.shieldsOf(drop - 1).empty());  // stale id: no edges
   EXPECT_EQ(dg.edgeCount(), 2u);
 }

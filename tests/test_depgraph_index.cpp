@@ -49,7 +49,10 @@ void expectGraphsEqual(const depgraph::DependencyGraph& ref,
                        const std::string& what) {
   ASSERT_EQ(ref.dropRules(), got.dropRules()) << what;
   for (int dropId : ref.dropRules()) {
-    ASSERT_EQ(ref.shieldsOf(dropId), got.shieldsOf(dropId))
+    const auto r = ref.shieldsOf(dropId);
+    const auto g = got.shieldsOf(dropId);
+    ASSERT_EQ(std::vector<int>(r.begin(), r.end()),
+              std::vector<int>(g.begin(), g.end()))
         << what << ": shields of drop rule " << dropId;
   }
 }

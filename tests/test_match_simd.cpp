@@ -1,0 +1,245 @@
+// Differential coverage for the vectorized batch overlap kernel
+// (docs/performance.md): the scalar and AVX2 block-mask implementations
+// must agree bit-for-bit on every input — survivor sets, counts, emission
+// order — and both must agree with the per-object Ternary::overlaps
+// reference.  Exercises every header width class, unaligned block tails,
+// care-mask edge cases (full wildcard, single care bit, disjoint care),
+// and replays the checked-in fuzz corpus through both dispatch paths.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "depgraph/depgraph.h"
+#include "fuzz/reproducer.h"
+#include "match/packed.h"
+#include "match/ternary.h"
+#include "util/rng.h"
+
+#ifndef RP_CORPUS_DIR
+#error "RP_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace {
+
+using namespace ruleplace;
+
+// Every test must leave the process-wide dispatch in its default state;
+// a leaked forced kernel would silently bias every later test.
+class KernelGuard {
+ public:
+  KernelGuard() = default;
+  ~KernelGuard() { match::setOverlapKernel(match::OverlapKernel::kAuto); }
+};
+
+bool avx2Active() {
+  match::setOverlapKernel(match::OverlapKernel::kAvx2);
+  const bool yes =
+      match::activeOverlapKernel() == match::OverlapKernel::kAvx2;
+  match::setOverlapKernel(match::OverlapKernel::kAuto);
+  return yes;
+}
+
+match::Ternary randomCube(util::Rng& rng, int width, double wildcardP) {
+  match::Ternary t(width);
+  for (int b = 0; b < width; ++b) {
+    if (rng.chance(wildcardP)) continue;  // leave '*'
+    t.setBit(b, static_cast<int>(rng.next() & 1));
+  }
+  return t;
+}
+
+match::PackedCubes pack(const std::vector<match::Ternary>& cubes) {
+  match::PackedCubes p;
+  p.reserve(cubes.size());
+  for (const auto& c : cubes) p.append(c);
+  return p;
+}
+
+// Collect + count under a forced kernel.
+std::vector<std::uint32_t> collectWith(match::OverlapKernel k,
+                                       const match::PackedCubes& packed,
+                                       const match::Ternary& q,
+                                       std::size_t begin, std::size_t end) {
+  match::setOverlapKernel(k);
+  std::vector<std::uint32_t> out;
+  packed.collectOverlaps(q, begin, end, out);
+  return out;
+}
+
+// The differential core: scalar vs AVX2 (when present) vs the per-object
+// reference, over a window [begin, end) chosen to stress block tails.
+void expectKernelsAgree(const std::vector<match::Ternary>& cubes,
+                        const std::vector<match::Ternary>& queries,
+                        std::size_t begin, std::size_t end,
+                        const std::string& what) {
+  const match::PackedCubes packed = pack(cubes);
+  const bool haveAvx2 = avx2Active();
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const match::Ternary& q = queries[qi];
+    // Ground truth straight from the scalar single-object predicate.
+    std::vector<std::uint32_t> ref;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (cubes[s].overlaps(q)) ref.push_back(static_cast<std::uint32_t>(s));
+    }
+    const auto scalar =
+        collectWith(match::OverlapKernel::kScalar, packed, q, begin, end);
+    ASSERT_EQ(scalar, ref) << what << ": scalar kernel vs Ternary::overlaps"
+                           << " (query " << qi << ")";
+    match::setOverlapKernel(match::OverlapKernel::kScalar);
+    ASSERT_EQ(packed.countOverlaps(q, begin, end), ref.size())
+        << what << ": scalar count (query " << qi << ")";
+    if (haveAvx2) {
+      const auto simd =
+          collectWith(match::OverlapKernel::kAvx2, packed, q, begin, end);
+      ASSERT_EQ(simd, ref) << what << ": avx2 kernel diverged (query " << qi
+                           << ")";
+      match::setOverlapKernel(match::OverlapKernel::kAvx2);
+      ASSERT_EQ(packed.countOverlaps(q, begin, end), ref.size())
+          << what << ": avx2 count (query " << qi << ")";
+    }
+    // Single-slot AoS probe agrees too (the candidate-verify hot path).
+    for (std::uint32_t s : ref) {
+      ASSERT_TRUE(packed.overlaps(s, q))
+          << what << ": AoS probe missed slot " << s;
+    }
+  }
+  match::setOverlapKernel(match::OverlapKernel::kAuto);
+}
+
+TEST(MatchSimd, DispatchForcingAndReporting) {
+  KernelGuard guard;
+  match::setOverlapKernel(match::OverlapKernel::kScalar);
+  EXPECT_EQ(match::activeOverlapKernel(), match::OverlapKernel::kScalar);
+  EXPECT_STREQ(match::overlapKernelName(), "scalar");
+
+  match::setOverlapKernel(match::OverlapKernel::kAvx2);
+  // Off-x86 (or pre-AVX2 hardware) the request must fall back to scalar,
+  // never crash or stay unresolved.
+  const auto active = match::activeOverlapKernel();
+  EXPECT_TRUE(active == match::OverlapKernel::kAvx2 ||
+              active == match::OverlapKernel::kScalar);
+  if (active == match::OverlapKernel::kAvx2) {
+    EXPECT_STREQ(match::overlapKernelName(), "avx2");
+  }
+
+  match::setOverlapKernel(match::OverlapKernel::kAuto);
+  const auto resolved = match::activeOverlapKernel();
+  EXPECT_TRUE(resolved == match::OverlapKernel::kAvx2 ||
+              resolved == match::OverlapKernel::kScalar)
+      << "auto dispatch must resolve to a concrete kernel";
+}
+
+TEST(MatchSimd, RandomizedAllWidths) {
+  KernelGuard guard;
+  for (int width : {1, 6, 32, 33, 63, 64, 65, 104, 127, 128}) {
+    util::Rng rng(0x51D0ull + static_cast<std::uint64_t>(width));
+    std::vector<match::Ternary> cubes, queries;
+    for (int i = 0; i < 300; ++i) cubes.push_back(randomCube(rng, width, 0.6));
+    for (int i = 0; i < 24; ++i) {
+      queries.push_back(randomCube(rng, width, 0.4));
+    }
+    expectKernelsAgree(cubes, queries, 0, cubes.size(),
+                       "width " + std::to_string(width));
+  }
+}
+
+TEST(MatchSimd, UnalignedBlockTails) {
+  KernelGuard guard;
+  util::Rng rng(0xB10C7A11ull);
+  // Sizes straddling the 64-slot block and the 4-lane SIMD step, probed
+  // with begin/end offsets that land mid-block.
+  for (std::size_t n : {1u, 2u, 3u, 5u, 63u, 64u, 65u, 66u, 127u, 128u,
+                        129u, 255u, 257u}) {
+    std::vector<match::Ternary> cubes, queries;
+    for (std::size_t i = 0; i < n; ++i) {
+      cubes.push_back(randomCube(rng, 104, 0.5));
+    }
+    for (int i = 0; i < 8; ++i) queries.push_back(randomCube(rng, 104, 0.5));
+    const std::string tag = "n=" + std::to_string(n);
+    expectKernelsAgree(cubes, queries, 0, n, tag + " full");
+    if (n > 2) {
+      const std::size_t begin = rng.below(n / 2);
+      const std::size_t end = n - rng.below(n / 2);
+      expectKernelsAgree(cubes, queries, begin, end,
+                         tag + " window [" + std::to_string(begin) + "," +
+                             std::to_string(end) + ")");
+    }
+  }
+}
+
+TEST(MatchSimd, CareBitEdgeCases) {
+  KernelGuard guard;
+  const int width = 128;
+  std::vector<match::Ternary> cubes;
+  // Full wildcard: overlaps everything.
+  cubes.push_back(match::Ternary(width));
+  // Single care bit in each word, both polarities.
+  for (int bit : {0, 31, 63, 64, 100, 127}) {
+    for (int v : {0, 1}) {
+      match::Ternary t(width);
+      t.setBit(bit, v);
+      cubes.push_back(t);
+    }
+  }
+  // Disjoint care masks: one cube pins only word-0 bits, another only
+  // word-1 bits — they must overlap regardless of values.
+  cubes.push_back(match::Ternary::field(width, 0, 32, 0xDEADBEEFull));
+  cubes.push_back(match::Ternary::field(width, 64, 32, 0xCAFEF00Dull));
+  // Fully exact cubes, equal and off-by-one-bit.
+  cubes.push_back(match::Ternary::exact(width, 0x0123456789ABCDEFull,
+                                        0xFEDCBA9876543210ull));
+  cubes.push_back(match::Ternary::exact(width, 0x0123456789ABCDEEull,
+                                        0xFEDCBA9876543210ull));
+  cubes.push_back(match::Ternary::exact(width, 0x0123456789ABCDEFull,
+                                        0x7EDCBA9876543210ull));
+
+  // Query with each stored cube plus a handful of random ones: the edge
+  // cubes appear on both sides of the predicate.
+  std::vector<match::Ternary> queries = cubes;
+  util::Rng rng(0xED6Eull);
+  for (int i = 0; i < 8; ++i) queries.push_back(randomCube(rng, width, 0.3));
+  expectKernelsAgree(cubes, queries, 0, cubes.size(), "care edge cases");
+}
+
+TEST(MatchSimd, CorpusReplayAgreesAcrossKernels) {
+  KernelGuard guard;
+  if (!avx2Active()) GTEST_SKIP() << "no AVX2 on this machine";
+
+  depgraph::BuildOptions opts;
+  opts.builder = depgraph::BuilderKind::kIndexed;
+  opts.threads = 1;
+  opts.cache = false;
+
+  std::size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RP_CORPUS_DIR)) {
+    if (entry.path().extension() != ".scenario") continue;
+    ++files;
+    const fuzz::Reproducer rep = fuzz::loadReproducer(entry.path().string());
+    for (std::size_t p = 0; p < rep.fuzzCase.policies.size(); ++p) {
+      const acl::Policy& policy = rep.fuzzCase.policies[p];
+      match::setOverlapKernel(match::OverlapKernel::kScalar);
+      const depgraph::DependencyGraph scalarGraph(policy, opts);
+      match::setOverlapKernel(match::OverlapKernel::kAvx2);
+      const depgraph::DependencyGraph simdGraph(policy, opts);
+      const std::string tag = entry.path().filename().string() +
+                              " policy " + std::to_string(p);
+      ASSERT_EQ(scalarGraph.dropRules(), simdGraph.dropRules()) << tag;
+      for (int dropId : scalarGraph.dropRules()) {
+        const auto a = scalarGraph.shieldsOf(dropId);
+        const auto b = simdGraph.shieldsOf(dropId);
+        ASSERT_EQ(std::vector<int>(a.begin(), a.end()),
+                  std::vector<int>(b.begin(), b.end()))
+            << tag << ": shields of drop " << dropId
+            << " differ between kernels";
+      }
+    }
+  }
+  EXPECT_GE(files, 5u) << "corpus directory went missing?";
+}
+
+}  // namespace

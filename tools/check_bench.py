@@ -29,11 +29,15 @@ exists for relative comparison — floors encode acceptance criteria
 (ratios, feasibility counts), which are robust on noisy shared runners
 where raw times are not.
 
-Exit status: 1 when any regression is found, 0 otherwise.  A missing
-baseline directory or file is reported and skipped, never fatal — new
-benchmarks must not break CI before a baseline lands.  CI runs this as a
-non-blocking step: shared runners are noisy, so the report is advisory;
-the numbers that matter are trends across runs.
+Exit status: 1 when any regression, floor violation, or malformed
+BENCH_*.json (on either side) is found, 0 otherwise.  A missing baseline
+directory or file is reported and skipped, never fatal — new benchmarks
+must not break CI before a baseline lands.  The reverse direction —
+baseline entries that no longer appear in the current run ("baseline
+rot", typically a renamed or deleted benchmark whose baseline was never
+refreshed) — is warned about but does not fail: stale baselines cost
+coverage, not correctness.  Relative timing deltas are advisory in the
+per-PR job (shared runners are noisy); floors and file integrity block.
 
 Only stdlib is used; python3 is the only requirement.
 """
@@ -57,6 +61,10 @@ _NON_COUNTER_KEYS = {
 }
 
 
+class MalformedBench(Exception):
+    """A BENCH_*.json that is not a Google Benchmark result file."""
+
+
 def load_entries(path):
     """Map benchmark name -> (real_time ns, {stage name -> ms},
     {counter -> value}) from one benchmark JSON file.
@@ -65,16 +73,34 @@ def load_entries(path):
     survive a unit change in the benchmark source.  Stage counters (keys
     prefixed "stage/") are optional — older files simply yield {}.  The
     remaining numeric fields are user counters, kept for floor checks.
+
+    Raises MalformedBench on unparseable JSON or a document without the
+    benchmark-result shape — a truncated upload or hand-edited baseline
+    must fail loudly, not read as "no entries, nothing to check".
     """
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise MalformedBench(f"{path}: unreadable JSON: {e}") from e
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("benchmarks"), list):
+        raise MalformedBench(
+            f"{path}: not a Google Benchmark result "
+            "(missing 'benchmarks' list)")
     entries = {}
-    for b in doc.get("benchmarks", []):
+    for b in doc["benchmarks"]:
+        if not isinstance(b, dict):
+            raise MalformedBench(f"{path}: non-object benchmark entry")
         # Skip aggregate rows (mean/median/stddev) when repetitions ran.
         if b.get("run_type") == "aggregate":
             continue
         name = b.get("name")
         if name is not None and "real_time" in b:
+            if not isinstance(b["real_time"], (int, float)):
+                raise MalformedBench(
+                    f"{path}: {name}: non-numeric real_time "
+                    f"{b['real_time']!r}")
             scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
             stages = {
                 k[len(_STAGE_PREFIX):]: float(v)
@@ -183,15 +209,31 @@ def main():
     regressions = []
     improvements = []
     floor_violations = []
+    malformed = []
+    rotted = []
     for fname in current_files:
-        current = load_entries(os.path.join(args.current, fname))
+        try:
+            current = load_entries(os.path.join(args.current, fname))
+        except MalformedBench as e:
+            malformed.append(str(e))
+            continue
         floor_violations.extend(check_floors(fname, current, floors))
         base_path = os.path.join(args.baseline, fname)
         if not have_baselines or not os.path.isfile(base_path):
             print(f"{fname}: no baseline, skipped "
                   f"({len(current)} benchmark(s) recorded)")
             continue
-        baseline = load_entries(base_path)
+        try:
+            baseline = load_entries(base_path)
+        except MalformedBench as e:
+            malformed.append(str(e))
+            continue
+        # Baseline rot: entries the baseline tracks but the run no longer
+        # produces (renamed/deleted benchmark, shrunken sweep).  Warn —
+        # the committed file should be refreshed or pruned.
+        for name in sorted(set(baseline) - set(current)):
+            rotted.append(f"{fname}: baseline entry {name!r} missing from "
+                          "current run")
         for name, (cur, cur_stages, _) in sorted(current.items()):
             base_entry = baseline.get(name)
             if base_entry is None:
@@ -211,6 +253,17 @@ def main():
 
     for line in improvements:
         print(f"improvement: {line}")
+    if rotted:
+        print(f"\ncheck_bench: {len(rotted)} stale baseline entr"
+              f"{'y' if len(rotted) == 1 else 'ies'} (warning only — "
+              "refresh or prune bench/baselines):")
+        for line in rotted:
+            print(f"  WARN {line}")
+    if malformed:
+        print(f"\ncheck_bench: {len(malformed)} malformed benchmark "
+              "file(s):")
+        for line in malformed:
+            print(f"  MALFORMED {line}")
     if floor_violations:
         print(f"\ncheck_bench: {len(floor_violations)} counter-floor "
               "violation(s):")
@@ -226,7 +279,7 @@ def main():
             if not stage_lines:
                 print("    (no per-stage counters on both sides; "
                       "attribution unavailable)")
-    if regressions or floor_violations:
+    if regressions or floor_violations or malformed:
         return 1
     print("check_bench: no regressions")
     return 0
