@@ -1,0 +1,139 @@
+// Serve-daemon sustained-churn tier (docs/serve.md): how many streamed
+// updates per second the long-lived daemon commits on the 4k-rule
+// fat-tree churn target, and whether the p99 commit latency stays
+// bounded while it does.
+//
+// The trace is reroute-only (the steady-state churn of the paper's
+// adaptable-placement setting): the base deployment — 512 policies x 8
+// rules = 4096 rules on a Fat-Tree k=4 — is solved unmeasured in the
+// Daemon constructor, then the measured phase streams protocol lines in
+// slabs of one max-batch each, flushing between slabs so the latency
+// numbers mean "time from ingest to committed snapshot" rather than
+// open-loop queueing delay.  Throughput still exercises the whole
+// coalescing ladder: each slab's reroutes dedup last-wins into a
+// handful of session solves.
+//
+// Counters pinned by bench/baselines/FLOORS.json:
+//   * updates_per_sec — committed events per measured second (>= 10k);
+//   * p99_bounded     — 1 iff p99 commit latency <= kP99BoundMs.
+// Plus diagnostics: p99_update_ms, feasible_events, failed_events,
+// solves (how hard coalescing worked), rules (the churned rule mass).
+//
+// RULEPLACE_FULL=1 registers the million-event endurance point instead
+// (serve_churn_full), which also crosses several rebase cycles.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "io/scenario.h"
+#include "serve/churn_gen.h"
+#include "serve/daemon.h"
+
+namespace ruleplace::bench {
+namespace {
+
+/// p99 commit latency must stay under this for p99_bounded = 1.  One
+/// slab is one max-batch, so the bound says "a full coalesced batch —
+/// dedup, delta encode, solve, publish — finishes in under 2 s".
+constexpr double kP99BoundMs = 2000.0;
+
+constexpr std::size_t kMaxBatch = 4096;
+
+serve::ChurnConfig churnTarget(std::int64_t events) {
+  serve::ChurnConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.switchCapacity = 4096;  // generous: churn, not feasibility, is measured
+  cfg.basePolicies = 512;
+  cfg.rulesPerPolicy = 8;  // 512 x 8 = 4096 rules
+  cfg.events = events;
+  cfg.installWeight = 0.0;  // steady state: no policy growth over the run
+  cfg.rerouteWeight = 1.0;
+  cfg.capacityWeight = 0.0;
+  cfg.seed = 0x5e12e;
+  return cfg;
+}
+
+void serveChurnPoint(benchmark::State& state) {
+  const std::int64_t events = static_cast<std::int64_t>(state.range(0));
+  const serve::ChurnConfig cfg = churnTarget(events);
+  io::Scenario scenario;
+  serve::churnScenario(cfg, scenario);
+  std::int64_t rules = 0;
+  for (const auto& p : scenario.policies) {
+    rules += static_cast<std::int64_t>(p.size());
+  }
+
+  for (auto _ : state) {
+    serve::DaemonOptions opts;
+    opts.shards = 1;  // exact capacity, deterministic coalescing
+    opts.workers = 1;
+    opts.maxBatch = kMaxBatch;
+    opts.debounceSeconds = 0.0;  // eager: drain starts on first enqueue
+    serve::Daemon daemon(scenario, opts);  // base solve is unmeasured
+    daemon.resetLatencyWindow();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::int64_t first = 0; first < events;
+         first += static_cast<std::int64_t>(kMaxBatch)) {
+      const std::int64_t count =
+          std::min<std::int64_t>(static_cast<std::int64_t>(kMaxBatch),
+                                 events - first);
+      for (const std::string& line : serve::churnLines(cfg, first, count)) {
+        daemon.handleLine(line);
+      }
+      // Closed-loop pacing: wait for the slab to commit so latency
+      // samples measure batch turnaround, not unbounded queue depth.
+      daemon.flush();
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    state.SetIterationTime(secs);
+
+    const serve::Daemon::Stats st = daemon.stats();
+    if (st.totals.committed + st.totals.failed != events) {
+      state.SkipWithError("daemon lost events: committed + failed != trace");
+      return;
+    }
+    state.counters["updates_per_sec"] =
+        secs > 0.0 ? static_cast<double>(st.totals.committed) / secs : 0.0;
+    state.counters["p99_update_ms"] = st.p99UpdateMs;
+    state.counters["p99_bounded"] =
+        (st.p99UpdateMs >= 0.0 && st.p99UpdateMs <= kP99BoundMs) ? 1 : 0;
+    state.counters["feasible_events"] =
+        static_cast<double>(st.totals.committed);
+    state.counters["failed_events"] = static_cast<double>(st.totals.failed);
+    state.counters["solves"] = static_cast<double>(st.totals.solves);
+    state.counters["rules"] = static_cast<double>(rules);
+  }
+}
+
+void registerAll() {
+  if (fullScale()) {
+    // Endurance: a million streamed events crosses ~>100 coalesced
+    // batches and several session rebase cycles.
+    benchmark::RegisterBenchmark("serve_churn_full", serveChurnPoint)
+        ->Arg(1000000)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  } else {
+    benchmark::RegisterBenchmark("serve_churn", serveChurnPoint)
+        ->Arg(65536)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace ruleplace::bench
+
+int main(int argc, char** argv) {
+  ruleplace::bench::registerAll();
+  return ruleplace::bench::benchMain(argc, argv, "serve");
+}

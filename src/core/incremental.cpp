@@ -261,6 +261,11 @@ IncrementalSession::IncrementalSession(PlacementProblem base,
       combined_(std::move(base)),
       basePlacement_(std::move(basePlacement)),
       placement_(basePlacement_) {
+  if (options_.budget.deadline.hasWallDeadline()) {
+    // Capture the *span*, not the absolute point: every event re-arms a
+    // fresh deadline of this length (see eventBudget()).
+    eventDeadlineSeconds_ = options_.budget.deadline.remainingSeconds();
+  }
   combined_.validate();
   if (basePlacement_.switchCount() == 0) {
     // An empty base deployment: start from per-switch empty tables.
@@ -273,6 +278,17 @@ IncrementalSession::IncrementalSession(PlacementProblem base,
 
 std::vector<int> IncrementalSession::baseSpare() const {
   return spareCapacities(combined_, basePlacement_);
+}
+
+solver::Budget IncrementalSession::eventBudget() const {
+  solver::Budget b = options_.budget;
+  if (eventDeadlineSeconds_ >= 0.0) {
+    b.deadline = util::Deadline::in(eventDeadlineSeconds_);
+    if (options_.budget.deadline.token().valid()) {
+      b.deadline = b.deadline.withToken(options_.budget.deadline.token());
+    }
+  }
+  return b;
 }
 
 IncrementalSession::EventRun IncrementalSession::runEvent(
@@ -424,10 +440,13 @@ IncrementalSession::EventRun IncrementalSession::runEvent(
     if (intact) lbTotal += e.lb;
   }
 
+  // One budget per event (pinned attempt and repack retry share it); the
+  // deadline is re-armed here, not inherited absolute from construction.
+  const solver::Budget budget = eventBudget();
   auto solveOnce = [&] {
     return options_.satisfiabilityOnly
-               ? opt_.solveSat(options_.budget)
-               : opt_.optimize(objective, options_.budget, {}, lbTotal);
+               ? opt_.solveSat(budget)
+               : opt_.optimize(objective, budget, {}, lbTotal);
   };
   run.result = solveOnce();
   if (run.result.status == solver::OptStatus::kInfeasible &&
@@ -561,7 +580,9 @@ PlaceOutcome IncrementalSession::install(
       PlacementProblem full = combined_;
       for (auto& r : newRouting) full.routing.push_back(std::move(r));
       for (auto& q : newPolicies) full.policies.push_back(std::move(q));
-      PlaceOutcome fullOutcome = place(std::move(full), options_);
+      PlaceOptions escOptions = options_;
+      escOptions.budget = eventBudget();
+      PlaceOutcome fullOutcome = place(std::move(full), escOptions);
       fullOutcome.escalatedFullResolve = true;
       if (fullOutcome.hasSolution()) {
         adoptFull(fullOutcome);
@@ -604,9 +625,22 @@ PlaceOutcome IncrementalSession::reroute(
     throw std::invalid_argument(
         "IncrementalSession::reroute: one routing entry per policy required");
   }
-  for (int id : policyIds) {
+  for (std::size_t i = 0; i < policyIds.size(); ++i) {
+    const int id = policyIds[i];
     if (id < 0 || id >= combined_.policyCount()) {
       throw std::invalid_argument("IncrementalSession::reroute: unknown id");
+    }
+    // A duplicate id would corrupt the session: the detach loop would
+    // capture the already-cleared state as the duplicate's "old" state
+    // (breaking rollback), and on commit the first duplicate's group would
+    // stay active forever.  Reject up front — callers coalesce duplicates
+    // to the newest route instead (last-wins, as the serve shard does).
+    for (std::size_t j = 0; j < i; ++j) {
+      if (policyIds[j] == id) {
+        throw std::invalid_argument(
+            "IncrementalSession::reroute: duplicate policy id " +
+            std::to_string(id) + " in one event");
+      }
     }
   }
   obs::Span span("incremental.session.reroute");
@@ -667,7 +701,9 @@ PlaceOutcome IncrementalSession::reroute(
         full.routing[static_cast<std::size_t>(policyIds[i])] =
             delta.routing[i];
       }
-      PlaceOutcome fullOutcome = place(std::move(full), options_);
+      PlaceOptions escOptions = options_;
+      escOptions.budget = eventBudget();
+      PlaceOutcome fullOutcome = place(std::move(full), escOptions);
       fullOutcome.escalatedFullResolve = true;
       if (fullOutcome.hasSolution()) {
         adoptFull(fullOutcome);

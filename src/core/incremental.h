@@ -156,6 +156,11 @@ class IncrementalSession {
   };
 
   std::vector<int> baseSpare() const;
+  /// The per-event budget: options_.budget with any wall deadline re-armed
+  /// to the span it was constructed with.  A session outlives single
+  /// events by design, so the absolute deadline captured at construction
+  /// would go stale and reject every event after the first timeout.
+  solver::Budget eventBudget() const;
   /// Delta-encode + solve one event (shared by install/reroute).  Leaves
   /// the new groups active; commit/rollback is the caller's job.
   EventRun runEvent(const PlacementProblem& delta,
@@ -170,6 +175,9 @@ class IncrementalSession {
   void adoptFull(const PlaceOutcome& out);
 
   PlaceOptions options_;
+  /// Wall-clock span (seconds) each event may take; < 0 when the
+  /// constructing options carried no wall deadline.
+  double eventDeadlineSeconds_ = -1.0;
   PlacementProblem combined_;
   Placement basePlacement_;  ///< deployment NOT managed by session vars
   Placement placement_;      ///< basePlacement_ + session-managed rules

@@ -34,6 +34,18 @@ struct InstalledRule {
     }
     return false;
   }
+
+  /// Bit-identical entry equality (every field, diagnostics included) —
+  /// the strict check behind the serve daemon's replay cross-validation.
+  bool operator==(const InstalledRule& other) const noexcept {
+    return matchField == other.matchField && action == other.action &&
+           tags == other.tags && priority == other.priority &&
+           representativeRule == other.representativeRule &&
+           merged == other.merged;
+  }
+  bool operator!=(const InstalledRule& other) const noexcept {
+    return !(*this == other);
+  }
 };
 
 /// Per-switch installed tables.
@@ -79,6 +91,15 @@ class Placement {
   void erasePolicy(int policyId);
 
   std::string toString(const PlacementProblem& problem) const;
+
+  /// Bit-identical placement equality: same switches, same tables, same
+  /// entries in the same order.
+  bool operator==(const Placement& other) const noexcept {
+    return tables_ == other.tables_;
+  }
+  bool operator!=(const Placement& other) const noexcept {
+    return !(*this == other);
+  }
 
  private:
   std::vector<std::vector<InstalledRule>> tables_;

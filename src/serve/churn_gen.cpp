@@ -1,0 +1,132 @@
+#include "serve/churn_gen.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "classbench/generator.h"
+#include "io/json.h"
+#include "topo/fattree.h"
+#include "topo/routing.h"
+#include "util/rng.h"
+
+namespace ruleplace::serve {
+
+namespace {
+
+classbench::GeneratorConfig policyConfig(const ChurnConfig& config) {
+  classbench::GeneratorConfig g;
+  g.rulesPerPolicy = config.rulesPerPolicy;
+  return g;
+}
+
+int hostPortsFor(int k) { return k * k * k / 4; }
+
+/// Split a policy's canonical text into protocol rule strings.
+std::vector<std::string> ruleStrings(const acl::Policy& policy) {
+  const std::string text = io::formatPolicy(policy);
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void churnScenario(const ChurnConfig& config, io::Scenario& out) {
+  const topo::FatTreeInfo info =
+      topo::buildFatTree(out.graph, config.fatTreeK, config.switchCapacity);
+  if (config.basePolicies < 1) {
+    throw std::invalid_argument("churn: basePolicies must be >= 1");
+  }
+  util::Rng rng(config.seed);
+  classbench::PolicyGenerator gen(policyConfig(config), config.seed);
+  topo::ShortestPathRouter router(out.graph);
+  for (int i = 0; i < config.basePolicies; ++i) {
+    const topo::PortId ingress = i % info.hostPorts;
+    const topo::PortId egress =
+        (ingress + 1 +
+         static_cast<topo::PortId>(rng.below(
+             static_cast<std::uint64_t>(info.hostPorts - 1)))) %
+        info.hostPorts;
+    topo::IngressPaths r;
+    r.ingress = ingress;
+    r.paths.push_back(router.route(ingress, egress, rng));
+    out.routing.push_back(std::move(r));
+    out.policies.push_back(gen.generate());
+  }
+}
+
+std::vector<std::string> churnLines(const ChurnConfig& config,
+                                    std::int64_t first, std::int64_t count) {
+  const int hostPorts = hostPortsFor(config.fatTreeK);
+  const int switchCount = 5 * config.fatTreeK * config.fatTreeK / 4;
+  const double total =
+      config.installWeight + config.rerouteWeight + config.capacityWeight;
+  if (total <= 0.0) {
+    throw std::invalid_argument("churn: event weights sum to zero");
+  }
+  util::Rng root(config.seed);
+
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = first; i < first + count; ++i) {
+    if (config.queryEvery > 0 && (i + 1) % config.queryEvery == 0) {
+      lines.push_back("{\"op\":\"query\",\"what\":\"stats\"}");
+      continue;
+    }
+    // Line i is a pure function of (seed, i): replayable in slabs.
+    util::Rng rng = root.stream(static_cast<std::uint64_t>(i));
+    const double pick = rng.uniform() * total;
+    std::string line;
+    if (pick < config.installWeight) {
+      const int ingress = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(hostPorts)));
+      const int egress =
+          (ingress + 1 +
+           static_cast<int>(
+               rng.below(static_cast<std::uint64_t>(hostPorts - 1)))) %
+          hostPorts;
+      classbench::PolicyGenerator gen(policyConfig(config),
+                                      config.seed ^ (0x9e3779b9u + i));
+      const std::vector<std::string> rules = ruleStrings(gen.generate());
+      line = "{\"op\":\"install\",\"seq\":" + std::to_string(i) +
+             ",\"ingress\":" + std::to_string(ingress) +
+             ",\"egress\":" + std::to_string(egress) + ",\"rules\":[";
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        if (r > 0) line += ',';
+        line += '"' + io::jsonEscape(rules[r]) + '"';
+      }
+      line += "]}";
+    } else if (pick < config.installWeight + config.rerouteWeight) {
+      // Reroutes target base policies only, keeping each line independent
+      // of how many installs happened to precede it.
+      const int policy = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(config.basePolicies)));
+      const int egress = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(hostPorts)));
+      line = "{\"op\":\"reroute\",\"seq\":" + std::to_string(i) +
+             ",\"policy\":" + std::to_string(policy) +
+             ",\"egress\":" + std::to_string(egress) + "}";
+    } else {
+      // Capacity wiggle: never below the initial capacity, so the base
+      // deployment always stays feasible (a shrink back after installs
+      // grew into the headroom exercises the re-place path, by design).
+      const int sw = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(switchCount)));
+      const int cap =
+          config.switchCapacity + static_cast<int>(rng.below(64));
+      line = "{\"op\":\"capacity\",\"seq\":" + std::to_string(i) +
+             ",\"switch\":" + std::to_string(sw) +
+             ",\"capacity\":" + std::to_string(cap) + "}";
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace ruleplace::serve

@@ -1,0 +1,44 @@
+#pragma once
+// Seeded churn-trace generation for the serve daemon: a fat-tree scenario
+// plus a stream of protocol event lines over it.  Everything is a pure
+// function of the config, so a trace can be regenerated instead of stored —
+// the bench synthesizes millions of events in memory, and the CI smoke
+// trace is committed once and stays stable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/scenario.h"
+
+namespace ruleplace::serve {
+
+struct ChurnConfig {
+  /// Fat-tree arity (even); k=4 gives 20 switches and 16 host ports.
+  int fatTreeK = 4;
+  int switchCapacity = 4096;
+  /// Base deployment: policies installed before the churn starts.
+  int basePolicies = 64;
+  int rulesPerPolicy = 8;
+  /// Number of churn events to emit.
+  std::int64_t events = 1000;
+  /// Event mix (weights, normalized internally).
+  double installWeight = 0.15;
+  double rerouteWeight = 0.84;
+  double capacityWeight = 0.01;
+  /// Interleave a query every N events (0 = never).
+  int queryEvery = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Build the scenario the trace runs over (base deployment included) into
+/// `out`, which must be default-constructed.
+void churnScenario(const ChurnConfig& config, io::Scenario& out);
+
+/// Generate protocol lines [first, first + count) of the churn stream.
+/// Line i is a pure function of (config, i): callers may generate the trace
+/// in slabs without keeping it all in memory.  "seq" starts at 0.
+std::vector<std::string> churnLines(const ChurnConfig& config,
+                                    std::int64_t first, std::int64_t count);
+
+}  // namespace ruleplace::serve

@@ -1,0 +1,173 @@
+#pragma once
+// The long-lived placement daemon behind tools/ruleplace_serve.
+//
+// One Daemon owns a scenario's graph, the base deployment, and a set of
+// Shards (per-ingress partitions, each wrapping a persistent
+// core::IncrementalSession).  The ingest thread feeds protocol lines
+// through handleLine(); state-mutating events are routed to their shard's
+// queue and acknowledged immediately, then a per-shard worker task on the
+// util::ThreadPool drains the queue in coalesced batches.  Coalescing is
+// two-level: bursts accumulate while a drain is in flight (or until the
+// debounce window fires), and the shard folds each batch into at most one
+// session solve per run of same-kind events (see shard.h).
+//
+// Queries never touch a session or a queue lock held across a solve: they
+// compose the shards' immutable snapshots, so a query during a batch sees
+// exactly the previous committed state — never a partial placement.
+//
+// Determinism: with one shard and manual draining (debounceSeconds < 0,
+// drained only by flush()), the event stream maps to exactly one batch
+// sequence, and every path is a pure function of (routeSeed, seq) — the
+// property the serve-smoke CI check exploits to demand bit-identical
+// placements against a one-shot install of the end state.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/verify.h"
+#include "io/scenario.h"
+#include "serve/protocol.h"
+#include "serve/shard.h"
+#include "util/thread_pool.h"
+
+namespace ruleplace::serve {
+
+struct DaemonOptions {
+  int shards = 1;
+  /// Worker threads draining shard queues (0 = min(shards, hardware)).
+  int workers = 0;
+  /// Events per coalesced batch (the max-batch cap).
+  std::size_t maxBatch = 256;
+  /// Debounce window in seconds: 0 drains eagerly (a worker is kicked on
+  /// every enqueue; bursts still coalesce behind the in-flight drain),
+  /// > 0 waits for the window or a full batch, < 0 never auto-drains
+  /// (flush()/shutdown only — the deterministic replay mode).
+  double debounceSeconds = 0.0;
+  /// Per-event wall-clock budget (< 0 = none).  Re-armed for every event
+  /// by the session — a fixed absolute deadline would go stale and reject
+  /// everything after the first timeout.
+  double eventTimeoutSeconds = -1.0;
+  std::int64_t eventConflictBudget = -1;  ///< per-event conflicts (< 0 none)
+  /// Feasibility-only re-solves (the incremental default).  Off = optimize
+  /// each event's objective.
+  bool satisfiabilityOnly = true;
+  /// Escalate infeasible restricted re-solves to a full re-place.
+  bool escalate = true;
+  /// Committed events between session hygiene rebases (0 = never).
+  int rebaseEvents = 512;
+  /// Seed for deterministic path tie-breaking; path of event seq is a pure
+  /// function of (routeSeed, seq).
+  std::uint64_t routeSeed = 1;
+  bool observability = false;
+};
+
+class Daemon {
+ public:
+  /// Solves the scenario's base deployment (merging off) and splits it
+  /// over the shards.  Throws std::runtime_error when the base instance
+  /// has no placement.  The scenario must outlive the daemon.
+  Daemon(const io::Scenario& scenario, DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Process one protocol line, returning the one-line JSON response.
+  /// Never throws on bad input — malformed lines yield {"ok":false,...}.
+  std::string handleLine(std::string_view line);
+
+  /// True once a shutdown request was processed; subsequent lines are
+  /// rejected.
+  bool stopped() const noexcept { return stopped_; }
+
+  /// Drain every shard queue to empty (blocking).
+  void flush();
+
+  /// The composed global state: a dense problem over every committed
+  /// policy plus the matching placement.  `globalIds[denseId]` maps back
+  /// to protocol policy ids.
+  struct Composed {
+    core::PlacementProblem problem;
+    core::Placement placement;
+    std::vector<int> globalIds;
+    std::int64_t version = 0;
+    std::string lastError;
+  };
+  Composed compose() const;
+
+  /// Deterministic-replay cross-check: re-applies every committed install
+  /// as ONE IncrementalSession batch over the base deployment and compares
+  /// the result bit-identically against the composed daemon placement.
+  /// Meaningful for installs-only traces on a single shard (reroute or
+  /// capacity events change the end state in ways a one-shot install does
+  /// not express).  Returns "" on an exact match, else a diagnosis.  Call
+  /// after flush().
+  std::string oneShotDivergence() const;
+
+  struct Stats {
+    Shard::Counters totals;      ///< summed over shards
+    std::size_t queueDepth = 0;  ///< summed over shards
+    std::int64_t policies = 0;   ///< committed policies (incl. base)
+    double p99UpdateMs = -1.0;   ///< -1 until a latency sample exists
+    double maxUpdateMs = 0.0;
+    std::int64_t latencySamples = 0;
+  };
+  Stats stats() const;
+
+  /// Committed update latencies (ns), newest window (bounded ring).
+  std::vector<std::int64_t> latencyWindowNs() const;
+  void resetLatencyWindow();
+
+  const core::Placement& basePlacement() const noexcept { return base_; }
+  int shardCount() const noexcept { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct GidInfo {
+    int shard = 0;
+    topo::PortId ingress = -1;
+  };
+
+  std::string handleEvent(Event event);
+  std::string handleQuery(const std::string& what);
+  topo::IngressPaths resolveRouting(const Event& event,
+                                    topo::PortId ingress) const;
+  void scheduleDrain(int shard);
+  void kickAfterEnqueue(int shard);
+  void recordLatency(std::int64_t ns);
+  void tickerLoop();
+
+  const io::Scenario* scenario_;
+  DaemonOptions options_;
+  NameIndex names_;
+  topo::ShortestPathRouter router_;
+  util::Rng routeRoot_;
+  core::Placement base_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<GidInfo> gids_;  // by global policy id
+  std::int64_t lastSeq_ = -1;
+  bool stopped_ = false;
+
+  mutable std::mutex latencyMutex_;
+  std::vector<std::int64_t> latencyRing_;
+  std::size_t latencyNext_ = 0;
+  std::int64_t latencyCount_ = 0;
+
+  std::thread ticker_;
+  std::mutex tickerMutex_;
+  std::condition_variable tickerCv_;
+  bool tickerStop_ = false;
+
+  // Declared last: destroyed first, so in-flight drain tasks finish before
+  // the shards they reference go away.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace ruleplace::serve

@@ -1,0 +1,323 @@
+#include "serve/jsonl.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ruleplace::serve {
+
+namespace {
+
+[[noreturn]] void kindError(const char* wanted, JsonValue::Kind got) {
+  static const char* names[] = {"null",   "bool",  "int",   "double",
+                                "string", "array", "object"};
+  throw JsonError(0, std::string("expected ") + wanted + ", got " +
+                         names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (kind_ != Kind::kBool) kindError("bool", kind_);
+  return bool_;
+}
+
+std::int64_t JsonValue::asInt() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) {
+    // Accept doubles that are exactly integral — "capacity": 4e1 is legal
+    // JSON for 40 — but never round.
+    if (std::nearbyint(double_) == double_ &&
+        std::abs(double_) <= 9.007199254740992e15) {
+      return static_cast<std::int64_t>(double_);
+    }
+    throw JsonError(0, "number is not an exact integer");
+  }
+  kindError("int", kind_);
+}
+
+double JsonValue::asDouble() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  kindError("number", kind_);
+}
+
+const std::string& JsonValue::asString() const {
+  if (kind_ != Kind::kString) kindError("string", kind_);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::asArray() const {
+  if (kind_ != Kind::kArray) kindError("array", kind_);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::asObject() const {
+  if (kind_ != Kind::kObject) kindError("object", kind_);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    skipWs();
+    JsonValue v = parseValue(0);
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(pos_, message);
+  }
+
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+  char take() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+  void expect(char c) {
+    if (eof() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+  void skipWs() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parseValue(int depth) {
+    if (depth > JsonValue::kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parseObject(depth);
+      case '[':
+        return parseArray(depth);
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = parseString();
+        return v;
+      }
+      case 't': {
+        if (!consume("true")) fail("invalid literal");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume("false")) fail("invalid literal");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        if (!consume("null")) fail("invalid literal");
+        return {};
+      }
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parseNumber();
+        fail("unexpected character");
+    }
+  }
+
+  JsonValue parseObject(int depth) {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      for (const auto& [k, _] : v.object_) {
+        if (k == key) fail("duplicate key \"" + key + "\"");
+      }
+      skipWs();
+      expect(':');
+      skipWs();
+      v.object_.emplace_back(std::move(key), parseValue(depth + 1));
+      skipWs();
+      const char sep = take();
+      if (sep == '}') return v;
+      if (sep != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parseArray(int depth) {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWs();
+      v.array_.push_back(parseValue(depth + 1));
+      skipWs();
+      const char sep = take();
+      if (sep == ']') return v;
+      if (sep != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  unsigned hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void appendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            if (take() != '\\' || take() != 'u') {
+              fail("unpaired surrogate");
+            }
+            const unsigned lo = hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    bool isDouble = false;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof()) fail("truncated number");
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (!eof() && peek() == '.') {
+      isDouble = true;
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') fail("invalid fraction");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      isDouble = true;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') fail("invalid exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    JsonValue v;
+    if (!isDouble) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        v.kind_ = JsonValue::Kind::kInt;
+        v.int_ = parsed;
+        return v;
+      }
+      // Out of int64 range: fall through to double like every JSON parser.
+    }
+    v.kind_ = JsonValue::Kind::kDouble;
+    v.double_ = std::strtod(token.c_str(), nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parseDocument();
+}
+
+}  // namespace ruleplace::serve

@@ -1,0 +1,170 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+
+#include "io/policy_text.h"
+#include "serve/jsonl.h"
+
+namespace ruleplace::serve {
+
+namespace {
+
+/// Strict decimal parse; false when `s` is not a plain non-negative number.
+bool parseId(std::string_view s, int* out) {
+  if (s.empty() || s.size() > 9) return false;
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+const JsonValue& member(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    throw ProtocolError("missing field \"" + std::string(key) + "\"");
+  }
+  return *v;
+}
+
+std::int64_t intMember(const JsonValue& obj, std::string_view key) {
+  try {
+    return member(obj, key).asInt();
+  } catch (const JsonError& e) {
+    throw ProtocolError("field \"" + std::string(key) + "\": " + e.what());
+  }
+}
+
+std::string stringOrIdMember(const JsonValue& obj, std::string_view key) {
+  const JsonValue& v = member(obj, key);
+  if (v.kind() == JsonValue::Kind::kString) return v.asString();
+  if (v.kind() == JsonValue::Kind::kInt) return std::to_string(v.asInt());
+  throw ProtocolError("field \"" + std::string(key) +
+                      "\" must be a name or id");
+}
+
+acl::Policy parseRules(const JsonValue& rules) {
+  acl::Policy policy;
+  int lineNo = 0;
+  for (const JsonValue& line : rules.asArray()) {
+    ++lineNo;
+    match::Ternary field;
+    acl::Action action{};
+    try {
+      if (!io::parseRuleLine(line.asString(), lineNo, &field, &action)) {
+        continue;  // blank/comment line inside the array — tolerated
+      }
+    } catch (const io::ParseError& e) {
+      throw ProtocolError(std::string("rules: ") + e.what());
+    } catch (const JsonError&) {
+      throw ProtocolError("rules must be an array of strings");
+    }
+    policy.addRule(field, action);
+  }
+  if (policy.empty()) throw ProtocolError("install carries no rules");
+  return policy;
+}
+
+}  // namespace
+
+NameIndex::NameIndex(const topo::Graph& graph) : graph_(&graph) {
+  for (const topo::EntryPort& p : graph.entryPorts()) {
+    if (!p.name.empty()) ports_.emplace(p.name, p.id);
+  }
+  for (topo::SwitchId s = 0; s < graph.switchCount(); ++s) {
+    const std::string& name = graph.sw(s).name;
+    if (!name.empty()) switches_.emplace(name, s);
+  }
+}
+
+topo::PortId NameIndex::port(std::string_view name) const {
+  if (const auto it = ports_.find(std::string(name)); it != ports_.end()) {
+    return it->second;
+  }
+  int id = -1;
+  if (parseId(name, &id) && id < graph_->entryPortCount()) return id;
+  throw ProtocolError("unknown port \"" + std::string(name) + "\"");
+}
+
+topo::SwitchId NameIndex::switchId(std::string_view name) const {
+  if (const auto it = switches_.find(std::string(name));
+      it != switches_.end()) {
+    return it->second;
+  }
+  int id = -1;
+  if (parseId(name, &id) && id < graph_->switchCount()) return id;
+  throw ProtocolError("unknown switch \"" + std::string(name) + "\"");
+}
+
+Request parseRequest(std::string_view line, const NameIndex& names) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const JsonError& e) {
+    throw ProtocolError(e.what());
+  }
+  if (doc.kind() != JsonValue::Kind::kObject) {
+    throw ProtocolError("request line must be a JSON object");
+  }
+  const JsonValue* opField = doc.find("op");
+  if (opField == nullptr) throw ProtocolError("missing field \"op\"");
+  const std::string& op = opField->asString();
+
+  Request req;
+  if (op == "query") {
+    req.kind = RequestKind::kQuery;
+    req.what = member(doc, "what").asString();
+    return req;
+  }
+  if (op == "flush") {
+    req.kind = RequestKind::kFlush;
+    return req;
+  }
+  if (op == "shutdown") {
+    req.kind = RequestKind::kShutdown;
+    return req;
+  }
+
+  req.kind = RequestKind::kEvent;
+  Event& e = req.event;
+  e.seq = intMember(doc, "seq");
+  if (e.seq < 0) throw ProtocolError("seq must be non-negative");
+  if (op == "install") {
+    e.kind = EventKind::kInstall;
+    e.ingress = names.port(stringOrIdMember(doc, "ingress"));
+    e.egress = names.port(stringOrIdMember(doc, "egress"));
+    e.policy = parseRules(member(doc, "rules"));
+  } else if (op == "reroute") {
+    e.kind = EventKind::kReroute;
+    const std::int64_t id = intMember(doc, "policy");
+    if (id < 0) throw ProtocolError("reroute: negative policy id");
+    e.policyId = static_cast<int>(id);
+    e.egress = names.port(stringOrIdMember(doc, "egress"));
+  } else if (op == "capacity") {
+    e.kind = EventKind::kCapacity;
+    e.switchId = names.switchId(stringOrIdMember(doc, "switch"));
+    const std::int64_t cap = intMember(doc, "capacity");
+    if (cap < 0) throw ProtocolError("capacity must be non-negative");
+    e.capacity = static_cast<int>(cap);
+  } else {
+    throw ProtocolError("unknown op \"" + op + "\"");
+  }
+  if (const JsonValue* via = doc.find("via")) {
+    if (e.kind == EventKind::kCapacity) {
+      throw ProtocolError("\"via\" is not valid on a capacity event");
+    }
+    for (const JsonValue& sw : via->asArray()) {
+      std::string name;
+      if (sw.kind() == JsonValue::Kind::kString) {
+        name = sw.asString();
+      } else {
+        name = std::to_string(sw.asInt());
+      }
+      e.via.push_back(names.switchId(name));
+    }
+    if (e.via.empty()) throw ProtocolError("\"via\" must name switches");
+  }
+  return req;
+}
+
+}  // namespace ruleplace::serve

@@ -1,0 +1,100 @@
+#pragma once
+// The serve protocol: line-delimited JSON over stdin (or any byte stream).
+//
+// One JSON object per line, one JSON response line per request
+// (docs/serve.md has the full grammar and examples):
+//
+//   {"op":"install","seq":1,"ingress":"h0","egress":"h5",
+//    "rules":["drop src 10.0.0.0/8","permit src 10.1.0.0/16"]}
+//   {"op":"reroute","seq":2,"policy":17,"egress":"h3"}
+//   {"op":"capacity","seq":3,"switch":"edge0","capacity":40}
+//   {"op":"query","what":"stats"}           // placement|stats|metrics|explain
+//   {"op":"flush"}
+//   {"op":"shutdown"}
+//
+// Ports and switches are named by their scenario name or by numeric id
+// (churn traces use ids to skip the lookup).  State-mutating ops carry a
+// strictly increasing "seq"; an out-of-order or repeated seq is rejected at
+// ingest so a replayed or reordered stream can never apply events twice.
+// "install" may pin its path with "via":[switch,...]; otherwise the daemon
+// routes ingress->egress deterministically (seeded by the event's seq).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "acl/policy.h"
+#include "topo/graph.h"
+#include "topo/routing.h"
+
+namespace ruleplace::serve {
+
+/// Malformed request line — the daemon answers {"ok":false,"error":...} and
+/// drops the line without touching any state.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class EventKind : std::uint8_t { kInstall, kReroute, kCapacity };
+
+/// One state-mutating event, parsed and resolved against the graph.
+struct Event {
+  EventKind kind = EventKind::kInstall;
+  std::int64_t seq = -1;
+
+  // kInstall
+  topo::PortId ingress = -1;
+  acl::Policy policy;
+
+  // kInstall / kReroute routing target
+  topo::PortId egress = -1;
+  std::vector<topo::SwitchId> via;  ///< explicit path; empty = route by seq
+
+  /// kInstall: the daemon-assigned global policy id.
+  /// kReroute: the global id named by the request.
+  int policyId = -1;
+
+  /// Resolved by the daemon at dispatch (never by the parser): the single
+  /// path this event installs/reroutes onto, wrapped as the policy's
+  /// IngressPaths.  Routing at dispatch keeps the shard worker's solve loop
+  /// free of BFS work and makes the path a pure function of (seed, seq).
+  topo::IngressPaths routing;
+
+  // kCapacity
+  topo::SwitchId switchId = -1;
+  int capacity = 0;
+};
+
+enum class RequestKind : std::uint8_t { kEvent, kQuery, kFlush, kShutdown };
+
+struct Request {
+  RequestKind kind = RequestKind::kQuery;
+  Event event;       ///< kEvent only
+  std::string what;  ///< kQuery only
+};
+
+/// Name/id resolution for ports and switches of one graph.
+class NameIndex {
+ public:
+  explicit NameIndex(const topo::Graph& graph);
+
+  /// Resolve a name to an id; also accepts the decimal id itself.  Throws
+  /// ProtocolError on an unknown name or out-of-range id.
+  topo::PortId port(std::string_view name) const;
+  topo::SwitchId switchId(std::string_view name) const;
+
+ private:
+  const topo::Graph* graph_;
+  std::unordered_map<std::string, topo::PortId> ports_;
+  std::unordered_map<std::string, topo::SwitchId> switches_;
+};
+
+/// Parse one protocol line.  Throws ProtocolError (or JsonError) on
+/// malformed input; never partially constructs an event.
+Request parseRequest(std::string_view line, const NameIndex& names);
+
+}  // namespace ruleplace::serve

@@ -1,0 +1,340 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace ruleplace::serve {
+
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string outcomeError(const core::PlaceOutcome& out) {
+  if (out.failure.has_value() && !out.failure->message.empty()) {
+    return out.failure->message;
+  }
+  return out.status == solver::OptStatus::kInfeasible ? "event infeasible"
+                                                      : "event not solved";
+}
+
+}  // namespace
+
+Shard::Shard(const topo::Graph& graph, std::vector<topo::IngressPaths> routing,
+             std::vector<acl::Policy> policies, core::Placement base,
+             std::vector<int> capacityShare, std::vector<int> localToGlobal,
+             Config config)
+    : graph_(&graph),
+      config_(std::move(config)),
+      localToGlobal_(std::move(localToGlobal)),
+      capacityShare_(std::move(capacityShare)) {
+  for (std::size_t i = 0; i < localToGlobal_.size(); ++i) {
+    globalToLocal_.emplace(localToGlobal_[i], static_cast<int>(i));
+  }
+  core::PlacementProblem problem;
+  problem.graph = graph_;
+  problem.routing = std::move(routing);
+  problem.policies = std::move(policies);
+  problem.capacityOverride = capacityShare_;
+  session_ = std::make_unique<core::IncrementalSession>(
+      std::move(problem), std::move(base), config_.sessionOptions);
+  publish({});
+}
+
+Shard::~Shard() = default;
+
+void Shard::enqueue(Event event, std::int64_t arrivalNs) {
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    queue_.push_back({std::move(event), arrivalNs});
+  }
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  ++counters_.enqueued;
+}
+
+std::size_t Shard::queueDepth() const {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  return queue_.size();
+}
+
+bool Shard::tryBeginDrain() {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  if (draining_ || queue_.empty()) return false;
+  draining_ = true;
+  return true;
+}
+
+bool Shard::finishDrain() {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  draining_ = false;
+  return !queue_.empty();
+}
+
+bool Shard::draining() const {
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  return draining_;
+}
+
+std::shared_ptr<const Shard::Snapshot> Shard::snapshot() const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  return snapshot_;
+}
+
+Shard::Counters Shard::counters() const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  return counters_;
+}
+
+void Shard::recordCommitted(const std::vector<const Queued*>& run,
+                            std::int64_t commitNs) {
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    counters_.committed += static_cast<std::int64_t>(run.size());
+  }
+  if (latencySink_) {
+    for (const Queued* q : run) latencySink_(commitNs - q->arrivalNs);
+  }
+}
+
+bool Shard::applyInstallRun(const std::vector<const Queued*>& run,
+                            bool isolate, std::string* error) {
+  std::vector<topo::IngressPaths> newRouting;
+  std::vector<acl::Policy> newPolicies;
+  newRouting.reserve(run.size());
+  newPolicies.reserve(run.size());
+  for (const Queued* q : run) {
+    newRouting.push_back(q->event.routing);
+    newPolicies.push_back(q->event.policy);
+  }
+  const int offset = session_->problem().policyCount();
+  core::PlaceOutcome out =
+      session_->install(std::move(newRouting), std::move(newPolicies));
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++counters_.solves;
+  }
+  if (out.hasSolution()) {
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      const int gid = run[i]->event.policyId;
+      localToGlobal_.push_back(gid);
+      globalToLocal_[gid] = offset + static_cast<int>(i);
+    }
+    ++committedSinceRebase_;
+    recordCommitted(run, nowNs());
+    return true;
+  }
+  if (isolate && run.size() > 1) {
+    // Failure isolation: re-apply one event at a time so a single poison
+    // event fails alone.  Every failed attempt exercised a full session
+    // rollback, so interleaving more solves right after is safe by the
+    // session's rollback contract (regression-tested in
+    // tests/test_solver_incremental.cpp).
+    bool any = false;
+    for (const Queued* q : run) {
+      any = applyInstallRun({q}, false, error) || any;
+    }
+    return any;
+  }
+  *error = "install seq " + std::to_string(run.front()->event.seq) + ": " +
+           outcomeError(out);
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  counters_.failed += static_cast<std::int64_t>(run.size());
+  return false;
+}
+
+bool Shard::applyRerouteRun(const std::vector<const Queued*>& run,
+                            bool isolate, std::string* error) {
+  std::vector<int> localIds;
+  std::vector<topo::IngressPaths> newRouting;
+  std::vector<const Queued*> resolved;
+  for (const Queued* q : run) {
+    const auto it = globalToLocal_.find(q->event.policyId);
+    if (it == globalToLocal_.end()) {
+      *error = "reroute seq " + std::to_string(q->event.seq) +
+               ": unknown policy " + std::to_string(q->event.policyId);
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      ++counters_.failed;
+      continue;
+    }
+    localIds.push_back(it->second);
+    newRouting.push_back(q->event.routing);
+    resolved.push_back(q);
+  }
+  if (resolved.empty()) return false;
+  core::PlaceOutcome out =
+      session_->reroute(localIds, std::move(newRouting));
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++counters_.solves;
+  }
+  if (out.hasSolution()) {
+    ++committedSinceRebase_;
+    recordCommitted(resolved, nowNs());
+    return true;
+  }
+  if (isolate && resolved.size() > 1) {
+    bool any = false;
+    for (const Queued* q : resolved) {
+      any = applyRerouteRun({q}, false, error) || any;
+    }
+    return any;
+  }
+  *error = "reroute seq " + std::to_string(resolved.front()->event.seq) +
+           ": " + outcomeError(out);
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  counters_.failed += static_cast<std::int64_t>(resolved.size());
+  return false;
+}
+
+bool Shard::applyCapacity(const Queued& q, std::string* error) {
+  const topo::SwitchId sw = q.event.switchId;
+  std::vector<int> caps = capacityShare_;
+  caps[static_cast<std::size_t>(sw)] = q.event.capacity;
+
+  // Rebase the session onto the new capacity vector.  The session's
+  // capacity rows are derived from problem().capacityOf() at event time, so
+  // an in-place override mutation would race committed state; a fresh
+  // session over the same committed deployment is the clean cut.
+  core::PlacementProblem problem = session_->problem();
+  problem.capacityOverride = caps;
+  core::Placement placement = session_->placement();
+
+  if (placement.usedCapacity(sw) <= q.event.capacity) {
+    replaceSession(std::make_unique<core::IncrementalSession>(
+        std::move(problem), std::move(placement), config_.sessionOptions));
+  } else {
+    // The shrink strands the current deployment over capacity: re-place the
+    // whole shard under the new limits before accepting the event.
+    core::PlaceOutcome out = core::place(problem, config_.sessionOptions);
+    if (!out.hasSolution()) {
+      *error = "capacity seq " + std::to_string(q.event.seq) + ": switch " +
+               std::to_string(sw) + " cannot shrink to " +
+               std::to_string(q.event.capacity) + " (" + outcomeError(out) +
+               "); capacity unchanged";
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      ++counters_.failed;
+      return false;
+    }
+    replaceSession(std::make_unique<core::IncrementalSession>(
+        out.solvedProblem, out.placement, config_.sessionOptions));
+  }
+  capacityShare_ = std::move(caps);
+  recordCommitted({&q}, nowNs());
+  return true;
+}
+
+void Shard::replaceSession(
+    std::unique_ptr<core::IncrementalSession> fresh) {
+  repackBase_ += session_->repacks();
+  escalationBase_ += session_->escalations();
+  session_ = std::move(fresh);
+  committedSinceRebase_ = 0;
+}
+
+void Shard::maybeRebase() {
+  if (config_.rebaseEvents <= 0 ||
+      committedSinceRebase_ < config_.rebaseEvents) {
+    return;
+  }
+  core::PlacementProblem problem = session_->problem();
+  core::Placement placement = session_->placement();
+  replaceSession(std::make_unique<core::IncrementalSession>(
+      std::move(problem), std::move(placement), config_.sessionOptions));
+  if (obs::enabled()) {
+    obs::Registry::global().counter("serve.rebase").add(1);
+  }
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  ++counters_.rebases;
+}
+
+void Shard::publish(std::string lastError) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->placement = session_->placement();
+  snap->routing = session_->problem().routing;
+  snap->policies = session_->problem().policies;
+  snap->localToGlobal = localToGlobal_;
+  snap->capacity = capacityShare_;
+  snap->version = ++version_;
+  snap->lastError = std::move(lastError);
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  counters_.repacks = repackBase_ + session_->repacks();
+  counters_.escalations = escalationBase_ + session_->escalations();
+  snapshot_ = std::move(snap);
+}
+
+bool Shard::drainStep() {
+  std::vector<Queued> batch;
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    const std::size_t n = std::min(config_.maxBatch, queue_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  if (batch.empty()) return false;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++counters_.batches;
+  }
+
+  std::string lastError;
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const EventKind kind = batch[i].event.kind;
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].event.kind == kind) ++j;
+
+    std::string error;
+    if (kind == EventKind::kCapacity) {
+      // Capacity events rebase the whole shard; apply them one by one.
+      for (std::size_t k = i; k < j; ++k) {
+        if (!applyCapacity(batch[k], &error)) lastError = error;
+      }
+    } else if (kind == EventKind::kReroute) {
+      // Last-wins dedup: within one run only the newest reroute of a
+      // policy matters; superseded ones commit for free.
+      std::unordered_map<int, std::size_t> last;
+      for (std::size_t k = i; k < j; ++k) {
+        last[batch[k].event.policyId] = k;
+      }
+      std::vector<const Queued*> run;
+      std::vector<const Queued*> superseded;
+      for (std::size_t k = i; k < j; ++k) {
+        if (last[batch[k].event.policyId] == k) {
+          run.push_back(&batch[k]);
+        } else {
+          superseded.push_back(&batch[k]);
+        }
+      }
+      if (!applyRerouteRun(run, true, &error)) lastError = error;
+      if (!superseded.empty()) {
+        {
+          std::lock_guard<std::mutex> lock(stateMutex_);
+          counters_.coalesced +=
+              static_cast<std::int64_t>(superseded.size());
+        }
+        recordCommitted(superseded, nowNs());
+      }
+    } else {
+      std::vector<const Queued*> run;
+      for (std::size_t k = i; k < j; ++k) run.push_back(&batch[k]);
+      if (!applyInstallRun(run, true, &error)) lastError = error;
+    }
+    i = j;
+  }
+  maybeRebase();
+  publish(std::move(lastError));
+
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  return !queue_.empty();
+}
+
+}  // namespace ruleplace::serve

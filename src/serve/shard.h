@@ -1,0 +1,159 @@
+#pragma once
+// One daemon shard: a partition of the ingress ports, its policies, and a
+// persistent core::IncrementalSession applying their churn.
+//
+// Threading contract (the whole point of the shape):
+//   * enqueue() is called by the ingest thread, any time;
+//   * drainStep() is called by at most one worker task at a time — the
+//     daemon guards it with tryBeginDrain()/finishDrain();
+//   * snapshot()/counters() are called by query threads, any time.
+// The session itself is touched only inside drainStep(), so it needs no
+// locking; queries only ever see the last *committed* state through an
+// atomically swapped immutable Snapshot — a query can never observe a
+// half-applied batch.
+//
+// A batch is the queue's front slice (bounded by Config::maxBatch),
+// coalesced into runs of same-kind events: consecutive installs become one
+// session install (one delta encode + solve for the whole run), consecutive
+// reroutes one session reroute with last-wins dedup per policy.  A failed
+// multi-event run is retried event-by-event so one poison event cannot take
+// down its whole batch — which also exercises the session's rollback path
+// back-to-back, exactly the lifecycle the PR 8 bug sweep hardens.
+//
+// Shard capacity: each shard owns a fixed share of every switch's TCAM
+// (its base usage plus an even split of the spare), so the shards' solves
+// are independent and their union never exceeds the real capacity.  With
+// one shard the share is the full capacity and placement is exact.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/incremental.h"
+#include "serve/protocol.h"
+
+namespace ruleplace::serve {
+
+class Shard {
+ public:
+  struct Config {
+    std::size_t maxBatch = 256;
+    /// Committed session events between hygiene rebases (0 = never).  A
+    /// rebase rebuilds the session from its own committed state, dropping
+    /// retired groups and dead variables so a million-event run cannot grow
+    /// the persistent solver without bound.
+    int rebaseEvents = 512;
+    core::PlaceOptions sessionOptions;
+  };
+
+  /// Immutable committed state, shared with query threads.
+  struct Snapshot {
+    core::Placement placement;                ///< local tags
+    std::vector<topo::IngressPaths> routing;  ///< by local policy id
+    std::vector<acl::Policy> policies;
+    std::vector<int> localToGlobal;  ///< local policy id -> global id
+    std::vector<int> capacity;       ///< this shard's per-switch share
+    std::int64_t version = 0;
+    std::string lastError;  ///< last failed run's message ("" = none)
+  };
+
+  struct Counters {
+    std::int64_t enqueued = 0;
+    std::int64_t committed = 0;  ///< events applied and visible
+    std::int64_t failed = 0;     ///< events rejected (infeasible/budget/...)
+    std::int64_t coalesced = 0;  ///< events absorbed by last-wins dedup
+    std::int64_t batches = 0;    ///< drainStep() calls that saw work
+    std::int64_t solves = 0;     ///< session install/reroute calls
+    std::int64_t repacks = 0;
+    std::int64_t escalations = 0;
+    std::int64_t rebases = 0;
+  };
+
+  /// `routing`/`policies`/`base` are this shard's slice in *local* ids;
+  /// `localToGlobal[i]` maps them back.  `capacityShare` is the per-switch
+  /// capacity this shard may use (base usage included).
+  Shard(const topo::Graph& graph, std::vector<topo::IngressPaths> routing,
+        std::vector<acl::Policy> policies, core::Placement base,
+        std::vector<int> capacityShare, std::vector<int> localToGlobal,
+        Config config);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Queue one event (ingest thread).  `arrivalNs` is the ingest timestamp
+  /// used for update-latency accounting.
+  void enqueue(Event event, std::int64_t arrivalNs);
+
+  std::size_t queueDepth() const;
+
+  /// Claim the drain slot.  Returns false when the queue is empty or
+  /// another drain is in flight; a true return obliges the caller to call
+  /// drainStep() until it returns false and then finishDrain().
+  bool tryBeginDrain();
+  /// Apply one batch; returns true while more work is queued.
+  bool drainStep();
+  /// Release the drain slot.  Returns true when events raced in after the
+  /// last drainStep() — the caller must re-begin.
+  bool finishDrain();
+  bool draining() const;
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+  Counters counters() const;
+
+  /// Per-committed-event latency sink, called at commit with
+  /// (now - arrivalNs) in nanoseconds.  Set once, before events flow.
+  void setLatencySink(std::function<void(std::int64_t)> sink) {
+    latencySink_ = std::move(sink);
+  }
+
+ private:
+  struct Queued {
+    Event event;
+    std::int64_t arrivalNs = 0;
+  };
+
+  void publish(std::string lastError);
+  bool applyInstallRun(const std::vector<const Queued*>& run, bool isolate,
+                       std::string* error);
+  bool applyRerouteRun(const std::vector<const Queued*>& run, bool isolate,
+                       std::string* error);
+  bool applyCapacity(const Queued& q, std::string* error);
+  /// Swap in a fresh session, folding the old one's repack/escalation
+  /// counts into the accumulated bases first.
+  void replaceSession(std::unique_ptr<core::IncrementalSession> fresh);
+  void maybeRebase();
+  void recordCommitted(const std::vector<const Queued*>& run,
+                       std::int64_t nowNs);
+
+  const topo::Graph* graph_;
+  Config config_;
+  std::unique_ptr<core::IncrementalSession> session_;
+  std::vector<int> localToGlobal_;
+  std::unordered_map<int, int> globalToLocal_;
+  std::vector<int> capacityShare_;
+  std::function<void(std::int64_t)> latencySink_;
+
+  // Session counter bases: the session object is replaced on rebase, so
+  // totals accumulate (previous sessions' counts) + (current session's).
+  std::int64_t repackBase_ = 0;
+  std::int64_t escalationBase_ = 0;
+  std::int64_t solveBase_ = 0;
+  int committedSinceRebase_ = 0;
+
+  mutable std::mutex queueMutex_;
+  std::deque<Queued> queue_;
+  bool draining_ = false;
+
+  mutable std::mutex stateMutex_;  // snapshot_ + counters_
+  std::shared_ptr<const Snapshot> snapshot_;
+  Counters counters_;
+  std::int64_t version_ = 0;
+};
+
+}  // namespace ruleplace::serve

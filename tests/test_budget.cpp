@@ -1,7 +1,7 @@
 // Budget semantics regression tests: sliced()/normalized() edge cases and
 // the optimizer's conflict-budget accounting across improvement steps.
 //
-// The two bugs pinned here:
+// The bugs pinned here:
 //   * Budget::sliced used to divide a small positive conflict limit below
 //     1 (integer division), turning "a little work allowed" into
 //     "exhausted" — parallel runs with tight budgets silently solved
@@ -9,6 +9,10 @@
 //   * Optimizer::run used to hand every strengthening iteration the full
 //     conflict budget, so a Budget::conflicts(C) solve could burn k*C
 //     conflicts over k improvement steps.
+//   * IncrementalSession inherited the PlaceOptions deadline as an
+//     ABSOLUTE point in time: once it passed, a long-lived session (the
+//     serve daemon's normal state) rejected every further event.  The
+//     session now re-arms the original span per event.
 
 #include <gtest/gtest.h>
 
@@ -159,3 +163,61 @@ TEST(BudgetAccounting, UnlimitedBudgetUnaffectedByAccounting) {
 
 }  // namespace
 }  // namespace ruleplace::solver
+
+// ---- per-event deadlines in long-lived sessions ---------------------------
+
+#include <chrono>
+#include <thread>
+
+#include "core/incremental.h"
+#include "core/verify.h"
+
+namespace ruleplace::core {
+namespace {
+
+TEST(SessionDeadline, EventsOutlivingTheOriginalDeadlineStillSolve) {
+  // Regression: the session captured options.budget.deadline (an absolute
+  // steady-clock point) at construction and solved every event against it.
+  // In a daemon that lives for hours, the deadline expired once and then
+  // rejected every event forever.  Each event must get a fresh deadline of
+  // the configured SPAN instead.
+  topo::Graph g;
+  const topo::SwitchId s0 = g.addSwitch(4);
+  const topo::SwitchId s1 = g.addSwitch(4);
+  g.addLink(s0, s1);
+  const topo::PortId in = g.addEntryPort(s0);
+  const topo::PortId out = g.addEntryPort(s1);
+
+  PlacementProblem base;
+  base.graph = &g;
+  PlaceOptions opts;
+  opts.budget.deadline = util::Deadline::in(0.15);
+  IncrementalSession session(base, Placement{}, opts);
+
+  // Sleep past the construction-time deadline; a trivial event afterwards
+  // must still have its full 150 ms span available.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  acl::Policy q;
+  q.addRule(match::Ternary::fromString("10"), acl::Action::kPermit);
+  q.addRule(match::Ternary::fromString("1*"), acl::Action::kDrop);
+  topo::Path p;
+  p.ingress = in;
+  p.egress = out;
+  p.switches = {s0, s1};
+  PlaceOutcome result = session.install({{in, {p}}}, {q});
+  ASSERT_TRUE(result.hasSolution())
+      << "session deadline went stale: "
+      << (result.failure ? result.failure->message : "no failure info");
+  EXPECT_TRUE(verifyPlacement(session.problem(), session.placement()));
+
+  // And again — the re-arm happens per event, not once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  acl::Policy q2;
+  q2.addRule(match::Ternary::fromString("01"), acl::Action::kPermit);
+  q2.addRule(match::Ternary::fromString("0*"), acl::Action::kDrop);
+  EXPECT_TRUE(session.install({{in, {p}}}, {q2}).hasSolution());
+}
+
+}  // namespace
+}  // namespace ruleplace::core

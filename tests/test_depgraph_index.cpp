@@ -12,8 +12,13 @@
 //   * corpus replay — every checked-in reproducer's policies agree across
 //     builders too.
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -213,6 +218,73 @@ TEST_F(DepGraphCacheTest, BypassLeavesCacheUntouched) {
   auto cached = depgraph::acquireGraph(a);
   EXPECT_EQ(misses(), 1);
   expectGraphsEqual(*cached, *g1, "bypass vs cached");
+}
+
+TEST(DepGraphCacheChurn, EvictionNeverInvalidatesHeldGraphs) {
+  // Run-under-TSan regression for the serve daemon's sustained-churn
+  // pattern: many threads acquire graphs from a small shared cache while
+  // the LRU constantly evicts, and each thread keeps walking the
+  // shieldsOf() spans of graphs whose cache entries are long gone.  A
+  // DependencyGraph owns its CSR storage (arena member), so the
+  // shared_ptr handed out by acquire() must keep every span valid no
+  // matter what the cache does — this test fails under TSan (or crashes)
+  // if eviction ever freed storage still referenced by a holder.
+  depgraph::DepGraphCache cache(4);  // far below the working set
+
+  constexpr int kPolicies = 24;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<acl::Policy> policies;
+  std::vector<std::int64_t> refShieldSum(kPolicies, 0);
+  for (int p = 0; p < kPolicies; ++p) {
+    // Distinct seeds give distinct content keys, so the working set
+    // cycles through the whole LRU.
+    fuzz::FuzzCase fc = fuzz::generateCase(1000 + static_cast<uint64_t>(p));
+    policies.push_back(fc.policies.front());
+    const depgraph::DependencyGraph ref(
+        policies.back(), builderOpts(depgraph::BuilderKind::kNaive));
+    for (int dropId : ref.dropRules()) {
+      for (int s : ref.shieldsOf(dropId)) refShieldSum[p] += s;
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Hold a trailing window of graphs so walks happen well after the
+      // cache evicted their entries.
+      std::vector<std::pair<int, std::shared_ptr<const depgraph::DependencyGraph>>>
+          held;
+      util::Rng rng(static_cast<std::uint64_t>(t) + 77);
+      for (int i = 0; i < kIters; ++i) {
+        const int p = static_cast<int>(rng.below(kPolicies));
+        held.emplace_back(p, cache.acquire(policies[static_cast<std::size_t>(p)]));
+        if (held.size() > 8) held.erase(held.begin());
+        for (const auto& [id, graph] : held) {
+          std::int64_t sum = 0;
+          for (int dropId : graph->dropRules()) {
+            for (int s : graph->shieldsOf(dropId)) sum += s;
+          }
+          if (sum != refShieldSum[static_cast<std::size_t>(id)]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const depgraph::CacheStats st = cache.stats();
+  // Counter coherence under concurrency: every acquire is exactly one hit
+  // or one miss, the LRU never overflows, and evictions only follow
+  // misses.
+  EXPECT_EQ(st.hits + st.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_LE(st.entries, 4u);
+  EXPECT_LE(st.evictions, st.misses);
+  EXPECT_GE(st.misses, static_cast<std::uint64_t>(kPolicies));
 }
 
 }  // namespace

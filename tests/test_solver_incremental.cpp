@@ -662,6 +662,123 @@ TEST(IncrementalSession, ReplayIsDeterministic) {
   }
 }
 
+TEST(IncrementalSession, DuplicateRerouteIdsAreRejected) {
+  // Regression: a duplicate policy id inside one reroute event used to
+  // corrupt the session — the detach loop captured the already-cleared
+  // state as the duplicate's "old" state (so a failed event rolled back to
+  // the wrong place), and a committed event leaked the first duplicate's
+  // constraint group as permanently active.  Duplicates are now rejected
+  // before any state is touched.
+  Line net(3, 6);
+  PlacementProblem base;
+  base.graph = &net.graph;
+  IncrementalSession session(base, Placement{});
+  ASSERT_TRUE(session
+                  .install({net.routeFrom(net.sw[0])},
+                           {twoRulePolicy("1010", "10**")})
+                  .hasSolution());
+
+  const Placement before = session.placement();
+  EXPECT_THROW(session.reroute({0, 0}, {net.routeFrom(net.sw[1]),
+                                        net.routeFrom(net.sw[2])}),
+               std::invalid_argument);
+  // The rejection left no trace: state and subsequent events are intact.
+  EXPECT_TRUE(session.placement() == before);
+  EXPECT_EQ(session.events(), 1);
+  PlaceOutcome next = session.reroute({0}, {net.routeFrom(net.sw[1])});
+  ASSERT_TRUE(next.hasSolution());
+  EXPECT_TRUE(verifyPlacement(session.problem(), session.placement()));
+}
+
+TEST(IncrementalSession, BackToBackRollbacksLeaveNoTrace) {
+  // The serve daemon's failure-isolation path retries a failed coalesced
+  // batch event-by-event, which hammers the session with rollback after
+  // rollback between commits.  The audited invariants:
+  //   1. every failed event rolls problem() and placement() back
+  //      bit-identically — no constraint group, capacity epoch or pin
+  //      survives;
+  //   2. the final state is semantically equivalent to a fresh session
+  //      replaying only the committed events: same optimal objective, same
+  //      per-switch usage, and it verifies.  (Bit-identical tables are NOT
+  //      required across the two sessions: learned clauses and saved
+  //      phases from failed solves legitimately persist and may tie-break
+  //      among equally-optimal placements differently.  Determinism is
+  //      over the full event sequence — see ReplayIsDeterministic.)
+  Line net(3, 3);  // tight: capacity 3 per switch
+  PlacementProblem base;
+  base.graph = &net.graph;
+  IncrementalSession churned(base, Placement{});
+
+  // An event that cannot fit anywhere: ten disjoint drop rules against a
+  // network with nine slots total — infeasible by raw capacity, whatever
+  // the distribution.
+  acl::Policy fat;
+  for (const char* t : {"0000", "0001", "0010", "0011", "0100", "0101",
+                        "0110", "0111", "1000", "1001"}) {
+    fat.addRule(T(t), Action::kDrop);
+  }
+
+  struct Step {
+    bool expectCommit;
+    const char* permit;
+    const char* drop;
+  };
+  const Step steps[] = {{true, "1010", "10**"},
+                        {false, nullptr, nullptr},   // fat install, rolls back
+                        {true, "0101", "01**"},
+                        {false, nullptr, nullptr},   // fail again, back-to-back
+                        {false, nullptr, nullptr},
+                        {true, "1100", "11**"}};
+  std::vector<topo::IngressPaths> committedRouting;
+  std::vector<acl::Policy> committedPolicies;
+  for (const Step& s : steps) {
+    topo::IngressPaths r = net.routeFrom(net.sw[0]);
+    if (s.expectCommit) {
+      acl::Policy q = twoRulePolicy(s.permit, s.drop);
+      ASSERT_TRUE(churned.install({r}, {q}).hasSolution());
+      committedRouting.push_back(r);
+      committedPolicies.push_back(q);
+    } else {
+      const Placement beforeFail = churned.placement();
+      const int policiesBefore = churned.problem().policyCount();
+      PlaceOutcome out = churned.install({r}, {fat});
+      ASSERT_FALSE(out.hasSolution());
+      EXPECT_TRUE(churned.placement() == beforeFail)
+          << "failed install did not roll the placement back exactly";
+      EXPECT_EQ(churned.problem().policyCount(), policiesBefore);
+      EXPECT_TRUE(verifyPlacement(churned.problem(), churned.placement()));
+    }
+  }
+  // Reroute policy 0 right after the rollback storm, sharing the identical
+  // routing object with the replay below.
+  const topo::IngressPaths rerouted = net.routeFrom(net.sw[1]);
+  ASSERT_TRUE(churned.reroute({0}, {rerouted}).hasSolution());
+  committedRouting[0] = rerouted;
+
+  // Replay only the committed events on a fresh session.
+  IncrementalSession replay(base, Placement{});
+  for (std::size_t i = 0; i < committedPolicies.size(); ++i) {
+    ASSERT_TRUE(replay
+                    .install({committedRouting[i]}, {committedPolicies[i]})
+                    .hasSolution());
+  }
+  ASSERT_TRUE(
+      replay.reroute({0}, {committedRouting[0]}).hasSolution());
+
+  EXPECT_EQ(churned.events(), replay.events());
+  EXPECT_EQ(churned.problem().policyCount(), replay.problem().policyCount());
+  EXPECT_TRUE(verifyPlacement(churned.problem(), churned.placement()));
+  EXPECT_TRUE(verifyPlacement(replay.problem(), replay.placement()));
+  EXPECT_EQ(churned.placement().totalInstalledRules(),
+            replay.placement().totalInstalledRules())
+      << "failed events left a semantic trace in the session";
+  for (topo::SwitchId sw = 0; sw < 3; ++sw) {
+    EXPECT_EQ(churned.placement().usedCapacity(sw),
+              replay.placement().usedCapacity(sw))
+        << "switch " << sw;
+  }
+}
+
 // ---- portfolio race -------------------------------------------------------
 
 PlacementProblem mediumProblem(Line& net, int policies) {

@@ -35,9 +35,13 @@ directory or file is reported and skipped, never fatal — new benchmarks
 must not break CI before a baseline lands.  The reverse direction —
 baseline entries that no longer appear in the current run ("baseline
 rot", typically a renamed or deleted benchmark whose baseline was never
-refreshed) — is warned about but does not fail: stale baselines cost
-coverage, not correctness.  Relative timing deltas are advisory in the
-per-PR job (shared runners are noisy); floors and file integrity block.
+refreshed) — is warned about per entry but does not fail: stale
+baselines cost coverage, not correctness.  EXCEPT when a baseline file
+has ZERO entries in common with the current run — then the comparison
+checked nothing at all (a wholesale rename, or the binary silently
+registering an empty suite), which is an error.  Relative timing deltas
+are advisory in the per-PR job (shared runners are noisy); floors, file
+integrity, and fully-dead baselines block.
 
 Only stdlib is used; python3 is the only requirement.
 """
@@ -211,6 +215,7 @@ def main():
     floor_violations = []
     malformed = []
     rotted = []
+    dead_baselines = []
     for fname in current_files:
         try:
             current = load_entries(os.path.join(args.current, fname))
@@ -230,7 +235,14 @@ def main():
             continue
         # Baseline rot: entries the baseline tracks but the run no longer
         # produces (renamed/deleted benchmark, shrunken sweep).  Warn —
-        # the committed file should be refreshed or pruned.
+        # the committed file should be refreshed or pruned.  A baseline
+        # with NO surviving entries is worse than rot: every comparison
+        # it promises silently evaporated, so it fails the check.
+        if baseline and not (set(baseline) & set(current)):
+            dead_baselines.append(
+                f"{fname}: zero baseline entries match the current run "
+                f"({len(baseline)} baseline vs {len(current)} current "
+                "name(s)) — refresh the committed baseline")
         for name in sorted(set(baseline) - set(current)):
             rotted.append(f"{fname}: baseline entry {name!r} missing from "
                           "current run")
@@ -259,6 +271,11 @@ def main():
               "refresh or prune bench/baselines):")
         for line in rotted:
             print(f"  WARN {line}")
+    if dead_baselines:
+        print(f"\ncheck_bench: {len(dead_baselines)} baseline file(s) with "
+              "no matching entries:")
+        for line in dead_baselines:
+            print(f"  DEAD {line}")
     if malformed:
         print(f"\ncheck_bench: {len(malformed)} malformed benchmark "
               "file(s):")
@@ -279,7 +296,7 @@ def main():
             if not stage_lines:
                 print("    (no per-stage counters on both sides; "
                       "attribution unavailable)")
-    if regressions or floor_violations or malformed:
+    if regressions or floor_violations or malformed or dead_baselines:
         return 1
     print("check_bench: no regressions")
     return 0
