@@ -73,6 +73,11 @@ inline void runPlacementPointWithOptions(benchmark::State& state,
                           : 0;
     state.counters["model_vars"] = static_cast<double>(out.modelVars);
     state.counters["model_cons"] = static_cast<double>(out.modelConstraints);
+    state.counters["model_bytes"] = static_cast<double>(out.modelBytes);
+    state.counters["encode_vars_per_sec"] =
+        out.encodeSeconds > 0.0
+            ? static_cast<double>(out.modelVars) / out.encodeSeconds
+            : 0.0;
     state.counters["conflicts"] =
         static_cast<double>(out.solverStats.conflicts);
     for (const auto& [name, totalMs] : spanTotalsMs()) {

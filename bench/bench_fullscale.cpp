@@ -104,6 +104,24 @@ void registerFullScale() {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
+
+  // Fat-Tree k=64 (5120 switches): the fabric scale the streaming encoder
+  // unlocked.  One point, same 30 s per-point budget — the acceptance
+  // contract is "encodes and solves (or is budget-bound feasible) inside
+  // the budget", pinned by the fullscale_place feasible floor.
+  core::InstanceConfig k64;
+  k64.fatTreeK = 64;
+  k64.ingressCount = 1024;
+  k64.rulesPerPolicy = 100;
+  k64.totalPaths = 2048;
+  k64.capacity = 1000;
+  k64.seed = 64'000'001;
+  benchmark::RegisterBenchmark(
+      "fullscale_place_k64/n=100/p=2048/C=1000",
+      [k64](benchmark::State& state) { fullPlacementPoint(state, k64); })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
 }
 
 void registerSmoke() {
@@ -127,16 +145,37 @@ void registerSmoke() {
       ->UseManualTime()
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
+
+  // k=64 fabric smoke: the full 5120-switch topology with a light policy
+  // load, so per-PR CI exercises fabric-scale routing + encode without
+  // the full tier's cost (FLOORS.json pins feasibility and a minimum
+  // encode throughput for it).
+  core::InstanceConfig k64;
+  k64.fatTreeK = 64;
+  k64.ingressCount = 8;
+  k64.rulesPerPolicy = 20;
+  k64.totalPaths = 64;
+  k64.capacity = 200;
+  k64.seed = 64'000'001;
+  benchmark::RegisterBenchmark(
+      "fullscale_smoke_place_k64",
+      [k64](benchmark::State& state) { fullPlacementPoint(state, k64); })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
 }
 
 }  // namespace
 }  // namespace ruleplace::bench
 
 int main(int argc, char** argv) {
+  // Separate JSON names per tier: a reduced-scale run must never be
+  // compared against the full-scale baseline file (check_bench treats a
+  // baseline with zero matching entries as a dead comparison — an error).
   if (ruleplace::bench::fullScale()) {
     ruleplace::bench::registerFullScale();
-  } else {
-    ruleplace::bench::registerSmoke();
+    return ruleplace::bench::benchMain(argc, argv, "fullscale");
   }
-  return ruleplace::bench::benchMain(argc, argv, "fullscale");
+  ruleplace::bench::registerSmoke();
+  return ruleplace::bench::benchMain(argc, argv, "fullscale_smoke");
 }

@@ -1,10 +1,15 @@
 #include "core/encoder.h"
 
 #include <algorithm>
-#include <set>
+#include <cstddef>
+#include <limits>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "depgraph/cache.h"
+#include "util/thread_pool.h"
 
 namespace ruleplace::core {
 
@@ -35,6 +40,128 @@ void PlacementProblem::validate() const {
   }
 }
 
+namespace {
+
+// Reusable per-thread encode scratch.  Everything is reset through touched
+// lists at the *start* of each use, so a policy build aborted by an
+// exception can never corrupt the next build on the same thread.
+struct EncodeScratch {
+  // switch id -> dense index within the policy's reachable set, or -1.
+  std::vector<std::int32_t> denseOf;
+  std::vector<topo::SwitchId> denseTouched;
+  // per-rule-position marks (path shields / required drops / shields).
+  std::vector<std::uint8_t> shieldMark;
+  std::vector<std::int32_t> shieldTouched;
+  std::vector<std::uint8_t> requiredMark;
+  std::vector<std::uint8_t> requiredShieldMark;
+  // (rule position, dense switch) -> local var id, or -1.
+  std::vector<std::int32_t> slab;
+
+  void beginPolicy(std::size_t switchCount, std::size_t ruleCount) {
+    if (denseOf.size() < switchCount) denseOf.resize(switchCount, -1);
+    for (topo::SwitchId sw : denseTouched) {
+      denseOf[static_cast<std::size_t>(sw)] = -1;
+    }
+    denseTouched.clear();
+    for (std::int32_t p : shieldTouched) {
+      shieldMark[static_cast<std::size_t>(p)] = 0;
+    }
+    shieldTouched.clear();
+    if (shieldMark.size() < ruleCount) shieldMark.resize(ruleCount, 0);
+    requiredMark.assign(ruleCount, 0);
+    requiredShieldMark.assign(ruleCount, 0);
+  }
+};
+
+EncodeScratch& encodeScratch() {
+  static thread_local EncodeScratch s;
+  return s;
+}
+
+// rule id -> position in policy.rules().  Rule ids are usually dense
+// (0..n-1 from the generators) — direct table; under heavy add/remove
+// churn they grow unboundedly — sorted-pairs fallback.
+class RulePosIndex {
+ public:
+  explicit RulePosIndex(const std::vector<acl::Rule>& rules) {
+    int maxId = -1;
+    for (const auto& r : rules) maxId = std::max(maxId, r.id);
+    const std::int64_t n = static_cast<std::int64_t>(rules.size());
+    if (maxId >= 0 && maxId < 4 * n + 1024) {
+      direct_.assign(static_cast<std::size_t>(maxId) + 1, -1);
+      for (std::size_t p = 0; p < rules.size(); ++p) {
+        direct_[static_cast<std::size_t>(rules[p].id)] =
+            static_cast<std::int32_t>(p);
+      }
+    } else {
+      sorted_.reserve(rules.size());
+      for (std::size_t p = 0; p < rules.size(); ++p) {
+        sorted_.push_back({rules[p].id, static_cast<std::int32_t>(p)});
+      }
+      std::sort(sorted_.begin(), sorted_.end());
+    }
+  }
+
+  std::int32_t of(int ruleId) const noexcept {
+    if (!direct_.empty()) {
+      return direct_[static_cast<std::size_t>(ruleId)];
+    }
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(),
+                               std::pair<int, std::int32_t>{ruleId, -1});
+    return it->second;
+  }
+
+ private:
+  std::vector<std::int32_t> direct_;
+  std::vector<std::pair<int, std::int32_t>> sorted_;
+};
+
+// Canonicalize terms_[begin..end): sort by variable, merge duplicates,
+// drop zero coefficients.  Mirrors LinearExpr::canonicalize over a slice.
+void canonicalizeRange(std::vector<solver::Term>& terms, std::size_t begin) {
+  std::sort(terms.begin() + static_cast<std::ptrdiff_t>(begin), terms.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::size_t w = begin;
+  for (std::size_t r = begin; r < terms.size(); ++r) {
+    if (w > begin && terms[w - 1].second == terms[r].second) {
+      terms[w - 1].first += terms[r].first;
+    } else {
+      terms[w++] = terms[r];
+    }
+  }
+  // Compact zeros (rare: only opposing duplicate coefficients).
+  std::size_t o = begin;
+  for (std::size_t r = begin; r < w; ++r) {
+    if (terms[r].first != 0) terms[o++] = terms[r];
+  }
+  terms.resize(o);
+}
+
+}  // namespace
+
+// One policy's encode output, in *local* variable numbering (0-based within
+// the policy).  Spliced into the Model by prefix-summed global offsets.
+struct Encoder::PolicyBuild {
+  struct Row {
+    std::uint32_t termBegin = 0;
+    std::uint32_t termCount = 0;
+    solver::Cmp cmp = solver::Cmp::kGe;
+    std::int64_t rhs = 0;
+    solver::NameRef name;
+  };
+
+  std::vector<VarKey> keys;  // local var id -> key
+  // Capacity contributions in var-creation order: (switch, local var).
+  std::vector<std::pair<topo::SwitchId, std::int32_t>> load;
+  std::vector<Row> rows;              // constraint stream, in emission order
+  std::vector<solver::Term> terms;    // rows' terms, local var ids
+  std::vector<int> requiredRules;     // drops (ascending), then shields
+  std::int64_t ruleDependencyConstraints = 0;
+  std::int64_t pathDependencyConstraints = 0;
+  std::int64_t slicedAwayRules = 0;
+  std::int64_t presolveInfeasiblePaths = 0;
+};
+
 Encoder::Encoder(const PlacementProblem& problem, const EncoderOptions& options,
                  const depgraph::MergeAnalysis* mergeInfo)
     : problem_(&problem), options_(options), mergeInfo_(mergeInfo) {
@@ -56,11 +183,7 @@ Encoder::Encoder(const PlacementProblem& problem, const EncoderOptions& options,
   }
   switchLoad_.resize(static_cast<std::size_t>(problem.graph->switchCount()));
 
-  for (int i = 0; i < problem.policyCount(); ++i) {
-    auto dg = depgraph::acquireGraph(
-        problem.policies[static_cast<std::size_t>(i)], options_.depgraph);
-    encodePolicy(i, *dg);
-  }
+  encodePolicies();
   if (!options_.monitors.empty()) applyMonitorConstraints();
   if (options_.enableMerging) encodeMerging();
   encodeCapacity();
@@ -68,75 +191,106 @@ Encoder::Encoder(const PlacementProblem& problem, const EncoderOptions& options,
   computeObjectiveBound();
 }
 
-void Encoder::markPresolveInfeasible(const std::string& why) {
+void Encoder::markPresolveInfeasible(solver::NameRef why) {
   ++stats_.presolveInfeasiblePaths;
   solver::LinearExpr never;
-  model_.addConstraint(std::move(never), solver::Cmp::kGe, 1,
-                       "presolve_cut:" + why);
-}
-
-solver::ModelVar Encoder::ensureVar(int policyId, int ruleId,
-                                    topo::SwitchId sw) {
-  std::uint64_t key = packKey(policyId, ruleId, sw);
-  auto it = varIndex_.find(key);
-  if (it != varIndex_.end()) return it->second;
-  solver::ModelVar v = model_.addBinary("v_" + std::to_string(policyId) + "_" +
-                                        std::to_string(ruleId) + "_" +
-                                        std::to_string(sw));
-  varIndex_.emplace(key, v);
-  keys_.push_back({policyId, ruleId, sw});
-  switchLoad_[static_cast<std::size_t>(sw)].push_back({1, v});
-  ++stats_.placementVars;
-  return v;
+  model_.addConstraint(std::move(never), solver::Cmp::kGe, 1, why);
 }
 
 solver::ModelVar Encoder::placementVar(int policyId, int ruleId,
                                        topo::SwitchId sw) const noexcept {
-  auto it = varIndex_.find(packKey(policyId, ruleId, sw));
-  return it == varIndex_.end() ? -1 : it->second;
+  return varIndex_.get(packKey(policyId, ruleId, sw));
 }
 
 solver::ModelVar Encoder::mergeVar(int groupId,
                                    topo::SwitchId sw) const noexcept {
-  auto it = mergeIndex_.find(packKey(0, groupId, sw));
-  return it == mergeIndex_.end() ? -1 : it->second;
+  return mergeIndex_.get(packKey(0, groupId, sw));
 }
 
-void Encoder::encodePolicy(int policyId, const depgraph::DependencyGraph& dg) {
+void Encoder::buildPolicy(int policyId, PolicyBuild& out) const {
   const acl::Policy& policy =
       problem_->policies[static_cast<std::size_t>(policyId)];
   const topo::IngressPaths& routing =
       problem_->routing[static_cast<std::size_t>(policyId)];
+  auto dg = depgraph::acquireGraph(policy, options_.depgraph);
+
+  const std::vector<acl::Rule>& rules = policy.rules();
+  const RulePosIndex rulePos(rules);
+
+  // Dense switch ids over the policy's reachable set: the (rule, switch)
+  // variable slab then has O(1) lookups with no hashing at all.
+  const std::vector<topo::SwitchId> reach = routing.reachableSwitches();
+  EncodeScratch& s = encodeScratch();
+  s.beginPolicy(static_cast<std::size_t>(problem_->graph->switchCount()),
+                rules.size());
+  for (std::size_t d = 0; d < reach.size(); ++d) {
+    s.denseOf[static_cast<std::size_t>(reach[d])] =
+        static_cast<std::int32_t>(d);
+    s.denseTouched.push_back(reach[d]);
+  }
+  const std::size_t denseCount = reach.size();
+  s.slab.assign(rules.size() * denseCount, -1);
+
+  auto ensureVarLocal = [&](int ruleId, std::int32_t rp,
+                            topo::SwitchId sw) -> std::int32_t {
+    std::int32_t& slot =
+        s.slab[static_cast<std::size_t>(rp) * denseCount +
+               static_cast<std::size_t>(
+                   s.denseOf[static_cast<std::size_t>(sw)])];
+    if (slot >= 0) return slot;
+    slot = static_cast<std::int32_t>(out.keys.size());
+    out.keys.push_back({policyId, ruleId, sw});
+    out.load.push_back({sw, slot});
+    return slot;
+  };
 
   // Emits Eq.1 shield constraints exactly once, on first creation of a
-  // DROP variable at a switch.
-  auto ensureDropVar = [&](int dropId, topo::SwitchId sw) -> solver::ModelVar {
-    std::uint64_t key = packKey(policyId, dropId, sw);
-    if (varIndex_.count(key) != 0) return varIndex_.at(key);
-    solver::ModelVar vw = ensureVar(policyId, dropId, sw);
-    for (int permitId : dg.shieldsOf(dropId)) {
-      solver::ModelVar vu = ensureVar(policyId, permitId, sw);
-      solver::LinearExpr e;
-      e.add(1, vu).add(-1, vw);
-      model_.addConstraint(std::move(e), solver::Cmp::kGe, 0,
-                           "dep_p" + std::to_string(policyId) + "_r" +
-                               std::to_string(dropId) + "_s" +
-                               std::to_string(sw));
-      ++stats_.ruleDependencyConstraints;
+  // DROP variable at a switch (single slab probe — no repeated lookup).
+  auto ensureDropVarLocal = [&](int dropId,
+                                topo::SwitchId sw) -> std::int32_t {
+    const std::int32_t rp = rulePos.of(dropId);
+    {
+      std::int32_t slot =
+          s.slab[static_cast<std::size_t>(rp) * denseCount +
+                 static_cast<std::size_t>(
+                     s.denseOf[static_cast<std::size_t>(sw)])];
+      if (slot >= 0) return slot;
+    }
+    const std::int32_t vw = ensureVarLocal(dropId, rp, sw);
+    for (int permitId : dg->shieldsOf(dropId)) {
+      const std::int32_t vu =
+          ensureVarLocal(permitId, rulePos.of(permitId), sw);
+      const auto begin = static_cast<std::uint32_t>(out.terms.size());
+      if (vu < vw) {
+        out.terms.push_back({1, vu});
+        out.terms.push_back({-1, vw});
+      } else {
+        out.terms.push_back({-1, vw});
+        out.terms.push_back({1, vu});
+      }
+      out.rows.push_back({begin, 2, solver::Cmp::kGe, 0,
+                          solver::NameRef::dep(policyId, dropId, sw)});
+      ++out.ruleDependencyConstraints;
     }
     return vw;
   };
 
   // Non-dummy drops, for the sliced-away accounting below.
   std::int64_t activeDrops = 0;
-  for (int dropId : dg.dropRules()) {
-    if (!policy.findRule(dropId)->dummy) ++activeDrops;
+  for (int dropId : dg->dropRules()) {
+    if (!rules[static_cast<std::size_t>(rulePos.of(dropId))].dummy) {
+      ++activeDrops;
+    }
   }
 
-  std::set<int> requiredDrops;
+  std::vector<int> requiredDropIds;
+  // Cover-row staging: ensureDropVarLocal may emit dep rows (terms + rows)
+  // while the cover row is being assembled, and CSR rows must own
+  // contiguous term spans — so resolve the vars first, then append.
+  std::vector<std::int32_t> coverVars;
   for (std::size_t pathIdx = 0; pathIdx < routing.paths.size(); ++pathIdx) {
     const auto& path = routing.paths[pathIdx];
-    std::set<int> pathShields;
+    std::int64_t pathShieldCount = 0;
     int pathDrops = 0;
     // Path slicing (§IV-C) is a subset projection of the policy's (cached)
     // dependency graph: drop rules whose field cannot intersect the path's
@@ -144,24 +298,44 @@ void Encoder::encodePolicy(int policyId, const depgraph::DependencyGraph& dg) {
     const bool sliced =
         options_.enablePathSlicing && path.traffic.has_value();
     const std::vector<int> slicedIds =
-        sliced ? dg.slicedDrops(*path.traffic) : std::vector<int>{};
-    const std::vector<int>& pathDropIds = sliced ? slicedIds : dg.dropRules();
+        sliced ? dg->slicedDrops(*path.traffic) : std::vector<int>{};
+    const std::vector<int>& pathDropIds = sliced ? slicedIds : dg->dropRules();
     for (int dropId : pathDropIds) {
-      const acl::Rule* rule = policy.findRule(dropId);
-      if (rule->dummy) continue;  // dummies are redundant: no path duty
-      requiredDrops.insert(dropId);
-      ++pathDrops;
-      for (int permitId : dg.shieldsOf(dropId)) pathShields.insert(permitId);
-      solver::LinearExpr cover;
-      for (topo::SwitchId sw : path.switches) {
-        cover.add(1, ensureDropVar(dropId, sw));
+      const std::int32_t dropPos = rulePos.of(dropId);
+      if (rules[static_cast<std::size_t>(dropPos)].dummy) {
+        continue;  // dummies are redundant: no path duty
       }
-      model_.addConstraint(std::move(cover), solver::Cmp::kGe, 1,
-                           "path_p" + std::to_string(policyId) + "_r" +
-                               std::to_string(dropId));
-      ++stats_.pathDependencyConstraints;
+      if (!s.requiredMark[static_cast<std::size_t>(dropPos)]) {
+        s.requiredMark[static_cast<std::size_t>(dropPos)] = 1;
+        requiredDropIds.push_back(dropId);
+      }
+      ++pathDrops;
+      for (int permitId : dg->shieldsOf(dropId)) {
+        const std::int32_t pp = rulePos.of(permitId);
+        if (!s.shieldMark[static_cast<std::size_t>(pp)]) {
+          s.shieldMark[static_cast<std::size_t>(pp)] = 1;
+          s.shieldTouched.push_back(pp);
+          ++pathShieldCount;
+        }
+      }
+      coverVars.clear();
+      for (topo::SwitchId sw : path.switches) {
+        coverVars.push_back(ensureDropVarLocal(dropId, sw));
+      }
+      const auto begin = static_cast<std::uint32_t>(out.terms.size());
+      for (std::int32_t v : coverVars) out.terms.push_back({1, v});
+      canonicalizeRange(out.terms, begin);
+      out.rows.push_back(
+          {begin, static_cast<std::uint32_t>(out.terms.size()) - begin,
+           solver::Cmp::kGe, 1, solver::NameRef::path(policyId, dropId)});
+      ++out.pathDependencyConstraints;
     }
-    if (sliced) stats_.slicedAwayRules += activeDrops - pathDrops;
+    // Per-path shield marks reset here; required-drop marks span paths.
+    for (std::int32_t p : s.shieldTouched) {
+      s.shieldMark[static_cast<std::size_t>(p)] = 0;
+    }
+    s.shieldTouched.clear();
+    if (sliced) out.slicedAwayRules += activeDrops - pathDrops;
     // Presolve cut: every relevant drop needs a slot on this path, and
     // every distinct shielding permit needs at least one more.  If even
     // the path's *entire* capacity cannot hold them, the instance is
@@ -171,39 +345,150 @@ void Encoder::encodePolicy(int policyId, const depgraph::DependencyGraph& dg) {
     for (topo::SwitchId sw : path.switches) {
       pathCapacity += problem_->capacityOf(sw);
     }
-    if (pathDrops + static_cast<std::int64_t>(pathShields.size()) >
-        pathCapacity) {
-      markPresolveInfeasible("p" + std::to_string(policyId) + "_path" +
-                             std::to_string(pathIdx));
+    if (pathDrops + pathShieldCount > pathCapacity) {
+      ++out.presolveInfeasiblePaths;
+      out.rows.push_back(
+          {static_cast<std::uint32_t>(out.terms.size()), 0, solver::Cmp::kGe,
+           1,
+           solver::NameRef::presolvePath(policyId,
+                                         static_cast<int>(pathIdx))});
     }
   }
   // Record the rules this policy must install somewhere (lower bound
-  // basis): required drops and the permits shielding them.
-  std::set<int> requiredShields;
-  for (int dropId : requiredDrops) {
-    requiredRules_.push_back({policyId, dropId});
-    for (int permitId : dg.shieldsOf(dropId)) {
-      requiredShields.insert(permitId);
+  // basis): required drops and the permits shielding them, each in
+  // ascending rule-id order (matching the old std::set iteration).
+  std::sort(requiredDropIds.begin(), requiredDropIds.end());
+  std::vector<int> requiredShieldIds;
+  for (int dropId : requiredDropIds) {
+    out.requiredRules.push_back(dropId);
+    for (int permitId : dg->shieldsOf(dropId)) {
+      const std::int32_t pp = rulePos.of(permitId);
+      if (!s.requiredShieldMark[static_cast<std::size_t>(pp)]) {
+        s.requiredShieldMark[static_cast<std::size_t>(pp)] = 1;
+        requiredShieldIds.push_back(permitId);
+      }
     }
   }
-  for (int permitId : requiredShields) {
-    requiredRules_.push_back({policyId, permitId});
+  std::sort(requiredShieldIds.begin(), requiredShieldIds.end());
+  for (int permitId : requiredShieldIds) {
+    out.requiredRules.push_back(permitId);
   }
 
   // Dummy rules (inserted by merge-cycle breaking) carry no path duty but
   // must be placeable anywhere in S_i so their merge group can fire.
   if (options_.enableMerging) {
-    std::vector<topo::SwitchId> reach = routing.reachableSwitches();
-    for (const auto& r : policy.rules()) {
+    for (const auto& r : rules) {
       if (!r.dummy) continue;
       for (topo::SwitchId sw : reach) {
         if (r.action == acl::Action::kDrop) {
-          ensureDropVar(r.id, sw);
+          ensureDropVarLocal(r.id, sw);
         } else {
-          ensureVar(policyId, r.id, sw);
+          ensureVarLocal(r.id, rulePos.of(r.id), sw);
         }
       }
     }
+  }
+}
+
+void Encoder::encodePolicies() {
+  const int n = problem_->policyCount();
+  std::vector<PolicyBuild> builds(static_cast<std::size_t>(n));
+
+  int threads = options_.threads;
+  if (threads <= 0) threads = util::ThreadPool::hardwareThreads();
+  threads = std::min(threads, n);
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  // Run fn(i) over every policy — pooled or inline, same lambda either
+  // way, so the sequential and parallel encoders share one code path.
+  // The pool rethrows the lowest-ordinal exception, matching the policy
+  // order a sequential loop would fail in.
+  auto forEachPolicy = [&](const std::function<void(int)>& fn) {
+    if (pool.has_value()) {
+      for (int i = 0; i < n; ++i) {
+        pool->submit([&fn, i] { fn(i); });
+      }
+      pool->wait();
+    } else {
+      for (int i = 0; i < n; ++i) fn(i);
+    }
+  };
+
+  // Pass 1: encode each policy into a private buffer with local numbering.
+  forEachPolicy([&](int i) {
+    buildPolicy(i, builds[static_cast<std::size_t>(i)]);
+  });
+
+  // Prefix-sum the per-policy counts into global offsets.
+  std::vector<std::int64_t> varBase(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::size_t> consBase(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::size_t> termBase(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    const auto& b = builds[static_cast<std::size_t>(i)];
+    const auto ui = static_cast<std::size_t>(i);
+    varBase[ui + 1] = varBase[ui] + static_cast<std::int64_t>(b.keys.size());
+    consBase[ui + 1] = consBase[ui] + b.rows.size();
+    termBase[ui + 1] = termBase[ui] + b.terms.size();
+  }
+  const auto totalVars = varBase[static_cast<std::size_t>(n)];
+  if (totalVars > std::numeric_limits<solver::ModelVar>::max()) {
+    throw std::invalid_argument("encoder: model exceeds 2^31 variables");
+  }
+
+  auto bulk = model_.bulkAppend(static_cast<int>(totalVars),
+                                consBase[static_cast<std::size_t>(n)],
+                                termBase[static_cast<std::size_t>(n)]);
+  keys_.resize(static_cast<std::size_t>(totalVars));
+
+  // Pass 2: splice each policy's buffer into its reserved slice — var
+  // names, keys, offset-remapped terms, rows.  Slices are disjoint, so
+  // the fills run in parallel.
+  forEachPolicy([&](int i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const PolicyBuild& b = builds[ui];
+    const auto vb = static_cast<solver::ModelVar>(varBase[ui]);
+    for (std::size_t l = 0; l < b.keys.size(); ++l) {
+      const VarKey& k = b.keys[l];
+      const auto v = static_cast<solver::ModelVar>(
+          vb + static_cast<solver::ModelVar>(l));
+      keys_[static_cast<std::size_t>(v)] = k;
+      model_.setBulkVarName(
+          v, solver::NameRef::placement(k.policyId, k.ruleId, k.switchId));
+    }
+    solver::Term* dst = bulk.terms + termBase[ui];
+    for (std::size_t t = 0; t < b.terms.size(); ++t) {
+      dst[t] = {b.terms[t].first, b.terms[t].second + vb};
+    }
+    for (std::size_t r = 0; r < b.rows.size(); ++r) {
+      const PolicyBuild::Row& row = b.rows[r];
+      model_.setBulkConstraint(consBase[ui] + r, dst + row.termBegin,
+                               row.termCount, row.cmp, row.rhs, row.name);
+    }
+  });
+
+  // Sequential tail: per-switch load, required rules and stats splice in
+  // policy order (identical to the sequential emission order).
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    PolicyBuild& b = builds[ui];
+    const auto vb = static_cast<solver::ModelVar>(varBase[ui]);
+    for (const auto& [sw, local] : b.load) {
+      switchLoad_[static_cast<std::size_t>(sw)].push_back({1, vb + local});
+    }
+    for (int ruleId : b.requiredRules) requiredRules_.push_back({i, ruleId});
+    stats_.ruleDependencyConstraints += b.ruleDependencyConstraints;
+    stats_.pathDependencyConstraints += b.pathDependencyConstraints;
+    stats_.slicedAwayRules += b.slicedAwayRules;
+    stats_.presolveInfeasiblePaths += b.presolveInfeasiblePaths;
+    b = PolicyBuild{};  // free the buffer before the next splice
+  }
+  stats_.placementVars = totalVars;
+
+  varIndex_.reserve(keys_.size());
+  for (std::size_t v = 0; v < keys_.size(); ++v) {
+    const VarKey& k = keys_[v];
+    varIndex_.put(packKey(k.policyId, k.ruleId, k.switchId),
+                  static_cast<std::int32_t>(v));
   }
 }
 
@@ -214,7 +499,8 @@ void Encoder::applyMonitorConstraints() {
   // Conservative — a variable forbidden because of one path is forbidden
   // globally — which can only cost optimality/feasibility, never
   // correctness.
-  std::set<solver::ModelVar> pinned;
+  std::vector<std::uint8_t> pinned(
+      static_cast<std::size_t>(model_.varCount()), 0);
   for (const auto& monitor : options_.monitors) {
     if (monitor.switchId < 0 ||
         monitor.switchId >= problem_->graph->switchCount()) {
@@ -227,17 +513,25 @@ void Encoder::applyMonitorConstraints() {
         throw std::invalid_argument(
             "monitor: match width differs from policy width");
       }
+      // The (monitor, policy) overlap test does not depend on the path or
+      // the hop — hoist the overlapping drop list out of both loops.
+      std::vector<int> overlappingDrops;
+      for (const auto& rule : policy.rules()) {
+        if (rule.action != acl::Action::kDrop) continue;
+        if (!rule.matchField.overlaps(monitor.match)) continue;
+        overlappingDrops.push_back(rule.id);
+      }
+      if (overlappingDrops.empty()) continue;
       for (const auto& path :
            problem_->routing[static_cast<std::size_t>(i)].paths) {
         int pos = path.locOf(monitor.switchId);
         if (pos <= 0) continue;  // not on this path, or nothing upstream
         for (int d = 0; d < pos; ++d) {
           topo::SwitchId upstream = path.switches[static_cast<std::size_t>(d)];
-          for (const auto& rule : policy.rules()) {
-            if (rule.action != acl::Action::kDrop) continue;
-            if (!rule.matchField.overlaps(monitor.match)) continue;
-            solver::ModelVar v = placementVar(i, rule.id, upstream);
-            if (v < 0 || !pinned.insert(v).second) continue;
+          for (int dropId : overlappingDrops) {
+            solver::ModelVar v = placementVar(i, dropId, upstream);
+            if (v < 0 || pinned[static_cast<std::size_t>(v)] != 0) continue;
+            pinned[static_cast<std::size_t>(v)] = 1;
             model_.fixVariable(v, false);
             ++stats_.monitorForbiddenVars;
           }
@@ -258,9 +552,8 @@ void Encoder::encodeMerging() {
       if (members.size() < 2) continue;
       const std::int64_t m = static_cast<std::int64_t>(members.size());
       solver::ModelVar mv =
-          model_.addBinary("m_" + std::to_string(group.id) + "_" +
-                           std::to_string(sw));
-      mergeIndex_.emplace(packKey(0, group.id, sw), mv);
+          model_.addBinary(solver::NameRef::merge(group.id, sw));
+      mergeIndex_.put(packKey(0, group.id, sw), mv);
       mergeKeyList_.push_back({group.id, sw});
       ++stats_.mergeVars;
       // Eq. 4: v^m >= Σ v - (M-1)   <=>   Σ v - v^m <= M-1.
@@ -289,8 +582,7 @@ void Encoder::encodeCapacity() {
     solver::LinearExpr e;
     for (const auto& [coeff, v] : load) e.add(coeff, v);
     model_.addConstraint(std::move(e), solver::Cmp::kLe,
-                         problem_->capacityOf(sw),
-                         "cap_s" + std::to_string(sw));
+                         problem_->capacityOf(sw), solver::NameRef::cap(sw));
     ++stats_.capacityConstraints;
   }
 }
@@ -298,25 +590,35 @@ void Encoder::encodeCapacity() {
 void Encoder::encodeObjective() {
   solver::LinearExpr obj;
   switch (options_.objective) {
-    case ObjectiveKind::kTotalRules:
-      // Σ v - Σ (M-1) v^m: exactly the installed-entry count.
+    case ObjectiveKind::kTotalRules: {
+      // Σ v - Σ (M-1) v^m: exactly the installed-entry count.  Each
+      // variable carries exactly one switch-load contribution, so the
+      // coefficient-by-variable scan emits the canonical (var-sorted)
+      // form directly — no sort needed.
+      std::vector<std::int64_t> coeff(
+          static_cast<std::size_t>(model_.varCount()), 0);
       for (topo::SwitchId sw = 0; sw < problem_->graph->switchCount(); ++sw) {
-        for (const auto& [coeff, v] :
-             switchLoad_[static_cast<std::size_t>(sw)]) {
-          obj.add(coeff, v);
+        for (const auto& [c, v] : switchLoad_[static_cast<std::size_t>(sw)]) {
+          coeff[static_cast<std::size_t>(v)] += c;
         }
       }
+      for (std::size_t v = 0; v < coeff.size(); ++v) {
+        obj.add(coeff[v], static_cast<solver::ModelVar>(v));
+      }
       break;
+    }
     case ObjectiveKind::kUpstreamTraffic:
       // Paper: Σ v * loc(s_k, P_i).  We use (1 + 10*loc) so every placed
       // entry has positive cost: the hop gradient dominates (drops move
       // upstream) while gratuitous zero-cost placements at the ingress are
-      // still penalized.
-      for (const auto& key : keys_) {
+      // still penalized.  keys_[v] is var v's key, so the scan is already
+      // in variable order.
+      for (std::size_t v = 0; v < keys_.size(); ++v) {
+        const VarKey& key = keys_[v];
         int loc = problem_->routing[static_cast<std::size_t>(key.policyId)]
                       .minLoc(key.switchId);
         obj.add(1 + 10 * static_cast<std::int64_t>(loc),
-                placementVar(key.policyId, key.ruleId, key.switchId));
+                static_cast<solver::ModelVar>(v));
       }
       break;
     case ObjectiveKind::kWeightedSwitch:
@@ -325,10 +627,11 @@ void Encoder::encodeObjective() {
         throw std::invalid_argument(
             "encoder: switchWeights must cover every switch");
       }
-      for (const auto& key : keys_) {
+      for (std::size_t v = 0; v < keys_.size(); ++v) {
+        const VarKey& key = keys_[v];
         auto w = static_cast<std::int64_t>(
             options_.switchWeights[static_cast<std::size_t>(key.switchId)]);
-        obj.add(w, placementVar(key.policyId, key.ruleId, key.switchId));
+        obj.add(w, static_cast<solver::ModelVar>(v));
       }
       break;
   }
@@ -341,12 +644,14 @@ void Encoder::computeObjectiveBound() {
   // can save at most (members - 1) entries per group.  The resulting bound
   // is what lets the optimizer finish without an exponential counting
   // proof (see solver/optimize.h).
-  std::unordered_map<solver::ModelVar, std::int64_t> coeffOf;
+  std::vector<std::int64_t> coeffOf(
+      static_cast<std::size_t>(model_.varCount()), 0);
+  std::vector<std::uint8_t> inObjective(
+      static_cast<std::size_t>(model_.varCount()), 0);
   for (const auto& [coeff, v] : model_.objective().terms()) {
-    coeffOf.emplace(v, coeff);
+    coeffOf[static_cast<std::size_t>(v)] = coeff;
+    inObjective[static_cast<std::size_t>(v)] = 1;
   }
-  // Group each rule's variables for a min-coefficient scan.
-  std::unordered_map<std::uint64_t, std::int64_t> minCoeff;
   auto ruleKey = [](int policyId, int ruleId) {
     // Full 32-bit fields: rule ids grow unboundedly under churn, and a
     // narrow shift would alias distinct rules (same bug class as the old
@@ -355,18 +660,29 @@ void Encoder::computeObjectiveBound() {
             << 32) |
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(ruleId));
   };
-  for (const auto& key : keys_) {
-    solver::ModelVar v = placementVar(key.policyId, key.ruleId, key.switchId);
-    auto it = coeffOf.find(v);
-    if (it == coeffOf.end()) continue;
-    std::uint64_t rk = ruleKey(key.policyId, key.ruleId);
-    auto [entry, inserted] = minCoeff.emplace(rk, it->second);
-    if (!inserted && it->second < entry->second) entry->second = it->second;
+  // Min objective coefficient per *required* rule: a flat index over the
+  // required (policy, rule) pairs, filled by one scan of the variables.
+  constexpr std::int64_t kUnset = std::numeric_limits<std::int64_t>::max();
+  util::FlatIndex64 requiredSlot;
+  requiredSlot.reserve(requiredRules_.size());
+  std::vector<std::int64_t> minCoeff(requiredRules_.size(), kUnset);
+  for (std::size_t slot = 0; slot < requiredRules_.size(); ++slot) {
+    requiredSlot.put(
+        ruleKey(requiredRules_[slot].first, requiredRules_[slot].second),
+        static_cast<std::int32_t>(slot));
+  }
+  for (std::size_t v = 0; v < keys_.size(); ++v) {
+    if (!inObjective[v]) continue;
+    const VarKey& key = keys_[v];
+    const std::int32_t slot =
+        requiredSlot.get(ruleKey(key.policyId, key.ruleId));
+    if (slot < 0) continue;
+    minCoeff[static_cast<std::size_t>(slot)] = std::min(
+        minCoeff[static_cast<std::size_t>(slot)], coeffOf[v]);
   }
   std::int64_t bound = 0;
-  for (const auto& [policyId, ruleId] : requiredRules_) {
-    auto it = minCoeff.find(ruleKey(policyId, ruleId));
-    if (it != minCoeff.end()) bound += it->second;
+  for (std::int64_t c : minCoeff) {
+    if (c != kUnset) bound += c;
   }
   if (options_.enableMerging && mergeInfo_ != nullptr) {
     // A group's best possible saving is (co-located members - 1) at the
@@ -403,21 +719,22 @@ void Encoder::computeObjectiveBound() {
   }
   if (options_.objective == ObjectiveKind::kTotalRules &&
       bound > totalCapacity) {
-    markPresolveInfeasible("total_capacity");
+    markPresolveInfeasible(solver::NameRef::presolveTotal());
   }
 }
 
 std::vector<std::pair<solver::ModelVar, bool>> Encoder::ingressHint() const {
   std::vector<std::pair<solver::ModelVar, bool>> hint;
   hint.reserve(keys_.size());
-  for (const auto& key : keys_) {
+  for (std::size_t v = 0; v < keys_.size(); ++v) {
+    const VarKey& key = keys_[v];
     topo::SwitchId ingressSwitch =
         problem_->graph
             ->entryPort(
                 problem_->routing[static_cast<std::size_t>(key.policyId)]
                     .ingress)
             .attachedSwitch;
-    hint.push_back({placementVar(key.policyId, key.ruleId, key.switchId),
+    hint.push_back({static_cast<solver::ModelVar>(v),
                     key.switchId == ingressSwitch});
   }
   return hint;

@@ -17,16 +17,25 @@
 //   * Merging link (Eq. 4/5):    v^m_{g,k} = AND of member variables.
 // Path slicing (§IV-C) restricts the drop rules each path must carry to
 // those overlapping the path's traffic descriptor.
+//
+// The encode stage is streaming and parallel (docs/performance.md, "Encode
+// stage"): each policy is encoded into a private buffer with *local*
+// variable numbering (two-pass scheme), global offsets are assigned by
+// prefix sum over the per-policy counts, and the buffers are spliced into
+// the Model's bulk-append storage.  Variable numbering and the emitted
+// model are bit-identical to the sequential encoder and across any thread
+// count, because the per-policy pass is deterministic and the splice order
+// is the policy order.
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/problem.h"
 #include "depgraph/depgraph.h"
 #include "depgraph/merging.h"
 #include "solver/model.h"
+#include "util/flat_map.h"
 
 namespace ruleplace::core {
 
@@ -72,7 +81,9 @@ class Encoder {
   /// The merge variable for (group, switch), or -1.
   solver::ModelVar mergeVar(int groupId, topo::SwitchId sw) const noexcept;
 
-  /// All placement variables with their keys (for extraction).
+  /// All placement variables with their keys (for extraction).  Placement
+  /// variable v is keys()[v] — placement vars are created first, so the
+  /// vector is indexed by variable id.
   struct VarKey {
     int policyId;
     int ruleId;
@@ -100,24 +111,25 @@ class Encoder {
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(sw));
   }
 
-  solver::ModelVar ensureVar(int policyId, int ruleId, topo::SwitchId sw);
+  struct PolicyBuild;
 
-  void encodePolicy(int policyId, const depgraph::DependencyGraph& dg);
+  void buildPolicy(int policyId, PolicyBuild& out) const;
+  void encodePolicies();
   void applyMonitorConstraints();
   void encodeMerging();
   void encodeCapacity();
   void encodeObjective();
   void computeObjectiveBound();
-  void markPresolveInfeasible(const std::string& why);
+  void markPresolveInfeasible(solver::NameRef why);
 
   const PlacementProblem* problem_;
   EncoderOptions options_;
   const depgraph::MergeAnalysis* mergeInfo_;
 
   solver::Model model_;
-  std::unordered_map<std::uint64_t, solver::ModelVar> varIndex_;
+  util::FlatIndex64 varIndex_;  // packKey -> placement var
   std::vector<VarKey> keys_;
-  std::unordered_map<std::uint64_t, solver::ModelVar> mergeIndex_;
+  util::FlatIndex64 mergeIndex_;  // packKey(0, group, sw) -> merge var
   std::vector<std::pair<int, topo::SwitchId>> mergeKeyList_;
   // Per-switch capacity expression pieces: switch -> list of (coeff, var).
   std::vector<std::vector<std::pair<std::int64_t, solver::ModelVar>>>

@@ -248,8 +248,8 @@ solver::SolverStats statsDelta(const solver::SolverStats& now,
   return d;
 }
 
-bool isCapacityRow(const solver::Constraint& c) {
-  return c.name.rfind("cap_s", 0) == 0;
+bool isCapacityRow(const solver::ConstraintView& c) {
+  return c.name.kind == solver::NameRef::Kind::kCap;
 }
 
 }  // namespace
@@ -389,7 +389,7 @@ IncrementalSession::EventRun IncrementalSession::runEvent(
     solver::Constraint c;
     c.cmp = solver::Cmp::kLe;
     c.rhs = combined_.capacityOf(sw) - basePlacement_.usedCapacity(sw);
-    c.name = "session_cap_s" + std::to_string(sw);
+    c.name = solver::NameRef::sessionCap(sw);
     for (solver::ModelVar v : vars) c.expr.add(1, v);
     capRows.push_back(std::move(c));
   }

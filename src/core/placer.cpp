@@ -303,7 +303,11 @@ PlaceOutcome placeComponent(PlacementProblem problem,
       obs::Span span("place.encode");
       span.arg("policies", problem.policyCount());
       span.arg("rules", problem.totalPolicyRules());
-      encoderOpt.emplace(problem, options.encoder,
+      // The component's thread budget drives the parallel policy encode;
+      // the two-pass scheme keeps the model bit-identical for any value.
+      EncoderOptions encOpts = options.encoder;
+      encOpts.threads = options.threads;
+      encoderOpt.emplace(problem, encOpts,
                          options.encoder.enableMerging ? &outcome.mergeInfo
                                                        : nullptr);
       outcome.encodeSeconds = secondsSince(t0);
@@ -312,8 +316,11 @@ PlaceOutcome placeComponent(PlacementProblem problem,
       outcome.modelConstraints =
           static_cast<std::int64_t>(encoderOpt->model().constraintCount());
       outcome.modelNonzeros = encoderOpt->model().nonzeroCount();
+      outcome.modelBytes =
+          static_cast<std::int64_t>(encoderOpt->model().memoryBytes());
       span.arg("model_vars", outcome.modelVars);
       span.arg("model_constraints", outcome.modelConstraints);
+      span.arg("model_bytes", outcome.modelBytes);
     }
     Encoder& encoder = *encoderOpt;
 
@@ -745,6 +752,7 @@ PlaceOutcome place(PlacementProblem problem, const PlaceOptions& options) {
     outcome.modelVars += sub.modelVars;
     outcome.modelConstraints += sub.modelConstraints;
     outcome.modelNonzeros += sub.modelNonzeros;
+    outcome.modelBytes += sub.modelBytes;
     outcome.componentStats.push_back(componentStatsOf(sub));
     // Remap the component-local policy ids to global ones.
     outcome.componentStats.back().policyIds.assign(

@@ -161,6 +161,9 @@ struct PlaceOutcome {
   int modelVars = 0;
   std::int64_t modelConstraints = 0;
   std::int64_t modelNonzeros = 0;
+  /// Bytes held by the encoded model(s): arena term pool + row records +
+  /// packed name refs (solver::Model::memoryBytes, summed over components).
+  std::int64_t modelBytes = 0;
   depgraph::MergeAnalysis mergeInfo;
   /// Per coupling component, in merge order (smallest member policy id
   /// first).  Always has >= 1 entry after place().

@@ -48,6 +48,11 @@ struct EncoderOptions {
   /// cache bypass).  Never affects results — graphs are bit-identical for
   /// every setting (see docs/depgraph.md).
   depgraph::BuildOptions depgraph;
+  /// Encode worker threads: policies are encoded in parallel with the
+  /// deterministic two-pass scheme (docs/performance.md).  Never affects
+  /// results — the emitted model is bit-identical for every setting.
+  /// <= 0 means one worker per hardware thread; 1 runs inline.
+  int threads = 1;
 };
 
 /// One placement problem: policies[i] is attached to routing[i].ingress.

@@ -9,7 +9,7 @@ namespace {
 // LP-format names must avoid leading digits and operator characters; our
 // model names (v_i_j_k, m_g_k, x<N>) are already safe, but guard anyway.
 std::string lpName(const solver::Model& model, solver::ModelVar v) {
-  const std::string& n = model.varName(v);
+  const std::string n = model.varName(v);
   if (n.empty() || (n[0] >= '0' && n[0] <= '9')) {
     return "x" + std::to_string(v);
   }
@@ -26,7 +26,7 @@ std::string sanitizeLpName(std::string name) {
 }
 
 void writeSmtSum(std::ostringstream& os, const solver::Model& model,
-                 const solver::LinearExpr& expr) {
+                 const solver::ExprView& expr) {
   if (expr.terms().empty()) {
     if (expr.constant() >= 0) {
       os << expr.constant();
@@ -61,7 +61,7 @@ std::string toSmtLib2(const solver::Model& model) {
      << model.constraintCount() << " constraints\n";
   os << "(set-logic QF_LIA)\n";
   for (int v = 0; v < model.varCount(); ++v) {
-    const std::string& name = model.varName(v);
+    const std::string name = model.varName(v);
     os << "(declare-const " << name << " Int)\n";
     os << "(assert (<= 0 " << name << "))\n";
     os << "(assert (<= " << name << " 1))\n";
@@ -73,7 +73,7 @@ std::string toSmtLib2(const solver::Model& model) {
     os << "(assert (" << op << ' ';
     writeSmtSum(os, model, c.expr);
     os << ' ' << c.rhs << "))";
-    if (!c.name.empty()) os << " ; " << c.name;
+    if (!c.name.empty()) os << " ; " << model.name(c.name);
     os << '\n';
   }
   if (model.hasObjective() && !model.objective().terms().empty()) {
@@ -87,7 +87,7 @@ std::string toSmtLib2(const solver::Model& model) {
 
 std::string toCplexLp(const solver::Model& model) {
   std::ostringstream os;
-  auto writeExpr = [&](const solver::LinearExpr& expr) {
+  auto writeExpr = [&](const solver::ExprView& expr) {
     bool first = true;
     for (const auto& [coeff, v] : expr.terms()) {
       if (coeff >= 0) {
@@ -114,8 +114,8 @@ std::string toCplexLp(const solver::Model& model) {
   os << "\nSubject To\n";
   int idx = 0;
   for (const auto& c : model.constraints()) {
-    std::string name =
-        c.name.empty() ? "c" + std::to_string(idx) : sanitizeLpName(c.name);
+    std::string name = c.name.empty() ? "c" + std::to_string(idx)
+                                      : sanitizeLpName(model.name(c.name));
     os << ' ' << name << ": ";
     writeExpr(c.expr);
     const char* op = c.cmp == solver::Cmp::kLe   ? " <= "

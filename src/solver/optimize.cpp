@@ -20,8 +20,7 @@ namespace {
 // (B·(¬gate) + Σ a_i·l_i ≥ B), so retracting the gate assumption makes the
 // row inert — the selector idiom behind retractable objective bounds and
 // per-policy constraint groups.
-bool addNormalizedGe(Solver& solver,
-                     const std::vector<std::pair<std::int64_t, ModelVar>>& terms,
+bool addNormalizedGe(Solver& solver, std::span<const Term> terms,
                      std::int64_t bound, const std::vector<Var>& varMap,
                      Lit gate = Lit::undef()) {
   std::vector<std::pair<std::int64_t, Lit>> out;
@@ -90,7 +89,7 @@ class Polisher {
     auto removable = [&](ModelVar v) {
       for (const auto& [ci, coeff] : occs_[static_cast<std::size_t>(v)]) {
         std::int64_t next = lhs[static_cast<std::size_t>(ci)] - coeff;
-        const Constraint& c = cons[static_cast<std::size_t>(ci)];
+        const ConstraintView c = cons[static_cast<std::size_t>(ci)];
         switch (c.cmp) {
           case Cmp::kLe:
             if (next > c.rhs) return false;
@@ -160,7 +159,7 @@ class Polisher {
         // Repair constraints v participates in.
         for (const auto& [ci, cf] : occs_[static_cast<std::size_t>(v)]) {
           (void)cf;
-          const Constraint& c = cons[static_cast<std::size_t>(ci)];
+          const ConstraintView c = cons[static_cast<std::size_t>(ci)];
           std::int64_t now = lhs[static_cast<std::size_t>(ci)] + lhsDelta[ci];
           if (c.cmp == Cmp::kEq) {
             if (now != c.rhs) ok = false;
@@ -233,15 +232,15 @@ void flushStatsDelta(const SolverStats& now, const SolverStats& prev) {
 
 }  // namespace
 
-bool lowerConstraint(Solver& solver, const Constraint& c,
-                     const std::vector<Var>& varMap) {
-  const auto& terms = c.expr.terms();
-  std::int64_t rhs = c.rhs - c.expr.constant();
-  switch (c.cmp) {
+namespace {
+
+bool lowerTerms(Solver& solver, std::span<const Term> terms, Cmp cmp,
+                std::int64_t rhs, const std::vector<Var>& varMap) {
+  switch (cmp) {
     case Cmp::kGe:
       return addNormalizedGe(solver, terms, rhs, varMap);
     case Cmp::kLe: {
-      std::vector<std::pair<std::int64_t, ModelVar>> negated;
+      std::vector<Term> negated;
       negated.reserve(terms.size());
       for (const auto& [coeff, v] : terms) negated.push_back({-coeff, v});
       return addNormalizedGe(solver, negated, -rhs, varMap);
@@ -249,13 +248,27 @@ bool lowerConstraint(Solver& solver, const Constraint& c,
     case Cmp::kEq:
       if (!addNormalizedGe(solver, terms, rhs, varMap)) return false;
       {
-        std::vector<std::pair<std::int64_t, ModelVar>> negated;
+        std::vector<Term> negated;
         negated.reserve(terms.size());
         for (const auto& [coeff, v] : terms) negated.push_back({-coeff, v});
         return addNormalizedGe(solver, negated, -rhs, varMap);
       }
   }
   return false;
+}
+
+}  // namespace
+
+bool lowerConstraint(Solver& solver, const Constraint& c,
+                     const std::vector<Var>& varMap) {
+  return lowerTerms(solver, c.expr.terms(), c.cmp, c.rhs - c.expr.constant(),
+                    varMap);
+}
+
+bool lowerConstraint(Solver& solver, const ConstraintView& c,
+                     const std::vector<Var>& varMap) {
+  return lowerTerms(solver, c.expr.terms(), c.cmp, c.rhs - c.expr.constant(),
+                    varMap);
 }
 
 OptResult Optimizer::solve(const Model& model, const Budget& budget) {

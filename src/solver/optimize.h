@@ -83,8 +83,12 @@ class Optimizer {
 };
 
 /// Lower one model constraint into the solver.  Exposed for white-box tests.
-/// Returns false if the solver became root-UNSAT.
+/// Returns false if the solver became root-UNSAT.  Overloads cover both the
+/// builder form (incremental constraint groups, tests) and the Model's CSR
+/// row views.
 bool lowerConstraint(Solver& solver, const Constraint& c,
+                     const std::vector<Var>& varMap);
+bool lowerConstraint(Solver& solver, const ConstraintView& c,
                      const std::vector<Var>& varMap);
 
 }  // namespace ruleplace::solver

@@ -1,0 +1,104 @@
+#pragma once
+// Flat open-addressing hash index: u64 key -> int32 value.
+//
+// Purpose-built replacement for the encoder's unordered_map var indexes:
+// one flat power-of-two array of (key, value) slots, linear probing, no
+// per-node allocation, no buckets, no iterator stability requirements.
+// Lookups on the encode hot path touch exactly one cache line in the
+// common case instead of chasing a bucket pointer.
+//
+// Constraints:
+//   * Keys must never equal kEmptyKey (all-ones).  The encoder's packed
+//     (policy, rule, switch) keys cannot reach it: policy and switch are
+//     validated < 2^16, so the top 16 bits are never all-ones.
+//   * No erase (the encoder only ever grows an index).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ruleplace::util {
+
+class FlatIndex64 {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatIndex64() = default;
+
+  /// Pre-size for about `n` keys (keeps the load factor under 1/2).
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want < n * 2) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Insert or overwrite.
+  void put(std::uint64_t key, std::int32_t value) {
+    if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    Slot& s = probe(key);
+    if (s.key == kEmptyKey) {
+      s.key = key;
+      ++size_;
+    }
+    s.value = value;
+  }
+
+  /// The value for `key`, or `missing` when absent.
+  std::int32_t get(std::uint64_t key,
+                   std::int32_t missing = -1) const noexcept {
+    if (slots_.empty()) return missing;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == kEmptyKey) return missing;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t memoryBytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    std::int32_t value = 0;
+  };
+
+  static std::size_t mix(std::uint64_t key) noexcept {
+    // splitmix64 finalizer: packed keys are highly regular, so a strong
+    // bit mixer is what keeps linear probing clusters short.
+    key += 0x9e3779b97f4a7c15ULL;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(key ^ (key >> 31));
+  }
+
+  Slot& probe(std::uint64_t key) noexcept {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key || s.key == kEmptyKey) return s;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void rehash(std::size_t newSize) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(newSize, Slot{});
+    for (const Slot& s : old) {
+      if (s.key != kEmptyKey) probe(s.key) = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ruleplace::util

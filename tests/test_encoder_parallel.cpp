@@ -1,0 +1,290 @@
+// Streaming parallel encoder equivalence suite (docs/performance.md,
+// "Encode stage").
+//
+// The encoder's determinism contract: the emitted Model is *bit-identical*
+// — same variables in the same order with the same (lazily materialized)
+// names, same constraint CSR rows, same objective and lower bound — for
+// every EncoderOptions::threads value, because the two-pass scheme gives
+// each policy a private buffer with local variable numbering and splices
+// the buffers in policy order.  This suite checks that contract directly
+// (model against model), over the checked-in fuzz corpus, and end-to-end
+// (placements across PlaceOptions::threads), plus the lazy-name contract:
+// packed NameRefs materialize to exactly the strings the eager encoder
+// used to build.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/instance.h"
+#include "core/placer.h"
+#include "io/scenario.h"
+#include "solver/model.h"
+
+#ifndef RP_CORPUS_DIR
+#error "RP_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace ruleplace::core {
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RP_CORPUS_DIR)) {
+    if (entry.path().extension() == ".scenario") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Bit-identity of two models: every variable (and its materialized name),
+/// every CSR row (terms, comparator, rhs, name), the objective and the
+/// combinatorial lower bound.
+void expectModelsIdentical(const solver::Model& a, const solver::Model& b) {
+  ASSERT_EQ(a.varCount(), b.varCount());
+  for (solver::ModelVar v = 0; v < a.varCount(); ++v) {
+    ASSERT_EQ(a.varName(v), b.varName(v)) << "var " << v;
+  }
+  ASSERT_EQ(a.constraintCount(), b.constraintCount());
+  for (std::size_t i = 0; i < a.constraintCount(); ++i) {
+    const solver::ConstraintView ca = a.constraint(i);
+    const solver::ConstraintView cb = b.constraint(i);
+    ASSERT_EQ(ca.cmp, cb.cmp) << "row " << i;
+    ASSERT_EQ(ca.rhs, cb.rhs) << "row " << i;
+    ASSERT_EQ(ca.expr.constant(), cb.expr.constant()) << "row " << i;
+    ASSERT_EQ(a.name(ca.name), b.name(cb.name)) << "row " << i;
+    const auto ta = ca.expr.terms();
+    const auto tb = cb.expr.terms();
+    ASSERT_EQ(ta.size(), tb.size()) << "row " << i;
+    for (std::size_t t = 0; t < ta.size(); ++t) {
+      ASSERT_EQ(ta[t], tb[t]) << "row " << i << " term " << t;
+    }
+  }
+  ASSERT_EQ(a.hasObjective(), b.hasObjective());
+  if (a.hasObjective()) {
+    const auto oa = a.objective().terms();
+    const auto ob = b.objective().terms();
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t t = 0; t < oa.size(); ++t) {
+      ASSERT_EQ(oa[t], ob[t]) << "objective term " << t;
+    }
+    ASSERT_EQ(a.objective().constant(), b.objective().constant());
+  }
+  ASSERT_EQ(a.hasObjectiveLowerBound(), b.hasObjectiveLowerBound());
+  if (a.hasObjectiveLowerBound()) {
+    ASSERT_EQ(a.objectiveLowerBound(), b.objectiveLowerBound());
+  }
+  ASSERT_EQ(a.nonzeroCount(), b.nonzeroCount());
+}
+
+void expectEncodersAgreeAcrossThreads(const PlacementProblem& problem,
+                                      EncoderOptions opts) {
+  opts.threads = 1;
+  const Encoder reference(problem, opts);
+  EXPECT_GT(reference.model().memoryBytes(), 0u);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    opts.threads = threads;
+    const Encoder parallel(problem, opts);
+    expectModelsIdentical(reference.model(), parallel.model());
+    // The secondary outputs the placer consumes must agree too.
+    const auto& sa = reference.stats();
+    const auto& sb = parallel.stats();
+    EXPECT_EQ(sa.placementVars, sb.placementVars);
+    EXPECT_EQ(sa.ruleDependencyConstraints, sb.ruleDependencyConstraints);
+    EXPECT_EQ(sa.pathDependencyConstraints, sb.pathDependencyConstraints);
+    EXPECT_EQ(sa.requiredRules, sb.requiredRules);
+    EXPECT_EQ(sa.objectiveLowerBound, sb.objectiveLowerBound);
+    EXPECT_EQ(sa.slicedAwayRules, sb.slicedAwayRules);
+    EXPECT_EQ(reference.placementKeys().size(),
+              parallel.placementKeys().size());
+    for (std::size_t i = 0; i < reference.placementKeys().size(); ++i) {
+      const auto& ka = reference.placementKeys()[i];
+      const auto& kb = parallel.placementKeys()[i];
+      ASSERT_TRUE(ka.policyId == kb.policyId && ka.ruleId == kb.ruleId &&
+                  ka.switchId == kb.switchId)
+          << "key " << i;
+    }
+    EXPECT_EQ(reference.ingressHint(), parallel.ingressHint());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model bit-identity, synthetic instances
+
+TEST(ParallelEncoder, SyntheticInstanceBitIdenticalAcrossThreads) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 8;
+  cfg.capacity = 300;
+  cfg.ingressCount = 24;
+  cfg.rulesPerPolicy = 40;
+  cfg.totalPaths = 128;
+  cfg.seed = 42;
+  const Instance inst(cfg);
+  expectEncodersAgreeAcrossThreads(inst.problem(), EncoderOptions{});
+}
+
+TEST(ParallelEncoder, SlicedInstanceBitIdenticalAcrossThreads) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 8;
+  cfg.capacity = 300;
+  cfg.ingressCount = 16;
+  cfg.rulesPerPolicy = 32;
+  cfg.totalPaths = 96;
+  cfg.seed = 7;
+  cfg.slicedTraffic = true;
+  const Instance inst(cfg);
+  EncoderOptions opts;
+  opts.enablePathSlicing = true;
+  expectEncodersAgreeAcrossThreads(inst.problem(), opts);
+}
+
+TEST(ParallelEncoder, UpstreamObjectiveBitIdenticalAcrossThreads) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.capacity = 200;
+  cfg.ingressCount = 8;
+  cfg.rulesPerPolicy = 24;
+  cfg.totalPaths = 32;
+  cfg.seed = 13;
+  const Instance inst(cfg);
+  EncoderOptions opts;
+  opts.objective = ObjectiveKind::kUpstreamTraffic;
+  expectEncodersAgreeAcrossThreads(inst.problem(), opts);
+}
+
+// ---------------------------------------------------------------------------
+// Model bit-identity, corpus replay
+
+TEST(ParallelEncoder, CorpusReplayBitIdenticalAcrossThreads) {
+  std::size_t replayed = 0;
+  for (const std::string& path : corpusFiles()) {
+    SCOPED_TRACE(path);
+    io::Scenario scenario;
+    io::loadScenarioFile(path, scenario);
+    expectEncodersAgreeAcrossThreads(scenario.problem(), EncoderOptions{});
+    EncoderOptions sliced;
+    sliced.enablePathSlicing = true;
+    expectEncodersAgreeAcrossThreads(scenario.problem(), sliced);
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 5u) << "corpus directory went missing?";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: placements bit-identical across thread counts (merging
+// included — place() owns the dummy-rule preprocessing the merge encoder
+// needs, so the merged path is exercised through it).
+
+TEST(ParallelEncoder, PlacementsBitIdenticalAcrossThreads) {
+  InstanceConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.capacity = 100;
+  cfg.ingressCount = 8;
+  cfg.rulesPerPolicy = 12;
+  cfg.totalPaths = 32;
+  cfg.mergeableRules = 3;
+  cfg.seed = 99;
+  const Instance inst(cfg);
+
+  for (bool merge : {false, true}) {
+    SCOPED_TRACE(merge ? "merge" : "plain");
+    PlaceOptions base;
+    base.encoder.enableMerging = merge;
+    base.threads = 1;
+    // Conflict (not wall-clock) budget: deterministic across thread
+    // counts even if a point ends budget-bound.
+    base.budget = solver::Budget::conflicts(200000);
+    const PlaceOutcome reference = place(inst.problem(), base);
+    ASSERT_TRUE(reference.hasSolution());
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      PlaceOptions opts = base;
+      opts.threads = threads;
+      const PlaceOutcome got = place(inst.problem(), opts);
+      ASSERT_TRUE(got.hasSolution());
+      EXPECT_EQ(got.status, reference.status);
+      EXPECT_EQ(got.objective, reference.objective);
+      EXPECT_EQ(got.modelVars, reference.modelVars);
+      EXPECT_EQ(got.modelConstraints, reference.modelConstraints);
+      EXPECT_EQ(got.modelNonzeros, reference.modelNonzeros);
+      EXPECT_EQ(got.modelBytes, reference.modelBytes);
+      ASSERT_EQ(got.placement.switchCount(),
+                reference.placement.switchCount());
+      for (int sw = 0; sw < reference.placement.switchCount(); ++sw) {
+        ASSERT_EQ(got.placement.table(sw), reference.placement.table(sw))
+            << "switch " << sw;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy names: the packed NameRefs materialize to exactly the strings the
+// eager encoder used to build, on demand only.
+
+TEST(ParallelEncoder, LazyNamesMaterializeToLegacyStrings) {
+  io::Scenario scenario;
+  io::loadScenarioFile(std::string(RP_CORPUS_DIR) + "/tight_capacity.scenario",
+                       scenario);
+  EncoderOptions opts;
+  opts.threads = 2;
+  const Encoder enc(scenario.problem(), opts);
+  const solver::Model& m = enc.model();
+
+  // Every placement variable's name is v_<policy>_<rule>_<switch>, derived
+  // from its key — materialized lazily, twice for idempotence.
+  ASSERT_EQ(static_cast<std::size_t>(m.varCount()),
+            enc.placementKeys().size());
+  for (solver::ModelVar v = 0; v < m.varCount(); ++v) {
+    const auto& key = enc.placementKeys()[static_cast<std::size_t>(v)];
+    const std::string expected = "v_" + std::to_string(key.policyId) + "_" +
+                                 std::to_string(key.ruleId) + "_" +
+                                 std::to_string(key.switchId);
+    EXPECT_EQ(m.varName(v), expected);
+    EXPECT_EQ(m.varName(v), expected);  // idempotent, no cached mutation
+  }
+
+  // Constraint names follow the legacy dep_/path_/cap_ scheme.
+  bool sawDep = false, sawPath = false, sawCap = false;
+  for (std::size_t i = 0; i < m.constraintCount(); ++i) {
+    const std::string n = m.name(m.constraint(i).name);
+    if (n.rfind("dep_p", 0) == 0) sawDep = true;
+    if (n.rfind("path_p", 0) == 0) sawPath = true;
+    if (n.rfind("cap_s", 0) == 0) sawCap = true;
+  }
+  EXPECT_TRUE(sawDep);
+  EXPECT_TRUE(sawPath);
+  EXPECT_TRUE(sawCap);
+}
+
+TEST(LazyNames, CustomAndFixedNamesRoundTrip) {
+  solver::Model m;
+  const solver::ModelVar a = m.addBinary(std::string("a"));
+  const solver::ModelVar b = m.addBinary();  // auto name
+  m.fixVariable(a, true);
+  solver::LinearExpr e;
+  e.add(1, a).add(1, b);
+  m.addConstraint(std::move(e), solver::Cmp::kLe, 1,
+                  std::string("cap:with_colon"));
+  EXPECT_EQ(m.varName(a), "a");
+  EXPECT_EQ(m.varName(b), "x1");
+  // fixVariable's row names itself after the pinned variable.
+  bool sawFix = false;
+  for (std::size_t i = 0; i < m.constraintCount(); ++i) {
+    if (m.name(m.constraint(i).name) == "fix:a") sawFix = true;
+  }
+  EXPECT_TRUE(sawFix);
+  EXPECT_EQ(m.name(m.constraint(m.constraintCount() - 1).name),
+            "cap:with_colon");
+}
+
+}  // namespace
+}  // namespace ruleplace::core

@@ -532,8 +532,10 @@ TEST(IncrementalEscalation, FeasibleRestrictedSolveDoesNotEscalate) {
 TEST(WallDeadline, BoundsEndToEndPlacementOnLargeInstance) {
   // 1024 ingress policies x 16 rules = 16k rules, coupled into one
   // component by the shared edge/aggregation tables — the exact solve of
-  // that component cannot finish inside 100 ms, so the ladder's greedy
-  // floor must deliver.  (Measured in release: place() ~0.2 s total.)
+  // that component cannot finish inside 10 ms, so the ladder's greedy
+  // floor must deliver.  (Measured in release: the streaming encoder gets
+  // the whole exact pipeline down to ~0.1 s, so the deadline sits well
+  // below that to keep the degradation premise valid.)
   InstanceConfig cfg;
   cfg.fatTreeK = 16;
   cfg.capacity = 200;
@@ -544,7 +546,7 @@ TEST(WallDeadline, BoundsEndToEndPlacementOnLargeInstance) {
   Instance inst(cfg);
 
   PlaceOptions opts;
-  opts.budget = solver::Budget::seconds(0.1);
+  opts.budget = solver::Budget::seconds(0.01);
   opts.resilience.ladder = true;
   opts.resilience.partialResults = true;
 

@@ -271,12 +271,13 @@ TEST(PBOverflow, ObjectiveBoundWithLargeWeightsStillOptimizes) {
 // ---- IncrementalOptimizer -------------------------------------------------
 
 Constraint ge(std::vector<std::pair<std::int64_t, ModelVar>> terms,
-              std::int64_t rhs, std::string name = {}) {
+              std::int64_t rhs, std::string = {}) {
+  // The label argument is documentation only — group constraints carry no
+  // interned names outside a Model.
   Constraint c;
   for (auto& [coeff, v] : terms) c.expr.add(coeff, v);
   c.cmp = Cmp::kGe;
   c.rhs = rhs;
-  c.name = std::move(name);
   return c;
 }
 

@@ -122,7 +122,7 @@ TEST_P(BoundedCrossCheck, ValidBoundPreservesOptimum) {
     if (exact.status != OptStatus::kOptimal) continue;
     // Any bound <= optimum is valid; try a few.
     for (std::int64_t delta : {0, 1, 3}) {
-      Model bounded = m;
+      Model bounded = m.clone();
       bounded.setObjectiveLowerBound(exact.objective - delta);
       OptResult got = Optimizer::solve(bounded);
       ASSERT_EQ(got.status, OptStatus::kOptimal);
