@@ -26,6 +26,13 @@ struct ChurnConfig {
   double installWeight = 0.15;
   double rerouteWeight = 0.84;
   double capacityWeight = 0.01;
+  /// Policy removals (ROADMAP "policy removal events").  0 keeps the
+  /// legacy random install schedule (committed traces stay stable);
+  /// > 0 switches installs to a deterministic Bresenham schedule so an
+  /// uninstall line can target a prior install by its seq — line i remains
+  /// a pure function of (config, i), never of daemon state.  An uninstall
+  /// with no targetable install demotes itself to a reroute.
+  double uninstallWeight = 0.0;
   /// Interleave a query every N events (0 = never).
   int queryEvery = 0;
   std::uint64_t seed = 1;

@@ -103,6 +103,8 @@ Daemon::Daemon(const io::Scenario& scenario, DaemonOptions options)
   Shard::Config shardCfg;
   shardCfg.maxBatch = options_.maxBatch;
   shardCfg.rebaseEvents = options_.rebaseEvents;
+  shardCfg.overloadBatchAt =
+      options_.maxQueue > 0 ? options_.maxQueue / 2 : 0;
   shardCfg.sessionOptions = sessionOptionsFor(options_);
 
   for (int s = 0; s < nShards; ++s) {
@@ -176,8 +178,94 @@ Daemon::Daemon(const io::Scenario& scenario, DaemonOptions options)
         scenario.graph, snap->routing, snap->policies, snap->placement,
         std::move(caps), snap->localToGlobal, shardCfg);
   }
+  shedding_.assign(static_cast<std::size_t>(nShards), 0);
+
+  // Durability: attempt recovery from the journal directory, rebuilding
+  // every shard from the newest usable {snapshot + wal} generation, then
+  // open that generation for writing and re-enqueue the acked-uncommitted
+  // tail through the normal solve path (without re-appending it).
+  std::vector<Event> replay;
+  std::vector<int> replayShards;
+  if (!options_.journalDir.empty()) {
+    JournalOptions jopts;
+    jopts.dir = options_.journalDir;
+    jopts.fsync = options_.journalFsync;
+    jopts.snapshotEveryEvents = options_.snapshotEveryEvents;
+    jopts.vfs = options_.vfs;
+    RecoveredState rec = Journal::recover(jopts, snapshotState());
+    recoveryDiagnostics_ = rec.diagnostics;
+    if (rec.hasState) {
+      recovered_ = true;
+      lastSeq_ = rec.state.lastSeq;
+      gids_.clear();
+      for (const auto& [shard, ingress] : rec.state.gids) {
+        gids_.push_back({shard, static_cast<topo::PortId>(ingress), false});
+      }
+      if (static_cast<int>(rec.state.shards.size()) != nShards) {
+        throw std::runtime_error(
+            "serve: journal was written with --shards " +
+            std::to_string(rec.state.shards.size()) + ", not " +
+            std::to_string(nShards));
+      }
+      shards_.clear();
+      for (int s = 0; s < nShards; ++s) {
+        SnapshotShard& sh = rec.state.shards[static_cast<std::size_t>(s)];
+        Shard::Config cfg = shardCfg;
+        cfg.initialCommittedSeq = sh.lastCommittedSeq;
+        for (int g : sh.localToGlobal) {
+          if (g >= 0 && static_cast<std::size_t>(g) < gids_.size()) {
+            gids_[static_cast<std::size_t>(g)].live = true;
+          }
+        }
+        shards_.emplace_back(std::make_unique<Shard>(
+            scenario.graph, std::move(sh.routing), std::move(sh.policies),
+            std::move(sh.placement), std::move(sh.capacityShare),
+            std::move(sh.localToGlobal), cfg));
+      }
+      for (const auto& [seq, gid] : rec.state.installSeqToGid) {
+        installSeqToGid_[seq] = gid;
+        gidToInstallSeq_[gid] = seq;
+      }
+      replay = std::move(rec.pending);
+      replayShards = std::move(rec.pendingShards);
+    }
+    journal_ = std::make_unique<Journal>(
+        jopts, rec.hasState ? rec.generation : 0, !rec.hasState,
+        rec.hasState ? rec.validWalBytes : -1);
+    if (rec.hasState) journal_->adoptPending(replay, replayShards);
+  }
+
   for (auto& shard : shards_) {
     shard->setLatencySink([this](std::int64_t ns) { recordLatency(ns); });
+  }
+  if (journal_ != nullptr) {
+    for (int s = 0; s < nShards; ++s) {
+      shards_[static_cast<std::size_t>(s)]->setCommitSink(
+          [this, s](CommitRecord record) { onCommit(s, std::move(record)); });
+    }
+  }
+
+  // Acked-but-uncommitted events ride the normal queues again; their gid
+  // and liveness bookkeeping replays exactly as the original ingest did.
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    Event& ev = replay[i];
+    if (ev.kind == EventKind::kInstall && ev.policyId >= 0) {
+      if (static_cast<std::size_t>(ev.policyId) < gids_.size()) {
+        gids_[static_cast<std::size_t>(ev.policyId)].live = true;
+      }
+      installSeqToGid_[ev.seq] = ev.policyId;
+      gidToInstallSeq_[ev.policyId] = ev.seq;
+    } else if (ev.kind == EventKind::kUninstall && ev.policyId >= 0 &&
+               static_cast<std::size_t>(ev.policyId) < gids_.size()) {
+      gids_[static_cast<std::size_t>(ev.policyId)].live = false;
+      const auto it = gidToInstallSeq_.find(ev.policyId);
+      if (it != gidToInstallSeq_.end()) {
+        installSeqToGid_.erase(it->second);
+        gidToInstallSeq_.erase(it);
+      }
+    }
+    shards_[static_cast<std::size_t>(replayShards[i])]->enqueue(std::move(ev),
+                                                               nowNs());
   }
 
   int workers = options_.workers;
@@ -187,6 +275,11 @@ Daemon::Daemon(const io::Scenario& scenario, DaemonOptions options)
   pool_ = std::make_unique<util::ThreadPool>(workers);
   if (options_.debounceSeconds > 0.0) {
     ticker_ = std::thread([this] { tickerLoop(); });
+  }
+  for (int s = 0; s < nShards; ++s) {
+    if (shards_[static_cast<std::size_t>(s)]->queueDepth() > 0) {
+      kickAfterEnqueue(s);
+    }
   }
 }
 
@@ -212,6 +305,15 @@ void Daemon::recordLatency(std::int64_t ns) {
   latencyRing_[latencyNext_] = ns;
   latencyNext_ = (latencyNext_ + 1) % latencyRing_.size();
   ++latencyCount_;
+  ewmaLatencyNs_ = ewmaLatencyNs_ == 0.0
+                       ? static_cast<double>(ns)
+                       : 0.9 * ewmaLatencyNs_ + 0.1 * static_cast<double>(ns);
+}
+
+std::int64_t Daemon::retryAfterMs() const {
+  std::lock_guard<std::mutex> lock(latencyMutex_);
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(ewmaLatencyNs_ / 1e6));
 }
 
 std::vector<std::int64_t> Daemon::latencyWindowNs() const {
@@ -318,16 +420,15 @@ std::string Daemon::handleEvent(Event event) {
     return errorResponse("out-of-order seq " + std::to_string(event.seq) +
                          " (last accepted " + std::to_string(lastSeq_) + ")");
   }
+  // Phase 1 — resolve, mutating nothing: a journal append failure below
+  // must leave the daemon exactly as if the event never arrived, so the
+  // same seq can be retried and produce an identical frame.
   int shard;
   switch (event.kind) {
     case EventKind::kInstall: {
       event.policyId = static_cast<int>(gids_.size());
       event.routing = resolveRouting(event, event.ingress);
-      shard = gids_.emplace_back(
-                       GidInfo{static_cast<int>(event.ingress %
-                                                options_.shards),
-                               event.ingress})
-                  .shard;
+      shard = static_cast<int>(event.ingress % options_.shards);
       break;
     }
     case EventKind::kReroute: {
@@ -339,6 +440,28 @@ std::string Daemon::handleEvent(Event event) {
       const GidInfo& info = gids_[static_cast<std::size_t>(event.policyId)];
       event.routing = resolveRouting(event, info.ingress);
       shard = info.shard;
+      break;
+    }
+    case EventKind::kUninstall: {
+      if (event.installSeq >= 0) {
+        const auto it = installSeqToGid_.find(event.installSeq);
+        if (it == installSeqToGid_.end()) {
+          return errorResponse("uninstall: unknown install_seq " +
+                               std::to_string(event.installSeq));
+        }
+        event.policyId = it->second;
+      }
+      if (event.policyId < 0 ||
+          event.policyId >= static_cast<int>(gids_.size())) {
+        return errorResponse("uninstall: unknown policy " +
+                             std::to_string(event.policyId));
+      }
+      if (!gids_[static_cast<std::size_t>(event.policyId)].live) {
+        return errorResponse("uninstall: policy " +
+                             std::to_string(event.policyId) +
+                             " is not installed");
+      }
+      shard = gids_[static_cast<std::size_t>(event.policyId)].shard;
       break;
     }
     case EventKind::kCapacity: {
@@ -353,6 +476,63 @@ std::string Daemon::handleEvent(Event event) {
     default:
       return errorResponse("unhandled event kind");
   }
+
+  // Phase 2 — admission (the shed ladder, DaemonOptions::maxQueue).
+  if (options_.maxQueue > 0) {
+    const std::size_t depth =
+        shards_[static_cast<std::size_t>(shard)]->queueDepth();
+    const bool latched = shedding_[static_cast<std::size_t>(shard)] != 0;
+    if (latched ? depth >= options_.maxQueue / 4
+                : depth >= options_.maxQueue) {
+      shedding_[static_cast<std::size_t>(shard)] = 1;
+      shedCount_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        obs::Registry::global().counter("serve.shed").add(1);
+      }
+      kickAfterEnqueue(shard);  // shedding must still push the drain along
+      return "{\"ok\":false,\"shed\":true,\"retry_after_ms\":" +
+             std::to_string(retryAfterMs()) + "}";
+    }
+    shedding_[static_cast<std::size_t>(shard)] = 0;
+    if (depth >= options_.maxQueue / 2) {
+      backpressureCount_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        obs::Registry::global().counter("serve.backpressure").add(1);
+      }
+    }
+  }
+
+  // Phase 3 — durability: the EVENT frame must be on disk (per FsyncMode)
+  // before the ack below; on failure nothing was mutated, so reject.
+  if (journal_ != nullptr) {
+    std::lock_guard<std::mutex> lock(journalMutex_);
+    std::string jerr;
+    if (!journal_->appendEvent(event, shard, &jerr)) {
+      lastJournalError_ = jerr;
+      return errorResponse("journal append failed (" + jerr +
+                           "); event rejected");
+    }
+    if (journal_->shouldSnapshot()) {
+      std::string serr;
+      if (!journal_->writeSnapshot(snapshotState(), &serr)) {
+        lastJournalError_ = serr;  // non-fatal: old generation still valid
+      }
+    }
+  }
+
+  // Phase 4 — commit the ingest bookkeeping and ack.
+  if (event.kind == EventKind::kInstall) {
+    gids_.push_back({shard, event.ingress, true});
+    installSeqToGid_[event.seq] = event.policyId;
+    gidToInstallSeq_[event.policyId] = event.seq;
+  } else if (event.kind == EventKind::kUninstall) {
+    gids_[static_cast<std::size_t>(event.policyId)].live = false;
+    const auto it = gidToInstallSeq_.find(event.policyId);
+    if (it != gidToInstallSeq_.end()) {
+      installSeqToGid_.erase(it->second);
+      gidToInstallSeq_.erase(it);
+    }
+  }
   lastSeq_ = event.seq;
   const std::int64_t seq = event.seq;
   shards_[static_cast<std::size_t>(shard)]->enqueue(std::move(event),
@@ -362,6 +542,39 @@ std::string Daemon::handleEvent(Event event) {
   }
   kickAfterEnqueue(shard);
   return okSeqResponse(seq);
+}
+
+SnapshotState Daemon::snapshotState() const {
+  SnapshotState state;
+  state.lastSeq = lastSeq_;
+  state.gids.reserve(gids_.size());
+  for (const GidInfo& g : gids_) {
+    state.gids.emplace_back(g.shard, static_cast<std::int64_t>(g.ingress));
+  }
+  state.installSeqToGid.assign(installSeqToGid_.begin(),
+                               installSeqToGid_.end());
+  for (const auto& shard : shards_) {
+    const auto snap = shard->snapshot();
+    SnapshotShard sh;
+    sh.routing = snap->routing;
+    sh.policies = snap->policies;
+    sh.localToGlobal = snap->localToGlobal;
+    sh.capacityShare = snap->capacity;
+    sh.placement = snap->placement;
+    sh.lastCommittedSeq = snap->lastCommittedSeq;
+    state.shards.push_back(std::move(sh));
+  }
+  return state;
+}
+
+void Daemon::onCommit(int shard, CommitRecord record) {
+  record.shard = shard;
+  std::lock_guard<std::mutex> lock(journalMutex_);
+  if (journal_ == nullptr) return;
+  std::string err;
+  if (!journal_->appendCommit(record, &err)) {
+    lastJournalError_ = err;  // redo loss only costs a re-solve at recovery
+  }
 }
 
 Daemon::Composed Daemon::compose() const {
@@ -452,10 +665,12 @@ Daemon::Stats Daemon::stats() const {
     st.totals.repacks += c.repacks;
     st.totals.escalations += c.escalations;
     st.totals.rebases += c.rebases;
+    st.totals.overloadBatches += c.overloadBatches;
     st.queueDepth += shard->queueDepth();
     st.policies +=
         static_cast<std::int64_t>(shard->snapshot()->policies.size());
   }
+  st.lastSeq = lastSeq_;
   std::vector<std::int64_t> window = latencyWindowNs();
   st.latencySamples = static_cast<std::int64_t>(window.size());
   if (!window.empty()) {
@@ -468,6 +683,16 @@ Daemon::Stats Daemon::stats() const {
     st.maxUpdateMs = static_cast<double>(*std::max_element(
                          window.begin(), window.end())) /
                      1e6;
+  }
+  st.shed = shedCount_.load(std::memory_order_relaxed);
+  st.backpressured = backpressureCount_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(journalMutex_);
+    if (journal_ != nullptr) {
+      st.journalEvents = journal_->appendedEvents();
+      st.journalGeneration = journal_->generation();
+    }
+    st.lastJournalError = lastJournalError_;
   }
   return st;
 }
@@ -490,6 +715,17 @@ std::string Daemon::handleQuery(const std::string& what) {
     out += ",\"latency_samples\":" + std::to_string(st.latencySamples);
     out += ",\"p99_update_ms\":" + fmtMs(st.p99UpdateMs);
     out += ",\"max_update_ms\":" + fmtMs(st.maxUpdateMs);
+    out += ",\"shed\":" + std::to_string(st.shed);
+    out += ",\"backpressured\":" + std::to_string(st.backpressured);
+    out += ",\"overload_batches\":" +
+           std::to_string(st.totals.overloadBatches);
+    out += ",\"journal_generation\":" +
+           std::to_string(st.journalGeneration);
+    out += ",\"journal_events\":" + std::to_string(st.journalEvents);
+    if (!st.lastJournalError.empty()) {
+      out += ",\"last_journal_error\":\"" +
+             io::jsonEscape(st.lastJournalError) + "\"";
+    }
     out += "}}";
     return out;
   }
@@ -576,6 +812,13 @@ std::string Daemon::handleLine(std::string_view line) {
       return "{\"ok\":true,\"flushed\":true}";
     case RequestKind::kShutdown: {
       flush();
+      {
+        std::lock_guard<std::mutex> lock(journalMutex_);
+        if (journal_ != nullptr) {
+          std::string err;
+          if (!journal_->sync(&err)) lastJournalError_ = err;
+        }
+      }
       stopped_ = true;
       const Stats st = stats();
       return "{\"ok\":true,\"shutdown\":true,\"committed\":" +

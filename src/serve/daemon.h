@@ -21,18 +21,22 @@
 // property the serve-smoke CI check exploits to demand bit-identical
 // placements against a one-shot install of the end state.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/verify.h"
 #include "io/scenario.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "serve/shard.h"
 #include "util/thread_pool.h"
@@ -66,6 +70,27 @@ struct DaemonOptions {
   /// function of (routeSeed, seq).
   std::uint64_t routeSeed = 1;
   bool observability = false;
+
+  /// Write-ahead journal directory ("" = durability off).  With a journal,
+  /// construction first attempts recovery from the newest usable
+  /// {snapshot + wal} generation in the directory (docs/serve.md).
+  std::string journalDir;
+  FsyncMode journalFsync = FsyncMode::kBatch;
+  /// Appended events between snapshot cuts (0 = never snapshot).
+  std::int64_t snapshotEveryEvents = 8192;
+  /// IO layer for the journal; nullptr = util::realFs().  Tests inject a
+  /// util::FaultFs here.
+  util::Vfs* vfs = nullptr;
+
+  /// Admission control: maximum per-shard queue depth (0 = unbounded).
+  /// The shed ladder (docs/serve.md "Backpressure"):
+  ///   depth >= maxQueue/2  — backpressure rung: drains switch to
+  ///     whole-queue batches (maximum coalescing), accepts still ack;
+  ///   depth >= maxQueue    — shed rung: events are refused with
+  ///     {"ok":false,"shed":true,"retry_after_ms":...} and lastSeq does
+  ///     not advance, so the same seq can be retried;
+  ///   shedding stops only once depth falls below maxQueue/4 (hysteresis).
+  std::size_t maxQueue = 0;
 };
 
 class Daemon {
@@ -117,9 +142,27 @@ class Daemon {
     std::int64_t policies = 0;   ///< committed policies (incl. base)
     double p99UpdateMs = -1.0;   ///< -1 until a latency sample exists
     double maxUpdateMs = 0.0;
+    /// Samples behind p99/max — at most the bounded ring size (the window
+    /// is the documented accounting surface; nothing unbounded feeds it).
     std::int64_t latencySamples = 0;
+    std::int64_t shed = 0;           ///< events refused at the shed rung
+    std::int64_t backpressured = 0;  ///< events accepted above the
+                                     ///< backpressure rung
+    std::int64_t journalEvents = 0;      ///< events appended this process
+    std::int64_t journalGeneration = -1;  ///< -1 = journal off
+    std::string lastJournalError;
+    /// Highest seq ever accepted (including recovered pending events);
+    /// -1 before the first event.
+    std::int64_t lastSeq = -1;
   };
   Stats stats() const;
+
+  /// True when construction restored state from a journal.
+  bool recovered() const noexcept { return recovered_; }
+  /// Recovery diagnostics (torn tails, skipped generations, ...).
+  const std::vector<std::string>& recoveryDiagnostics() const noexcept {
+    return recoveryDiagnostics_;
+  }
 
   /// Committed update latencies (ns), newest window (bounded ring).
   std::vector<std::int64_t> latencyWindowNs() const;
@@ -132,6 +175,7 @@ class Daemon {
   struct GidInfo {
     int shard = 0;
     topo::PortId ingress = -1;
+    bool live = true;  ///< false after uninstall (gids are never reused)
   };
 
   std::string handleEvent(Event event);
@@ -142,6 +186,11 @@ class Daemon {
   void kickAfterEnqueue(int shard);
   void recordLatency(std::int64_t ns);
   void tickerLoop();
+  /// Current daemon state as a snapshot (ingest thread only).
+  SnapshotState snapshotState() const;
+  /// Commit-sink target: journals one batch's redo record (worker threads).
+  void onCommit(int shard, CommitRecord record);
+  std::int64_t retryAfterMs() const;
 
   const io::Scenario* scenario_;
   DaemonOptions options_;
@@ -155,10 +204,29 @@ class Daemon {
   std::int64_t lastSeq_ = -1;
   bool stopped_ = false;
 
+  /// Live install seq -> gid and its inverse (uninstall by install_seq;
+  /// ingest thread only).
+  std::map<std::int64_t, int> installSeqToGid_;
+  std::unordered_map<int, std::int64_t> gidToInstallSeq_;
+
+  // Durability (all journal calls serialized by journalMutex_: ingest
+  // appends events and cuts snapshots, workers append commit records).
+  std::unique_ptr<Journal> journal_;
+  mutable std::mutex journalMutex_;
+  std::string lastJournalError_;  ///< guarded by journalMutex_
+  bool recovered_ = false;
+  std::vector<std::string> recoveryDiagnostics_;
+
+  // Admission control (ingest thread only except the read-mostly stats).
+  std::vector<char> shedding_;  ///< per-shard hysteresis latch
+  std::atomic<std::int64_t> shedCount_{0};
+  std::atomic<std::int64_t> backpressureCount_{0};
+
   mutable std::mutex latencyMutex_;
   std::vector<std::int64_t> latencyRing_;
   std::size_t latencyNext_ = 0;
   std::int64_t latencyCount_ = 0;
+  double ewmaLatencyNs_ = 0.0;  ///< retry_after_ms estimate source
 
   std::thread ticker_;
   std::mutex tickerMutex_;

@@ -1,0 +1,973 @@
+#include "serve/journal.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace ruleplace::serve {
+
+namespace {
+
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kMaxFrame = std::size_t(1) << 30;
+
+// Frame payload type tags.
+constexpr std::uint8_t kEventFrame = 1;
+constexpr std::uint8_t kCommitFrame = 2;
+constexpr std::uint8_t kWalHeaderFrame = 3;
+constexpr std::uint8_t kSnapshotFrame = 4;
+
+// ---------------------------------------------------------------- encoding
+
+void putU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+// Little-endian words land via one bulk append instead of per-byte
+// push_back: the wal append path runs once per accepted event, and the
+// capacity check per byte is measurable there.
+void putU32(std::string& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(b, 4);
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(b, 8);
+}
+
+void putI32(std::string& out, std::int32_t v) {
+  putU32(out, static_cast<std::uint32_t>(v));
+}
+
+void putI64(std::string& out, std::int64_t v) {
+  putU64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader; any overrun or invariant breach
+/// latches fail() and every further read returns zero.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(*p_++);
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(*p_++))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(*p_++))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Sanity bound for element counts: a corrupt count must not drive a
+  /// multi-gigabyte allocation before the payload runs out.
+  std::size_t count(std::size_t elementBytes) {
+    const std::uint32_t n = u32();
+    if (elementBytes > 0 &&
+        static_cast<std::size_t>(n) > remaining() / elementBytes) {
+      fail_ = true;
+      return 0;
+    }
+    return n;
+  }
+
+  void markFail() { fail_ = true; }
+  bool ok() const { return !fail_; }
+  bool done() const { return !fail_ && p_ == end_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+ private:
+  bool need(std::size_t n) {
+    if (fail_ || remaining() < n) {
+      fail_ = true;
+      return false;
+    }
+    return true;
+  }
+  const char* p_;
+  const char* end_;
+  bool fail_ = false;
+};
+
+// ------------------------------------------------------------- structures
+
+void putTernary(std::string& out, const match::Ternary& t) {
+  putI32(out, t.width());
+  putU64(out, t.careWord(0));
+  putU64(out, t.careWord(1));
+  putU64(out, t.valueWord(0));
+  putU64(out, t.valueWord(1));
+}
+
+match::Ternary readTernary(Reader& r) {
+  const std::int32_t width = r.i32();
+  const std::uint64_t care[2] = {r.u64(), r.u64()};
+  const std::uint64_t value[2] = {r.u64(), r.u64()};
+  if (!r.ok() || width < 0 || width > match::kMaxWidth) {
+    r.markFail();
+    return match::Ternary(1);
+  }
+  match::Ternary t(width);
+  for (int i = 0; i < width; ++i) {
+    if ((care[i / 64] >> (i % 64)) & 1) {
+      t.setBit(i, static_cast<int>((value[i / 64] >> (i % 64)) & 1));
+    }
+  }
+  return t;
+}
+
+void putPolicy(std::string& out, const acl::Policy& policy) {
+  // Rules serialize in id order so reconstruction reassigns the same ids
+  // (Policy hands out ids sequentially at insertion).
+  std::vector<const acl::Rule*> byId;
+  byId.reserve(policy.rules().size());
+  for (const acl::Rule& r : policy.rules()) byId.push_back(&r);
+  std::sort(byId.begin(), byId.end(),
+            [](const acl::Rule* a, const acl::Rule* b) { return a->id < b->id; });
+  putU32(out, static_cast<std::uint32_t>(byId.size()));
+  for (const acl::Rule* r : byId) {
+    putI32(out, r->id);
+    putI32(out, r->priority);
+    putU8(out, static_cast<std::uint8_t>(r->action));
+    putU8(out, r->dummy ? 1 : 0);
+    putTernary(out, r->matchField);
+  }
+}
+
+acl::Policy readPolicy(Reader& r) {
+  acl::Policy policy;
+  const std::size_t n = r.count(38);  // per-rule wire size
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const std::int32_t id = r.i32();
+    const std::int32_t priority = r.i32();
+    const std::uint8_t action = r.u8();
+    const std::uint8_t dummy = r.u8();
+    const match::Ternary match = readTernary(r);
+    if (!r.ok()) break;
+    int assigned = -1;
+    try {
+      assigned = policy.addRuleWithPriority(
+          match, action == 0 ? acl::Action::kPermit : acl::Action::kDrop,
+          priority, dummy != 0);
+    } catch (const std::exception&) {
+      r.markFail();
+      break;
+    }
+    if (assigned != id) {  // non-dense source ids cannot round-trip
+      r.markFail();
+      break;
+    }
+  }
+  return policy;
+}
+
+void putRouting(std::string& out, const topo::IngressPaths& routing) {
+  putI64(out, routing.ingress);
+  putU32(out, static_cast<std::uint32_t>(routing.paths.size()));
+  for (const topo::Path& p : routing.paths) {
+    putI64(out, p.ingress);
+    putI64(out, p.egress);
+    putU32(out, static_cast<std::uint32_t>(p.switches.size()));
+    for (topo::SwitchId s : p.switches) putI32(out, s);
+    putU8(out, p.traffic.has_value() ? 1 : 0);
+    if (p.traffic.has_value()) putTernary(out, *p.traffic);
+  }
+}
+
+topo::IngressPaths readRouting(Reader& r) {
+  topo::IngressPaths routing;
+  routing.ingress = static_cast<topo::PortId>(r.i64());
+  const std::size_t nPaths = r.count(21);
+  for (std::size_t i = 0; i < nPaths && r.ok(); ++i) {
+    topo::Path p;
+    p.ingress = static_cast<topo::PortId>(r.i64());
+    p.egress = static_cast<topo::PortId>(r.i64());
+    const std::size_t nSwitches = r.count(4);
+    p.switches.reserve(nSwitches);
+    for (std::size_t s = 0; s < nSwitches && r.ok(); ++s) {
+      p.switches.push_back(r.i32());
+    }
+    if (r.u8() != 0) p.traffic = readTernary(r);
+    routing.paths.push_back(std::move(p));
+  }
+  return routing;
+}
+
+void putRow(std::string& out, const core::InstalledRule& row) {
+  putTernary(out, row.matchField);
+  putU8(out, static_cast<std::uint8_t>(row.action));
+  putU32(out, static_cast<std::uint32_t>(row.tags.size()));
+  for (int t : row.tags) putI32(out, t);
+  putI32(out, row.priority);
+  putI32(out, row.representativeRule);
+  putU8(out, row.merged ? 1 : 0);
+}
+
+core::InstalledRule readRow(Reader& r) {
+  core::InstalledRule row;
+  row.matchField = readTernary(r);
+  row.action = r.u8() == 0 ? acl::Action::kPermit : acl::Action::kDrop;
+  const std::size_t nTags = r.count(4);
+  row.tags.reserve(nTags);
+  for (std::size_t i = 0; i < nTags && r.ok(); ++i) row.tags.push_back(r.i32());
+  row.priority = r.i32();
+  row.representativeRule = r.i32();
+  row.merged = r.u8() != 0;
+  return row;
+}
+
+void putTables(std::string& out, int switchCount,
+               const std::function<const std::vector<core::InstalledRule>&(
+                   topo::SwitchId)>& table) {
+  putU32(out, static_cast<std::uint32_t>(switchCount));
+  for (topo::SwitchId sw = 0; sw < switchCount; ++sw) {
+    const auto& rows = table(sw);
+    putU32(out, static_cast<std::uint32_t>(rows.size()));
+    for (const core::InstalledRule& row : rows) putRow(out, row);
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- wire
+
+namespace wire {
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  // Slicing-by-8: eight derived tables let the loop fold 8 input bytes
+  // per iteration with the same polynomial (and therefore bit-identical
+  // results) as the canonical byte-at-a-time form.  The wal CRCs every
+  // event payload plus multi-hundred-KB commit and snapshot bodies, so
+  // the bytewise loop was the single largest append-path cost.
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[static_cast<std::size_t>(s)][i] = c;
+      }
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size >= 8) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+    crc = tables[7][crc & 0xff] ^ tables[6][(crc >> 8) & 0xff] ^
+          tables[5][(crc >> 16) & 0xff] ^ tables[4][crc >> 24] ^
+          tables[3][p[4]] ^ tables[2][p[5]] ^ tables[1][p[6]] ^
+          tables[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = tables[0][(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string frame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU32(out, crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+std::string eventPayload(const Event& event, int shard) {
+  std::string out;
+  out.reserve(192);  // covers install-free events without growth
+  putU8(out, kEventFrame);
+  putU8(out, static_cast<std::uint8_t>(event.kind));
+  putI64(out, event.seq);
+  putI32(out, shard);
+  putI64(out, event.ingress);
+  putI64(out, event.egress);
+  putI32(out, event.policyId);
+  putI32(out, event.switchId);
+  putI32(out, event.capacity);
+  putRouting(out, event.routing);
+  putPolicy(out, event.policy);
+  return out;
+}
+
+std::string commitPayload(const CommitRecord& record) {
+  std::string out;
+  putU8(out, kCommitFrame);
+  putI32(out, record.shard);
+  putI64(out, record.maxSeq);
+  putU32(out, static_cast<std::uint32_t>(record.committedSeqs.size()));
+  for (std::int64_t s : record.committedSeqs) putI64(out, s);
+  putU32(out, static_cast<std::uint32_t>(record.failedSeqs.size()));
+  for (std::int64_t s : record.failedSeqs) putI64(out, s);
+  putU32(out, static_cast<std::uint32_t>(record.tables.size()));
+  for (const auto& [sw, rows] : record.tables) {
+    putI32(out, sw);
+    putU32(out, static_cast<std::uint32_t>(rows.size()));
+    for (const core::InstalledRule& row : rows) putRow(out, row);
+  }
+  return out;
+}
+
+std::string snapshotBody(const SnapshotState& state) {
+  std::string out;
+  putU8(out, kSnapshotFrame);
+  putU32(out, kFormatVersion);
+  putI64(out, state.lastSeq);
+  putU32(out, static_cast<std::uint32_t>(state.gids.size()));
+  for (const auto& [shard, ingress] : state.gids) {
+    putI32(out, shard);
+    putI64(out, ingress);
+  }
+  putU32(out, static_cast<std::uint32_t>(state.installSeqToGid.size()));
+  for (const auto& [seq, gid] : state.installSeqToGid) {
+    putI64(out, seq);
+    putI32(out, gid);
+  }
+  putU32(out, static_cast<std::uint32_t>(state.shards.size()));
+  for (const SnapshotShard& sh : state.shards) {
+    putI64(out, sh.lastCommittedSeq);
+    putU32(out, static_cast<std::uint32_t>(sh.policies.size()));
+    for (std::size_t i = 0; i < sh.policies.size(); ++i) {
+      putI32(out, sh.localToGlobal[i]);
+      putRouting(out, sh.routing[i]);
+      putPolicy(out, sh.policies[i]);
+    }
+    putU32(out, static_cast<std::uint32_t>(sh.capacityShare.size()));
+    for (int c : sh.capacityShare) putI32(out, c);
+    putTables(out, sh.placement.switchCount(),
+              [&sh](topo::SwitchId sw) -> const std::vector<core::InstalledRule>& {
+                return sh.placement.table(sw);
+              });
+  }
+  return out;
+}
+
+}  // namespace wire
+
+namespace {
+
+// ------------------------------------------------------------ wal reading
+
+struct ParsedEvent {
+  Event event;
+  int shard = 0;
+};
+
+bool parseEventPayload(Reader& r, ParsedEvent* out) {
+  out->event.kind = static_cast<EventKind>(r.u8());
+  out->event.seq = r.i64();
+  out->shard = r.i32();
+  out->event.ingress = static_cast<topo::PortId>(r.i64());
+  out->event.egress = static_cast<topo::PortId>(r.i64());
+  out->event.policyId = r.i32();
+  out->event.switchId = r.i32();
+  out->event.capacity = r.i32();
+  out->event.routing = readRouting(r);
+  out->event.policy = readPolicy(r);
+  return r.done();
+}
+
+bool parseCommitPayload(Reader& r, CommitRecord* out) {
+  out->shard = r.i32();
+  out->maxSeq = r.i64();
+  std::size_t n = r.count(8);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    out->committedSeqs.push_back(r.i64());
+  }
+  n = r.count(8);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    out->failedSeqs.push_back(r.i64());
+  }
+  n = r.count(8);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const topo::SwitchId sw = r.i32();
+    const std::size_t rows = r.count(38);
+    std::vector<core::InstalledRule> table;
+    table.reserve(rows);
+    for (std::size_t j = 0; j < rows && r.ok(); ++j) {
+      table.push_back(readRow(r));
+    }
+    out->tables.emplace_back(sw, std::move(table));
+  }
+  return r.done();
+}
+
+bool parseSnapshotBody(const std::string& payload, SnapshotState* out) {
+  Reader r(payload.data(), payload.size());
+  if (r.u8() != kSnapshotFrame || r.u32() != kFormatVersion) return false;
+  out->lastSeq = r.i64();
+  std::size_t n = r.count(12);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const std::int32_t shard = r.i32();
+    const std::int64_t ingress = r.i64();
+    out->gids.emplace_back(shard, ingress);
+  }
+  n = r.count(12);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const std::int64_t seq = r.i64();
+    const std::int32_t gid = r.i32();
+    out->installSeqToGid.emplace_back(seq, gid);
+  }
+  n = r.count(8);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    SnapshotShard sh;
+    sh.lastCommittedSeq = r.i64();
+    const std::size_t policies = r.count(8);
+    for (std::size_t p = 0; p < policies && r.ok(); ++p) {
+      sh.localToGlobal.push_back(r.i32());
+      sh.routing.push_back(readRouting(r));
+      sh.policies.push_back(readPolicy(r));
+    }
+    const std::size_t caps = r.count(4);
+    for (std::size_t c = 0; c < caps && r.ok(); ++c) {
+      sh.capacityShare.push_back(r.i32());
+    }
+    const std::size_t switches = r.count(4);
+    sh.placement = core::Placement(static_cast<int>(switches));
+    for (std::size_t sw = 0; sw < switches && r.ok(); ++sw) {
+      const std::size_t rows = r.count(38);
+      auto& table = sh.placement.mutableTable(static_cast<topo::SwitchId>(sw));
+      table.reserve(rows);
+      for (std::size_t j = 0; j < rows && r.ok(); ++j) {
+        table.push_back(readRow(r));
+      }
+    }
+    out->shards.push_back(std::move(sh));
+  }
+  return r.done();
+}
+
+/// One frame off `data` at `pos`.  Returns false on a torn/corrupt frame
+/// (stop reading; `pos` is the truncation point).
+bool nextFrame(const std::string& data, std::size_t* pos,
+               std::string* payload) {
+  if (data.size() - *pos < 8) return false;
+  Reader head(data.data() + *pos, 8);
+  const std::uint32_t len = head.u32();
+  const std::uint32_t crc = head.u32();
+  if (len > kMaxFrame || data.size() - *pos - 8 < len) return false;
+  const char* body = data.data() + *pos + 8;
+  if (wire::crc32(body, len) != crc) return false;
+  payload->assign(body, len);
+  *pos += 8 + static_cast<std::size_t>(len);
+  return true;
+}
+
+std::int64_t parseGeneration(const std::string& name, const char* prefix) {
+  const std::size_t plen = std::strlen(prefix);
+  if (name.compare(0, plen, prefix) != 0) return -1;
+  if (name.size() <= plen + 4 ||
+      name.compare(name.size() - 4, 4, ".bin") != 0) {
+    return -1;
+  }
+  std::int64_t g = 0;
+  for (std::size_t i = plen; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    g = g * 10 + (name[i] - '0');
+    if (g > (std::int64_t(1) << 40)) return -1;
+  }
+  return g;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Journal
+
+Journal::Journal(JournalOptions options, std::int64_t generation,
+                 bool freshWal, std::int64_t repairToBytes)
+    : options_(std::move(options)),
+      vfs_(options_.vfs != nullptr ? options_.vfs : &util::realFs()),
+      generation_(generation) {
+  if (options_.dir.empty()) {
+    throw std::runtime_error("journal: empty directory");
+  }
+  if (!vfs_->mkdirs(options_.dir)) {
+    throw std::runtime_error("journal: cannot create " + options_.dir);
+  }
+  if (!freshWal && repairToBytes >= 0) {
+    // Chop a torn tail off the surviving wal before appending: recovery
+    // stops reading at the first bad frame, so bytes past the valid prefix
+    // would permanently shadow every frame written after them.
+    std::string content;
+    if (vfs_->readFile(walPath(generation_), &content) &&
+        static_cast<std::int64_t>(content.size()) > repairToBytes) {
+      content.resize(static_cast<std::size_t>(repairToBytes));
+      util::Vfs::Handle h = vfs_->open(walPath(generation_), true);
+      if (h < 0 || !vfs_->append(h, content.data(), content.size()) ||
+          !vfs_->sync(h)) {
+        if (h >= 0) vfs_->close(h);
+        throw std::runtime_error("journal: cannot repair " +
+                                 walPath(generation_));
+      }
+      vfs_->close(h);
+    }
+  }
+  wal_ = vfs_->open(walPath(generation_), freshWal);
+  if (wal_ < 0) {
+    throw std::runtime_error("journal: cannot open " + walPath(generation_));
+  }
+  if (freshWal) {
+    std::string header;
+    putU8(header, kWalHeaderFrame);
+    putU32(header, kFormatVersion);
+    putI64(header, generation_);
+    std::string error;
+    if (!appendFrame(header, true, &error) || !vfs_->syncDir(options_.dir)) {
+      throw std::runtime_error("journal: cannot initialize wal (" + error +
+                               ")");
+    }
+  }
+}
+
+Journal::~Journal() {
+  if (wal_ >= 0) vfs_->close(wal_);
+}
+
+std::string Journal::walPath(std::int64_t generation) const {
+  return options_.dir + "/wal-" + std::to_string(generation) + ".bin";
+}
+
+std::string Journal::snapshotPath(std::int64_t generation) const {
+  return options_.dir + "/snapshot-" + std::to_string(generation) + ".bin";
+}
+
+bool Journal::appendFrame(const std::string& payload, bool syncNow,
+                          std::string* error) {
+  // Frame into the reusable scratch buffer: clear() keeps capacity, so
+  // the steady state is one memcpy and zero allocations per event.
+  frameBuf_.clear();
+  putU32(frameBuf_, static_cast<std::uint32_t>(payload.size()));
+  putU32(frameBuf_, wire::crc32(payload.data(), payload.size()));
+  frameBuf_ += payload;
+  if (!vfs_->append(wal_, frameBuf_.data(), frameBuf_.size())) {
+    *error = "journal: append failed (" + walPath(generation_) + ")";
+    return false;
+  }
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter("serve.journal_bytes")
+        .add(static_cast<std::int64_t>(frameBuf_.size()));
+  }
+  if (syncNow && options_.fsync != FsyncMode::kNever) {
+    if (!vfs_->sync(wal_)) {
+      *error = "journal: fsync failed (" + walPath(generation_) + ")";
+      return false;
+    }
+    dirty_ = false;
+    if (obs::enabled()) {
+      obs::Registry::global().counter("serve.journal_fsyncs").add(1);
+    }
+  } else {
+    dirty_ = true;
+  }
+  return true;
+}
+
+bool Journal::appendEvent(const Event& event, int shard, std::string* error) {
+  std::string payload = wire::eventPayload(event, shard);
+  if (!appendFrame(payload, options_.fsync == FsyncMode::kAlways, error)) {
+    return false;
+  }
+  pending_[event.seq] = {shard, std::move(payload)};
+  ++appendedEvents_;
+  ++eventsSinceSnapshot_;
+  if (obs::enabled()) {
+    obs::Registry::global().counter("serve.journal_events").add(1);
+  }
+  return true;
+}
+
+bool Journal::appendCommit(const CommitRecord& record, std::string* error) {
+  if (!appendFrame(wire::commitPayload(record), false, error)) return false;
+  for (std::int64_t s : record.committedSeqs) pending_.erase(s);
+  for (std::int64_t s : record.failedSeqs) pending_.erase(s);
+  if (obs::enabled()) {
+    obs::Registry::global().counter("serve.journal_commits").add(1);
+  }
+  return sync(error);
+}
+
+bool Journal::sync(std::string* error) {
+  if (!dirty_ || options_.fsync == FsyncMode::kNever) return true;
+  if (!vfs_->sync(wal_)) {
+    *error = "journal: fsync failed (" + walPath(generation_) + ")";
+    return false;
+  }
+  dirty_ = false;
+  if (obs::enabled()) {
+    obs::Registry::global().counter("serve.journal_fsyncs").add(1);
+  }
+  return true;
+}
+
+bool Journal::shouldSnapshot() const {
+  return options_.snapshotEveryEvents > 0 &&
+         eventsSinceSnapshot_ >= options_.snapshotEveryEvents;
+}
+
+void Journal::adoptPending(const std::vector<Event>& pending,
+                           const std::vector<int>& shards) {
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    pending_[pending[i].seq] = {shards[i],
+                               wire::eventPayload(pending[i], shards[i])};
+  }
+}
+
+bool Journal::writeSnapshot(const SnapshotState& state, std::string* error) {
+  const std::int64_t next = generation_ + 1;
+
+  // Prune pending entries the composed state already covers, then seed the
+  // next wal with the survivors (acked events above their shard's
+  // watermark).  The wal becomes durable BEFORE the snapshot rename — the
+  // rename is the generation's atomic commit point, so the new generation
+  // is never visible without its carried events.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const int shard = it->second.first;
+    const std::int64_t watermark =
+        shard >= 0 && static_cast<std::size_t>(shard) < state.shards.size()
+            ? state.shards[static_cast<std::size_t>(shard)].lastCommittedSeq
+            : -1;
+    if (it->first <= watermark) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  const auto fail = [&](const std::string& what) {
+    *error = "journal: snapshot cut to generation " + std::to_string(next) +
+             " failed (" + what + "); staying on generation " +
+             std::to_string(generation_);
+    return false;
+  };
+
+  util::Vfs::Handle nwal = vfs_->open(walPath(next), true);
+  if (nwal < 0) return fail("open wal");
+  std::string buf;
+  {
+    std::string header;
+    putU8(header, kWalHeaderFrame);
+    putU32(header, kFormatVersion);
+    putI64(header, next);
+    buf = wire::frame(header);
+  }
+  for (const auto& [seq, entry] : pending_) {
+    buf += wire::frame(entry.second);
+  }
+  const bool walOk = vfs_->append(nwal, buf.data(), buf.size()) &&
+                     vfs_->sync(nwal) && vfs_->syncDir(options_.dir);
+  if (!walOk) {
+    vfs_->close(nwal);
+    vfs_->remove(walPath(next));
+    return fail("write wal");
+  }
+
+  const std::string tmp = snapshotPath(next) + ".tmp";
+  util::Vfs::Handle snap = vfs_->open(tmp, true);
+  if (snap < 0) {
+    vfs_->close(nwal);
+    return fail("open snapshot");
+  }
+  const std::string body = wire::frame(wire::snapshotBody(state));
+  const bool snapOk = vfs_->append(snap, body.data(), body.size()) &&
+                      vfs_->sync(snap);
+  vfs_->close(snap);
+  if (!snapOk || !vfs_->rename(tmp, snapshotPath(next)) ||
+      !vfs_->syncDir(options_.dir)) {
+    vfs_->close(nwal);
+    return fail("write snapshot");
+  }
+
+  // The cut is durable: switch writers, then prune generations older than
+  // the previous one (kept as a fallback against a latent bad snapshot).
+  vfs_->close(wal_);
+  wal_ = nwal;
+  generation_ = next;
+  eventsSinceSnapshot_ = 0;
+  dirty_ = false;
+  for (std::int64_t g = next - 2; g >= 0; --g) {
+    const bool any = vfs_->remove(walPath(g)) | vfs_->remove(snapshotPath(g));
+    if (!any) break;  // older generations were already pruned
+  }
+  vfs_->syncDir(options_.dir);
+  if (obs::enabled()) {
+    obs::Registry::global().counter("serve.journal_snapshots").add(1);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- recovery
+
+RecoveredState Journal::recover(const JournalOptions& options,
+                                const SnapshotState& genZeroBase) {
+  RecoveredState out;
+  util::Vfs* vfs = options.vfs != nullptr ? options.vfs : &util::realFs();
+
+  std::vector<std::int64_t> walGens;
+  std::vector<std::int64_t> snapGens;
+  for (const std::string& name : vfs->list(options.dir)) {
+    std::int64_t g = parseGeneration(name, "wal-");
+    if (g >= 0) walGens.push_back(g);
+    g = parseGeneration(name, "snapshot-");
+    if (g >= 0) snapGens.push_back(g);
+  }
+  std::sort(walGens.begin(), walGens.end());
+  std::sort(snapGens.begin(), snapGens.end());
+  if (walGens.empty() && snapGens.empty()) return out;  // fresh start
+
+  // Candidate generations, newest first: every generation with a wal (gen 0
+  // needs no snapshot).  A generation is usable when its snapshot parses
+  // (or G == 0) and its wal opens with a valid header frame.
+  std::vector<std::int64_t> candidates(walGens.rbegin(), walGens.rend());
+  for (std::int64_t g : candidates) {
+    SnapshotState state = g == 0 ? genZeroBase : SnapshotState();
+    const std::string snapPath =
+        options.dir + "/snapshot-" + std::to_string(g) + ".bin";
+    if (g > 0) {
+      std::string raw;
+      std::string payload;
+      std::size_t pos = 0;
+      if (!vfs->readFile(snapPath, &raw) || !nextFrame(raw, &pos, &payload) ||
+          pos != raw.size() || !parseSnapshotBody(payload, &state)) {
+        out.diagnostics.push_back("generation " + std::to_string(g) +
+                                  ": snapshot unreadable or corrupt; "
+                                  "falling back");
+        continue;
+      }
+    }
+
+    std::string wal;
+    if (!vfs->readFile(options.dir + "/wal-" + std::to_string(g) + ".bin",
+                       &wal)) {
+      out.diagnostics.push_back("generation " + std::to_string(g) +
+                                ": wal unreadable; falling back");
+      continue;
+    }
+    std::size_t pos = 0;
+    std::string payload;
+    {
+      if (!nextFrame(wal, &pos, &payload) || payload.empty() ||
+          static_cast<std::uint8_t>(payload[0]) != kWalHeaderFrame) {
+        out.diagnostics.push_back("generation " + std::to_string(g) +
+                                  ": wal header torn or corrupt; "
+                                  "falling back");
+        continue;
+      }
+      Reader r(payload.data(), payload.size());
+      r.u8();
+      const std::uint32_t version = r.u32();
+      const std::int64_t headerGen = r.i64();
+      if (!r.done() || version != kFormatVersion || headerGen != g) {
+        out.diagnostics.push_back("generation " + std::to_string(g) +
+                                  ": wal header mismatch; falling back");
+        continue;
+      }
+    }
+
+    // Replay the wal against the snapshot state.
+    std::map<std::int64_t, ParsedEvent> events;  // acked, not yet committed
+    std::int64_t maxSeq = state.lastSeq;
+    auto shardWatermark = [&state](int shard) -> std::int64_t {
+      return shard >= 0 &&
+                     static_cast<std::size_t>(shard) < state.shards.size()
+                 ? state.shards[static_cast<std::size_t>(shard)]
+                       .lastCommittedSeq
+                 : -1;
+    };
+    std::size_t validBytes = pos;  // end of the last fully processed frame
+    while (pos < wal.size()) {
+      const std::size_t frameStart = pos;
+      if (!nextFrame(wal, &pos, &payload)) {
+        out.truncatedBytes = static_cast<std::int64_t>(wal.size() - frameStart);
+        out.diagnostics.push_back(
+            "generation " + std::to_string(g) + ": torn wal tail (" +
+            std::to_string(out.truncatedBytes) +
+            " bytes truncated at last valid frame)");
+        break;
+      }
+      if (payload.empty()) {
+        validBytes = pos;
+        continue;
+      }
+      const std::uint8_t type = static_cast<std::uint8_t>(payload[0]);
+      Reader r(payload.data() + 1, payload.size() - 1);
+      if (type == kEventFrame) {
+        ParsedEvent pe;
+        if (!parseEventPayload(r, &pe)) {
+          out.truncatedBytes = static_cast<std::int64_t>(wal.size() - frameStart);
+          out.diagnostics.push_back("generation " + std::to_string(g) +
+                                    ": corrupt EVENT frame; wal truncated "
+                                    "there");
+          break;
+        }
+        validBytes = pos;
+        maxSeq = std::max(maxSeq, pe.event.seq);
+        if (pe.event.seq <= shardWatermark(pe.shard)) continue;  // committed
+        if (pe.event.kind == EventKind::kInstall && pe.event.policyId >= 0) {
+          auto& gids = state.gids;
+          const auto gid = static_cast<std::size_t>(pe.event.policyId);
+          if (gid >= gids.size()) gids.resize(gid + 1, {-1, -1});
+          gids[gid] = {pe.shard, pe.event.ingress};
+        }
+        const std::int64_t seq = pe.event.seq;
+        if (!events.emplace(seq, std::move(pe)).second) {
+          out.diagnostics.push_back("generation " + std::to_string(g) +
+                                    ": duplicate frame for seq " +
+                                    std::to_string(seq) +
+                                    " (first occurrence kept)");
+        }
+      } else if (type == kCommitFrame) {
+        CommitRecord record;
+        if (!parseCommitPayload(r, &record)) {
+          out.truncatedBytes = static_cast<std::int64_t>(wal.size() - frameStart);
+          out.diagnostics.push_back("generation " + std::to_string(g) +
+                                    ": corrupt COMMIT frame; wal truncated "
+                                    "there");
+          break;
+        }
+        validBytes = pos;
+        if (record.shard < 0 ||
+            static_cast<std::size_t>(record.shard) >= state.shards.size()) {
+          out.diagnostics.push_back("generation " + std::to_string(g) +
+                                    ": COMMIT names unknown shard " +
+                                    std::to_string(record.shard) +
+                                    "; skipped");
+          continue;
+        }
+        SnapshotShard& sh =
+            state.shards[static_cast<std::size_t>(record.shard)];
+        if (record.maxSeq <= sh.lastCommittedSeq) continue;  // stale replay
+        ++out.replayedCommits;
+        // Structural replay: installs/uninstalls in apply order, reroutes
+        // re-sorted by seq (superseded reroutes are recorded after their
+        // winner, but last-wins is by arrival).
+        std::vector<const ParsedEvent*> reroutes;
+        for (std::int64_t seq : record.committedSeqs) {
+          const auto it = events.find(seq);
+          if (it == events.end()) {
+            out.diagnostics.push_back(
+                "generation " + std::to_string(g) + ": COMMIT covers seq " +
+                std::to_string(seq) + " with no EVENT frame; skipped");
+            continue;
+          }
+          const Event& ev = it->second.event;
+          switch (ev.kind) {
+            case EventKind::kInstall:
+              sh.localToGlobal.push_back(ev.policyId);
+              sh.routing.push_back(ev.routing);
+              sh.policies.push_back(ev.policy);
+              state.installSeqToGid.emplace_back(ev.seq, ev.policyId);
+              break;
+            case EventKind::kUninstall: {
+              int local = -1;
+              for (std::size_t l = 0; l < sh.localToGlobal.size(); ++l) {
+                if (sh.localToGlobal[l] == ev.policyId) {
+                  local = static_cast<int>(l);
+                  break;
+                }
+              }
+              if (local >= 0) {
+                sh.localToGlobal.erase(sh.localToGlobal.begin() + local);
+                sh.routing.erase(sh.routing.begin() + local);
+                sh.policies.erase(sh.policies.begin() + local);
+              }
+              for (auto mit = state.installSeqToGid.begin();
+                   mit != state.installSeqToGid.end();) {
+                mit = mit->second == ev.policyId
+                          ? state.installSeqToGid.erase(mit)
+                          : mit + 1;
+              }
+              break;
+            }
+            case EventKind::kReroute:
+              reroutes.push_back(&it->second);
+              break;
+            case EventKind::kCapacity:
+              if (ev.switchId >= 0 &&
+                  static_cast<std::size_t>(ev.switchId) <
+                      sh.capacityShare.size()) {
+                sh.capacityShare[static_cast<std::size_t>(ev.switchId)] =
+                    ev.capacity;
+              }
+              break;
+          }
+        }
+        std::sort(reroutes.begin(), reroutes.end(),
+                  [](const ParsedEvent* a, const ParsedEvent* b) {
+                    return a->event.seq < b->event.seq;
+                  });
+        for (const ParsedEvent* pe : reroutes) {
+          for (std::size_t l = 0; l < sh.localToGlobal.size(); ++l) {
+            if (sh.localToGlobal[l] == pe->event.policyId) {
+              sh.routing[l] = pe->event.routing;
+              break;
+            }
+          }
+        }
+        for (auto& [sw, rows] : record.tables) {
+          if (sw >= 0 && sw < sh.placement.switchCount()) {
+            sh.placement.mutableTable(sw) = std::move(rows);
+          }
+        }
+        sh.lastCommittedSeq = record.maxSeq;
+        for (std::int64_t seq : record.committedSeqs) events.erase(seq);
+        for (std::int64_t seq : record.failedSeqs) events.erase(seq);
+      } else {
+        // Unknown frame types are skipped (forward compatibility).
+        validBytes = pos;
+      }
+    }
+
+    state.lastSeq = maxSeq;
+    out.hasState = true;
+    out.generation = g;
+    out.validWalBytes = static_cast<std::int64_t>(validBytes);
+    out.state = std::move(state);
+    for (auto& [seq, pe] : events) {
+      out.pending.push_back(std::move(pe.event));
+      out.pendingShards.push_back(pe.shard);
+    }
+    return out;
+  }
+
+  out.diagnostics.push_back(
+      "no usable journal generation found; starting from the base scenario");
+  return out;
+}
+
+}  // namespace ruleplace::serve

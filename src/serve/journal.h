@@ -1,0 +1,196 @@
+#pragma once
+// Write-ahead journal for the serve daemon (docs/serve.md "Durability").
+//
+// The daemon treats its composed placement as the system of record, so an
+// accepted event must survive a crash of the process that accepted it.  The
+// contract, enforced before any acknowledgment leaves handleEvent():
+//
+//   EVENT frame appended (+ fsync per FsyncMode)  ->  ack
+//
+// and at each committed batch the shard's physical outcome is appended as a
+// COMMIT frame — the changed switch tables verbatim plus the apply-ordered
+// seq statuses.  Recovery therefore never re-solves committed history: the
+// committed prefix is reproduced bit-identically by structural replay
+// (policy/routing/localToGlobal bookkeeping from the EVENT payloads) plus
+// the verbatim table overwrites; only the acked-but-uncommitted tail is
+// handed back to the daemon to re-enqueue through the normal solve path.
+//
+// On-disk layout under JournalOptions::dir (all integers little-endian):
+//
+//   wal-<G>.bin        header frame + EVENT/COMMIT frames of generation G
+//   snapshot-<G>.bin   full daemon state at the cut of generation G
+//
+// Every frame is `u32 len | u32 crc32(payload) | payload`.  A snapshot cut
+// to generation G+1 writes snapshot-(G+1).tmp, fsyncs, renames, dir-syncs,
+// then opens wal-(G+1) seeded with every pending EVENT frame above its
+// shard's committed watermark — so a crash at ANY point leaves either the
+// old generation or the new one fully usable.  One previous generation is
+// retained as a fallback against a latent bad snapshot.  Torn or corrupt
+// tails truncate at the last valid frame and are reported as diagnostics,
+// never as fatal errors.
+//
+// All IO goes through util::Vfs, which is how tests/test_serve_recovery.cpp
+// crashes the journal at every write and demands recovery from each image.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/placement.h"
+#include "serve/protocol.h"
+#include "util/fault_fs.h"
+
+namespace ruleplace::serve {
+
+enum class FsyncMode : std::uint8_t {
+  kAlways,  ///< fsync before every ack — no acked event is ever lost
+  kBatch,   ///< group fsync per drained batch (the production default); a
+            ///< crash may lose up to one batch window of acked events
+  kNever,   ///< no fsync (tests/throughput probes only)
+};
+
+struct JournalOptions {
+  std::string dir;
+  FsyncMode fsync = FsyncMode::kBatch;
+  /// Events appended since the last cut before a snapshot is due
+  /// (0 = never snapshot).
+  std::int64_t snapshotEveryEvents = 8192;
+  /// IO layer; nullptr = util::realFs().
+  util::Vfs* vfs = nullptr;
+};
+
+/// Physical redo for one committed batch: apply-ordered seq statuses plus
+/// the switch tables the batch changed, verbatim (local tags).
+struct CommitRecord {
+  int shard = 0;
+  std::int64_t maxSeq = -1;  ///< highest seq drained in this batch
+  /// Committed seqs in apply order (structural replay dispatches on the
+  /// matching EVENT frame's kind; reroutes re-sort by seq for last-wins).
+  std::vector<std::int64_t> committedSeqs;
+  std::vector<std::int64_t> failedSeqs;
+  std::vector<std::pair<topo::SwitchId, std::vector<core::InstalledRule>>>
+      tables;
+};
+
+/// One shard's durable state at a snapshot cut (all ids local).
+struct SnapshotShard {
+  std::vector<topo::IngressPaths> routing;
+  std::vector<acl::Policy> policies;
+  std::vector<int> localToGlobal;
+  std::vector<int> capacityShare;
+  core::Placement placement;
+  std::int64_t lastCommittedSeq = -1;  ///< this shard's seq watermark
+};
+
+/// Daemon-level durable state at a snapshot cut.
+struct SnapshotState {
+  std::int64_t lastSeq = -1;  ///< ingest watermark (last acked seq)
+  /// (shard, ingress) per global policy id, dense.
+  std::vector<std::pair<int, std::int64_t>> gids;
+  /// Live install seq -> gid (uninstall-by-install_seq addressing).
+  std::vector<std::pair<std::int64_t, int>> installSeqToGid;
+  std::vector<SnapshotShard> shards;
+};
+
+/// What recover() found on disk.
+struct RecoveredState {
+  bool hasState = false;  ///< false: no usable generation — fresh start
+  std::int64_t generation = 0;
+  SnapshotState state;         ///< committed state, COMMIT frames applied
+  std::vector<Event> pending;  ///< acked-uncommitted events, seq order
+  std::vector<int> pendingShards;  ///< shard per pending event
+  std::vector<std::string> diagnostics;  ///< torn tails, skipped gens, ...
+  std::int64_t replayedCommits = 0;
+  std::int64_t truncatedBytes = 0;
+  /// Valid prefix of the surviving wal in bytes; a writer resuming this
+  /// generation must physically truncate the file here first (pass as the
+  /// Journal constructor's repairToBytes).
+  std::int64_t validWalBytes = -1;
+};
+
+class Journal {
+ public:
+  /// Open generation `generation` for writing in options.dir (created when
+  /// missing).  `freshWal` truncates wal-<generation>.bin — only correct on
+  /// a fresh start; a recovered daemon keeps appending to the surviving
+  /// wal, first chopping it back to `repairToBytes` (the recovered valid
+  /// prefix; -1 = keep as is) so a torn tail can never shadow new frames.
+  /// Throws std::runtime_error when the directory is unusable.
+  Journal(JournalOptions options, std::int64_t generation, bool freshWal,
+          std::int64_t repairToBytes = -1);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Append one accepted event (frame + fsync per mode) BEFORE it is
+  /// acknowledged.  False = the event must be rejected, not acked.
+  bool appendEvent(const Event& event, int shard, std::string* error);
+
+  /// Append one committed batch's redo record and prune its seqs from the
+  /// pending set.  Commit frames are redo optimizations: their loss only
+  /// costs a re-solve at recovery, so they ride the next group fsync.
+  bool appendCommit(const CommitRecord& record, std::string* error);
+
+  /// Group-fsync point (kBatch mode; no-op otherwise).
+  bool sync(std::string* error);
+
+  /// True when enough events accumulated since the last cut.
+  bool shouldSnapshot() const;
+
+  /// Cut the next generation around `state`: durable snapshot, fresh wal
+  /// carrying every pending event above its shard's watermark, generations
+  /// older than the previous one pruned.  On failure the current
+  /// generation stays in place and writing continues against it.
+  bool writeSnapshot(const SnapshotState& state, std::string* error);
+
+  std::int64_t generation() const { return generation_; }
+  std::int64_t appendedEvents() const { return appendedEvents_; }
+
+  /// Restore the pending set after recovery (the recovered daemon
+  /// re-enqueues these without re-appending them).
+  void adoptPending(const std::vector<Event>& pending,
+                    const std::vector<int>& shards);
+
+  /// Read the newest usable {snapshot + wal} under options.dir.
+  /// `genZeroBase` is the daemon's freshly built base state — generation 0
+  /// has no snapshot file, so its wal replays over this instead.  Never
+  /// throws on corrupt content — damage becomes diagnostics + the best
+  /// usable prefix; hasState=false when nothing durable exists.
+  static RecoveredState recover(const JournalOptions& options,
+                                const SnapshotState& genZeroBase);
+
+ private:
+  bool appendFrame(const std::string& payload, bool syncNow,
+                   std::string* error);
+  std::string walPath(std::int64_t generation) const;
+  std::string snapshotPath(std::int64_t generation) const;
+
+  JournalOptions options_;
+  util::Vfs* vfs_;
+  std::int64_t generation_ = 0;
+  util::Vfs::Handle wal_ = -1;
+  bool dirty_ = false;  ///< unsynced frames in the wal
+  /// Reusable framing scratch (appendFrame): steady-state appends touch
+  /// no allocator.  Safe without a lock for the same reason the rest of
+  /// the journal is: the owner serializes all calls.
+  std::string frameBuf_;
+  std::int64_t appendedEvents_ = 0;
+  std::int64_t eventsSinceSnapshot_ = 0;
+  /// Acked events not yet covered by a COMMIT frame: seq -> (shard,
+  /// serialized EVENT payload), carried over at each snapshot cut.
+  std::map<std::int64_t, std::pair<int, std::string>> pending_;
+};
+
+/// Serialization used by both the journal and its tests/corpus tooling.
+namespace wire {
+std::uint32_t crc32(const void* data, std::size_t size);
+std::string frame(const std::string& payload);
+std::string eventPayload(const Event& event, int shard);
+std::string commitPayload(const CommitRecord& record);
+std::string snapshotBody(const SnapshotState& state);
+}  // namespace wire
+
+}  // namespace ruleplace::serve

@@ -140,6 +140,24 @@ Request parseRequest(std::string_view line, const NameIndex& names) {
     if (id < 0) throw ProtocolError("reroute: negative policy id");
     e.policyId = static_cast<int>(id);
     e.egress = names.port(stringOrIdMember(doc, "egress"));
+  } else if (op == "uninstall") {
+    e.kind = EventKind::kUninstall;
+    const JsonValue* byGid = doc.find("policy");
+    const JsonValue* bySeq = doc.find("install_seq");
+    if ((byGid == nullptr) == (bySeq == nullptr)) {
+      throw ProtocolError(
+          "uninstall needs exactly one of \"policy\" or \"install_seq\"");
+    }
+    if (byGid != nullptr) {
+      const std::int64_t id = intMember(doc, "policy");
+      if (id < 0) throw ProtocolError("uninstall: negative policy id");
+      e.policyId = static_cast<int>(id);
+    } else {
+      e.installSeq = intMember(doc, "install_seq");
+      if (e.installSeq < 0) {
+        throw ProtocolError("uninstall: negative install_seq");
+      }
+    }
   } else if (op == "capacity") {
     e.kind = EventKind::kCapacity;
     e.switchId = names.switchId(stringOrIdMember(doc, "switch"));
@@ -150,8 +168,8 @@ Request parseRequest(std::string_view line, const NameIndex& names) {
     throw ProtocolError("unknown op \"" + op + "\"");
   }
   if (const JsonValue* via = doc.find("via")) {
-    if (e.kind == EventKind::kCapacity) {
-      throw ProtocolError("\"via\" is not valid on a capacity event");
+    if (e.kind == EventKind::kCapacity || e.kind == EventKind::kUninstall) {
+      throw ProtocolError("\"via\" is not valid on this event");
     }
     for (const JsonValue& sw : via->asArray()) {
       std::string name;

@@ -7,7 +7,8 @@
 //   {"op":"install","seq":1,"ingress":"h0","egress":"h5",
 //    "rules":["drop src 10.0.0.0/8","permit src 10.1.0.0/16"]}
 //   {"op":"reroute","seq":2,"policy":17,"egress":"h3"}
-//   {"op":"capacity","seq":3,"switch":"edge0","capacity":40}
+//   {"op":"uninstall","seq":3,"policy":17}   // or "install_seq":1
+//   {"op":"capacity","seq":4,"switch":"edge0","capacity":40}
 //   {"op":"query","what":"stats"}           // placement|stats|metrics|explain
 //   {"op":"flush"}
 //   {"op":"shutdown"}
@@ -39,7 +40,12 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-enum class EventKind : std::uint8_t { kInstall, kReroute, kCapacity };
+enum class EventKind : std::uint8_t {
+  kInstall,
+  kReroute,
+  kCapacity,
+  kUninstall,
+};
 
 /// One state-mutating event, parsed and resolved against the graph.
 struct Event {
@@ -55,8 +61,12 @@ struct Event {
   std::vector<topo::SwitchId> via;  ///< explicit path; empty = route by seq
 
   /// kInstall: the daemon-assigned global policy id.
-  /// kReroute: the global id named by the request.
+  /// kReroute / kUninstall: the global id named by the request.
   int policyId = -1;
+
+  /// kUninstall may address the target by the seq of its install instead of
+  /// the gid ("install_seq"); the daemon resolves it to policyId at ingest.
+  std::int64_t installSeq = -1;
 
   /// Resolved by the daemon at dispatch (never by the parser): the single
   /// path this event installs/reroutes onto, wrapped as the policy's

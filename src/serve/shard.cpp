@@ -34,6 +34,7 @@ Shard::Shard(const topo::Graph& graph, std::vector<topo::IngressPaths> routing,
       config_(std::move(config)),
       localToGlobal_(std::move(localToGlobal)),
       capacityShare_(std::move(capacityShare)) {
+  lastCommittedSeq_ = config_.initialCommittedSeq;
   for (std::size_t i = 0; i < localToGlobal_.size(); ++i) {
     globalToLocal_.emplace(localToGlobal_[i], static_cast<int>(i));
   }
@@ -45,17 +46,15 @@ Shard::Shard(const topo::Graph& graph, std::vector<topo::IngressPaths> routing,
   session_ = std::make_unique<core::IncrementalSession>(
       std::move(problem), std::move(base), config_.sessionOptions);
   publish({});
+  prevPublished_ = snapshot();
 }
 
 Shard::~Shard() = default;
 
 void Shard::enqueue(Event event, std::int64_t arrivalNs) {
-  {
-    std::lock_guard<std::mutex> lock(queueMutex_);
-    queue_.push_back({std::move(event), arrivalNs});
-  }
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  ++counters_.enqueued;
+  std::lock_guard<std::mutex> lock(queueMutex_);
+  queue_.push_back({std::move(event), arrivalNs});
+  enqueuedCount_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t Shard::queueDepth() const {
@@ -88,7 +87,9 @@ std::shared_ptr<const Shard::Snapshot> Shard::snapshot() const {
 
 Shard::Counters Shard::counters() const {
   std::lock_guard<std::mutex> lock(stateMutex_);
-  return counters_;
+  Counters c = counters_;
+  c.enqueued = enqueuedCount_.load(std::memory_order_relaxed);
+  return c;
 }
 
 void Shard::recordCommitted(const std::vector<const Queued*>& run,
@@ -97,8 +98,21 @@ void Shard::recordCommitted(const std::vector<const Queued*>& run,
     std::lock_guard<std::mutex> lock(stateMutex_);
     counters_.committed += static_cast<std::int64_t>(run.size());
   }
+  if (batchLog_ != nullptr) {
+    for (const Queued* q : run) batchLog_->committed.push_back(q->event.seq);
+  }
   if (latencySink_) {
     for (const Queued* q : run) latencySink_(commitNs - q->arrivalNs);
+  }
+}
+
+void Shard::recordFailed(const std::vector<const Queued*>& run) {
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    counters_.failed += static_cast<std::int64_t>(run.size());
+  }
+  if (batchLog_ != nullptr) {
+    for (const Queued* q : run) batchLog_->failed.push_back(q->event.seq);
   }
 }
 
@@ -143,8 +157,7 @@ bool Shard::applyInstallRun(const std::vector<const Queued*>& run,
   }
   *error = "install seq " + std::to_string(run.front()->event.seq) + ": " +
            outcomeError(out);
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  counters_.failed += static_cast<std::int64_t>(run.size());
+  recordFailed(run);
   return false;
 }
 
@@ -158,8 +171,7 @@ bool Shard::applyRerouteRun(const std::vector<const Queued*>& run,
     if (it == globalToLocal_.end()) {
       *error = "reroute seq " + std::to_string(q->event.seq) +
                ": unknown policy " + std::to_string(q->event.policyId);
-      std::lock_guard<std::mutex> lock(stateMutex_);
-      ++counters_.failed;
+      recordFailed({q});
       continue;
     }
     localIds.push_back(it->second);
@@ -187,8 +199,7 @@ bool Shard::applyRerouteRun(const std::vector<const Queued*>& run,
   }
   *error = "reroute seq " + std::to_string(resolved.front()->event.seq) +
            ": " + outcomeError(out);
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  counters_.failed += static_cast<std::int64_t>(resolved.size());
+  recordFailed(resolved);
   return false;
 }
 
@@ -217,8 +228,7 @@ bool Shard::applyCapacity(const Queued& q, std::string* error) {
                std::to_string(sw) + " cannot shrink to " +
                std::to_string(q.event.capacity) + " (" + outcomeError(out) +
                "); capacity unchanged";
-      std::lock_guard<std::mutex> lock(stateMutex_);
-      ++counters_.failed;
+      recordFailed({&q});
       return false;
     }
     replaceSession(std::make_unique<core::IncrementalSession>(
@@ -226,6 +236,59 @@ bool Shard::applyCapacity(const Queued& q, std::string* error) {
   }
   capacityShare_ = std::move(caps);
   recordCommitted({&q}, nowNs());
+  return true;
+}
+
+bool Shard::applyUninstallRun(const std::vector<const Queued*>& run,
+                              std::string* error) {
+  std::vector<const Queued*> resolved;
+  std::vector<int> removeLocals;
+  for (const Queued* q : run) {
+    const auto it = globalToLocal_.find(q->event.policyId);
+    if (it == globalToLocal_.end()) {
+      *error = "uninstall seq " + std::to_string(q->event.seq) +
+               ": unknown policy " + std::to_string(q->event.policyId);
+      recordFailed({q});
+      continue;
+    }
+    removeLocals.push_back(it->second);
+    resolved.push_back(q);
+  }
+  if (resolved.empty()) return false;
+
+  // Removal never violates capacity, so no solve: compact the session's
+  // problem and placement around the retracted policies and rebase onto
+  // the result — the same clean-cut shape capacity events use.
+  const core::PlacementProblem& prob = session_->problem();
+  std::vector<char> drop(prob.policies.size(), 0);
+  for (int l : removeLocals) drop[static_cast<std::size_t>(l)] = 1;
+
+  core::PlacementProblem compacted;
+  compacted.graph = graph_;
+  compacted.capacityOverride = capacityShare_;
+  std::vector<int> tagMap(prob.policies.size(), -1);
+  std::vector<int> newLocalToGlobal;
+  for (std::size_t l = 0; l < prob.policies.size(); ++l) {
+    if (drop[l] != 0) continue;
+    tagMap[l] = static_cast<int>(compacted.policies.size());
+    compacted.routing.push_back(prob.routing[l]);
+    compacted.policies.push_back(prob.policies[l]);
+    newLocalToGlobal.push_back(localToGlobal_[l]);
+  }
+  core::Placement erased = session_->placement();
+  for (int l : removeLocals) erased.erasePolicy(l);
+  core::Placement compactedPlacement(graph_->switchCount());
+  compactedPlacement.appendMapped(erased, tagMap);
+
+  replaceSession(std::make_unique<core::IncrementalSession>(
+      std::move(compacted), std::move(compactedPlacement),
+      config_.sessionOptions));
+  localToGlobal_ = std::move(newLocalToGlobal);
+  globalToLocal_.clear();
+  for (std::size_t l = 0; l < localToGlobal_.size(); ++l) {
+    globalToLocal_.emplace(localToGlobal_[l], static_cast<int>(l));
+  }
+  recordCommitted(resolved, nowNs());
   return true;
 }
 
@@ -261,6 +324,7 @@ void Shard::publish(std::string lastError) {
   snap->localToGlobal = localToGlobal_;
   snap->capacity = capacityShare_;
   snap->version = ++version_;
+  snap->lastCommittedSeq = lastCommittedSeq_;
   snap->lastError = std::move(lastError);
   std::lock_guard<std::mutex> lock(stateMutex_);
   counters_.repacks = repackBase_ + session_->repacks();
@@ -270,9 +334,13 @@ void Shard::publish(std::string lastError) {
 
 bool Shard::drainStep() {
   std::vector<Queued> batch;
+  bool overload = false;
   {
     std::lock_guard<std::mutex> lock(queueMutex_);
-    const std::size_t n = std::min(config_.maxBatch, queue_.size());
+    overload = config_.overloadBatchAt > 0 &&
+               queue_.size() >= config_.overloadBatchAt;
+    const std::size_t n =
+        overload ? queue_.size() : std::min(config_.maxBatch, queue_.size());
     batch.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       batch.push_back(std::move(queue_.front()));
@@ -283,31 +351,78 @@ bool Shard::drainStep() {
   {
     std::lock_guard<std::mutex> lock(stateMutex_);
     ++counters_.batches;
+    if (overload) ++counters_.overloadBatches;
+  }
+
+  BatchLog log;
+  batchLog_ = &log;
+
+  // Fold matched install+uninstall pairs within the batch to a no-op: both
+  // commit (and count as coalesced) without ever touching the session.
+  // Structural replay preserves the fold for free — push then erase of the
+  // same gid nets out.
+  std::vector<char> folded(batch.size(), 0);
+  {
+    std::unordered_map<int, std::size_t> pendingInstall;
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const Event& e = batch[k].event;
+      if (e.kind == EventKind::kInstall) {
+        pendingInstall[e.policyId] = k;
+      } else if (e.kind == EventKind::kUninstall) {
+        const auto it = pendingInstall.find(e.policyId);
+        if (it != pendingInstall.end()) {
+          std::vector<const Queued*> pair = {&batch[it->second], &batch[k]};
+          folded[it->second] = 1;
+          folded[k] = 1;
+          pendingInstall.erase(it);
+          {
+            std::lock_guard<std::mutex> lock(stateMutex_);
+            counters_.coalesced += 2;
+          }
+          recordCommitted(pair, nowNs());
+        }
+      }
+    }
   }
 
   std::string lastError;
   std::size_t i = 0;
   while (i < batch.size()) {
+    if (folded[i] != 0) {
+      ++i;
+      continue;
+    }
     const EventKind kind = batch[i].event.kind;
     std::size_t j = i;
-    while (j < batch.size() && batch[j].event.kind == kind) ++j;
+    while (j < batch.size() &&
+           (folded[j] != 0 || batch[j].event.kind == kind)) {
+      ++j;
+    }
 
     std::string error;
     if (kind == EventKind::kCapacity) {
       // Capacity events rebase the whole shard; apply them one by one.
       for (std::size_t k = i; k < j; ++k) {
+        if (folded[k] != 0) continue;
         if (!applyCapacity(batch[k], &error)) lastError = error;
       }
+    } else if (kind == EventKind::kUninstall) {
+      std::vector<const Queued*> run;
+      for (std::size_t k = i; k < j; ++k) {
+        if (folded[k] == 0) run.push_back(&batch[k]);
+      }
+      if (!applyUninstallRun(run, &error)) lastError = error;
     } else if (kind == EventKind::kReroute) {
       // Last-wins dedup: within one run only the newest reroute of a
       // policy matters; superseded ones commit for free.
       std::unordered_map<int, std::size_t> last;
       for (std::size_t k = i; k < j; ++k) {
-        last[batch[k].event.policyId] = k;
+        if (folded[k] == 0) last[batch[k].event.policyId] = k;
       }
       std::vector<const Queued*> run;
       std::vector<const Queued*> superseded;
       for (std::size_t k = i; k < j; ++k) {
+        if (folded[k] != 0) continue;
         if (last[batch[k].event.policyId] == k) {
           run.push_back(&batch[k]);
         } else {
@@ -325,13 +440,37 @@ bool Shard::drainStep() {
       }
     } else {
       std::vector<const Queued*> run;
-      for (std::size_t k = i; k < j; ++k) run.push_back(&batch[k]);
+      for (std::size_t k = i; k < j; ++k) {
+        if (folded[k] == 0) run.push_back(&batch[k]);
+      }
       if (!applyInstallRun(run, true, &error)) lastError = error;
     }
     i = j;
   }
+  // Every batch event is now resolved (committed, folded, or failed); the
+  // queue is FIFO over strictly increasing seqs, so the batch tail is the
+  // new watermark.
+  lastCommittedSeq_ = std::max(lastCommittedSeq_, batch.back().event.seq);
   maybeRebase();
   publish(std::move(lastError));
+  batchLog_ = nullptr;
+
+  if (commitSink_) {
+    const auto snap = snapshot();
+    CommitRecord record;
+    record.maxSeq = lastCommittedSeq_;
+    record.committedSeqs = std::move(log.committed);
+    record.failedSeqs = std::move(log.failed);
+    const auto prev = prevPublished_;
+    for (topo::SwitchId sw = 0; sw < graph_->switchCount(); ++sw) {
+      if (prev == nullptr ||
+          prev->placement.table(sw) != snap->placement.table(sw)) {
+        record.tables.emplace_back(sw, snap->placement.table(sw));
+      }
+    }
+    prevPublished_ = snap;
+    commitSink_(std::move(record));
+  }
 
   std::lock_guard<std::mutex> lock(queueMutex_);
   return !queue_.empty();

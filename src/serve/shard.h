@@ -25,6 +25,7 @@
 // are independent and their union never exceeds the real capacity.  With
 // one shard the share is the full capacity and placement is exact.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "core/incremental.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 
 namespace ruleplace::serve {
@@ -48,6 +50,13 @@ class Shard {
     /// retired groups and dead variables so a million-event run cannot grow
     /// the persistent solver without bound.
     int rebaseEvents = 512;
+    /// Overload rung: when the queue holds at least this many events at
+    /// drain time, the batch takes the WHOLE queue (maximum coalescing)
+    /// instead of maxBatch.  0 = never.
+    std::size_t overloadBatchAt = 0;
+    /// Seq watermark the shard's initial state already covers (recovery
+    /// hands the recovered watermark back; -1 for a fresh shard).
+    std::int64_t initialCommittedSeq = -1;
     core::PlaceOptions sessionOptions;
   };
 
@@ -59,6 +68,10 @@ class Shard {
     std::vector<int> localToGlobal;  ///< local policy id -> global id
     std::vector<int> capacity;       ///< this shard's per-switch share
     std::int64_t version = 0;
+    /// Seq watermark: every event with seq <= this is resolved (committed
+    /// or failed) and reflected in this snapshot.  The queue is FIFO and
+    /// ingest seqs are strictly increasing, so the watermark is complete.
+    std::int64_t lastCommittedSeq = -1;
     std::string lastError;  ///< last failed run's message ("" = none)
   };
 
@@ -72,6 +85,7 @@ class Shard {
     std::int64_t repacks = 0;
     std::int64_t escalations = 0;
     std::int64_t rebases = 0;
+    std::int64_t overloadBatches = 0;  ///< whole-queue overload drains
   };
 
   /// `routing`/`policies`/`base` are this shard's slice in *local* ids;
@@ -112,6 +126,14 @@ class Shard {
     latencySink_ = std::move(sink);
   }
 
+  /// Per-batch commit sink, called once after each drained batch publishes,
+  /// outside every shard lock, with the batch's redo record (CommitRecord
+  /// fields filled except `shard`, which the daemon stamps).  Set once,
+  /// before events flow.
+  void setCommitSink(std::function<void(CommitRecord)> sink) {
+    commitSink_ = std::move(sink);
+  }
+
  private:
   struct Queued {
     Event event;
@@ -124,12 +146,15 @@ class Shard {
   bool applyRerouteRun(const std::vector<const Queued*>& run, bool isolate,
                        std::string* error);
   bool applyCapacity(const Queued& q, std::string* error);
+  bool applyUninstallRun(const std::vector<const Queued*>& run,
+                         std::string* error);
   /// Swap in a fresh session, folding the old one's repack/escalation
   /// counts into the accumulated bases first.
   void replaceSession(std::unique_ptr<core::IncrementalSession> fresh);
   void maybeRebase();
   void recordCommitted(const std::vector<const Queued*>& run,
                        std::int64_t nowNs);
+  void recordFailed(const std::vector<const Queued*>& run);
 
   const topo::Graph* graph_;
   Config config_;
@@ -138,6 +163,19 @@ class Shard {
   std::unordered_map<int, int> globalToLocal_;
   std::vector<int> capacityShare_;
   std::function<void(std::int64_t)> latencySink_;
+  std::function<void(CommitRecord)> commitSink_;
+
+  /// Per-batch seq outcomes in apply order, captured for the commit sink.
+  /// Non-null only inside drainStep() (single drain thread).
+  struct BatchLog {
+    std::vector<std::int64_t> committed;
+    std::vector<std::int64_t> failed;
+  };
+  BatchLog* batchLog_ = nullptr;
+  std::int64_t lastCommittedSeq_ = -1;  ///< drain thread only
+  /// Snapshot the commit sink last saw (drain thread only): the baseline
+  /// for each batch's changed-table diff.
+  std::shared_ptr<const Snapshot> prevPublished_;
 
   // Session counter bases: the session object is replaced on rebase, so
   // totals accumulate (previous sessions' counts) + (current session's).
@@ -149,6 +187,10 @@ class Shard {
   mutable std::mutex queueMutex_;
   std::deque<Queued> queue_;
   bool draining_ = false;
+  /// Incremented with the push, inside queueMutex_, so a sampler can never
+  /// observe a queued event that is not yet counted (atomic because
+  /// counters() reads it under stateMutex_ only).
+  std::atomic<std::int64_t> enqueuedCount_{0};
 
   mutable std::mutex stateMutex_;  // snapshot_ + counters_
   std::shared_ptr<const Snapshot> snapshot_;

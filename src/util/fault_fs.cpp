@@ -1,0 +1,358 @@
+#include "util/fault_fs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <set>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace ruleplace::util {
+
+namespace {
+
+/// POSIX passthrough.  Handles are raw fds (dup'd semantics are fine: the
+/// journal opens few files and closes them deterministically).
+class RealFs : public Vfs {
+ public:
+  Handle open(const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_APPEND;
+    if (truncate) flags |= O_TRUNC;
+    return ::open(path.c_str(), flags, 0644);
+  }
+
+  bool append(Handle h, const void* data, std::size_t size) override {
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+      const ssize_t n = ::write(h, p, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      size -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool sync(Handle h) override { return ::fsync(h) == 0; }
+
+  void close(Handle h) override {
+    if (h >= 0) ::close(h);
+  }
+
+  bool readFile(const std::string& path, std::string* out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return false;
+    out->clear();
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+      out->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return n == 0;
+  }
+
+  bool rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) == 0;
+  }
+
+  bool remove(const std::string& path) override {
+    return ::unlink(path.c_str()) == 0;
+  }
+
+  bool mkdirs(const std::string& path) override {
+    std::string prefix;
+    std::size_t start = 0;
+    while (start <= path.size()) {
+      std::size_t end = path.find('/', start);
+      if (end == std::string::npos) end = path.size();
+      prefix = path.substr(0, end);
+      if (!prefix.empty() && prefix != "/") {
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+          return false;
+        }
+      }
+      start = end + 1;
+    }
+    return true;
+  }
+
+  std::vector<std::string> list(const std::string& dir) override {
+    std::vector<std::string> out;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return out;
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") out.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  bool syncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+  }
+};
+
+}  // namespace
+
+Vfs& realFs() {
+  static RealFs fs;
+  return fs;
+}
+
+Vfs::Handle FaultFs::open(const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return -1;
+  auto [it, inserted] = live_.emplace(path, std::string());
+  if (truncate) {
+    it->second.clear();
+    markNotPrefixLocked(path);
+  }
+  handles_.push_back({path, true, &it->second});
+  return static_cast<Handle>(handles_.size() - 1);
+}
+
+bool FaultFs::append(Handle h, const void* data, std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || h < 0 || static_cast<std::size_t>(h) >= handles_.size() ||
+      !handles_[static_cast<std::size_t>(h)].valid) {
+    return false;
+  }
+  OpenFile& file = handles_[static_cast<std::size_t>(h)];
+  if (file.liveBuf == nullptr) file.liveBuf = &live_[file.path];
+  const char* p = static_cast<const char*>(data);
+  const std::int64_t op = appendOps_++;
+  if (op == plan_.crashAtWrite) {
+    file.liveBuf->append(p, std::min(size, plan_.crashKeepBytes));
+    crashLocked();
+    return false;
+  }
+  if (op == plan_.shortWriteAt) {
+    file.liveBuf->append(p, std::min(size, plan_.shortWriteBytes));
+    return false;
+  }
+  file.liveBuf->append(p, size);
+  return true;
+}
+
+bool FaultFs::sync(Handle h) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || h < 0 || static_cast<std::size_t>(h) >= handles_.size() ||
+      !handles_[static_cast<std::size_t>(h)].valid) {
+    return false;
+  }
+  const std::int64_t op = syncOps_++;
+  if (op == plan_.crashAtSync) {
+    crashLocked();
+    return false;
+  }
+  if (op == plan_.failSyncAt) return false;
+  const std::string& path = handles_[static_cast<std::size_t>(h)].path;
+  const std::string& lv = live_[path];
+  std::string& du = durable_[path];
+  // Append-only fast path: when nothing structural happened since the last
+  // sync the durable content is a prefix of the live content, so promoting
+  // costs only the unsynced tail, not the whole file.
+  if (fullCopyOnSync_.erase(path) > 0 || du.size() > lv.size()) {
+    du = lv;
+  } else {
+    du.append(lv, du.size(), lv.size() - du.size());
+  }
+  return true;
+}
+
+void FaultFs::close(Handle h) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (h >= 0 && static_cast<std::size_t>(h) < handles_.size()) {
+    handles_[static_cast<std::size_t>(h)].valid = false;
+  }
+}
+
+bool FaultFs::readFile(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return false;
+  const auto it = live_.find(path);
+  if (it == live_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool FaultFs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return false;
+  const auto it = live_.find(from);
+  if (it == live_.end()) return false;
+  live_[to] = std::move(it->second);
+  live_.erase(it);
+  invalidateLiveCacheLocked();
+  markNotPrefixLocked(from);
+  markNotPrefixLocked(to);
+  pendingDirOps_.push_back({true, from, to});
+  return true;
+}
+
+bool FaultFs::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return false;
+  if (live_.erase(path) == 0) return false;
+  invalidateLiveCacheLocked();
+  markNotPrefixLocked(path);
+  pendingDirOps_.push_back({false, path, {}});
+  return true;
+}
+
+bool FaultFs::mkdirs(const std::string&) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !crashed_;  // flat namespace: directories are implicit
+}
+
+std::vector<std::string> FaultFs::list(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  if (crashed_) return out;
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::set<std::string> names;
+  for (const auto& [path, _] : live_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
+      const std::string rest = path.substr(prefix.size());
+      names.insert(rest.substr(0, rest.find('/')));
+    }
+  }
+  out.assign(names.begin(), names.end());
+  return out;
+}
+
+bool FaultFs::syncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return false;
+  // Make every pending rename/remove under `dir` durable, in order.
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  auto inDir = [&prefix](const std::string& path) {
+    return path.compare(0, prefix.size(), prefix) == 0;
+  };
+  std::vector<DirOp> remaining;
+  for (DirOp& op : pendingDirOps_) {
+    const bool mine = inDir(op.from) || (op.isRename && inDir(op.to));
+    if (!mine) {
+      remaining.push_back(std::move(op));
+      continue;
+    }
+    if (op.isRename) {
+      const auto it = durable_.find(op.from);
+      if (it != durable_.end()) {
+        durable_[op.to] = std::move(it->second);
+        durable_.erase(op.from);
+        markNotPrefixLocked(op.to);
+      }
+      // A rename of a never-synced file carries no durable content; the
+      // live content still needs its own sync(h) to survive.
+    } else {
+      durable_.erase(op.from);
+    }
+    markNotPrefixLocked(op.from);
+  }
+  pendingDirOps_ = std::move(remaining);
+  return true;
+}
+
+void FaultFs::setPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+}
+
+void FaultFs::resetOpCounts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  appendOps_ = 0;
+  syncOps_ = 0;
+}
+
+std::int64_t FaultFs::appendOps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appendOps_;
+}
+
+std::int64_t FaultFs::syncOps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return syncOps_;
+}
+
+void FaultFs::crashLocked() {
+  // The world reverts to its durable view.  Files whose live content is an
+  // append-extension of the durable content may keep a scripted prefix of
+  // the unsynced tail (background writeback), which is how torn frames are
+  // manufactured.  Unsynced renames/removes are lost wholesale.
+  std::map<std::string, std::string> next = durable_;
+  if (plan_.unsyncedSurvivalBytes > 0) {
+    for (const auto& [path, liveContent] : live_) {
+      const auto it = durable_.find(path);
+      const std::string& base = it == durable_.end() ? std::string() : it->second;
+      if (liveContent.size() > base.size() &&
+          liveContent.compare(0, base.size(), base) == 0) {
+        const std::size_t keep = std::min(plan_.unsyncedSurvivalBytes,
+                                          liveContent.size() - base.size());
+        next[path] = base + liveContent.substr(base.size(), keep);
+      }
+    }
+  }
+  live_ = std::move(next);
+  pendingDirOps_.clear();
+  for (OpenFile& f : handles_) f.valid = false;
+  invalidateLiveCacheLocked();
+  // Post-crash every live file IS its durable content plus (at most) a
+  // surviving appended tail, so the prefix invariant holds everywhere.
+  fullCopyOnSync_.clear();
+  crashed_ = true;
+}
+
+void FaultFs::invalidateLiveCacheLocked() {
+  for (OpenFile& f : handles_) f.liveBuf = nullptr;
+}
+
+void FaultFs::markNotPrefixLocked(const std::string& path) {
+  fullCopyOnSync_.insert(path);
+}
+
+void FaultFs::crashNow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!crashed_) crashLocked();
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void FaultFs::restart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = false;
+}
+
+std::map<std::string, std::string> FaultFs::durableFiles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::string> out = durable_;
+  // Unsynced dir ops have not been applied to durable_, which is the point:
+  // the caller sees exactly what a crash right now would leave behind.
+  return out;
+}
+
+void FaultFs::installFile(const std::string& path, std::string content) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  durable_[path] = content;
+  live_[path] = std::move(content);
+  invalidateLiveCacheLocked();
+  fullCopyOnSync_.erase(path);  // both views equal: prefix holds
+}
+
+}  // namespace ruleplace::util

@@ -1,0 +1,169 @@
+#pragma once
+// Injectable filesystem layer for durability code (the serve journal).
+//
+// Crash-safety cannot be tested through a real filesystem: the interesting
+// states are the ones a kernel only exposes when the power actually fails.
+// So everything that must survive a crash goes through a Vfs, with two
+// implementations:
+//
+//   * realFs()  — thin POSIX passthrough (append/fsync/rename/dir-sync),
+//     what production daemons run on;
+//   * FaultFs   — an in-memory filesystem that models the durability
+//     semantics the journal relies on, plus scripted faults.  Every file
+//     has a *live* view (what the process reads back) and a *durable* view
+//     (what survives a crash).  fsync promotes live -> durable for one
+//     file; renames and removes become durable only at syncDir(), exactly
+//     the POSIX contract the snapshot-cut sequence depends on.  A scripted
+//     crash (crash-at-write-k, crash-at-sync-k, or crashNow()) reverts the
+//     world to its durable view — optionally keeping a bounded prefix of
+//     each file's unsynced appended tail, which is how torn journal frames
+//     are manufactured deliberately instead of hoped for.
+//
+// The crash-point harness in tests/test_serve_recovery.cpp sweeps
+// crashAtWrite over every IO of a reference run and demands recovery from
+// each resulting disk image.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ruleplace::util {
+
+/// Append-oriented filesystem interface.  Handles are small non-negative
+/// integers; every call returning bool uses false for failure.  All paths
+/// are plain byte strings ('/'-separated on FaultFs too).
+class Vfs {
+ public:
+  using Handle = int;
+  virtual ~Vfs() = default;
+
+  /// Open `path` for appending, creating it when missing (`truncate`
+  /// clears any existing content first).  Returns -1 on failure.
+  virtual Handle open(const std::string& path, bool truncate) = 0;
+  virtual bool append(Handle h, const void* data, std::size_t size) = 0;
+  /// Flush the file's content to durable storage (fsync).
+  virtual bool sync(Handle h) = 0;
+  virtual void close(Handle h) = 0;
+
+  virtual bool readFile(const std::string& path, std::string* out) = 0;
+  virtual bool rename(const std::string& from, const std::string& to) = 0;
+  virtual bool remove(const std::string& path) = 0;
+  virtual bool mkdirs(const std::string& path) = 0;
+  /// Entry names (not paths) in `dir`, sorted; empty when unreadable.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+  /// Make renames/removes inside `dir` durable (fsync of the directory).
+  virtual bool syncDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX implementation.
+Vfs& realFs();
+
+/// Scripted faults for FaultFs.  Op indices are 0-based and count calls of
+/// that kind over the filesystem's lifetime (reset by resetOpCounts()).
+struct FaultPlan {
+  /// Crash when append #crashAtWrite begins; the first crashKeepBytes of
+  /// that append still reach the live file before the lights go out.
+  std::int64_t crashAtWrite = -1;
+  std::size_t crashKeepBytes = 0;
+  /// Crash when sync #crashAtSync begins (before anything is promoted).
+  std::int64_t crashAtSync = -1;
+  /// Sync #failSyncAt reports failure and promotes nothing.
+  std::int64_t failSyncAt = -1;
+  /// Append #shortWriteAt lands only shortWriteBytes bytes and reports
+  /// failure (ENOSPC after a partial write).
+  std::int64_t shortWriteAt = -1;
+  std::size_t shortWriteBytes = 0;
+  /// At crash, this many bytes of each file's unsynced appended tail
+  /// survive anyway (background writeback) — the torn-tail dial.
+  std::size_t unsyncedSurvivalBytes = 0;
+};
+
+/// In-memory filesystem with durability modeling and fault injection.
+/// Thread-safe; all state is process-local to the instance.
+class FaultFs : public Vfs {
+ public:
+  FaultFs() = default;
+
+  Handle open(const std::string& path, bool truncate) override;
+  bool append(Handle h, const void* data, std::size_t size) override;
+  bool sync(Handle h) override;
+  void close(Handle h) override;
+  bool readFile(const std::string& path, std::string* out) override;
+  bool rename(const std::string& from, const std::string& to) override;
+  bool remove(const std::string& path) override;
+  bool mkdirs(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  bool syncDir(const std::string& dir) override;
+
+  void setPlan(const FaultPlan& plan);
+  void resetOpCounts();
+  std::int64_t appendOps() const;
+  std::int64_t syncOps() const;
+
+  /// Pull the plug now: live state reverts to the durable view (plus any
+  /// scripted unsynced survival), open handles die, and every subsequent
+  /// operation fails until restart().
+  void crashNow();
+  bool crashed() const;
+  /// Clear the crashed flag, as if the machine rebooted over the surviving
+  /// disk image.  Does not clear the plan or op counts.
+  void restart();
+
+  /// The durable view (what a post-crash process would find) — for corpus
+  /// generation and failure artifacts.
+  std::map<std::string, std::string> durableFiles() const;
+  /// Overwrite one file in BOTH views — for corpus replay and corruption
+  /// tests.
+  void installFile(const std::string& path, std::string content);
+
+ private:
+  struct OpenFile {
+    std::string path;
+    bool valid = false;
+    /// Cached pointer to this file's live_ entry (std::map nodes are
+    /// address-stable), so per-append path lookups vanish from the wal
+    /// hot loop.  Nulled by every structural mutation (rename, remove,
+    /// crash, restart, installFile) and re-resolved lazily.
+    std::string* liveBuf = nullptr;
+  };
+
+  /// Drop every handle's cached live_ pointer (call under mutex_ from any
+  /// operation that may erase or replace live_ entries).
+  void invalidateLiveCacheLocked();
+
+  /// Mark `path` as needing a full copy at its next sync (the durable
+  /// content can no longer be assumed a prefix of the live content).
+  void markNotPrefixLocked(const std::string& path);
+
+  void crashLocked();
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  bool crashed_ = false;
+  std::int64_t appendOps_ = 0;
+  std::int64_t syncOps_ = 0;
+  std::map<std::string, std::string> live_;
+  std::map<std::string, std::string> durable_;
+  /// Paths whose durable content may NOT be a prefix of their live content
+  /// (truncating open, rename, remove, ...).  For every other path sync()
+  /// appends only the unsynced tail instead of copying the whole file —
+  /// append-heavy wal workloads would otherwise pay O(file) per group
+  /// fsync.  Conservative: a path lands here on any structural mutation
+  /// and leaves at its next (full-copy) sync or at a crash, which by
+  /// construction makes live a durable-prefix extension everywhere.
+  std::set<std::string> fullCopyOnSync_;
+  /// Renames/removes applied to live_ but not yet made durable: the target
+  /// path each op affects, replayed against durable_ at syncDir().
+  struct DirOp {
+    bool isRename = false;
+    std::string from, to;  // remove uses `from` only
+  };
+  std::vector<DirOp> pendingDirOps_;
+  std::vector<OpenFile> handles_;
+};
+
+}  // namespace ruleplace::util

@@ -1,0 +1,656 @@
+// Crash-safety and overload tests for the serve daemon (docs/robustness.md
+// "Crash consistency").
+//
+// The discipline mirrors the fuzz subsystem's three-way oracle: a reference
+// run on a fault-free in-memory filesystem defines the expected end state,
+// then the crash-point harness kills the daemon at every interesting IO
+// (mid-append, mid-fsync, mid-snapshot-cut, with and without torn tails),
+// recovers from each surviving disk image, completes the same stream, and
+// demands the final composed placement be BIT-IDENTICAL to the reference —
+// plus semantic verification, so both oracles must agree.
+//
+// Pinned invariants:
+//   * with fsync=always, no acked event is ever lost: every seq acked
+//     before the crash is rejected as out-of-order by the recovered daemon;
+//   * un-acked events may vanish but never half-apply — re-sending them
+//     after recovery converges to the reference state;
+//   * corrupt journals (torn, bit-flipped, duplicated, garbage — the
+//     committed corpus under tests/corpus/journal/) recover to a verified
+//     state or a clean diagnostic, never a crash or silent divergence;
+//   * the admission ladder sheds with a retryable reply and bounded queues,
+//     and the accounting identity enqueued == committed + failed holds at
+//     quiescence.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/verify.h"
+#include "serve/churn_gen.h"
+#include "serve/daemon.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "util/fault_fs.h"
+
+namespace ruleplace::serve {
+namespace {
+
+constexpr const char* kJournalDir = "jd";
+
+ChurnConfig smallChurn() {
+  ChurnConfig c;
+  c.fatTreeK = 4;
+  c.switchCapacity = 128;
+  c.basePolicies = 8;
+  c.rulesPerPolicy = 4;
+  c.seed = 7;
+  c.installWeight = 0.30;
+  c.rerouteWeight = 0.60;
+  c.capacityWeight = 0.0;
+  c.uninstallWeight = 0.10;
+  return c;
+}
+
+DaemonOptions journalOpts(util::Vfs* vfs, FsyncMode mode) {
+  DaemonOptions o;
+  o.shards = 1;
+  o.debounceSeconds = -1.0;  // deterministic: drains only at flush()
+  o.journalDir = kJournalDir;
+  o.journalFsync = mode;
+  o.snapshotEveryEvents = 16;  // several generation cuts per run
+  // Bit-identity needs history-free solving: rebasing after every batch
+  // makes each solve start from a freshly constructed session, so a
+  // recovered daemon (whose session is rebuilt from the snapshot) solves
+  // the pending tail exactly as the uninterrupted run did.  With warm
+  // multi-batch sessions the recovered tail is only semantically
+  // equivalent (docs/robustness.md).
+  o.rebaseEvents = 1;
+  o.vfs = vfs;
+  return o;
+}
+
+/// Feed `lines` in fixed-size chunks with a flush() after each chunk, so
+/// batch boundaries are a pure function of the stream — the property that
+/// makes a recovered run's re-solve bit-identical to the reference run.
+/// Stops early once the filesystem crashed.  Records acked seqs.
+///
+/// `skipFlushThroughSeq`: on a recovered daemon, journaled-but-uncommitted
+/// events sit re-enqueued in the queue from construction; draining them at
+/// an earlier (empty) chunk boundary would split the reference's batch in
+/// two.  Callers pass the last line index of the chunk holding the newest
+/// pending event, minus one, so the first flush lands exactly where the
+/// reference flushed that batch.
+constexpr std::size_t kChunk = 8;
+
+void feedChunked(Daemon& daemon, const std::vector<std::string>& lines,
+                 util::FaultFs* fs, std::vector<std::int64_t>* acked,
+                 std::int64_t skipFlushThroughSeq = -1) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (fs != nullptr && fs->crashed()) return;
+    const std::string response = daemon.handleLine(lines[i]);
+    if (acked != nullptr &&
+        response.rfind("{\"ok\":true,\"seq\":", 0) == 0) {
+      acked->push_back(static_cast<std::int64_t>(i));
+    }
+    if ((i + 1) % kChunk == 0 &&
+        static_cast<std::int64_t>(i) > skipFlushThroughSeq) {
+      if (fs != nullptr && fs->crashed()) return;
+      daemon.flush();
+    }
+  }
+  if (fs == nullptr || !fs->crashed()) daemon.flush();
+}
+
+struct RunResult {
+  core::Placement placement;
+  std::vector<int> globalIds;
+  bool verified = false;
+};
+
+RunResult composedOf(const Daemon& daemon, const io::Scenario&) {
+  const Daemon::Composed c = daemon.compose();
+  RunResult r;
+  r.placement = c.placement;
+  r.globalIds = c.globalIds;
+  r.verified = core::verifyPlacement(c.problem, c.placement).ok;
+  return r;
+}
+
+// ---- journal round-trip ----------------------------------------------------
+
+TEST(Journal, EventAndSnapshotRoundTripThroughRecovery) {
+  util::FaultFs fs;
+  JournalOptions jo;
+  jo.dir = kJournalDir;
+  jo.fsync = FsyncMode::kAlways;
+  jo.snapshotEveryEvents = 0;
+  jo.vfs = &fs;
+
+  SnapshotState base;
+  base.shards.resize(1);
+  base.shards[0].placement = core::Placement(2);
+  base.shards[0].capacityShare = {100, 100};
+
+  {
+    Journal j(jo, 0, true);
+    Event e;
+    e.kind = EventKind::kCapacity;
+    e.seq = 0;
+    e.switchId = 1;
+    e.capacity = 123;
+    std::string err;
+    ASSERT_TRUE(j.appendEvent(e, 0, &err)) << err;
+    e.seq = 1;
+    e.capacity = 124;
+    ASSERT_TRUE(j.appendEvent(e, 0, &err)) << err;
+
+    CommitRecord record;
+    record.shard = 0;
+    record.maxSeq = 0;
+    record.committedSeqs = {0};
+    ASSERT_TRUE(j.appendCommit(record, &err)) << err;
+  }
+
+  const RecoveredState rec = Journal::recover(jo, base);
+  ASSERT_TRUE(rec.hasState);
+  EXPECT_EQ(rec.generation, 0);
+  EXPECT_EQ(rec.replayedCommits, 1);
+  // Seq 0 committed (capacity applied via structural replay); seq 1 pending.
+  EXPECT_EQ(rec.state.shards[0].capacityShare[1], 123);
+  ASSERT_EQ(rec.pending.size(), 1u);
+  EXPECT_EQ(rec.pending[0].seq, 1);
+  EXPECT_EQ(rec.pending[0].capacity, 124);
+  EXPECT_EQ(rec.state.lastSeq, 1);
+  EXPECT_EQ(rec.state.shards[0].lastCommittedSeq, 0);
+}
+
+TEST(Journal, SnapshotCutCarriesPendingAndPrunesOldGenerations) {
+  util::FaultFs fs;
+  JournalOptions jo;
+  jo.dir = kJournalDir;
+  jo.fsync = FsyncMode::kAlways;
+  jo.vfs = &fs;
+
+  SnapshotState base;
+  base.shards.resize(1);
+  base.shards[0].placement = core::Placement(1);
+  base.shards[0].capacityShare = {50};
+
+  Journal j(jo, 0, true);
+  std::string err;
+  Event e;
+  e.kind = EventKind::kCapacity;
+  e.seq = 5;
+  e.switchId = 0;
+  e.capacity = 60;
+  ASSERT_TRUE(j.appendEvent(e, 0, &err)) << err;
+
+  // Cut two generations; the pending (uncommitted) event must ride along.
+  SnapshotState cut = base;
+  ASSERT_TRUE(j.writeSnapshot(cut, &err)) << err;
+  EXPECT_EQ(j.generation(), 1);
+  ASSERT_TRUE(j.writeSnapshot(cut, &err)) << err;
+  EXPECT_EQ(j.generation(), 2);
+
+  // Generation 0 pruned (1 kept as fallback, 2 current).
+  const auto files = fs.durableFiles();
+  EXPECT_EQ(files.count("jd/wal-0.bin"), 0u);
+  EXPECT_EQ(files.count("jd/wal-1.bin"), 1u);
+  EXPECT_EQ(files.count("jd/wal-2.bin"), 1u);
+  EXPECT_EQ(files.count("jd/snapshot-2.bin"), 1u);
+
+  const RecoveredState rec = Journal::recover(jo, base);
+  ASSERT_TRUE(rec.hasState);
+  EXPECT_EQ(rec.generation, 2);
+  ASSERT_EQ(rec.pending.size(), 1u);
+  EXPECT_EQ(rec.pending[0].seq, 5);
+}
+
+// ---- crash-point matrix ----------------------------------------------------
+
+struct Reference {
+  io::Scenario scenario;
+  std::vector<std::string> lines;
+  RunResult result;
+  std::int64_t appendOps = 0;
+  std::int64_t syncOps = 0;
+};
+
+void buildReference(FsyncMode mode, std::int64_t events, Reference& ref) {
+  const ChurnConfig cfg = [&] {
+    ChurnConfig c = smallChurn();
+    c.events = events;
+    return c;
+  }();
+  churnScenario(cfg, ref.scenario);
+  ref.lines = churnLines(cfg, 0, events);
+  util::FaultFs fs;
+  Daemon daemon(ref.scenario, journalOpts(&fs, mode));
+  feedChunked(daemon, ref.lines, &fs, nullptr);
+  ref.result = composedOf(daemon, ref.scenario);
+  EXPECT_TRUE(ref.result.verified);
+  ref.appendOps = fs.appendOps();
+  ref.syncOps = fs.syncOps();
+}
+
+/// Crash a run at the scripted point, recover over the surviving image,
+/// finish the stream, and compare bit-identically against the reference.
+void crashAndRecover(const Reference& ref, FsyncMode mode,
+                     const util::FaultPlan& plan, const char* what) {
+  util::FaultFs fs;
+  fs.setPlan(plan);
+  std::vector<std::int64_t> acked;
+  try {
+    Daemon daemon(ref.scenario, journalOpts(&fs, mode));
+    feedChunked(daemon, ref.lines, &fs, &acked);
+    if (!fs.crashed()) fs.crashNow();  // plan landed after the stream
+  } catch (const std::exception& ex) {
+    // Dying mid-construction (e.g. the wal header's fsync was the crash
+    // point) is itself a crash; anything else is a real failure.
+    ASSERT_TRUE(fs.crashed()) << what << ": threw without a crash: "
+                              << ex.what();
+  }
+  fs.restart();
+  fs.setPlan(util::FaultPlan{});  // fault-free recovery
+
+  Daemon daemon(ref.scenario, journalOpts(&fs, mode));
+  if (mode == FsyncMode::kAlways) {
+    // No acked event is ever lost: every acked seq is already applied (or
+    // queued), so re-sending it must be rejected as out-of-order.
+    for (std::int64_t seq : acked) {
+      const std::string response = daemon.handleLine(ref.lines[
+          static_cast<std::size_t>(seq)]);
+      EXPECT_NE(response.find("out-of-order"), std::string::npos)
+          << what << ": acked seq " << seq << " was lost: " << response;
+    }
+  }
+  // Completing the stream converges on the reference: already-applied seqs
+  // bounce off the seq check, lost un-acked ones apply now.  Intermediate
+  // flushes are suppressed until the feed reaches the end of the chunk
+  // holding the newest recovered-pending event, so that chunk's batch
+  // re-forms exactly as the reference solved it (see feedChunked).
+  const Daemon::Stats recStats = daemon.stats();
+  std::int64_t skip = -1;
+  if (recStats.queueDepth > 0) {
+    const std::int64_t chunk = static_cast<std::int64_t>(kChunk);
+    skip = (recStats.lastSeq / chunk) * chunk + chunk - 2;
+  }
+  feedChunked(daemon, ref.lines, &fs, nullptr, skip);
+  const RunResult got = composedOf(daemon, ref.scenario);
+  EXPECT_TRUE(got.verified) << what;
+  EXPECT_EQ(got.globalIds, ref.result.globalIds) << what;
+  EXPECT_TRUE(got.placement == ref.result.placement)
+      << what << ": recovered placement diverges from uninterrupted run";
+}
+
+TEST(CrashMatrix, EveryWriteCrashRecoversBitIdentical) {
+  Reference ref;
+  buildReference(FsyncMode::kAlways, 40, ref);
+  ASSERT_GT(ref.appendOps, 10);
+  // Every write is a crash point: mid-wal, mid-commit, mid-snapshot and
+  // mid-compaction (the reference cuts generations every 16 events).
+  for (std::int64_t k = 1; k < ref.appendOps; ++k) {
+    util::FaultPlan plan;
+    plan.crashAtWrite = k;
+    crashAndRecover(ref, FsyncMode::kAlways, plan,
+                    ("crash at write " + std::to_string(k)).c_str());
+  }
+}
+
+TEST(CrashMatrix, TornTailsRecover) {
+  Reference ref;
+  buildReference(FsyncMode::kAlways, 40, ref);
+  const std::int64_t step = std::max<std::int64_t>(1, ref.appendOps / 5);
+  for (std::int64_t k = 1; k < ref.appendOps; k += step) {
+    util::FaultPlan plan;
+    plan.crashAtWrite = k;
+    plan.crashKeepBytes = 5;         // the fatal append lands partially
+    plan.unsyncedSurvivalBytes = 3;  // unsynced tails survive torn
+    crashAndRecover(ref, FsyncMode::kAlways, plan,
+                    ("torn crash at write " + std::to_string(k)).c_str());
+  }
+}
+
+TEST(CrashMatrix, FsyncCrashesRecover) {
+  Reference ref;
+  buildReference(FsyncMode::kAlways, 40, ref);
+  ASSERT_GT(ref.syncOps, 4);
+  const std::int64_t step = std::max<std::int64_t>(1, ref.syncOps / 6);
+  for (std::int64_t k = 0; k < ref.syncOps; k += step) {
+    util::FaultPlan plan;
+    plan.crashAtSync = k;
+    crashAndRecover(ref, FsyncMode::kAlways, plan,
+                    ("crash at fsync " + std::to_string(k)).c_str());
+  }
+}
+
+TEST(CrashMatrix, BatchModeConvergesAfterCrash) {
+  // kBatch may lose acked events (no per-event fsync); re-sending the
+  // stream must still converge bit-identically.
+  Reference ref;
+  buildReference(FsyncMode::kBatch, 40, ref);
+  const std::int64_t step = std::max<std::int64_t>(1, ref.appendOps / 6);
+  for (std::int64_t k = 1; k < ref.appendOps; k += step) {
+    util::FaultPlan plan;
+    plan.crashAtWrite = k;
+    plan.unsyncedSurvivalBytes = 64;  // some unsynced frames survive whole
+    crashAndRecover(ref, FsyncMode::kBatch, plan,
+                    ("batch crash at write " + std::to_string(k)).c_str());
+  }
+}
+
+TEST(CrashMatrix, FailedFsyncRejectsEventAndDaemonContinues) {
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  cfg.events = 12;
+  churnScenario(cfg, scenario);
+  const std::vector<std::string> lines = churnLines(cfg, 0, cfg.events);
+
+  util::FaultFs fs;
+  util::FaultPlan plan;
+  plan.failSyncAt = 3;  // one fsync reports failure, then IO heals
+  fs.setPlan(plan);
+  Daemon daemon(scenario, journalOpts(&fs, FsyncMode::kAlways));
+  int rejected = 0;
+  for (const std::string& line : lines) {
+    const std::string response = daemon.handleLine(line);
+    if (response.find("journal") != std::string::npos &&
+        response.find("rejected") != std::string::npos) {
+      ++rejected;
+    }
+  }
+  daemon.flush();
+  EXPECT_EQ(rejected, 1);
+  const RunResult got = composedOf(daemon, scenario);
+  EXPECT_TRUE(got.verified);
+  // The rejected event never half-applied: accounting stays consistent.
+  const Daemon::Stats st = daemon.stats();
+  EXPECT_EQ(st.totals.enqueued, st.totals.committed + st.totals.failed);
+}
+
+// ---- corrupted-journal corpus ---------------------------------------------
+
+std::string corpusFile(const std::string& name) {
+  const std::string path = std::string(RP_CORPUS_DIR) + "/journal/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+SnapshotState corpusBase() {
+  SnapshotState base;
+  base.shards.resize(1);
+  base.shards[0].placement = core::Placement(4);
+  base.shards[0].capacityShare = {100, 100, 100, 100};
+  return base;
+}
+
+TEST(Corpus, CorruptJournalsRecoverOrDiagnoseCleanly) {
+  struct Case {
+    const char* file;
+    bool expectState;    ///< best-usable-prefix recovery succeeds
+    bool expectDiag;     ///< a diagnostic names the damage
+    std::size_t minPending;
+  };
+  const Case cases[] = {
+      {"wal0-truncated.bin", true, true, 2},    // torn third frame
+      {"wal0-bitflip.bin", true, true, 1},      // CRC stops the replay
+      {"wal0-dup-seq.bin", true, true, 2},      // duplicate kept once
+      {"wal0-bad-payload.bin", true, true, 1},  // CRC-valid, unparseable
+      {"wal0-bad-header.bin", false, true, 0},
+      {"wal0-garbage.bin", false, true, 0},
+      {"wal0-empty.bin", false, true, 0},
+  };
+  for (const Case& c : cases) {
+    util::FaultFs fs;
+    fs.installFile(std::string(kJournalDir) + "/wal-0.bin",
+                   corpusFile(c.file));
+    JournalOptions jo;
+    jo.dir = kJournalDir;
+    jo.vfs = &fs;
+    const RecoveredState rec = Journal::recover(jo, corpusBase());
+    EXPECT_EQ(rec.hasState, c.expectState) << c.file;
+    if (c.expectDiag) {
+      EXPECT_FALSE(rec.diagnostics.empty()) << c.file;
+    }
+    if (rec.hasState) {
+      EXPECT_GE(rec.pending.size(), c.minPending) << c.file;
+      // Duplicate frames never double-apply: pending seqs are unique.
+      std::map<std::int64_t, int> seen;
+      for (const Event& e : rec.pending) {
+        EXPECT_EQ(seen[e.seq]++, 0) << c.file << " seq " << e.seq;
+      }
+    }
+  }
+}
+
+TEST(Corpus, DaemonServesOverEveryCorpusImage) {
+  // End-to-end: a daemon constructed over each damaged image must come up
+  // (recovered or fresh), answer queries, and verify its placement.
+  const char* files[] = {
+      "wal0-truncated.bin", "wal0-bitflip.bin",   "wal0-dup-seq.bin",
+      "wal0-bad-payload.bin", "wal0-bad-header.bin", "wal0-garbage.bin",
+      "wal0-empty.bin",
+  };
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  churnScenario(cfg, scenario);
+  for (const char* file : files) {
+    util::FaultFs fs;
+    fs.installFile(std::string(kJournalDir) + "/wal-0.bin", corpusFile(file));
+    Daemon daemon(scenario, journalOpts(&fs, FsyncMode::kAlways));
+    daemon.flush();
+    const RunResult got = composedOf(daemon, scenario);
+    EXPECT_TRUE(got.verified) << file;
+  }
+}
+
+// ---- uninstall -------------------------------------------------------------
+
+TEST(Uninstall, ParseAddressingIsExclusive) {
+  topo::Graph g;
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  churnScenario(cfg, scenario);
+  const NameIndex names(scenario.graph);
+  EXPECT_EQ(parseRequest(R"({"op":"uninstall","seq":1,"policy":3})", names)
+                .event.policyId,
+            3);
+  EXPECT_EQ(parseRequest(R"({"op":"uninstall","seq":1,"install_seq":9})",
+                         names)
+                .event.installSeq,
+            9);
+  EXPECT_THROW(parseRequest(R"({"op":"uninstall","seq":1})", names),
+               ProtocolError);
+  EXPECT_THROW(parseRequest(
+                   R"({"op":"uninstall","seq":1,"policy":3,"install_seq":9})",
+                   names),
+               ProtocolError);
+}
+
+TEST(Uninstall, RemovesPolicyAndRejectsDoubleRemoval) {
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  churnScenario(cfg, scenario);
+  DaemonOptions o;
+  o.shards = 1;
+  o.debounceSeconds = -1.0;
+  Daemon daemon(scenario, o);
+
+  const std::string install =
+      R"({"op":"install","seq":0,"ingress":0,"egress":5,"rules":["permit src 10.0.0.0/8"]})";
+  ASSERT_EQ(daemon.handleLine(install).rfind("{\"ok\":true", 0), 0u);
+  daemon.flush();
+  const std::int64_t before =
+      static_cast<std::int64_t>(daemon.compose().globalIds.size());
+
+  const int gid = static_cast<int>(before - 1);
+  ASSERT_EQ(daemon
+                .handleLine("{\"op\":\"uninstall\",\"seq\":1,\"policy\":" +
+                            std::to_string(gid) + "}")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  daemon.flush();
+  EXPECT_EQ(static_cast<std::int64_t>(daemon.compose().globalIds.size()),
+            before - 1);
+
+  // Double removal and stale install_seq addressing are rejected at ingest.
+  EXPECT_NE(daemon
+                .handleLine("{\"op\":\"uninstall\",\"seq\":2,\"policy\":" +
+                            std::to_string(gid) + "}")
+                .find("not installed"),
+            std::string::npos);
+  EXPECT_NE(daemon.handleLine(
+                     R"({"op":"uninstall","seq":2,"install_seq":0})")
+                .find("unknown install_seq"),
+            std::string::npos);
+  const RunResult got = composedOf(daemon, scenario);
+  EXPECT_TRUE(got.verified);
+}
+
+TEST(Uninstall, InstallUninstallPairFoldsInOneBatch) {
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  churnScenario(cfg, scenario);
+  DaemonOptions o;
+  o.shards = 1;
+  o.debounceSeconds = -1.0;  // both events land in the same batch
+  Daemon daemon(scenario, o);
+  const std::int64_t before =
+      static_cast<std::int64_t>(daemon.compose().globalIds.size());
+
+  ASSERT_EQ(
+      daemon
+          .handleLine(
+              R"({"op":"install","seq":0,"ingress":0,"egress":5,"rules":["permit src 10.0.0.0/8"]})")
+          .rfind("{\"ok\":true", 0),
+      0u);
+  ASSERT_EQ(daemon.handleLine(
+                     R"({"op":"uninstall","seq":1,"install_seq":0})")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  daemon.flush();
+
+  EXPECT_EQ(static_cast<std::int64_t>(daemon.compose().globalIds.size()),
+            before);
+  const Daemon::Stats st = daemon.stats();
+  EXPECT_GE(st.totals.coalesced, 2);  // the folded pair never hit the solver
+  EXPECT_EQ(st.totals.enqueued, st.totals.committed + st.totals.failed);
+}
+
+TEST(Uninstall, ChurnStreamWithRemovalsVerifies) {
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  cfg.events = 60;
+  churnScenario(cfg, scenario);
+  DaemonOptions o;
+  o.shards = 1;
+  o.debounceSeconds = -1.0;
+  Daemon daemon(scenario, o);
+  feedChunked(daemon, churnLines(cfg, 0, cfg.events), nullptr, nullptr);
+  const RunResult got = composedOf(daemon, scenario);
+  EXPECT_TRUE(got.verified);
+  const Daemon::Stats st = daemon.stats();
+  EXPECT_EQ(st.totals.enqueued, st.totals.committed + st.totals.failed);
+}
+
+// ---- admission control -----------------------------------------------------
+
+TEST(Admission, ShedsAboveMaxQueueAndRecoversAfterDrain) {
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  churnScenario(cfg, scenario);
+  DaemonOptions o;
+  o.shards = 1;
+  o.debounceSeconds = -1.0;  // nothing drains until flush(): depth only grows
+  o.maxQueue = 8;
+  Daemon daemon(scenario, o);
+
+  const std::vector<std::string> lines = churnLines(cfg, 0, 24);
+  int shed = 0;
+  std::int64_t firstShedSeq = -1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string response = daemon.handleLine(lines[i]);
+    if (response.find("\"shed\":true") != std::string::npos) {
+      ++shed;
+      if (firstShedSeq < 0) firstShedSeq = static_cast<std::int64_t>(i);
+      EXPECT_NE(response.find("retry_after_ms"), std::string::npos);
+    }
+  }
+  ASSERT_GT(shed, 0);
+  const Daemon::Stats stBefore = daemon.stats();
+  EXPECT_EQ(stBefore.shed, shed);
+  EXPECT_GT(stBefore.backpressured, 0);
+  EXPECT_LE(stBefore.queueDepth, o.maxQueue);
+
+  // Shedding never burned the seq: after draining, the shed seq retries.
+  daemon.flush();
+  const std::string retry = daemon.handleLine(
+      lines[static_cast<std::size_t>(firstShedSeq)]);
+  EXPECT_EQ(retry.rfind("{\"ok\":true", 0), 0u) << retry;
+  daemon.flush();
+  const Daemon::Stats st = daemon.stats();
+  EXPECT_GE(st.totals.overloadBatches, 1);  // whole-queue drains engaged
+  EXPECT_EQ(st.totals.enqueued, st.totals.committed + st.totals.failed);
+  EXPECT_TRUE(composedOf(daemon, scenario).verified);
+}
+
+TEST(Admission, StatsWindowStaysBounded) {
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  churnScenario(cfg, scenario);
+  DaemonOptions o;
+  o.shards = 1;
+  Daemon daemon(scenario, o);
+  const std::vector<std::string> lines = churnLines(cfg, 0, 50);
+  for (const std::string& line : lines) daemon.handleLine(line);
+  daemon.flush();
+  const Daemon::Stats st = daemon.stats();
+  EXPECT_LE(st.latencySamples, st.totals.committed);
+  EXPECT_LE(st.latencySamples, 1 << 16);  // the documented ring bound
+  EXPECT_EQ(st.totals.enqueued, st.totals.committed + st.totals.failed);
+}
+
+// ---- recovery end-to-end over real churn ----------------------------------
+
+TEST(Recovery, CleanShutdownRecoversAndContinues) {
+  io::Scenario scenario;
+  ChurnConfig cfg = smallChurn();
+  cfg.events = 32;
+  churnScenario(cfg, scenario);
+  const std::vector<std::string> lines = churnLines(cfg, 0, 64);
+
+  util::FaultFs fs;
+  RunResult straight;
+  {
+    // Uninterrupted reference over all 64 events.
+    util::FaultFs ref;
+    Daemon daemon(scenario, journalOpts(&ref, FsyncMode::kAlways));
+    feedChunked(daemon, lines, &ref, nullptr);
+    straight = composedOf(daemon, scenario);
+  }
+  {
+    // First half (chunked exactly like the reference), clean shutdown.
+    const std::vector<std::string> half(lines.begin(), lines.begin() + 32);
+    Daemon daemon(scenario, journalOpts(&fs, FsyncMode::kAlways));
+    feedChunked(daemon, half, &fs, nullptr);
+    daemon.handleLine(R"({"op":"shutdown"})");
+    EXPECT_TRUE(daemon.stopped());
+  }
+  // Second process: recovers, finishes the stream, matches the reference.
+  Daemon daemon(scenario, journalOpts(&fs, FsyncMode::kAlways));
+  EXPECT_TRUE(daemon.recovered());
+  feedChunked(daemon, lines, &fs, nullptr);
+  const RunResult got = composedOf(daemon, scenario);
+  EXPECT_TRUE(got.verified);
+  EXPECT_EQ(got.globalIds, straight.globalIds);
+  EXPECT_TRUE(got.placement == straight.placement);
+}
+
+}  // namespace
+}  // namespace ruleplace::serve

@@ -39,10 +39,19 @@
 //   --quiet            suppress per-event acks (errors and query responses
 //                      still print)
 //   --metrics          enable observability counters/histograms
+//   --journal DIR      write-ahead journal directory; on startup the daemon
+//                      recovers from the newest usable {snapshot + wal}
+//                      generation found there (docs/serve.md "Durability")
+//   --journal-fsync M  always | batch (default) | none
+//   --snapshot-every N appended events between snapshot cuts (default 8192,
+//                      0 = never)
+//   --max-queue N      admission control: shed events once a shard queue
+//                      holds N events (0 = unbounded, the default); see
+//                      docs/serve.md "Backpressure"
 //
 // Churn options (--churn / --gen-trace): --k N, --capacity N, --base N,
 // --rules N, --events N, --seed S, --install-w W, --reroute-w W,
-// --capacity-w W, --query-every N.
+// --capacity-w W, --uninstall-w W, --query-every N.
 
 #include <algorithm>
 #include <cstdio>
@@ -126,6 +135,24 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (std::strcmp(a, "--metrics") == 0) {
       opts.observability = true;
+    } else if (std::strcmp(a, "--journal") == 0 && i + 1 < argc) {
+      opts.journalDir = argv[++i];
+    } else if (std::strcmp(a, "--journal-fsync") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "always") == 0) {
+        opts.journalFsync = serve::FsyncMode::kAlways;
+      } else if (std::strcmp(mode, "batch") == 0) {
+        opts.journalFsync = serve::FsyncMode::kBatch;
+      } else if (std::strcmp(mode, "none") == 0) {
+        opts.journalFsync = serve::FsyncMode::kNever;
+      } else {
+        std::fprintf(stderr, "--journal-fsync wants always|batch|none\n");
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(a, "--snapshot-every") == 0 && needValue(&n)) {
+      opts.snapshotEveryEvents = n;
+    } else if (std::strcmp(a, "--max-queue") == 0 && needValue(&n)) {
+      opts.maxQueue = static_cast<std::size_t>(n);
     } else if (std::strcmp(a, "--optimize") == 0) {
       opts.satisfiabilityOnly = false;
     } else if (std::strcmp(a, "--no-escalate") == 0) {
@@ -164,6 +191,8 @@ int main(int argc, char** argv) {
       churnCfg.rerouteWeight = d;
     } else if (std::strcmp(a, "--capacity-w") == 0 && needDouble(&d)) {
       churnCfg.capacityWeight = d;
+    } else if (std::strcmp(a, "--uninstall-w") == 0 && needDouble(&d)) {
+      churnCfg.uninstallWeight = d;
     } else if (std::strcmp(a, "--query-every") == 0 && needValue(&n)) {
       churnCfg.queryEvery = static_cast<int>(n);
     } else if (a[0] != '-' && scenarioPath.empty()) {
@@ -215,6 +244,15 @@ int main(int argc, char** argv) {
       opts.maxBatch = static_cast<std::size_t>(-1);
     }
     serve::Daemon daemon(scenario, opts);
+    if (!opts.journalDir.empty()) {
+      if (daemon.recovered()) {
+        std::fprintf(stderr, "serve: recovered state from %s\n",
+                     opts.journalDir.c_str());
+      }
+      for (const std::string& diag : daemon.recoveryDiagnostics()) {
+        std::fprintf(stderr, "serve: recovery: %s\n", diag.c_str());
+      }
+    }
 
     std::ifstream replayFile;
     std::istream* in = &std::cin;
